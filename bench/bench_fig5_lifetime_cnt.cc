@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Figure 5: lifetime vs duty cycle for the four legacy
+ * cores in CNT-TFT, on each of the four printed batteries. CNT
+ * cores also exceed the deliverable power of the printed
+ * batteries at full duty (Section 4).
+ */
+
+#include <iostream>
+
+#include "apps/battery.hh"
+#include "bench_util.hh"
+#include "legacy/cores.hh"
+
+int
+main()
+{
+    using namespace printed;
+    using namespace printed::legacy;
+    bench::banner("Figure 5",
+                  "Lifetime [hours] vs duty cycle, CNT-TFT cores "
+                  "on printed batteries");
+
+    const double duties[] = {1.0, 0.1, 0.01, 0.001};
+    for (const Battery &battery : printedBatteries()) {
+        std::cout << battery.name << " ("
+                  << battery.energyJoules() << " J, max "
+                  << battery.maxPower_mW << " mW):\n";
+        TableWriter t({"Core", "duty 1.0", "duty 0.1", "duty 0.01",
+                       "duty 0.001", "power OK?"});
+        for (LegacyCore core : allLegacyCores) {
+            const LegacyCoreSpec &s = legacyCoreSpec(core);
+            std::vector<std::string> row = {s.name};
+            for (double d : duties)
+                row.push_back(TableWriter::fixed(
+                    lifetimeHours(battery, s.cnt.powerMw, d), 2));
+            row.push_back(
+                withinPowerBudget(battery, s.cnt.powerMw)
+                    ? "yes"
+                    : "exceeds budget");
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "Shape to reproduce: CNT-TFT cores burn watts - "
+                 "minutes of life at full duty, and beyond any "
+                 "printed battery's deliverable power.\n";
+    return 0;
+}

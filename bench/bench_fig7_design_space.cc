@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Figure 7: fmax, area, and power of every TP-ISA core
+ * configuration pP_D_B (P in {1,2,3}, D in {4,8,16,32}, B in
+ * {2,4}), each synthesized to gates and characterized in both
+ * technologies. Area and power are split into combinational (C)
+ * and register (R) shares, as in the figure's stacked bars.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "dse/sweep.hh"
+#include "legacy/cores.hh"
+
+int
+main()
+{
+    using namespace printed;
+    bench::banner("Figure 7",
+                  "TP-ISA design space: fmax / area / power per "
+                  "pP_D_B core (both technologies)");
+
+    const auto points = sweepDesignSpace();
+
+    TableWriter t({"Core", "Gates", "Flops", "EGFET fmax Hz",
+                   "EGFET area cm^2 (C+R)", "EGFET power mW (C+R)",
+                   "CNT fmax Hz", "CNT area cm^2", "CNT power mW"});
+    for (const DesignPoint &p : points) {
+        t.addRow({
+            p.config.label(),
+            std::to_string(p.egfet.gateCount()),
+            std::to_string(p.egfet.stats.seqGates),
+            TableWriter::fixed(p.egfet.fmaxHz(), 2),
+            TableWriter::fixed(p.egfet.area.comb_mm2 / 100, 2) +
+                "+" +
+                TableWriter::fixed(p.egfet.area.seq_mm2 / 100, 2),
+            TableWriter::fixed(p.egfet.powerAtFmax.comb_mW, 1) +
+                "+" +
+                TableWriter::fixed(p.egfet.powerAtFmax.seq_mW, 1),
+            TableWriter::fixed(p.cnt.fmaxHz(), 0),
+            TableWriter::fixed(p.cnt.areaCm2(), 3),
+            TableWriter::fixed(p.cnt.powerMw(), 1),
+        });
+    }
+    t.print(std::cout);
+
+    // The paper's headline comparisons against Table 4.
+    using namespace legacy;
+    const auto &l8080 = legacyCoreSpec(LegacyCore::Light8080).egfet;
+    double fastest = 0, smallest8 = 1e9, largest = 0;
+    for (const auto &p : points) {
+        fastest = std::max(fastest, p.egfet.fmaxHz());
+        largest = std::max(largest, p.egfet.areaCm2());
+        if (p.config.isa.datawidth == 8)
+            smallest8 = std::min(smallest8, p.egfet.areaCm2());
+    }
+    std::cout << "\nHeadlines (paper | measured):\n";
+    bench::compare("fastest TP-ISA core vs light8080 fmax (x)",
+                   1.38, fastest / l8080.fmaxHz);
+    bench::compare("light8080 area / smallest 8-bit TP-ISA (x)",
+                   5.2, l8080.areaCm2 / smallest8);
+    std::cout << "  largest TP-ISA core "
+              << TableWriter::fixed(largest, 2)
+              << " cm^2 vs smallest legacy core (light8080) "
+              << l8080.areaCm2
+              << " cm^2 -> every TP-ISA core is smaller.\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces the quantitative content of Figure 9 / Section 6:
+ * the crossbar instruction-ROM geometry - sub-blocks, transistor
+ * and pull-up counts, and area - including the paper's 16x9
+ * reference design and its comparison against the WORM memory of
+ * Myny et al. [79].
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "mem/rom.hh"
+
+int
+main()
+{
+    using namespace printed;
+    bench::banner("Figure 9",
+                  "Crosspoint ROM geometry (EGFET), including the "
+                  "paper's 16x9 reference");
+
+    TableWriter t({"Memory", "Sub-blocks", "Rows x Cols", "Dots",
+                   "Transistors", "Pull-ups", "Area mm^2",
+                   "Read delay ms"});
+    struct Case
+    {
+        std::size_t words;
+        unsigned bits;
+        unsigned mlc;
+    };
+    for (const Case &c : {Case{16, 9, 1}, Case{64, 24, 1},
+                          Case{256, 24, 1}, Case{256, 24, 2},
+                          Case{256, 24, 4}}) {
+        const CrosspointRom rom(c.words, c.bits, c.mlc);
+        t.addRow({std::to_string(c.words) + "x" +
+                      std::to_string(c.bits) +
+                      (c.mlc > 1 ? " (MLC" + std::to_string(c.mlc) +
+                                       ")"
+                                 : ""),
+                  std::to_string(rom.subBlocks()),
+                  std::to_string(rom.rows()) + "x" +
+                      std::to_string(rom.columns()),
+                  std::to_string(rom.cells()),
+                  std::to_string(rom.transistors()),
+                  std::to_string(rom.pullUps()),
+                  TableWriter::fixed(rom.areaMm2(), 2),
+                  TableWriter::num(rom.readDelayMs())});
+    }
+    t.print(std::cout);
+
+    const CrosspointRom ref(16, 9);
+    const WormMemorySpec worm = wormReference();
+    std::cout << "\n16x9 reference vs WORM [79] (paper | measured):"
+              << "\n";
+    bench::compare("crosspoint transistors", 220,
+                   double(ref.transistors()));
+    bench::compare("crosspoint pull-up resistors", 52,
+                   double(ref.pullUps()));
+    bench::compare("crosspoint area [mm^2]", 20.42, ref.areaMm2());
+    bench::compare("WORM transistors", 1004,
+                   double(worm.totalTransistors()));
+    bench::compare("area ratio (crosspoint/WORM)", 0.33,
+                   ref.areaMm2() / worm.area_mm2);
+    return 0;
+}

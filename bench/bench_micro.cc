@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the toolchain itself:
+ * synthesis (core generation + optimization), static timing,
+ * gate-level simulation, the assembler, and the instruction-set
+ * simulator. These guard the usability of the flow (a full
+ * design-space sweep runs hundreds of synthesis+analysis passes).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/characterize.hh"
+#include "arch/machine.hh"
+#include "core/generator.hh"
+#include "isa/assembler.hh"
+#include "sim/simulator.hh"
+#include "workloads/kernels.hh"
+
+namespace
+{
+
+using namespace printed;
+
+void
+BM_BuildCore(benchmark::State &state)
+{
+    const CoreConfig cfg =
+        CoreConfig::standard(1, unsigned(state.range(0)), 2);
+    for (auto _ : state) {
+        Netlist nl = buildCore(cfg);
+        benchmark::DoNotOptimize(nl.gateCount());
+    }
+}
+BENCHMARK(BM_BuildCore)->Arg(8)->Arg(32);
+
+void
+BM_Characterize(benchmark::State &state)
+{
+    const Netlist nl = buildCore(CoreConfig::standard(1, 8, 2));
+    for (auto _ : state) {
+        const Characterization ch = characterize(nl, egfetLibrary());
+        benchmark::DoNotOptimize(ch.fmaxHz());
+    }
+}
+BENCHMARK(BM_Characterize);
+
+void
+BM_StaticTiming(benchmark::State &state)
+{
+    const Netlist nl = buildCore(CoreConfig::standard(1, 32, 2));
+    for (auto _ : state) {
+        const TimingReport t = analyzeTiming(nl, egfetLibrary());
+        benchmark::DoNotOptimize(t.fmaxHz);
+    }
+}
+BENCHMARK(BM_StaticTiming);
+
+void
+BM_GateSimCycle(benchmark::State &state)
+{
+    const Netlist nl = buildCore(CoreConfig::standard(1, 8, 2));
+    GateSimulator sim(nl);
+    for (auto _ : state)
+        sim.cycle();
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_GateSimCycle);
+
+void
+BM_Assembler(benchmark::State &state)
+{
+    const std::string src = R"(
+        STORE [0], #5
+        loop:
+            ADD [0], [1]
+            ADC [2], [3]
+            SUB [4], [5]
+            BRN loop, Z
+        halt: BRN halt, #0
+    )";
+    const IsaConfig cfg;
+    for (auto _ : state) {
+        const Program p = assemble(src, cfg);
+        benchmark::DoNotOptimize(p.size());
+    }
+}
+BENCHMARK(BM_Assembler);
+
+void
+BM_IssMultIteration(benchmark::State &state)
+{
+    const Workload wl = makeWorkload(Kernel::Mult, 8, 8);
+    const auto inputs = defaultInputs(Kernel::Mult, 8);
+    for (auto _ : state) {
+        TpIsaMachine m(wl.program, wl.dmemWords);
+        wl.load([&](std::size_t a, std::uint64_t v) {
+            m.setMem(a, v);
+        }, inputs);
+        m.run();
+        benchmark::DoNotOptimize(m.stats().instructions);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_IssMultIteration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Reproduces the Section 8 legacy-core anecdotes: benchmark-level
+ * execution time and energy of the pre-existing cores in EGFET,
+ * computed from real machine code running on our ISSs at the
+ * published Table 4 clock rates and powers.
+ *
+ * Paper reference points: light8080 takes 44.6 s and 3.66 J for
+ * an 8-bit multiply (over an order of magnitude worse than the
+ * best TP-ISA core, but still better than Z80 and ZPU); 16-bit
+ * insertion sort exceeds 1000 s on all three, and on Z80/ZPU it
+ * exceeds what a 30 mAh battery stores (108 J).
+ */
+
+#include <iostream>
+
+#include "apps/battery.hh"
+#include "bench_util.hh"
+#include "dse/system_eval.hh"
+#include "legacy/cores.hh"
+#include "legacy/i8080.hh"
+#include "legacy/ir.hh"
+#include "legacy/msp430.hh"
+#include "legacy/zpu.hh"
+
+namespace
+{
+
+using namespace printed;
+using namespace printed::legacy;
+
+struct Row
+{
+    std::string core;
+    double seconds;
+    double joules;
+};
+
+Row
+evalLegacy(LegacyCore core, Kernel kind, unsigned width)
+{
+    const IrProgram prog = irKernel(kind, width);
+    const auto inputs = defaultInputs(kind, width, 1);
+    LegacyRun run;
+    switch (core) {
+      case LegacyCore::Light8080:
+        run = run8080(prog, inputs, I8080Timing::I8080);
+        break;
+      case LegacyCore::Z80:
+        run = run8080(prog, inputs, I8080Timing::Z80);
+        break;
+      case LegacyCore::OpenMsp430:
+        run = runMsp430(prog, inputs);
+        break;
+      case LegacyCore::ZpuSmall:
+        run = runZpu(prog, inputs);
+        break;
+    }
+    const auto &spec = legacyCoreSpec(core).egfet;
+    Row row;
+    row.core = legacyCoreSpec(core).name;
+    row.seconds = double(run.cycles) / spec.fmaxHz;
+    row.joules = spec.powerMw * 1e-3 * row.seconds;
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Section 8 (legacy cores)",
+                  "Benchmark run time and energy of pre-existing "
+                  "EGFET cores (ISS cycle counts at Table 4 "
+                  "clocks/powers)");
+
+    const double budget = printed::table8Battery().energyJoules();
+
+    struct Case
+    {
+        Kernel kind;
+        unsigned width;
+        const char *label;
+    };
+    for (const Case &c :
+         {Case{Kernel::Mult, 8, "8-bit multiply"},
+          Case{Kernel::InSort, 16, "16-bit insertion sort"},
+          Case{Kernel::Crc8, 8, "crc8 (16-byte stream)"}}) {
+        std::cout << c.label << ":\n";
+        printed::TableWriter t({"Core", "Time [s]", "Energy [J]",
+                                "vs 108 J battery"});
+        for (LegacyCore core : allLegacyCores) {
+            const Row row = evalLegacy(core, c.kind, c.width);
+            t.addRow({row.core,
+                      printed::TableWriter::fixed(row.seconds, 1),
+                      printed::TableWriter::fixed(row.joules, 2),
+                      row.joules > budget ? "EXCEEDS" : "ok"});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "Paper anchors: light8080 mult8 = 44.6 s / "
+                 "3.66 J; >1000 s 16-bit sorts; Z80 and ZPU "
+                 "exceed the battery on the sort.\n";
+    return 0;
+}

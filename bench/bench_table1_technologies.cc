@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Table 1: comparison of printed/flexible electronics
+ * technologies by processing route, operating voltage, and
+ * mobility.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "tech/technology.hh"
+
+int
+main()
+{
+    using namespace printed;
+    bench::banner("Table 1",
+                  "Printed/flexible technologies: operating voltage "
+                  "and mobility");
+
+    TableWriter t({"Process Technology", "Processing Route",
+                   "Operating Voltage [V]", "Mobility [cm^2/Vs]",
+                   "Battery-compatible"});
+    for (const TechnologyInfo &row : technologySurvey()) {
+        std::string volts =
+            row.minVoltage == row.maxVoltage
+                ? TableWriter::num(row.maxVoltage)
+                : TableWriter::num(row.minVoltage) + "-" +
+                      TableWriter::num(row.maxVoltage);
+        if (row.name == "EGFET")
+            volts = "<1";
+        t.addRow({row.name, row.processing, volts,
+                  TableWriter::num(row.mobility),
+                  row.batteryCompatible ? "yes" : "no"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nOnly the low-voltage technologies (EGFET, "
+                 "CNT-TFT, SAM OTFT) can be battery powered; the "
+                 "paper builds standard-cell libraries for the "
+                 "first two.\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces Table 2: standard-cell characteristics of the EGFET
+ * (VDD = 1 V) and CNT-TFT (VDD = 3 V) libraries.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "tech/library.hh"
+
+int
+main()
+{
+    using namespace printed;
+    bench::banner("Table 2",
+                  "Standard cell characteristics (EGFET @ 1 V, "
+                  "CNT-TFT @ 3 V)");
+
+    const CellLibrary &eg = egfetLibrary();
+    const CellLibrary &cnt = cntLibrary();
+
+    TableWriter t({"Cell", "Area mm^2 (EG/CNT)", "Energy nJ (EG/CNT)",
+                   "Rise us (EG/CNT)", "Fall us (EG/CNT)"});
+    for (std::size_t i = 0; i < numCellKinds; ++i) {
+        const auto kind = static_cast<CellKind>(i);
+        const CellSpec &e = eg.cell(kind);
+        const CellSpec &c = cnt.cell(kind);
+        t.addRow({cellName(kind),
+                  TableWriter::num(e.area_mm2) + " / " +
+                      TableWriter::num(c.area_mm2),
+                  TableWriter::num(e.energy_nJ) + " / " +
+                      TableWriter::num(c.energy_nJ),
+                  TableWriter::num(e.rise_us) + " / " +
+                      TableWriter::num(c.rise_us),
+                  TableWriter::num(e.fall_us) + " / " +
+                      TableWriter::num(c.fall_us)});
+    }
+    t.print(std::cout);
+
+    const double dff_vs_nand_area =
+        eg.cell(CellKind::DFFX1).area_mm2 /
+        eg.cell(CellKind::NAND2X1).area_mm2;
+    std::cout << "\nKey architectural driver: an EGFET DFF costs "
+              << TableWriter::fixed(dff_vs_nand_area, 1)
+              << "x the area of a NAND2 (and proportionally more "
+                 "energy), which is why single-stage, register-poor "
+                 "cores win (Section 5).\n";
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces Table 3: printed-application performance and
+ * precision requirements, plus a feasibility screen against
+ * representative EGFET and CNT-TFT TP-ISA cores.
+ */
+
+#include <iostream>
+
+#include "apps/applications.hh"
+#include "bench_util.hh"
+#include "core/generator.hh"
+#include "dse/sweep.hh"
+
+int
+main()
+{
+    using namespace printed;
+    bench::banner("Table 3",
+                  "Example applications and their performance / "
+                  "precision requirements");
+
+    // Throughput of a synthesized single-cycle 8-bit core in each
+    // technology (CPI = 1).
+    const DesignPoint p8 =
+        evaluateDesignPoint(CoreConfig::standard(1, 8, 2));
+    const double ips_egfet = p8.egfet.fmaxHz();
+    const double ips_cnt = p8.cnt.fmaxHz();
+
+    TableWriter t({"Application", "Sample Rate (Hz)", "Prec. (bits)",
+                   "Duty Cycle", "EGFET p1_8_2", "CNT p1_8_2"});
+    for (const ApplicationInfo &app : applicationSurvey()) {
+        t.addRow({app.name, TableWriter::num(app.sampleRateHz),
+                  std::to_string(app.precisionBits),
+                  app.dutyCycleNote,
+                  feasible(app, ips_egfet, 8) ? "feasible" : "--",
+                  feasible(app, ips_cnt, 8) ? "feasible" : "--"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nEGFET p1_8_2 throughput: "
+              << TableWriter::fixed(ips_egfet, 1)
+              << " IPS; CNT-TFT: " << TableWriter::fixed(ips_cnt, 0)
+              << " IPS (budget " << opsPerSample
+              << " instructions per sample). Several low-rate "
+                 "applications are feasible on inkjet-printed EGFET "
+                 "cores; CNT-TFT covers all of them (Section 4).\n";
+    return 0;
+}

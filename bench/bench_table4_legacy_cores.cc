@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces Table 4: characterization of the pre-existing cores
+ * (openMSP430, Z80, light8080, ZPU_small) in both technologies.
+ * Published values are shown next to our statistical-model
+ * outputs (area and power re-derived from the cell-mix model
+ * through the same engine that characterizes TP-ISA cores).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "legacy/cores.hh"
+
+int
+main()
+{
+    using namespace printed;
+    using namespace printed::legacy;
+    bench::banner("Table 4",
+                  "Pre-existing CPUs in EGFET@1V / CNT-TFT@3V "
+                  "(paper value | our model)");
+
+    TableWriter t({"CPU", "width-ALU", "ISA", "CPI",
+                   "Fmax Hz (EG/CNT)", "Gates (EG/CNT)",
+                   "Area cm^2 (EG: paper|model / CNT: paper|model)",
+                   "Power mW (EG: paper|model / CNT: paper|model)"});
+
+    for (LegacyCore core : allLegacyCores) {
+        const LegacyCoreSpec &s = legacyCoreSpec(core);
+        const auto eg = modelLegacyCore(core, TechKind::EGFET);
+        const auto cn = modelLegacyCore(core, TechKind::CNT_TFT);
+        t.addRow({
+            s.name,
+            std::to_string(s.datawidth) + "-" +
+                std::to_string(s.aluWidth),
+            s.isaStyle,
+            std::to_string(s.cpiMin) + "-" +
+                std::to_string(s.cpiMax),
+            TableWriter::num(s.egfet.fmaxHz) + " / " +
+                TableWriter::num(s.cnt.fmaxHz),
+            std::to_string(s.egfet.gateCount) + " / " +
+                std::to_string(s.cnt.gateCount),
+            TableWriter::fixed(s.egfet.areaCm2, 2) + "|" +
+                TableWriter::fixed(eg.area.totalCm2(), 2) + " / " +
+                TableWriter::fixed(s.cnt.areaCm2, 2) + "|" +
+                TableWriter::fixed(cn.area.totalCm2(), 2),
+            TableWriter::fixed(s.egfet.powerMw, 1) + "|" +
+                TableWriter::fixed(eg.powerAtFmax.total_mW, 1) +
+                " / " + TableWriter::fixed(s.cnt.powerMw, 1) + "|" +
+                TableWriter::fixed(cn.powerAtFmax.total_mW, 1),
+        });
+    }
+    t.print(std::cout);
+
+    std::cout << "\nCalibrated combinational depths (cells on the "
+                 "critical path implied by the published fmax):\n";
+    for (LegacyCore core : allLegacyCores) {
+        const auto eg = modelLegacyCore(core, TechKind::EGFET);
+        const auto cn = modelLegacyCore(core, TechKind::CNT_TFT);
+        std::cout << "  " << legacyCoreSpec(core).name << ": EGFET "
+                  << eg.calibratedDepth << ", CNT-TFT "
+                  << cn.calibratedDepth << "\n";
+    }
+    return 0;
+}

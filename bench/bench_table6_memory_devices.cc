@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Reproduces Table 6: characteristics of the EGFET memory devices
+ * (1-bit SRAM, 1/2/4-bit crosspoint ROM dots, 2/4-bit ADCs), plus
+ * the derived CNT-TFT equivalents our scaling rules produce.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "mem/devices.hh"
+
+int
+main()
+{
+    using namespace printed;
+    bench::banner("Table 6",
+                  "Characteristics of EGFET memory devices");
+
+    TableWriter t({"Component", "Area [mm^2]", "Active Power [uW]",
+                   "Static Power [uW]", "Delay [ms]"});
+    for (const MemoryDeviceSpec &d : egfetMemoryDevices())
+        t.addRow({d.name, TableWriter::num(d.area_mm2),
+                  TableWriter::num(d.activePower_uW),
+                  TableWriter::num(d.staticPower_uW),
+                  TableWriter::num(d.delay_ms)});
+    t.print(std::cout);
+
+    std::cout << "\nDerived CNT-TFT devices (area/power scaled by "
+                 "INVX1 ratios; ROM latency from the paper's "
+                 "302 us figure):\n\n";
+    TableWriter c({"Component", "Area [mm^2]", "Delay [ms]"});
+    for (MemDevice dev : {MemDevice::Ram1b, MemDevice::Rom1b,
+                          MemDevice::Rom2b, MemDevice::Rom4b}) {
+        const MemoryDeviceSpec d =
+            memoryDevice(dev, TechKind::CNT_TFT);
+        c.addRow({d.name, TableWriter::num(d.area_mm2, 3),
+                  TableWriter::num(d.delay_ms, 3)});
+    }
+    c.print(std::cout);
+    return 0;
+}

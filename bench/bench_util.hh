@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries: a
+ * uniform header banner and paper-vs-measured comparison lines so
+ * every bench prints in the same style.
+ */
+
+#ifndef PRINTED_BENCH_BENCH_UTIL_HH
+#define PRINTED_BENCH_BENCH_UTIL_HH
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+
+namespace printed::bench
+{
+
+/** Print the standard banner for one reproduced artifact. */
+inline void
+banner(const std::string &artifact, const std::string &caption)
+{
+    std::cout << "\n=== " << artifact << " ===\n"
+              << caption << "\n\n";
+}
+
+/** Print one paper-vs-measured comparison line. */
+inline void
+compare(const std::string &what, double paper, double measured,
+        const std::string &unit = "")
+{
+    const double ratio = paper != 0 ? measured / paper : 0.0;
+    std::cout << "  " << std::left << std::setw(44) << what
+              << " paper " << std::setw(10) << paper << " measured "
+              << std::setw(10) << measured;
+    if (!unit.empty())
+        std::cout << " " << unit;
+    std::cout << "  (x" << std::setprecision(3) << ratio << ")\n"
+              << std::setprecision(6);
+}
+
+} // namespace printed::bench
+
+#endif // PRINTED_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Extension study: process variation and manufacturing yield of
+ * printed cores.
+ *
+ * Section 3.1 reports EGFET device yields of 90-99% and the EGFET
+ * modeling literature the paper builds on centers on printed
+ * process variation. This bench quantifies both effects across the
+ * design space: the timing guard-band Monte-Carlo variation
+ * demands, and the print-until-it-works cost that yields imply -
+ * the clearest quantitative argument for low-gate-count printed
+ * cores beyond area and power.
+ */
+
+#include <iostream>
+
+#include "analysis/characterize.hh"
+#include "analysis/variation.hh"
+#include "analysis/yield.hh"
+#include "bench_util.hh"
+#include "core/generator.hh"
+#include "legacy/cores.hh"
+
+int
+main()
+{
+    using namespace printed;
+    bench::banner("Extension: variation & yield",
+                  "Monte-Carlo timing guard-bands and print yield "
+                  "of EGFET cores");
+
+    std::cout << "Timing under process variation (lognormal cell "
+                 "delays, sigma 25%, 200 samples):\n";
+    TableWriter t({"Core", "nominal fmax Hz", "p95 fmax Hz",
+                   "guard-band", "sigma/mean"});
+    for (unsigned w : {4u, 8u, 16u, 32u}) {
+        const CoreConfig cfg = CoreConfig::standard(1, w, 2);
+        const Netlist nl = buildCore(cfg);
+        const VariationReport r =
+            analyzeVariation(nl, egfetLibrary());
+        t.addRow({cfg.label(),
+                  TableWriter::fixed(1e6 / r.nominalPeriodUs, 2),
+                  TableWriter::fixed(r.guardedFmaxHz(), 2),
+                  TableWriter::fixed(r.guardBand(), 2) + "x",
+                  TableWriter::fixed(
+                      100 * r.stdDevUs / r.meanPeriodUs, 1) + "%"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPrint yield (working prints per attempt) at "
+                 "the paper's measured EGFET device yields:\n";
+    TableWriter y({"Design", "Devices", "yield @99%",
+                   "yield @99.9%", "yield @99.99%",
+                   "prints/good @99.99%"});
+    auto add_design = [&](const std::string &name,
+                          std::size_t devices) {
+        const auto y99 = yieldForDevices(devices, {0.99, 1.0});
+        const auto y999 = yieldForDevices(devices, {0.999, 1.0});
+        const auto y9999 = yieldForDevices(devices, {0.9999, 1.0});
+        y.addRow({name, std::to_string(devices),
+                  TableWriter::num(y99.yield, 3),
+                  TableWriter::num(y999.yield, 3),
+                  TableWriter::num(y9999.yield, 3),
+                  y9999.yield > 1e-6
+                      ? TableWriter::fixed(y9999.printsPerGood, 1)
+                      : std::string(">1e6")});
+    };
+
+    for (unsigned w : {4u, 8u, 32u}) {
+        const Netlist nl = buildCore(CoreConfig::standard(1, w, 2));
+        add_design("TP-ISA p1_" + std::to_string(w) + "_2",
+                   deviceCount(nl));
+    }
+    using namespace legacy;
+    for (LegacyCore core :
+         {LegacyCore::Light8080, LegacyCore::OpenMsp430}) {
+        const auto &spec = legacyCoreSpec(core);
+        // Legacy device counts from the statistical cell mix: ~2
+        // devices per cell on average.
+        add_design(spec.name, spec.egfet.gateCount * 2);
+    }
+    y.print(std::cout);
+
+    std::cout
+        << "\nTakeaway: even at the top of the paper's measured "
+           "90-99% device-yield range, core-scale circuits need "
+           "print-until-it-works manufacturing; at 99.99% the "
+           "TP-ISA cores become practical (~1.1 prints per "
+           "working core) while an openMSP430-class design still "
+           "needs an order of magnitude more attempts - yield is "
+           "as strong an argument for low-gate-count printed "
+           "cores as area and power.\n";
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Interactive design-space explorer: synthesize any TP-ISA core
+ * configuration to gates and characterize it in both printed
+ * technologies, or sweep the whole Figure 7 space.
+ *
+ * Usage:
+ *   ./build/examples/design_explorer                 (full sweep)
+ *   ./build/examples/design_explorer 1 8 2           (one point:
+ *                                     stages width bars)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "core/generator.hh"
+#include "dse/sweep.hh"
+#include "netlist/stats.hh"
+
+namespace
+{
+
+using namespace printed;
+
+void
+printPoint(const DesignPoint &p, bool verbose)
+{
+    std::cout << p.config.label() << ": " << p.egfet.gateCount()
+              << " cells, depth " << p.egfet.stats.logicDepth
+              << ", " << p.egfet.stats.seqGates << " flops\n"
+              << "  EGFET : " << p.egfet.fmaxHz() << " Hz, "
+              << p.egfet.areaCm2() << " cm^2, " << p.egfet.powerMw()
+              << " mW\n"
+              << "  CNT   : " << p.cnt.fmaxHz() << " Hz, "
+              << p.cnt.areaCm2() << " cm^2, " << p.cnt.powerMw()
+              << " mW\n";
+    if (verbose) {
+        const Netlist nl = buildCore(p.config);
+        printStats(std::cout, "  cells", computeStats(nl));
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace printed;
+
+    if (argc == 4) {
+        const CoreConfig cfg = CoreConfig::standard(
+            unsigned(std::atoi(argv[1])),
+            unsigned(std::atoi(argv[2])),
+            unsigned(std::atoi(argv[3])));
+        try {
+            printPoint(evaluateDesignPoint(cfg), true);
+        } catch (const std::exception &e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return 1;
+        }
+        return 0;
+    }
+
+    std::cout << "Sweeping the Figure 7 design space (24 cores, "
+                 "each synthesized to gates)...\n\n";
+    const auto points = sweepDesignSpace();
+
+    TableWriter t({"core", "cells", "flops", "EGFET Hz",
+                   "EGFET cm^2", "EGFET mW", "CNT Hz", "CNT cm^2",
+                   "CNT mW"});
+    const DesignPoint *best_power = nullptr;
+    const DesignPoint *best_speed = nullptr;
+    for (const auto &p : points) {
+        t.addRow({p.config.label(),
+                  std::to_string(p.egfet.gateCount()),
+                  std::to_string(p.egfet.stats.seqGates),
+                  TableWriter::fixed(p.egfet.fmaxHz(), 2),
+                  TableWriter::fixed(p.egfet.areaCm2(), 2),
+                  TableWriter::fixed(p.egfet.powerMw(), 1),
+                  TableWriter::fixed(p.cnt.fmaxHz(), 0),
+                  TableWriter::fixed(p.cnt.areaCm2(), 3),
+                  TableWriter::fixed(p.cnt.powerMw(), 1)});
+        if (!best_power ||
+            p.egfet.powerMw() < best_power->egfet.powerMw())
+            best_power = &p;
+        if (!best_speed ||
+            p.egfet.fmaxHz() > best_speed->egfet.fmaxHz())
+            best_speed = &p;
+    }
+    t.print(std::cout);
+
+    std::cout << "\nLowest-power EGFET core: "
+              << best_power->config.label() << " ("
+              << best_power->egfet.powerMw() << " mW)\n"
+              << "Fastest EGFET core:      "
+              << best_speed->config.label() << " ("
+              << best_speed->egfet.fmaxHz() << " Hz)\n"
+              << "\nRun with 'stages width bars' arguments for a "
+                 "cell-level breakdown of one point.\n";
+    return 0;
+}

@@ -1,0 +1,31 @@
+#include "area.hh"
+
+namespace printed
+{
+
+AreaReport
+areaOfHistogram(const std::array<std::size_t, numCellKinds> &histogram,
+                const CellLibrary &lib)
+{
+    AreaReport report;
+    for (std::size_t i = 0; i < numCellKinds; ++i) {
+        const auto kind = static_cast<CellKind>(i);
+        const double area =
+            double(histogram[i]) * lib.cell(kind).area_mm2;
+        report.perCell_mm2[i] = area;
+        report.total_mm2 += area;
+        if (cellIsSequential(kind))
+            report.seq_mm2 += area;
+        else
+            report.comb_mm2 += area;
+    }
+    return report;
+}
+
+AreaReport
+analyzeArea(const Netlist &netlist, const CellLibrary &lib)
+{
+    return areaOfHistogram(netlist.cellHistogram(), lib);
+}
+
+} // namespace printed

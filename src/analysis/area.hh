@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Area accounting for printed netlists: total plus the
+ * combinational/sequential split the paper uses in Figures 7 and 8
+ * (bars partitioned into Combinational and Registers).
+ */
+
+#ifndef PRINTED_ANALYSIS_AREA_HH
+#define PRINTED_ANALYSIS_AREA_HH
+
+#include <array>
+
+#include "netlist/netlist.hh"
+#include "tech/library.hh"
+
+namespace printed
+{
+
+/** Area totals of a netlist in one technology. */
+struct AreaReport
+{
+    double total_mm2 = 0;
+    double comb_mm2 = 0;  ///< combinational cells
+    double seq_mm2 = 0;   ///< LATCH/DFF/DFFNR cells
+    std::array<double, numCellKinds> perCell_mm2{};
+
+    /** Total area converted to the paper's cm^2 convention. */
+    double totalCm2() const { return total_mm2 / 100.0; }
+};
+
+/** Sum per-cell Table 2 areas over the netlist's instances. */
+AreaReport analyzeArea(const Netlist &netlist, const CellLibrary &lib);
+
+/** Area of a raw cell histogram (used by the legacy core models). */
+AreaReport areaOfHistogram(
+    const std::array<std::size_t, numCellKinds> &histogram,
+    const CellLibrary &lib);
+
+} // namespace printed
+
+#endif // PRINTED_ANALYSIS_AREA_HH

@@ -1,0 +1,56 @@
+#include "power.hh"
+
+#include "common/logging.hh"
+
+namespace printed
+{
+
+PowerReport
+powerOfHistogram(const std::array<std::size_t, numCellKinds> &histogram,
+                 const CellLibrary &lib, double frequency_hz,
+                 double activity)
+{
+    fatalIf(frequency_hz < 0, "powerOfHistogram: negative frequency");
+    fatalIf(activity < 0 || activity > 2.0,
+            "powerOfHistogram: implausible activity factor");
+
+    PowerReport report;
+    report.frequencyHz = frequency_hz;
+    report.activity = activity;
+
+    for (std::size_t i = 0; i < numCellKinds; ++i) {
+        const auto kind = static_cast<CellKind>(i);
+        const double count = double(histogram[i]);
+        if (count == 0)
+            continue;
+        // nJ * Hz = nW; convert to mW with 1e-6.
+        const double dyn_mw = count * activity *
+                              lib.cell(kind).energy_nJ *
+                              frequency_hz * 1e-6;
+        const double stat_mw = count * lib.staticPowerUw(kind) * 1e-3;
+        report.dynamic_mW += dyn_mw;
+        report.static_mW += stat_mw;
+        if (cellIsSequential(kind))
+            report.seq_mW += dyn_mw + stat_mw;
+        else
+            report.comb_mW += dyn_mw + stat_mw;
+    }
+
+    report.total_mW = report.dynamic_mW + report.static_mW;
+    if (frequency_hz > 0) {
+        // mW / Hz = mJ; convert to nJ with 1e6.
+        report.energyPerCycle_nJ =
+            report.total_mW / frequency_hz * 1e6;
+    }
+    return report;
+}
+
+PowerReport
+analyzePower(const Netlist &netlist, const CellLibrary &lib,
+             double frequency_hz, double activity)
+{
+    return powerOfHistogram(netlist.cellHistogram(), lib, frequency_hz,
+                            activity);
+}
+
+} // namespace printed

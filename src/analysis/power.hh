@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Activity-based power model for printed netlists.
+ *
+ * Dynamic power follows the standard cell-energy model the paper
+ * uses with Design Compiler:
+ *
+ *     P_dyn = sum_cells  alpha * E_switch(cell) * f
+ *
+ * where alpha is the switching-activity factor (the paper reports an
+ * average simulated activity of 0.88) and E_switch comes from
+ * Table 2. Static power uses the per-cell transistor-resistor model
+ * described in tech/library.hh.
+ */
+
+#ifndef PRINTED_ANALYSIS_POWER_HH
+#define PRINTED_ANALYSIS_POWER_HH
+
+#include <array>
+
+#include "netlist/netlist.hh"
+#include "tech/library.hh"
+
+namespace printed
+{
+
+/** Default activity factor, as reported by the paper (Section 8). */
+constexpr double paperActivityFactor = 0.88;
+
+/** Power totals of a netlist at a given clock frequency. */
+struct PowerReport
+{
+    double frequencyHz = 0;
+    double activity = paperActivityFactor;
+
+    double dynamic_mW = 0;
+    double static_mW = 0;
+    double total_mW = 0;
+
+    double comb_mW = 0; ///< combinational share (dynamic + static)
+    double seq_mW = 0;  ///< sequential share (dynamic + static)
+
+    /** Energy drawn per clock cycle [nJ]. */
+    double energyPerCycle_nJ = 0;
+};
+
+/**
+ * Compute power for a cell histogram at frequency f.
+ *
+ * @param histogram instance counts per cell kind
+ * @param lib technology library
+ * @param frequency_hz clock frequency
+ * @param activity average output toggles per cell per cycle
+ */
+PowerReport powerOfHistogram(
+    const std::array<std::size_t, numCellKinds> &histogram,
+    const CellLibrary &lib, double frequency_hz,
+    double activity = paperActivityFactor);
+
+/** Compute power of a netlist at frequency f. */
+PowerReport analyzePower(const Netlist &netlist, const CellLibrary &lib,
+                         double frequency_hz,
+                         double activity = paperActivityFactor);
+
+} // namespace printed
+
+#endif // PRINTED_ANALYSIS_POWER_HH

@@ -1,0 +1,71 @@
+#include "yield.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace printed
+{
+
+std::size_t
+deviceCount(const Netlist &netlist)
+{
+    // One driving transistor per resistor-loaded stage; the stage
+    // counts mirror tech/library.cc and are identical across
+    // technologies.
+    std::size_t devices = 0;
+    for (const Gate &g : netlist.gates()) {
+        switch (g.kind) {
+          case CellKind::INVX1:
+          case CellKind::NAND2X1:
+          case CellKind::NOR2X1:
+            devices += 1;
+            break;
+          case CellKind::AND2X1:
+          case CellKind::OR2X1:
+          case CellKind::TSBUFX1:
+            devices += 2;
+            break;
+          case CellKind::XOR2X1:
+          case CellKind::XNOR2X1:
+            devices += 3;
+            break;
+          case CellKind::LATCHX1:
+            devices += 4;
+            break;
+          case CellKind::DFFX1:
+            devices += 8;
+            break;
+          case CellKind::DFFNRX1:
+            devices += 10;
+            break;
+          default:
+            panic("deviceCount: unknown cell");
+        }
+    }
+    return devices;
+}
+
+YieldReport
+yieldForDevices(std::size_t devices, const YieldModel &model)
+{
+    fatalIf(model.deviceYield <= 0 || model.deviceYield > 1,
+            "yieldForDevices: device yield must be in (0, 1]");
+    YieldReport report;
+    report.devices = devices;
+    report.yield = std::pow(model.deviceYield,
+                            double(devices) * model.devicesPerStage);
+    report.printsPerGood =
+        report.yield > 0 ? 1.0 / report.yield
+                         : std::numeric_limits<double>::infinity();
+    return report;
+}
+
+YieldReport
+analyzeYield(const Netlist &netlist, const YieldModel &model)
+{
+    return yieldForDevices(deviceCount(netlist), model);
+}
+
+} // namespace printed

@@ -1,0 +1,73 @@
+#include "applications.hh"
+
+#include "common/logging.hh"
+
+namespace printed
+{
+
+double
+ApplicationInfo::dutyFraction() const
+{
+    switch (dutyCycle) {
+      case DutyCycleClass::Continuous: return 1.0;
+      case DutyCycleClass::Seconds: return 1e-1;
+      case DutyCycleClass::Minutes: return 1e-2;
+      case DutyCycleClass::Hours: return 1e-3;
+      case DutyCycleClass::SingleUse: return 1e-4;
+    }
+    panic("dutyFraction: unknown class");
+}
+
+const std::vector<ApplicationInfo> &
+applicationSurvey()
+{
+    // Table 3 of the paper.
+    static const std::vector<ApplicationInfo> rows = {
+        {"Blood Pressure Sensor", 100, 8, DutyCycleClass::Hours,
+         "Hours"},
+        {"Odor Sensor", 25, 8, DutyCycleClass::Minutes, "Minutes"},
+        {"Heart Beat Sensor", 4, 1, DutyCycleClass::Seconds,
+         "Seconds"},
+        {"Pressure Sensor", 5.5, 12, DutyCycleClass::Continuous,
+         "Continuous to Hours"},
+        {"Light Level Sensor", 1, 16, DutyCycleClass::Continuous,
+         "Continuous to Hours"},
+        {"Trace Metal Sensor", 25, 16, DutyCycleClass::Minutes,
+         "Minutes"},
+        {"Food Temp. Sensor", 1, 16, DutyCycleClass::Minutes,
+         "5 minutes"},
+        {"Alcohol Sensor", 1, 8, DutyCycleClass::SingleUse,
+         "Single Use"},
+        {"Humidity Sensor", 10, 16, DutyCycleClass::Continuous,
+         "Continuous to Hours"},
+        {"Body Temperature Sensor", 1, 8, DutyCycleClass::Minutes,
+         "Minutes"},
+        {"Smart Bandage", 0.01, 8, DutyCycleClass::Continuous,
+         "Continuous to Hours"},
+        {"Tremor Sensor", 25, 16, DutyCycleClass::Seconds,
+         "Seconds"},
+        {"Oral-Nasal Airflow", 25, 8, DutyCycleClass::Seconds,
+         "Seconds"},
+        {"Perspiration Sensor", 25, 16, DutyCycleClass::Minutes,
+         "Minutes"},
+        {"Pedometer", 25, 1, DutyCycleClass::Seconds, "Seconds"},
+        {"Timer", 1, 1, DutyCycleClass::SingleUse, "Single Use"},
+        {"POS Computation", 100, 8, DutyCycleClass::SingleUse,
+         "Single Use"},
+    };
+    return rows;
+}
+
+bool
+feasible(const ApplicationInfo &app, double ips, unsigned datawidth)
+{
+    // Narrow cores serve wide applications through data coalescing
+    // at a word-count work multiplier (Section 5.1).
+    const double words =
+        app.precisionBits <= datawidth
+            ? 1.0
+            : double((app.precisionBits + datawidth - 1) / datawidth);
+    return ips >= app.sampleRateHz * opsPerSample * words;
+}
+
+} // namespace printed

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Printed-application requirements (paper Table 3) and feasibility
+ * analysis: which applications a given core can serve, given its
+ * throughput and the application's sample rate / precision / duty
+ * cycle.
+ */
+
+#ifndef PRINTED_APPS_APPLICATIONS_HH
+#define PRINTED_APPS_APPLICATIONS_HH
+
+#include <string>
+#include <vector>
+
+namespace printed
+{
+
+/** Representative duty-cycle classes from Table 3. */
+enum class DutyCycleClass
+{
+    Continuous, ///< always on
+    Seconds,    ///< wakes every few seconds
+    Minutes,
+    Hours,
+    SingleUse,  ///< runs once
+};
+
+/** One row of Table 3. */
+struct ApplicationInfo
+{
+    std::string name;
+    double sampleRateHz = 1;   ///< maximum sample rate
+    unsigned precisionBits = 8;
+    DutyCycleClass dutyCycle = DutyCycleClass::Continuous;
+    std::string dutyCycleNote; ///< the Table 3 wording
+
+    /** Representative active fraction for lifetime estimates. */
+    double dutyFraction() const;
+};
+
+/** The Table 3 survey (17 applications). */
+const std::vector<ApplicationInfo> &applicationSurvey();
+
+/**
+ * Instructions the core must retire per sample for an application
+ * (a fixed processing budget; the paper's kernels run tens to a
+ * few thousand instructions per invocation).
+ */
+constexpr double opsPerSample = 200.0;
+
+/**
+ * True when a core with the given instruction throughput and
+ * datawidth can serve the application: enough IPS for the sample
+ * rate at the processing budget, and a wide-enough datapath (or
+ * coalescing, which doubles the work per extra word).
+ */
+bool feasible(const ApplicationInfo &app, double ips,
+              unsigned datawidth);
+
+} // namespace printed
+
+#endif // PRINTED_APPS_APPLICATIONS_HH

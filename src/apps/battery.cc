@@ -1,0 +1,54 @@
+#include "battery.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace printed
+{
+
+double
+Battery::energyJoules() const
+{
+    return batteryEnergyJoules(capacity_mah, voltage);
+}
+
+const std::vector<Battery> &
+printedBatteries()
+{
+    // Capacities from the paper; deliverable power is set to the
+    // ~30 mW class bound Section 4 cites, scaled down for the
+    // smaller cells.
+    static const std::vector<Battery> rows = {
+        {"Molex 90mAh", 90.0, 1.0, 30.0},
+        {"Blue Spark 30mAh", 30.0, 1.0, 30.0},
+        {"Zinergy 12mAh", 12.0, 1.0, 15.0},
+        {"Blue Spark 10mAh", 10.0, 1.0, 10.0},
+    };
+    return rows;
+}
+
+const Battery &
+table8Battery()
+{
+    return printedBatteries()[1]; // Blue Spark 30 mAh at 1 V
+}
+
+double
+lifetimeHours(const Battery &battery, double active_power_mw,
+              double duty)
+{
+    fatalIf(duty <= 0 || duty > 1.0,
+            "lifetimeHours: duty must be in (0, 1]");
+    fatalIf(active_power_mw <= 0,
+            "lifetimeHours: power must be positive");
+    const double avg_w = active_power_mw * 1e-3 * duty;
+    return battery.energyJoules() / avg_w / 3600.0;
+}
+
+bool
+withinPowerBudget(const Battery &battery, double active_power_mw)
+{
+    return active_power_mw <= battery.maxPower_mW;
+}
+
+} // namespace printed

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Printed battery models and the duty-cycle lifetime analysis of
+ * Figures 4 and 5.
+ *
+ * The paper evaluates four commercially printed batteries: Molex
+ * 90 mAh, Blue Spark 30 mAh, Zinergy 12 mAh, Blue Spark 10 mAh.
+ * Lifetime follows the paper's own model: stored energy divided by
+ * average drawn power, with the average set by the CPU duty cycle.
+ * Section 4 also notes several printed batteries cannot deliver
+ * more than ~30 mW continuously, which caps usable cores.
+ */
+
+#ifndef PRINTED_APPS_BATTERY_HH
+#define PRINTED_APPS_BATTERY_HH
+
+#include <string>
+#include <vector>
+
+namespace printed
+{
+
+/** A printed battery. */
+struct Battery
+{
+    std::string name;
+    double capacity_mah = 0;
+    double voltage = 1.0;
+    double maxPower_mW = 30.0; ///< deliverable continuous power
+
+    /** Stored energy [J] (30 mAh at 1 V = 108 J, Section 4). */
+    double energyJoules() const;
+};
+
+/** The four printed batteries of Figures 4/5, in paper order. */
+const std::vector<Battery> &printedBatteries();
+
+/** The 30 mAh battery used for the Table 8 iteration budget. */
+const Battery &table8Battery();
+
+/**
+ * Lifetime in hours at a CPU duty cycle.
+ * @param battery energy source
+ * @param active_power_mw power while the core runs
+ * @param duty fraction of time the core is active (idle power
+ *        is taken as zero, as in the paper's model)
+ */
+double lifetimeHours(const Battery &battery, double active_power_mw,
+                     double duty);
+
+/** True when the battery can source the core at full duty. */
+bool withinPowerBudget(const Battery &battery,
+                       double active_power_mw);
+
+} // namespace printed
+
+#endif // PRINTED_APPS_BATTERY_HH

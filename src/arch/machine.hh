@@ -1,0 +1,144 @@
+/**
+ * @file
+ * TP-ISA functional simulator (instruction-set simulator).
+ *
+ * Executes an assembled Program against a data memory, maintaining
+ * the architectural state of Section 5.1: PC, BARs (BAR[0] == 0),
+ * and the S/Z/C/V flags. Gathers the execution statistics the
+ * cycle model (pipeline.hh) and the application-level evaluation
+ * (Section 8) need: dynamic instruction counts, memory traffic,
+ * branch behavior, and adjacent read-after-write pairs.
+ *
+ * Halting: TP-ISA has no HALT instruction. Execution stops when
+ *   - the PC falls past the last instruction, or
+ *   - a taken branch targets its own address (idle spin), the
+ *     convention our workloads use to signal completion.
+ */
+
+#ifndef PRINTED_ARCH_MACHINE_HH
+#define PRINTED_ARCH_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace printed
+{
+
+/** Why execution stopped. */
+enum class HaltReason
+{
+    Running,     ///< not halted yet
+    FellOffEnd,  ///< PC advanced past the last instruction
+    SelfBranch,  ///< taken branch to its own address
+    MaxSteps,    ///< step budget exhausted (runaway program)
+};
+
+/** Aggregate execution statistics. */
+struct ExecutionStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t takenBranches = 0;
+    std::uint64_t memReads = 0;
+    std::uint64_t memWrites = 0;
+
+    /**
+     * Number of dynamic instruction pairs (i, i+1) where i+1 reads a
+     * memory word written by i. Each such pair costs one stall in
+     * the 3-stage pipeline model.
+     */
+    std::uint64_t rawAdjacent = 0;
+
+    std::array<std::uint64_t, numMnemonics> perMnemonic{};
+    HaltReason halt = HaltReason::Running;
+};
+
+/** TP-ISA instruction-set simulator. */
+class TpIsaMachine
+{
+  public:
+    /**
+     * @param program assembled program (kept by reference)
+     * @param dmem_words data-memory size in words; addresses are
+     *        checked against this bound (the paper sizes the RAM to
+     *        exactly the application's needs)
+     */
+    TpIsaMachine(const Program &program, std::size_t dmem_words);
+
+    /** Reset PC, flags, BARs and zero data memory. */
+    void reset();
+
+    /** Write one data-memory word (masked to the datawidth). */
+    void setMem(std::size_t addr, std::uint64_t value);
+
+    /**
+     * Map a memory-mapped input stream at `addr`: every read of
+     * that address consumes the next queued value (the last value
+     * repeats once the queue drains). Models the near-sensor data
+     * stream the paper's applications feed the core (e.g. the
+     * 16-byte stream CRC8 processes without any array indexing).
+     */
+    void setStreamPort(std::size_t addr,
+                       std::vector<std::uint64_t> values);
+
+    /** Read one data-memory word. */
+    std::uint64_t mem(std::size_t addr) const;
+
+    /** Data memory size in words. */
+    std::size_t memWords() const { return dmem_.size(); }
+
+    /** Current program counter. */
+    unsigned pc() const { return pc_; }
+
+    /** Current flags. */
+    const Flags &flags() const { return flags_; }
+
+    /** Current BAR value (BAR[0] is always 0). */
+    unsigned bar(unsigned index) const;
+
+    /** True once a halt condition was reached. */
+    bool halted() const { return stats_.halt != HaltReason::Running; }
+
+    /** Execute one instruction. No-op when halted. */
+    void step();
+
+    /**
+     * Run until halted or max_steps instructions executed.
+     * @return accumulated statistics
+     */
+    const ExecutionStats &run(std::uint64_t max_steps = 10'000'000);
+
+    /** Statistics so far. */
+    const ExecutionStats &stats() const { return stats_; }
+
+    const Program &program() const { return program_; }
+
+  private:
+    unsigned effectiveAddress(std::uint8_t operand) const;
+    std::uint64_t readMem(unsigned addr);
+    void writeMem(unsigned addr, std::uint64_t value);
+
+    const Program &program_;
+    std::vector<std::uint64_t> dmem_;
+    unsigned pc_ = 0;
+    Flags flags_;
+    std::array<unsigned, 4> bars_{}; // BAR[0] stays 0
+    ExecutionStats stats_;
+
+    // For rawAdjacent tracking: the address written by the previous
+    // instruction, or -1.
+    long lastWriteAddr_ = -1;
+    bool curReadsLastWrite_ = false;
+
+    // Memory-mapped input stream (disabled when streamAddr_ < 0).
+    long streamAddr_ = -1;
+    std::vector<std::uint64_t> streamValues_;
+    std::size_t streamPos_ = 0;
+};
+
+} // namespace printed
+
+#endif // PRINTED_ARCH_MACHINE_HH

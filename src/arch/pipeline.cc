@@ -1,0 +1,30 @@
+#include "pipeline.hh"
+
+#include "common/logging.hh"
+
+namespace printed
+{
+
+std::uint64_t
+pipelineCycles(const ExecutionStats &stats, unsigned stages)
+{
+    fatalIf(stages < 1 || stages > 3,
+            "pipelineCycles: stages must be 1..3");
+    std::uint64_t cycles = stats.instructions;
+    if (stages >= 2)
+        cycles += stats.branches * (stages - 1);
+    if (stages >= 3)
+        cycles += stats.rawAdjacent;
+    return cycles;
+}
+
+double
+pipelineCpi(const ExecutionStats &stats, unsigned stages)
+{
+    if (stats.instructions == 0)
+        return 0.0;
+    return double(pipelineCycles(stats, stages)) /
+           double(stats.instructions);
+}
+
+} // namespace printed

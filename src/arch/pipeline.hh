@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Pipeline cycle model for TP-ISA cores.
+ *
+ * The paper's cores use stalls to resolve data and control hazards
+ * (Section 5.2), with worst-case CPI equal to the number of pipeline
+ * stages. We model:
+ *
+ *   1-stage: every instruction takes 1 cycle.
+ *   2-stage (fetch | execute): the fetch after a branch must wait
+ *     until the branch resolves in execute -> 1 bubble per branch.
+ *   3-stage (fetch | read | execute+write): 2 bubbles per branch,
+ *     plus 1 stall when an instruction reads the word the previous
+ *     instruction writes (read-after-write through memory).
+ */
+
+#ifndef PRINTED_ARCH_PIPELINE_HH
+#define PRINTED_ARCH_PIPELINE_HH
+
+#include <cstdint>
+
+#include "arch/machine.hh"
+
+namespace printed
+{
+
+/** Cycles needed to run a measured instruction stream on a P-stage
+ *  TP-ISA pipeline. */
+std::uint64_t pipelineCycles(const ExecutionStats &stats,
+                             unsigned stages);
+
+/** Cycles-per-instruction under the same model. */
+double pipelineCpi(const ExecutionStats &stats, unsigned stages);
+
+/** Worst-case CPI of a P-stage TP-ISA core (== P, Section 5.2). */
+inline unsigned
+worstCaseCpi(unsigned stages)
+{
+    return stages;
+}
+
+} // namespace printed
+
+#endif // PRINTED_ARCH_PIPELINE_HH

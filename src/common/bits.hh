@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Small bit-manipulation utilities used across the ISA, synthesis,
+ * and program-specific specialization code.
+ */
+
+#ifndef PRINTED_COMMON_BITS_HH
+#define PRINTED_COMMON_BITS_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace printed
+{
+
+/**
+ * A mask with the low n bits set. n may be 0..64.
+ */
+inline std::uint64_t
+maskBits(unsigned n)
+{
+    panicIf(n > 64, "maskBits: width > 64");
+    if (n == 64)
+        return ~std::uint64_t(0);
+    return (std::uint64_t(1) << n) - 1;
+}
+
+/**
+ * Extract bits [first, first + count) of value (first = 0 is the LSB).
+ */
+inline std::uint64_t
+extractBits(std::uint64_t value, unsigned first, unsigned count)
+{
+    return (value >> first) & maskBits(count);
+}
+
+/**
+ * Return value with bits [first, first + count) replaced by the low
+ * count bits of field.
+ */
+inline std::uint64_t
+insertBits(std::uint64_t value, unsigned first, unsigned count,
+           std::uint64_t field)
+{
+    const std::uint64_t m = maskBits(count) << first;
+    return (value & ~m) | ((field << first) & m);
+}
+
+/** Extract bit `pos` of value as 0 or 1. */
+inline unsigned
+bit(std::uint64_t value, unsigned pos)
+{
+    return unsigned((value >> pos) & 1);
+}
+
+/**
+ * Number of bits needed to represent the values 0..n-1; i.e.
+ * ceil(log2(n)) with ceilLog2(1) == 0 and ceilLog2(0) == 0.
+ *
+ * Matches the paper's program-counter sizing rule: a program with N
+ * static instructions needs a ceil(log2(N))-bit PC.
+ */
+inline unsigned
+ceilLog2(std::uint64_t n)
+{
+    if (n <= 1)
+        return 0;
+    unsigned bits = 0;
+    std::uint64_t v = n - 1;
+    while (v) {
+        v >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** Sign-extend the low `width` bits of value to 64 bits. */
+inline std::int64_t
+signExtend(std::uint64_t value, unsigned width)
+{
+    panicIf(width == 0 || width > 64, "signExtend: bad width");
+    const std::uint64_t m = std::uint64_t(1) << (width - 1);
+    value &= maskBits(width);
+    return std::int64_t((value ^ m)) - std::int64_t(m);
+}
+
+/** True when n is a power of two (n > 0). */
+inline bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+} // namespace printed
+
+#endif // PRINTED_COMMON_BITS_HH

@@ -1,0 +1,18 @@
+#include "logging.hh"
+
+namespace printed
+{
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+} // namespace printed

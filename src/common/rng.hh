@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * Tests and workload generators must be reproducible across runs and
+ * platforms, so we use a fixed SplitMix64 implementation instead of
+ * std::mt19937 (whose distributions are not bit-stable across
+ * standard library implementations).
+ */
+
+#ifndef PRINTED_COMMON_RNG_HH
+#define PRINTED_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace printed
+{
+
+/**
+ * SplitMix64 PRNG. Tiny, fast, and plenty good for workload
+ * generation and property tests.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed)
+    {}
+
+    /** Next 64 random bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value of the given bit width. */
+    std::uint64_t
+    bits(unsigned width)
+    {
+        if (width >= 64)
+            return next();
+        return next() & ((std::uint64_t(1) << width) - 1);
+    }
+
+    /** Random boolean. */
+    bool flip() { return next() & 1; }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace printed
+
+#endif // PRINTED_COMMON_RNG_HH

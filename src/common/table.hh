@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal ASCII table writer used by the bench binaries to print
+ * paper-style tables (rows/columns with aligned headers).
+ */
+
+#ifndef PRINTED_COMMON_TABLE_HH
+#define PRINTED_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace printed
+{
+
+/**
+ * Accumulates rows of string cells and renders them with columns
+ * padded to the widest cell. Used by every bench binary so that the
+ * reproduced tables have a uniform look.
+ */
+class TableWriter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TableWriter(std::vector<std::string> headers);
+
+    /** Append one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table (header, separator, rows) to os. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Format a double with the given precision, trimming zeros. */
+    static std::string num(double value, int precision = 4);
+
+    /** Format a double in fixed notation with `decimals` digits. */
+    static std::string fixed(double value, int decimals = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace printed
+
+#endif // PRINTED_COMMON_TABLE_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit conventions and conversion constants.
+ *
+ * The printed:: libraries keep all physical quantities in the units
+ * the paper's tables use, to make cross-checking against the paper
+ * trivial:
+ *
+ *   - cell area:        mm^2       (Table 2)
+ *   - block/core area:  cm^2       (Tables 4, 5; Figures 7, 8)
+ *   - cell energy:      nJ         (Table 2)
+ *   - delay:            us         (Table 2) and ms (Table 6)
+ *   - power:            mW         (Tables 4, 5) and uW (Table 6)
+ *   - frequency:        Hz
+ *   - battery capacity: mAh
+ *   - supply voltage:   V
+ *
+ * Helper constants below convert between those conventions.
+ */
+
+#ifndef PRINTED_COMMON_UNITS_HH
+#define PRINTED_COMMON_UNITS_HH
+
+namespace printed
+{
+
+/// mm^2 per cm^2.
+constexpr double mm2PerCm2 = 100.0;
+
+/// Convert an area in mm^2 to cm^2.
+constexpr double
+mm2ToCm2(double mm2)
+{
+    return mm2 / mm2PerCm2;
+}
+
+/// Convert microseconds to seconds.
+constexpr double
+usToSeconds(double us)
+{
+    return us * 1e-6;
+}
+
+/// Convert milliseconds to seconds.
+constexpr double
+msToSeconds(double ms)
+{
+    return ms * 1e-3;
+}
+
+/// Convert nanojoules to joules.
+constexpr double
+nJToJoules(double nj)
+{
+    return nj * 1e-9;
+}
+
+/// Convert microwatts to milliwatts.
+constexpr double
+uWTomW(double uw)
+{
+    return uw * 1e-3;
+}
+
+/// Convert watts to milliwatts.
+constexpr double
+wattsTomW(double w)
+{
+    return w * 1e3;
+}
+
+/**
+ * Energy stored in a battery, in joules.
+ *
+ * The paper's budget model (Section 4): a 30 mAh battery supplying
+ * 1 V stores 30 mA x 3.6 ks x 1 V = 108 J.
+ *
+ * @param capacity_mah Battery capacity in milliamp-hours.
+ * @param voltage Battery terminal voltage in volts.
+ */
+constexpr double
+batteryEnergyJoules(double capacity_mah, double voltage)
+{
+    return capacity_mah * 1e-3 * 3600.0 * voltage;
+}
+
+} // namespace printed
+
+#endif // PRINTED_COMMON_UNITS_HH

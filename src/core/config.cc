@@ -1,0 +1,43 @@
+#include "config.hh"
+
+#include "common/logging.hh"
+
+namespace printed
+{
+
+unsigned
+CoreConfig::flagCount() const
+{
+    unsigned n = 0;
+    for (unsigned b = 0; b < 4; ++b)
+        if (flagMask & (1u << b))
+            ++n;
+    return n;
+}
+
+std::string
+CoreConfig::label() const
+{
+    return "p" + std::to_string(stages) + "_" +
+           std::to_string(isa.datawidth) + "_" +
+           std::to_string(isa.barCount);
+}
+
+void
+CoreConfig::check() const
+{
+    isa.check();
+    fatalIf(stages < 1 || stages > 3,
+            "CoreConfig: stages must be 1..3");
+    fatalIf(flagMask > 0xF, "CoreConfig: flagMask is 4 bits");
+    fatalIf(barBits == 0 || barBits > 8,
+            "CoreConfig: barBits in 1..8");
+    fatalIf(addrBits == 0 || addrBits > 8,
+            "CoreConfig: addrBits in 1..8");
+    // Note: operand fields may be wider than addrBits (they also
+    // carry branch targets); the address units truncate offsets to
+    // the address space, which the program analysis guarantees is
+    // lossless.
+}
+
+} // namespace printed

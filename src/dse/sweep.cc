@@ -1,0 +1,31 @@
+#include "sweep.hh"
+
+#include "core/generator.hh"
+
+namespace printed
+{
+
+DesignPoint
+evaluateDesignPoint(const CoreConfig &config)
+{
+    DesignPoint point;
+    point.config = config;
+    const Netlist netlist = buildCore(config);
+    point.egfet = characterize(netlist, egfetLibrary());
+    point.cnt = characterize(netlist, cntLibrary());
+    return point;
+}
+
+std::vector<DesignPoint>
+sweepDesignSpace()
+{
+    std::vector<DesignPoint> points;
+    for (unsigned stages : {1u, 2u, 3u})
+        for (unsigned width : {4u, 8u, 16u, 32u})
+            for (unsigned bars : {2u, 4u})
+                points.push_back(evaluateDesignPoint(
+                    CoreConfig::standard(stages, width, bars)));
+    return points;
+}
+
+} // namespace printed

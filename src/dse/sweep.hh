@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Design-space exploration of TP-ISA cores (paper Section 5.2,
+ * Figure 7): sweep pipeline depth x datawidth x BAR count,
+ * synthesize every point, and characterize it in both printed
+ * technologies.
+ */
+
+#ifndef PRINTED_DSE_SWEEP_HH
+#define PRINTED_DSE_SWEEP_HH
+
+#include <vector>
+
+#include "analysis/characterize.hh"
+#include "core/config.hh"
+
+namespace printed
+{
+
+/** One synthesized + characterized design point. */
+struct DesignPoint
+{
+    CoreConfig config;
+    Characterization egfet;
+    Characterization cnt;
+};
+
+/**
+ * The Figure 7 sweep: stages in {1,2,3}, datawidth in
+ * {4,8,16,32}, BARs in {2,4} - 24 cores, each actually
+ * synthesized to gates and analyzed.
+ */
+std::vector<DesignPoint> sweepDesignSpace();
+
+/** Synthesize and characterize one configuration. */
+DesignPoint evaluateDesignPoint(const CoreConfig &config);
+
+} // namespace printed
+
+#endif // PRINTED_DSE_SWEEP_HH

@@ -1,0 +1,141 @@
+#include "system_eval.hh"
+
+#include "analysis/characterize.hh"
+#include "apps/battery.hh"
+#include "arch/machine.hh"
+#include "arch/pipeline.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "core/generator.hh"
+#include "mem/ram.hh"
+#include "mem/rom.hh"
+#include "progspec/analyze.hh"
+#include "progspec/specialize.hh"
+
+namespace printed
+{
+
+std::uint64_t
+SystemEval::iterationsOn30mAh() const
+{
+    const double budget = table8Battery().energyJoules();
+    const double per_iter = energyTotal() * 1e-3; // mJ -> J
+    fatalIf(per_iter <= 0, "iterationsOn30mAh: no energy model");
+    return std::uint64_t(budget / per_iter);
+}
+
+SystemEval
+evaluateSystem(const Workload &workload, const CoreConfig &config,
+               TechKind tech, unsigned rom_bits_per_cell)
+{
+    const Program &program = workload.program;
+    fatalIf(program.isa.datawidth != config.isa.datawidth,
+            "evaluateSystem: datawidth mismatch between program "
+            "and core");
+
+    // ------------------------------------------------------------
+    // Dynamic behavior: run the program on the ISS. (The specialized
+    // encoding changes field packing, not semantics, so the standard
+    // ISS statistics apply to both variants.)
+    // ------------------------------------------------------------
+    TpIsaMachine machine(program, workload.dmemWords);
+    const auto inputs =
+        defaultInputs(workload.kind, workload.dataWidth);
+    workload.load(
+        [&](std::size_t a, std::uint64_t v) { machine.setMem(a, v); },
+        inputs);
+    if (workload.streamAddr >= 0)
+        machine.setStreamPort(std::size_t(workload.streamAddr),
+                              workload.streamInputs(inputs));
+    const ExecutionStats &stats = machine.run();
+    fatalIf(stats.halt == HaltReason::MaxSteps,
+            "evaluateSystem: benchmark did not terminate");
+
+    SystemEval eval;
+    eval.label = program.name + "@" + config.label();
+    eval.config = config;
+    eval.tech = tech;
+    eval.instructions = stats.instructions;
+    eval.cycles = pipelineCycles(stats, config.stages);
+
+    // ------------------------------------------------------------
+    // Components: synthesized core + exactly-sized memories.
+    // ------------------------------------------------------------
+    const CellLibrary &lib = libraryFor(tech);
+    const Netlist netlist = buildCore(config);
+    const Characterization core = characterize(netlist, lib);
+
+    const CrosspointRom rom(program.size(),
+                            config.isa.instructionBits(),
+                            rom_bits_per_cell, tech);
+    const SramRam ram(workload.dmemWords, config.isa.datawidth,
+                      tech);
+
+    // ------------------------------------------------------------
+    // Timing: each cycle serially fetches (ROM), computes (core),
+    // and accesses data (read + write-back RAM phases).
+    // ------------------------------------------------------------
+    const double t_core = usToSeconds(core.timing.periodUs);
+    const double t_rom = msToSeconds(rom.readDelayMs());
+    const double t_ram = msToSeconds(ram.accessDelayMs());
+    eval.cycleSeconds = t_core + t_rom + 2 * t_ram;
+
+    const double cycles = double(eval.cycles);
+    eval.timeCore = cycles * t_core;
+    eval.timeImem = cycles * t_rom;
+    eval.timeDmem = cycles * 2 * t_ram;
+    const double total_time = eval.timeTotal();
+
+    // ------------------------------------------------------------
+    // Energy: dynamic per event + static over the run.
+    // mW * s = mJ; nJ -> mJ via 1e-6; uW * s = mJ via 1e-3.
+    // ------------------------------------------------------------
+    const double f_eff = 1.0 / eval.cycleSeconds;
+    const PowerReport core_power =
+        analyzePower(netlist, lib, f_eff);
+    const double core_energy_mj = core_power.total_mW * total_time;
+    const double comb_share =
+        core_power.total_mW > 0
+            ? core_power.comb_mW / core_power.total_mW
+            : 0.0;
+    eval.energyComb = core_energy_mj * comb_share;
+    eval.energyRegs = core_energy_mj * (1.0 - comb_share);
+
+    eval.energyImem =
+        cycles * rom.readEnergyNj() * 1e-6 +
+        rom.staticPower_uW() * total_time * 1e-3;
+    const double ram_accesses =
+        double(stats.memReads + stats.memWrites);
+    eval.energyDmem =
+        ram_accesses * ram.accessEnergyNj() * 1e-6 +
+        ram.staticPower_uW() * total_time * 1e-3;
+
+    // ------------------------------------------------------------
+    // Area.
+    // ------------------------------------------------------------
+    eval.areaComb = mm2ToCm2(core.area.comb_mm2);
+    eval.areaRegs = mm2ToCm2(core.area.seq_mm2);
+    eval.areaImem = mm2ToCm2(rom.areaMm2());
+    eval.areaDmem = mm2ToCm2(ram.areaMm2());
+    return eval;
+}
+
+SystemEval
+evaluateSpecializedSystem(const Workload &workload, TechKind tech,
+                          unsigned rom_bits_per_cell)
+{
+    // The specialized encoding changes instruction packing, not
+    // program behavior, so the dynamic statistics come from the
+    // standard program; the core and ROM are sized from the
+    // specialized configuration. (specializeProgram() produces the
+    // actual narrow ROM image; its gate-level equivalence is
+    // covered by tests/test_progspec.cc.)
+    const CoreConfig cfg =
+        specializedConfig(workload.program, workload.dmemWords);
+    SystemEval eval = evaluateSystem(workload, cfg, tech,
+                                     rom_bits_per_cell);
+    eval.label = workload.program.name + "@PS";
+    return eval;
+}
+
+} // namespace printed

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Application-level system evaluation (paper Section 8, Figure 8,
+ * Table 8): a TP-ISA core plus its crosspoint instruction ROM and
+ * SRAM data memory running one benchmark.
+ *
+ * The ROM is sized to exactly the program's static instructions
+ * and the RAM to exactly its data footprint, as in the paper.
+ * Results are broken down the way Figure 8 partitions its bars:
+ * area and energy into combinational / registers / instruction
+ * memory / data memory, execution time into core / IM / DM.
+ */
+
+#ifndef PRINTED_DSE_SYSTEM_EVAL_HH
+#define PRINTED_DSE_SYSTEM_EVAL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hh"
+#include "tech/technology.hh"
+#include "workloads/kernels.hh"
+
+namespace printed
+{
+
+/** One Figure 8 bar: a (kernel, core) system in one technology. */
+struct SystemEval
+{
+    std::string label;
+    CoreConfig config;
+    TechKind tech = TechKind::EGFET;
+
+    // --- per-iteration dynamic counts -------------------------
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+
+    // --- area [cm^2], Figure 8 stacking -----------------------
+    double areaComb = 0;
+    double areaRegs = 0;
+    double areaImem = 0;
+    double areaDmem = 0;
+    double areaTotal() const
+    {
+        return areaComb + areaRegs + areaImem + areaDmem;
+    }
+
+    // --- energy per iteration [mJ] ----------------------------
+    double energyComb = 0;
+    double energyRegs = 0;
+    double energyImem = 0;
+    double energyDmem = 0;
+    double energyTotal() const
+    {
+        return energyComb + energyRegs + energyImem + energyDmem;
+    }
+
+    // --- execution time per iteration [s] ---------------------
+    double timeCore = 0;
+    double timeImem = 0;
+    double timeDmem = 0;
+    double timeTotal() const
+    {
+        return timeCore + timeImem + timeDmem;
+    }
+
+    /** Effective clock period [s] (core + IM + DM phases). */
+    double cycleSeconds = 0;
+
+    /** Table 8: iterations a 30 mAh, 1 V battery sustains. */
+    std::uint64_t iterationsOn30mAh() const;
+};
+
+/**
+ * Evaluate one benchmark on one core configuration.
+ *
+ * @param workload the benchmark instantiation (its program must
+ *        target the same ISA shape as `config`)
+ * @param config core configuration (standard or specialized)
+ * @param tech technology
+ * @param rom_bits_per_cell 1 for SLC, 2/4 for the MLC ROM of the
+ *        dTree-ROMopt experiment
+ */
+SystemEval evaluateSystem(const Workload &workload,
+                          const CoreConfig &config, TechKind tech,
+                          unsigned rom_bits_per_cell = 1);
+
+/**
+ * Convenience: evaluate the program-specific variant - derive the
+ * specialized configuration from the workload's program, transcode
+ * it, and evaluate.
+ */
+SystemEval evaluateSpecializedSystem(const Workload &workload,
+                                     TechKind tech,
+                                     unsigned rom_bits_per_cell = 1);
+
+} // namespace printed
+
+#endif // PRINTED_DSE_SYSTEM_EVAL_HH

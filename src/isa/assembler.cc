@@ -1,0 +1,294 @@
+#include "assembler.hh"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace printed
+{
+
+namespace
+{
+
+/** Trim surrounding whitespace. */
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Strip comments: ';' always; '#' only when not starting an
+ *  immediate (i.e. not followed by a digit). */
+std::string
+stripComment(const std::string &line)
+{
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == ';')
+            return line.substr(0, i);
+        if (line[i] == '#' &&
+            (i + 1 >= line.size() ||
+             !std::isdigit(static_cast<unsigned char>(line[i + 1]))))
+            return line.substr(0, i);
+    }
+    return line;
+}
+
+[[noreturn]] void
+err(unsigned line_no, const std::string &msg)
+{
+    fatal("assembler: line " + std::to_string(line_no) + ": " + msg);
+}
+
+long
+parseNumber(const std::string &text, unsigned line_no)
+{
+    if (text.empty())
+        err(line_no, "expected a number");
+    try {
+        std::size_t pos = 0;
+        const long v = std::stol(text, &pos, 0); // handles 0x
+        if (pos != text.size())
+            err(line_no, "trailing junk after number '" + text + "'");
+        return v;
+    } catch (const std::invalid_argument &) {
+        err(line_no, "not a number: '" + text + "'");
+    } catch (const std::out_of_range &) {
+        err(line_no, "number out of range: '" + text + "'");
+    }
+}
+
+bool
+isIdentifier(const std::string &s)
+{
+    if (s.empty() || (!std::isalpha(static_cast<unsigned char>(s[0]))
+                      && s[0] != '_'))
+        return false;
+    for (char c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            return false;
+    return true;
+}
+
+/** Split "ADD [0], [b1+2]" into mnemonic + operand strings. */
+struct ParsedLine
+{
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+ParsedLine
+splitLine(const std::string &line, unsigned line_no)
+{
+    ParsedLine out;
+    std::size_t i = 0;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+    out.mnemonic = line.substr(0, i);
+    std::string rest = trim(line.substr(i));
+    if (rest.empty())
+        return out;
+    std::size_t start = 0;
+    for (std::size_t j = 0; j <= rest.size(); ++j) {
+        if (j == rest.size() || rest[j] == ',') {
+            const std::string op = trim(rest.substr(start, j - start));
+            if (op.empty())
+                err(line_no, "empty operand");
+            out.operands.push_back(op);
+            start = j + 1;
+        }
+    }
+    return out;
+}
+
+/** Parse "[n]" or "[bK+n]" / "[bK]" into an operand byte. */
+std::uint8_t
+parseMemOperand(const std::string &text, const IsaConfig &config,
+                unsigned line_no)
+{
+    if (text.size() < 3 || text.front() != '[' || text.back() != ']')
+        err(line_no, "expected memory operand '[...]', got '" + text +
+            "'");
+    std::string inner = trim(text.substr(1, text.size() - 2));
+    unsigned bar = 0;
+    if (!inner.empty() && (inner[0] == 'b' || inner[0] == 'B')) {
+        const std::size_t plus = inner.find('+');
+        const std::string bar_text =
+            plus == std::string::npos ? inner.substr(1)
+                                      : trim(inner.substr(1, plus - 1));
+        const long b = parseNumber(bar_text, line_no);
+        if (b < 0 || unsigned(b) >= config.barCount)
+            err(line_no, "BAR index " + bar_text + " out of range (" +
+                std::to_string(config.barCount) + " BARs)");
+        bar = unsigned(b);
+        inner = plus == std::string::npos ? "0"
+                                          : trim(inner.substr(plus + 1));
+    }
+    const long off = parseNumber(inner, line_no);
+    if (off < 0 || unsigned(off) >= (1u << config.offsetBits()))
+        err(line_no, "offset " + std::to_string(off) +
+            " does not fit in " + std::to_string(config.offsetBits()) +
+            " bits");
+    return makeOperand(bar, unsigned(off), config);
+}
+
+std::uint8_t
+parseImmediate(const std::string &text, unsigned line_no)
+{
+    if (text.empty() || text[0] != '#')
+        err(line_no, "expected immediate '#n', got '" + text + "'");
+    const long v = parseNumber(text.substr(1), line_no);
+    if (v < 0 || v > 255)
+        err(line_no, "immediate " + std::to_string(v) +
+            " out of 0..255");
+    return std::uint8_t(v);
+}
+
+std::uint8_t
+parseBmask(const std::string &text, unsigned line_no)
+{
+    if (!text.empty() && text[0] == '#') {
+        const long v = parseNumber(text.substr(1), line_no);
+        if (v < 0 || v > 15)
+            err(line_no, "flag mask out of 0..15");
+        return std::uint8_t(v);
+    }
+    unsigned mask = 0;
+    for (char c : text) {
+        switch (std::toupper(static_cast<unsigned char>(c))) {
+          case 'S': mask |= 1u << flagBitS; break;
+          case 'Z': mask |= 1u << flagBitZ; break;
+          case 'C': mask |= 1u << flagBitC; break;
+          case 'V': mask |= 1u << flagBitV; break;
+          default:
+            err(line_no, std::string("bad flag letter '") + c +
+                "' (use S, Z, C, V)");
+        }
+    }
+    return std::uint8_t(mask);
+}
+
+} // anonymous namespace
+
+Program
+assemble(const std::string &source, const IsaConfig &config,
+         const std::string &name)
+{
+    config.check();
+
+    // Pass 1: collect labels and raw instruction lines.
+    struct RawLine
+    {
+        std::string text;
+        unsigned lineNo;
+    };
+    std::vector<RawLine> raw;
+    std::map<std::string, unsigned> labels;
+
+    std::istringstream stream(source);
+    std::string line;
+    unsigned line_no = 0;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        std::string body = trim(stripComment(line));
+        while (!body.empty()) {
+            const std::size_t colon = body.find(':');
+            if (colon == std::string::npos)
+                break;
+            const std::string label = trim(body.substr(0, colon));
+            if (!isIdentifier(label))
+                err(line_no, "bad label '" + label + "'");
+            if (labels.count(label))
+                err(line_no, "duplicate label '" + label + "'");
+            labels[label] = unsigned(raw.size());
+            body = trim(body.substr(colon + 1));
+        }
+        if (!body.empty())
+            raw.push_back({body, line_no});
+    }
+
+    // Pass 2: encode.
+    Program program;
+    program.name = name;
+    program.isa = config;
+    program.labels = labels;
+
+    for (const RawLine &rl : raw) {
+        const ParsedLine pl = splitLine(rl.text, rl.lineNo);
+        const auto mn = mnemonicFromName(pl.mnemonic);
+        if (!mn)
+            err(rl.lineNo, "unknown mnemonic '" + pl.mnemonic + "'");
+
+        Instruction inst;
+        inst.mnemonic = *mn;
+
+        auto want_ops = [&](std::size_t n) {
+            if (pl.operands.size() != n)
+                err(rl.lineNo, mnemonicName(*mn) + " takes " +
+                    std::to_string(n) + " operands, got " +
+                    std::to_string(pl.operands.size()));
+        };
+
+        switch (opcodeOf(*mn)) {
+          case Opcode::STORE:
+            want_ops(2);
+            inst.op1 = parseMemOperand(pl.operands[0], config,
+                                       rl.lineNo);
+            inst.op2 = parseImmediate(pl.operands[1], rl.lineNo);
+            break;
+
+          case Opcode::BAR: {
+            // SETBAR [ptr], #k : BAR[k] = mem[EA(ptr)].
+            want_ops(2);
+            inst.op1 = parseMemOperand(pl.operands[0], config,
+                                       rl.lineNo);
+            const std::uint8_t idx =
+                parseImmediate(pl.operands[1], rl.lineNo);
+            if (idx == 0 || idx >= config.barCount)
+                err(rl.lineNo, "SET-BAR index out of range");
+            inst.op2 = idx;
+            break;
+          }
+
+          case Opcode::BR: {
+            want_ops(2);
+            const std::string &target = pl.operands[0];
+            long addr;
+            if (isIdentifier(target)) {
+                auto it = labels.find(target);
+                if (it == labels.end())
+                    err(rl.lineNo, "undefined label '" + target + "'");
+                addr = it->second;
+            } else {
+                addr = parseNumber(target, rl.lineNo);
+            }
+            if (addr < 0 || addr >= long(raw.size()))
+                err(rl.lineNo, "branch target out of range");
+            inst.op1 = std::uint8_t(addr);
+            inst.op2 = parseBmask(pl.operands[1], rl.lineNo);
+            break;
+          }
+
+          default: // M-type
+            want_ops(2);
+            inst.op1 = parseMemOperand(pl.operands[0], config,
+                                       rl.lineNo);
+            inst.op2 = parseMemOperand(pl.operands[1], config,
+                                       rl.lineNo);
+            break;
+        }
+        program.code.push_back(inst);
+    }
+
+    program.check();
+    return program;
+}
+
+} // namespace printed

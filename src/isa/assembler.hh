@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Two-pass TP-ISA assembler.
+ *
+ * Syntax (one instruction per line; ';' or '#' start a comment,
+ * except '#' immediately followed by a digit which introduces an
+ * immediate):
+ *
+ *     ; 8-bit multiply inner loop
+ *     loop:
+ *         RR   [2], [2]        ; shift multiplier right
+ *         BRN  skip, C         ; skip add when bit was 0
+ *         ADD  [0], [1]
+ *     skip:
+ *         RL   [1], [1]
+ *         SUB  [3], [4]
+ *         BRN  loop, Z
+ *
+ * Operands:
+ *     [n]       memory at BAR0 (=0) + n
+ *     [bK+n]    memory at BAR K + n
+ *     #n        immediate (STORE / SET-BAR), decimal or 0x hex
+ *     label     branch target (or a bare number)
+ *     SZCV      branch flag mask as letters, or #n numeric mask
+ *
+ * SET-BAR loads BAR k from a pointer held in data memory:
+ *     SETBAR [ptr], #k      ; BAR[k] = mem[EA(ptr)]
+ */
+
+#ifndef PRINTED_ISA_ASSEMBLER_HH
+#define PRINTED_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace printed
+{
+
+/**
+ * Assemble TP-ISA source text.
+ *
+ * @param source assembly text
+ * @param config ISA variant to target (BAR count affects operand
+ *        encoding)
+ * @param name program name for reports
+ * @return the assembled program (check()ed)
+ *
+ * Throws FatalError with a line-numbered message on syntax errors,
+ * unknown mnemonics, range violations, or undefined labels.
+ */
+Program assemble(const std::string &source, const IsaConfig &config,
+                 const std::string &name = "program");
+
+} // namespace printed
+
+#endif // PRINTED_ISA_ASSEMBLER_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A TP-ISA program: instruction sequence plus the ISA variant it
+ * targets. Programs are produced by the assembler (assembler.hh) or
+ * by the workload generators, and consumed by the functional
+ * simulator, the ROM model, and program-specific specialization.
+ */
+
+#ifndef PRINTED_ISA_PROGRAM_HH
+#define PRINTED_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace printed
+{
+
+/** An assembled TP-ISA program. */
+struct Program
+{
+    std::string name;
+    IsaConfig isa;
+    std::vector<Instruction> code;
+    std::map<std::string, unsigned> labels; ///< label -> address
+
+    /** Number of static instructions (N in Section 7). */
+    std::size_t size() const { return code.size(); }
+
+    /** Encoded instruction words (ROM image). */
+    std::vector<std::uint32_t> words() const;
+
+    /** Total instruction-memory bits at full 24-bit encoding. */
+    std::size_t imemBits() const
+    {
+        return size() * isa.instructionBits();
+    }
+
+    /** Sanity checks: PC range, operand encodability. */
+    void check() const;
+};
+
+/** Render a program as assembly text (round-trips through the
+ *  assembler). */
+std::string disassemble(const Program &program);
+
+/** Render one instruction as assembly text. */
+std::string disassemble(const Instruction &inst,
+                        const IsaConfig &config);
+
+} // namespace printed
+
+#endif // PRINTED_ISA_PROGRAM_HH

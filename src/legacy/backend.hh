@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Common interface for the legacy-ISA backends.
+ *
+ * Each backend compiles the portable IR (legacy/ir.hh) to real
+ * machine code for its target and executes it on a matching
+ * instruction-set simulator, returning code size (Table 5) and
+ * dynamic counts (Section 8). See the per-target headers for the
+ * documented instruction subsets and timing models.
+ */
+
+#ifndef PRINTED_LEGACY_BACKEND_HH
+#define PRINTED_LEGACY_BACKEND_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "legacy/ir.hh"
+
+namespace printed::legacy
+{
+
+/** Result of compiling and running an IR program on a target. */
+struct LegacyRun
+{
+    std::size_t codeBytes = 0;      ///< program size (Table 5)
+    std::size_t dataBytes = 0;      ///< data segment size
+    std::uint64_t instructions = 0; ///< dynamic instruction count
+    std::uint64_t cycles = 0;       ///< dynamic cycles (ISA timing)
+    std::vector<std::uint64_t> outputs;
+};
+
+/** Static code size without executing (for Table 5 sweeps). */
+struct LegacySize
+{
+    std::size_t codeBytes = 0;
+    std::size_t dataBytes = 0;
+};
+
+} // namespace printed::legacy
+
+#endif // PRINTED_LEGACY_BACKEND_HH

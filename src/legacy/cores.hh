@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Pre-existing (legacy) microprocessor models - Table 4 of the
+ * paper: openMSP430, Z80, light8080, and ZPU-small characterized
+ * in both printed technologies.
+ *
+ * The paper synthesized the actual RTL of these cores with Design
+ * Compiler; we model each core statistically: the published
+ * per-technology gate count is distributed over the standard-cell
+ * library by a per-core cell mix, and the resulting histogram is
+ * fed through the same area/power engine used for TP-ISA cores.
+ * The combinational logic depth is the one free parameter,
+ * calibrated so the published fmax is reproduced; everything else
+ * (area, power) is then a genuine model output, compared against
+ * the published values in EXPERIMENTS.md.
+ */
+
+#ifndef PRINTED_LEGACY_CORES_HH
+#define PRINTED_LEGACY_CORES_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "analysis/area.hh"
+#include "analysis/power.hh"
+#include "tech/library.hh"
+
+namespace printed::legacy
+{
+
+/** The four pre-existing cores of Table 4. */
+enum class LegacyCore
+{
+    OpenMsp430,
+    Z80,
+    Light8080,
+    ZpuSmall,
+};
+
+constexpr std::array<LegacyCore, 4> allLegacyCores = {
+    LegacyCore::OpenMsp430, LegacyCore::Z80, LegacyCore::Light8080,
+    LegacyCore::ZpuSmall};
+
+/** Published per-technology characterization (Table 4). */
+struct LegacyTechPoint
+{
+    double fmaxHz = 0;
+    std::size_t gateCount = 0;
+    double areaCm2 = 0;
+    double powerMw = 0;
+};
+
+/** One row of Table 4. */
+struct LegacyCoreSpec
+{
+    LegacyCore core;
+    std::string name;
+    unsigned datawidth = 8;
+    unsigned aluWidth = 8;
+    std::string isaStyle;
+    unsigned cpiMin = 1;
+    unsigned cpiMax = 1;
+    LegacyTechPoint egfet;
+    LegacyTechPoint cnt;
+
+    const LegacyTechPoint &
+    tech(TechKind kind) const
+    {
+        return kind == TechKind::EGFET ? egfet : cnt;
+    }
+};
+
+/** The Table 4 registry. */
+const LegacyCoreSpec &legacyCoreSpec(LegacyCore core);
+
+/** Modeled characterization of a legacy core in a technology. */
+struct LegacyModelResult
+{
+    std::array<std::size_t, numCellKinds> histogram{};
+    AreaReport area;          ///< from the cell mix
+    PowerReport powerAtFmax;  ///< from the cell mix at published fmax
+    double fmaxHz = 0;        ///< published (depth-calibrated)
+    unsigned calibratedDepth = 0; ///< comb. depth implied by fmax
+};
+
+/**
+ * Run the statistical model: distribute the published gate count
+ * over the library by the core's cell mix and characterize it with
+ * the standard area/power engines.
+ */
+LegacyModelResult modelLegacyCore(LegacyCore core, TechKind tech);
+
+} // namespace printed::legacy
+
+#endif // PRINTED_LEGACY_CORES_HH

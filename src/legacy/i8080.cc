@@ -1,0 +1,581 @@
+#include "i8080.hh"
+
+#include <array>
+#include <map>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace printed::legacy
+{
+
+namespace
+{
+
+// Memory map: code at 0, virtual-register file and data array on
+// separate 256-byte pages so address arithmetic never carries.
+constexpr std::uint16_t regBase = 0x8000;
+constexpr std::uint16_t dataBase = 0x9000;
+
+// The 8080 opcodes the backend emits.
+enum Op : std::uint8_t
+{
+    NOP = 0x00,
+    LXI_H = 0x21,
+    INX_H = 0x23,
+    MVI_H = 0x26,
+    STA = 0x32,
+    MVI_A = 0x3E,
+    MOV_L_A = 0x6F,
+    HLT = 0x76,
+    MOV_M_A = 0x77,
+    MOV_A_M = 0x7E,
+    ADD_M = 0x86,
+    ADD_A = 0x87,
+    ADC_M = 0x8E,
+    ADC_A = 0x8F,
+    SUB_M = 0x96,
+    SBB_M = 0x9E,
+    ANA_M = 0xA6,
+    ANA_A = 0xA7,
+    ORA_M = 0xB6,
+    ORA_A = 0xB7,
+    XRA_M = 0xAE,
+    RAR = 0x1F,
+    JNZ = 0xC2,
+    JMP = 0xC3,
+    JZ = 0xCA,
+    JC = 0xDA,
+    JNC = 0xD2,
+};
+
+/** Register codes of the 8080 MOV/ALU matrices. */
+constexpr unsigned regB = 0, regC = 1, regD = 2, regE = 3,
+                   regHc = 4, regL = 5, regM = 6, regA = 7;
+
+/** Published state counts. First: Intel 8080, second: Z80. */
+std::pair<unsigned, unsigned>
+opCycles(std::uint8_t op)
+{
+    // MOV matrix (0x40-0x7F except HLT).
+    if (op >= 0x40 && op <= 0x7F && op != HLT) {
+        const bool mem = ((op >> 3) & 7) == regM || (op & 7) == regM;
+        return mem ? std::pair<unsigned, unsigned>{7, 7}
+                   : std::pair<unsigned, unsigned>{5, 4};
+    }
+    // ALU matrix (0x80-0xBF).
+    if (op >= 0x80 && op <= 0xBF) {
+        return (op & 7) == regM
+                   ? std::pair<unsigned, unsigned>{7, 7}
+                   : std::pair<unsigned, unsigned>{4, 4};
+    }
+    // MVI r (00rrr110).
+    if ((op & 0xC7) == 0x06)
+        return ((op >> 3) & 7) == regM
+                   ? std::pair<unsigned, unsigned>{10, 10}
+                   : std::pair<unsigned, unsigned>{7, 7};
+
+    switch (op) {
+      case NOP: return {4, 4};
+      case LXI_H: return {10, 10};
+      case INX_H: return {5, 6};
+      case STA: return {13, 13};
+      case HLT: return {7, 4};
+      case RAR: return {4, 4};
+      case JNZ:
+      case JMP:
+      case JZ:
+      case JC:
+      case JNC: return {10, 10};
+      default:
+        // LDA is 0x3A and collides with none above.
+        if (op == 0x3A)
+            return {13, 13};
+        panic("opCycles: untabulated opcode");
+    }
+}
+
+constexpr std::uint8_t LDA = 0x3A;
+
+/**
+ * Backend: IR -> 8080 machine code.
+ *
+ * For 8-bit programs the first four virtual registers live in
+ * B/C/D/E (the sdcc-style allocation that makes 8080 code dense);
+ * the rest - and all wider programs - use RAM slots through the
+ * accumulator.
+ */
+class Compiler
+{
+  public:
+    explicit Compiler(const IrProgram &prog)
+        : prog_(prog), bpw_((prog.width + 7) / 8),
+          reg8_(prog.width == 8)
+    {
+        fatalIf(prog_.dataWords * bpw_ > 256,
+                "compile8080: data exceeds one page");
+        fatalIf(prog_.regCount * bpw_ > 256,
+                "compile8080: registers exceed one page");
+        for (const IrInst &in : prog_.code)
+            lower(in);
+        patch();
+    }
+
+    std::vector<std::uint8_t> take() { return std::move(code_); }
+
+  private:
+    std::uint16_t slot(Reg r, unsigned k) const
+    {
+        return std::uint16_t(regBase + r * bpw_ + k);
+    }
+
+    void byte(std::uint8_t b) { code_.push_back(b); }
+    void word(std::uint16_t w)
+    {
+        byte(std::uint8_t(w & 0xff));
+        byte(std::uint8_t(w >> 8));
+    }
+
+    void op_imm(std::uint8_t op, std::uint8_t imm)
+    {
+        byte(op);
+        byte(imm);
+    }
+    void op_addr(std::uint8_t op, std::uint16_t addr)
+    {
+        byte(op);
+        word(addr);
+    }
+
+    void
+    jump(std::uint8_t op, const std::string &label)
+    {
+        byte(op);
+        fixups_.emplace_back(code_.size(), label);
+        word(0);
+    }
+
+    void
+    patch()
+    {
+        for (const auto &[pos, label] : fixups_) {
+            auto it = labels_.find(label);
+            fatalIf(it == labels_.end(),
+                    "compile8080: undefined label " + label);
+            code_[pos] = std::uint8_t(it->second & 0xff);
+            code_[pos + 1] = std::uint8_t(it->second >> 8);
+        }
+    }
+
+    /** True when the vreg lives in a hardware register (B..E). */
+    bool inHw(Reg r) const { return reg8_ && r < 4; }
+
+    /** A = vreg (MOV A,r or LDA slot). */
+    void
+    loadA(Reg r, unsigned k = 0)
+    {
+        if (inHw(r))
+            byte(std::uint8_t(0x78 | r)); // MOV A,r
+        else
+            op_addr(LDA, slot(r, k));
+    }
+
+    /** vreg = A (MOV r,A or STA slot). */
+    void
+    storeA(Reg r, unsigned k = 0)
+    {
+        if (inHw(r))
+            byte(std::uint8_t(0x40 | (r << 3) | regA)); // MOV r,A
+        else
+            op_addr(STA, slot(r, k));
+    }
+
+    /** A = A <alu_base> vreg (register form or LXI H + M form). */
+    void
+    aluWith(std::uint8_t alu_base, Reg src, unsigned k = 0)
+    {
+        if (inHw(src)) {
+            byte(std::uint8_t(alu_base | src));
+        } else {
+            op_addr(LXI_H, slot(src, k));
+            byte(std::uint8_t(alu_base | regM));
+        }
+    }
+
+    /** HL = &data[idx_reg * bpw] (data page-aligned, no carries). */
+    void
+    pointerFromIndex(Reg idx)
+    {
+        if (inHw(idx) && bpw_ == 1) {
+            byte(std::uint8_t(0x40 | (regL << 3) | idx)); // MOV L,r
+        } else {
+            loadA(idx);
+            for (unsigned s = 1; s < bpw_; s <<= 1)
+                byte(ADD_A); // A *= 2
+            byte(MOV_L_A);
+        }
+        op_imm(MVI_H, dataBase >> 8);
+    }
+
+    void
+    memBinop(std::uint8_t first, std::uint8_t rest, Reg dst, Reg src)
+    {
+        if (bpw_ == 1) {
+            loadA(dst);
+            aluWith(first & 0xB8, src); // base row of the ALU matrix
+            storeA(dst);
+            return;
+        }
+        for (unsigned k = 0; k < bpw_; ++k) {
+            op_addr(LDA, slot(dst, k));
+            op_addr(LXI_H, slot(src, k));
+            byte(k == 0 ? first : rest);
+            op_addr(STA, slot(dst, k));
+        }
+    }
+
+    void
+    lower(const IrInst &in)
+    {
+        switch (in.op) {
+          case IrOp::Li:
+            if (bpw_ == 1 && inHw(in.dst)) {
+                // MVI r, imm.
+                op_imm(std::uint8_t(0x06 | (in.dst << 3)),
+                       std::uint8_t(in.imm));
+                break;
+            }
+            for (unsigned k = 0; k < bpw_; ++k) {
+                op_imm(MVI_A, std::uint8_t(in.imm >> (8 * k)));
+                op_addr(STA, slot(in.dst, k));
+            }
+            break;
+          case IrOp::Mov:
+            if (bpw_ == 1) {
+                loadA(in.src);
+                storeA(in.dst);
+                break;
+            }
+            for (unsigned k = 0; k < bpw_; ++k) {
+                op_addr(LDA, slot(in.src, k));
+                op_addr(STA, slot(in.dst, k));
+            }
+            break;
+          case IrOp::Add: memBinop(ADD_M, ADC_M, in.dst, in.src);
+            break;
+          case IrOp::Sub: memBinop(SUB_M, SBB_M, in.dst, in.src);
+            break;
+          case IrOp::And: memBinop(ANA_M, ANA_M, in.dst, in.src);
+            break;
+          case IrOp::Or: memBinop(ORA_M, ORA_M, in.dst, in.src);
+            break;
+          case IrOp::Xor: memBinop(XRA_M, XRA_M, in.dst, in.src);
+            break;
+          case IrOp::Shl:
+            if (bpw_ == 1) {
+                loadA(in.dst);
+                byte(ADD_A);
+                storeA(in.dst);
+                break;
+            }
+            for (unsigned k = 0; k < bpw_; ++k) {
+                op_addr(LDA, slot(in.dst, k));
+                byte(k == 0 ? ADD_A : ADC_A);
+                op_addr(STA, slot(in.dst, k));
+            }
+            break;
+          case IrOp::Shr:
+            if (bpw_ == 1) {
+                loadA(in.dst);
+                byte(ORA_A); // clears CY, A unchanged
+                byte(RAR);
+                storeA(in.dst);
+                break;
+            }
+            for (unsigned k = bpw_; k-- > 0;) {
+                op_addr(LDA, slot(in.dst, k));
+                if (k == bpw_ - 1)
+                    byte(ORA_A);
+                byte(RAR);
+                op_addr(STA, slot(in.dst, k));
+            }
+            break;
+          case IrOp::Ld:
+            pointerFromIndex(in.src);
+            for (unsigned k = 0; k < bpw_; ++k) {
+                byte(MOV_A_M);
+                storeA(in.dst, k);
+                if (k + 1 < bpw_)
+                    byte(INX_H);
+            }
+            break;
+          case IrOp::St:
+            pointerFromIndex(in.src);
+            for (unsigned k = 0; k < bpw_; ++k) {
+                loadA(in.dst, k);
+                byte(MOV_M_A);
+                if (k + 1 < bpw_)
+                    byte(INX_H);
+            }
+            break;
+          case IrOp::Label:
+            labels_[in.label] = std::uint16_t(code_.size());
+            break;
+          case IrOp::Jmp:
+            jump(JMP, in.label);
+            break;
+          case IrOp::Beqz:
+          case IrOp::Bnez:
+            loadA(in.dst);
+            if (bpw_ == 1) {
+                byte(ORA_A); // MOV/LDA do not set flags on the 8080
+            } else {
+                for (unsigned k = 1; k < bpw_; ++k) {
+                    op_addr(LXI_H, slot(in.dst, k));
+                    byte(ORA_M);
+                }
+            }
+            jump(in.op == IrOp::Beqz ? JZ : JNZ, in.label);
+            break;
+          case IrOp::Bltu:
+          case IrOp::Bgeu:
+            if (bpw_ == 1) {
+                loadA(in.dst);
+                aluWith(0xB8, in.src); // CMP: A - src, CY = borrow
+            } else {
+                for (unsigned k = 0; k < bpw_; ++k) {
+                    op_addr(LDA, slot(in.dst, k));
+                    op_addr(LXI_H, slot(in.src, k));
+                    byte(k == 0 ? SUB_M : SBB_M);
+                }
+            }
+            jump(in.op == IrOp::Bltu ? JC : JNC, in.label);
+            break;
+          case IrOp::Halt:
+            byte(HLT);
+            break;
+        }
+    }
+
+    const IrProgram &prog_;
+    unsigned bpw_;
+    bool reg8_;
+    std::vector<std::uint8_t> code_;
+    std::map<std::string, std::uint16_t> labels_;
+    std::vector<std::pair<std::size_t, std::string>> fixups_;
+};
+
+/** The 8080 simulator (emitted subset, genuine flag semantics). */
+class Machine
+{
+  public:
+    explicit Machine(std::vector<std::uint8_t> code)
+        : mem_(0x10000, 0)
+    {
+        std::copy(code.begin(), code.end(), mem_.begin());
+    }
+
+    std::uint8_t &at(std::uint16_t addr) { return mem_[addr]; }
+
+    void
+    run(I8080Timing timing, std::uint64_t max_steps,
+        std::uint64_t &instructions, std::uint64_t &cycles)
+    {
+        instructions = 0;
+        cycles = 0;
+        while (!halted_) {
+            fatalIf(instructions >= max_steps,
+                    "i8080: step budget exhausted");
+            step(timing, cycles);
+            ++instructions;
+        }
+    }
+
+  private:
+    std::uint16_t
+    fetch16()
+    {
+        const std::uint16_t lo = mem_[pc_++];
+        const std::uint16_t hi = mem_[pc_++];
+        return std::uint16_t(lo | (hi << 8));
+    }
+
+    void
+    setSz(std::uint8_t v)
+    {
+        z_ = v == 0;
+        s_ = (v & 0x80) != 0;
+    }
+
+    void
+    step(I8080Timing timing, std::uint64_t &cycles)
+    {
+        const std::uint8_t op = mem_[pc_++];
+        const auto [c8080, cz80] = opCycles(op);
+        cycles += timing == I8080Timing::I8080 ? c8080 : cz80;
+
+        auto hl = [&] { return std::uint16_t((h_ << 8) | l_); };
+        auto get_reg = [&](unsigned code) -> std::uint8_t {
+            switch (code) {
+              case regB: return b_;
+              case regC: return c_;
+              case regD: return d_;
+              case regE: return e_;
+              case regHc: return h_;
+              case regL: return l_;
+              case regM: return mem_[hl()];
+              case regA: return a_;
+            }
+            panic("i8080: bad register code");
+        };
+        auto set_reg = [&](unsigned code, std::uint8_t v) {
+            switch (code) {
+              case regB: b_ = v; return;
+              case regC: c_ = v; return;
+              case regD: d_ = v; return;
+              case regE: e_ = v; return;
+              case regHc: h_ = v; return;
+              case regL: l_ = v; return;
+              case regM: mem_[hl()] = v; return;
+              case regA: a_ = v; return;
+            }
+            panic("i8080: bad register code");
+        };
+
+        // MOV matrix (01 ddd sss), excluding HLT.
+        if (op >= 0x40 && op <= 0x7F && op != HLT) {
+            set_reg((op >> 3) & 7, get_reg(op & 7));
+            return;
+        }
+        // ALU matrix (10 ooo sss).
+        if (op >= 0x80 && op <= 0xBF) {
+            const std::uint8_t v = get_reg(op & 7);
+            switch ((op >> 3) & 7) {
+              case 0: alu_add(v, false); break;       // ADD
+              case 1: alu_add(v, cy_); break;         // ADC
+              case 2: alu_sub(v, false); break;       // SUB
+              case 3: alu_sub(v, cy_); break;         // SBB
+              case 4: a_ &= v; cy_ = false; setSz(a_); break; // ANA
+              case 5: a_ ^= v; cy_ = false; setSz(a_); break; // XRA
+              case 6: a_ |= v; cy_ = false; setSz(a_); break; // ORA
+              case 7: {                               // CMP
+                const std::uint8_t saved = a_;
+                alu_sub(v, false);
+                a_ = saved;
+                break;
+              }
+            }
+            return;
+        }
+        // MVI r (00 rrr 110).
+        if ((op & 0xC7) == 0x06) {
+            set_reg((op >> 3) & 7, mem_[pc_++]);
+            return;
+        }
+
+        switch (op) {
+          case NOP: break;
+          case LXI_H: l_ = mem_[pc_++]; h_ = mem_[pc_++]; break;
+          case INX_H: {
+            const std::uint16_t v = std::uint16_t(hl() + 1);
+            h_ = std::uint8_t(v >> 8);
+            l_ = std::uint8_t(v & 0xff);
+            break;
+          }
+          case STA: mem_[fetch16()] = a_; break;
+          case LDA: a_ = mem_[fetch16()]; break;
+          case RAR: {
+            const bool new_cy = a_ & 1;
+            a_ = std::uint8_t((a_ >> 1) | (cy_ ? 0x80 : 0));
+            cy_ = new_cy;
+            break;
+          }
+          case JMP: pc_ = fetch16(); break;
+          case JZ: { const auto t = fetch16(); if (z_) pc_ = t;
+            break; }
+          case JNZ: { const auto t = fetch16(); if (!z_) pc_ = t;
+            break; }
+          case JC: { const auto t = fetch16(); if (cy_) pc_ = t;
+            break; }
+          case JNC: { const auto t = fetch16(); if (!cy_) pc_ = t;
+            break; }
+          case HLT: halted_ = true; break;
+          default:
+            panic("i8080: unimplemented opcode " +
+                  std::to_string(op));
+        }
+    }
+
+    void
+    alu_add(std::uint8_t v, bool carry_in)
+    {
+        const unsigned full = unsigned(a_) + v + (carry_in ? 1 : 0);
+        a_ = std::uint8_t(full);
+        cy_ = full > 0xff;
+        setSz(a_);
+    }
+
+    void
+    alu_sub(std::uint8_t v, bool borrow_in)
+    {
+        const int full = int(a_) - v - (borrow_in ? 1 : 0);
+        a_ = std::uint8_t(full);
+        cy_ = full < 0; // 8080: CY is the borrow flag
+        setSz(a_);
+    }
+
+    std::vector<std::uint8_t> mem_;
+    std::uint16_t pc_ = 0;
+    std::uint8_t a_ = 0, h_ = 0, l_ = 0;
+    std::uint8_t b_ = 0, c_ = 0, d_ = 0, e_ = 0;
+    bool z_ = false, s_ = false, cy_ = false;
+    bool halted_ = false;
+};
+
+} // anonymous namespace
+
+LegacySize
+size8080(const IrProgram &prog)
+{
+    Compiler c(prog);
+    LegacySize sz;
+    sz.codeBytes = c.take().size();
+    sz.dataBytes = prog.dataWords * ((prog.width + 7) / 8);
+    return sz;
+}
+
+LegacyRun
+run8080(const IrProgram &prog,
+        const std::vector<std::uint64_t> &inputs, I8080Timing timing)
+{
+    const unsigned bpw = (prog.width + 7) / 8;
+    Compiler c(prog);
+    auto code = c.take();
+
+    LegacyRun result;
+    result.codeBytes = code.size();
+    result.dataBytes = prog.dataWords * bpw;
+
+    Machine m(std::move(code));
+    fatalIf(inputs.size() != prog.inputAddrs.size(),
+            "run8080: input count mismatch");
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        for (unsigned k = 0; k < bpw; ++k)
+            m.at(std::uint16_t(dataBase + prog.inputAddrs[i] * bpw +
+                               k)) =
+                std::uint8_t(inputs[i] >> (8 * k));
+
+    m.run(timing, 50'000'000, result.instructions, result.cycles);
+
+    for (unsigned addr : prog.outputAddrs) {
+        std::uint64_t v = 0;
+        for (unsigned k = 0; k < bpw; ++k)
+            v |= std::uint64_t(
+                     m.at(std::uint16_t(dataBase + addr * bpw + k)))
+                 << (8 * k);
+        result.outputs.push_back(v & maskBits(prog.width));
+    }
+    return result;
+}
+
+} // namespace printed::legacy

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Intel 8080 backend + instruction-set simulator (light8080 and
+ * Z80 stand-ins).
+ *
+ * The backend lowers the portable IR with a naive accumulator
+ * strategy (virtual registers live in RAM, every operation goes
+ * through A and an HL memory pointer), matching the code-size
+ * regime of sdcc at low optimization - the toolchain the paper
+ * used for the Z80 and light8080 rows of Table 5.
+ *
+ * The simulator implements the genuine 8080 encodings and flag
+ * semantics for the emitted subset (MVI/LDA/STA/LXI/MOV via M,
+ * INX, ADD/ADC/SUB/SBB/ANA/ORA/XRA on M and A, RAR, STC/CMC,
+ * conditional jumps, HLT). Timing comes from the published
+ * per-opcode state counts: the 8080 table for light8080, the Z80
+ * T-state table for the Z80 (same binary - the Z80 is binary
+ * compatible with the 8080).
+ */
+
+#ifndef PRINTED_LEGACY_I8080_HH
+#define PRINTED_LEGACY_I8080_HH
+
+#include "legacy/backend.hh"
+
+namespace printed::legacy
+{
+
+/** Which timing table to apply to the 8080-compatible binary. */
+enum class I8080Timing
+{
+    I8080, ///< light8080 (Intel 8080 state counts)
+    Z80,   ///< Zilog Z80 T-states
+};
+
+/** Compile only: code size for Table 5. */
+LegacySize size8080(const IrProgram &prog);
+
+/**
+ * Compile and execute.
+ * @param prog IR program
+ * @param inputs logical input values (written to prog.inputAddrs)
+ * @param timing which cycle table to use
+ */
+LegacyRun run8080(const IrProgram &prog,
+                  const std::vector<std::uint64_t> &inputs,
+                  I8080Timing timing = I8080Timing::I8080);
+
+} // namespace printed::legacy
+
+#endif // PRINTED_LEGACY_I8080_HH

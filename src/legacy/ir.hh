@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tiny portable IR for the legacy-core benchmark study.
+ *
+ * The paper compiled the benchmarks with msp430-gcc, sdcc (8080 /
+ * Z80), and zpu-gcc to obtain program sizes (Table 5) and run
+ * times (Section 8). We substitute a small register-based IR and
+ * naive per-ISA backends (legacy/backend_*.cc): each backend
+ * lowers an IR program to real machine code for its target, which
+ * then runs on the matching instruction-set simulator. Code sizes
+ * land in the regime of the era's embedded compilers at low
+ * optimization, and dynamic cycle counts come from per-instruction
+ * cycle tables.
+ *
+ * IR model: unlimited virtual registers of the benchmark's logical
+ * width W; a flat data memory of W-bit words addressed by value
+ * held in a register; structured control flow via labels.
+ */
+
+#ifndef PRINTED_LEGACY_IR_HH
+#define PRINTED_LEGACY_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/golden.hh"
+
+namespace printed::legacy
+{
+
+/** Virtual register id. */
+using Reg = unsigned;
+
+/** IR operations. */
+enum class IrOp
+{
+    Li,    ///< dst = imm
+    Mov,   ///< dst = src
+    Add,   ///< dst += src
+    Sub,   ///< dst -= src
+    And,   ///< dst &= src
+    Or,    ///< dst |= src
+    Xor,   ///< dst ^= src
+    Shl,   ///< dst <<= 1
+    Shr,   ///< dst >>= 1 (logical)
+    Ld,    ///< dst = mem[addr]   (addr = word index in a register)
+    St,    ///< mem[addr] = src
+    Label, ///< control-flow target
+    Jmp,   ///< unconditional jump
+    Beqz,  ///< branch when reg == 0
+    Bnez,  ///< branch when reg != 0
+    Bltu,  ///< branch when a < b (unsigned)
+    Bgeu,  ///< branch when a >= b (unsigned)
+    Halt,  ///< stop
+};
+
+/** One IR instruction (field use depends on op). */
+struct IrInst
+{
+    IrOp op = IrOp::Halt;
+    Reg dst = 0;           ///< destination / first comparand
+    Reg src = 0;           ///< source / second comparand / addr reg
+    std::uint64_t imm = 0; ///< Li immediate
+    std::string label;     ///< Label/Jmp/B* target
+};
+
+/** An IR program plus its data-memory footprint. */
+struct IrProgram
+{
+    std::string name;
+    unsigned width = 8;          ///< logical data width W
+    std::vector<IrInst> code;
+    std::size_t dataWords = 0;   ///< W-bit words of data memory
+    std::vector<unsigned> inputAddrs;  ///< word indices of inputs
+    std::vector<unsigned> outputAddrs; ///< word indices of outputs
+    unsigned regCount = 0;       ///< virtual registers used
+};
+
+/** Convenience builder for IR programs. */
+class IrBuilder
+{
+  public:
+    explicit IrBuilder(std::string name, unsigned width);
+
+    Reg reg();
+    unsigned allocWords(std::size_t n);
+
+    void li(Reg d, std::uint64_t imm);
+    void mov(Reg d, Reg s);
+    void add(Reg d, Reg s);
+    void sub(Reg d, Reg s);
+    void and_(Reg d, Reg s);
+    void or_(Reg d, Reg s);
+    void xor_(Reg d, Reg s);
+    void shl(Reg d);
+    void shr(Reg d);
+    void ld(Reg d, Reg addr);
+    void st(Reg addr, Reg s);
+
+    std::string newLabel(const std::string &hint);
+    void label(const std::string &l);
+    void jmp(const std::string &l);
+    void beqz(Reg r, const std::string &l);
+    void bnez(Reg r, const std::string &l);
+    void bltu(Reg a, Reg b, const std::string &l);
+    void bgeu(Reg a, Reg b, const std::string &l);
+    void halt();
+
+    IrProgram take();
+
+  private:
+    void emit(IrInst inst);
+    IrProgram prog_;
+    unsigned nextReg_ = 0;
+    unsigned nextLabel_ = 0;
+};
+
+/**
+ * Reference interpreter (for validating the IR kernels themselves
+ * against the golden models before any backend is involved).
+ * @return data memory after execution.
+ */
+std::vector<std::uint64_t>
+interpretIr(const IrProgram &prog,
+            const std::vector<std::uint64_t> &init_data,
+            std::uint64_t max_steps = 10'000'000);
+
+/** The seven paper kernels as IR programs. */
+IrProgram irKernel(Kernel kind, unsigned width);
+
+} // namespace printed::legacy
+
+#endif // PRINTED_LEGACY_IR_HH

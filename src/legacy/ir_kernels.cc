@@ -1,0 +1,333 @@
+/**
+ * @file
+ * The seven paper benchmarks expressed in the portable IR (the
+ * source the legacy-ISA backends compile, standing in for the C
+ * sources the paper fed msp430-gcc / sdcc / zpu-gcc).
+ */
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "legacy/ir.hh"
+
+namespace printed::legacy
+{
+
+namespace
+{
+
+IrProgram
+irMult(unsigned width)
+{
+    IrBuilder b("mult", width);
+    const unsigned base = b.allocWords(3); // a, b, product
+    const Reg pa = b.reg(), ra = b.reg(), rb = b.reg(),
+              p = b.reg(), cnt = b.reg(), one = b.reg(),
+              t = b.reg();
+    b.li(pa, base);
+    b.ld(ra, pa);
+    b.li(pa, base + 1);
+    b.ld(rb, pa);
+    b.li(p, 0);
+    b.li(cnt, width);
+    b.li(one, 1);
+    const auto loop = b.newLabel("loop");
+    const auto skip = b.newLabel("skip");
+    b.label(loop);
+    b.mov(t, rb);
+    b.and_(t, one);
+    b.beqz(t, skip);
+    b.add(p, ra);
+    b.label(skip);
+    b.shl(ra);
+    b.shr(rb);
+    b.sub(cnt, one);
+    b.bnez(cnt, loop);
+    b.li(pa, base + 2);
+    b.st(pa, p);
+    b.halt();
+    auto prog = b.take();
+    prog.inputAddrs = {base, base + 1};
+    prog.outputAddrs = {base + 2};
+    return prog;
+}
+
+IrProgram
+irDiv(unsigned width)
+{
+    IrBuilder b("div", width);
+    const unsigned base = b.allocWords(4); // n, d, q, r
+    const Reg pa = b.reg(), n = b.reg(), d = b.reg(), q = b.reg(),
+              r = b.reg(), cnt = b.reg(), one = b.reg(),
+              msb = b.reg(), t = b.reg();
+    b.li(pa, base);
+    b.ld(n, pa);
+    b.li(pa, base + 1);
+    b.ld(d, pa);
+    b.li(q, 0);
+    b.li(r, 0);
+    b.li(cnt, width);
+    b.li(one, 1);
+    b.li(msb, std::uint64_t(1) << (width - 1));
+    const auto loop = b.newLabel("loop");
+    const auto nobit = b.newLabel("nobit");
+    const auto nosub = b.newLabel("nosub");
+    b.label(loop);
+    // r = (r << 1) | msb(n); n <<= 1; q <<= 1.
+    b.shl(r);
+    b.mov(t, n);
+    b.and_(t, msb);
+    b.beqz(t, nobit);
+    b.or_(r, one);
+    b.label(nobit);
+    b.shl(n);
+    b.shl(q);
+    b.bltu(r, d, nosub);
+    b.sub(r, d);
+    b.or_(q, one);
+    b.label(nosub);
+    b.sub(cnt, one);
+    b.bnez(cnt, loop);
+    b.li(pa, base + 2);
+    b.st(pa, q);
+    b.li(pa, base + 3);
+    b.st(pa, r);
+    b.halt();
+    auto prog = b.take();
+    prog.inputAddrs = {base, base + 1};
+    prog.outputAddrs = {base + 2, base + 3};
+    return prog;
+}
+
+IrProgram
+irInSort(unsigned width)
+{
+    IrBuilder b("inSort", width);
+    const unsigned arr = b.allocWords(kernelArrayLen);
+    const Reg i = b.reg(), j = b.reg(), jm1 = b.reg(),
+              key = b.reg(), v = b.reg(), lim = b.reg(),
+              one = b.reg();
+    b.li(one, 1);
+    b.li(lim, arr + kernelArrayLen);
+    b.li(i, arr + 1);
+    const auto outer = b.newLabel("outer");
+    const auto inner = b.newLabel("inner");
+    const auto place = b.newLabel("place");
+    const auto done = b.newLabel("done");
+    b.label(outer);
+    b.bgeu(i, lim, done);
+    b.ld(key, i);
+    b.mov(j, i);
+    b.label(inner);
+    b.beqz(j, place); // note arr base 0: j == arr means front
+    b.mov(jm1, j);
+    b.sub(jm1, one);
+    b.ld(v, jm1);
+    b.bgeu(key, v, place);
+    b.st(j, v);
+    b.mov(j, jm1);
+    b.jmp(inner);
+    b.label(place);
+    b.st(j, key);
+    b.add(i, one);
+    b.jmp(outer);
+    b.label(done);
+    b.halt();
+    auto prog = b.take();
+    for (unsigned e = 0; e < kernelArrayLen; ++e) {
+        prog.inputAddrs.push_back(arr + e);
+        prog.outputAddrs.push_back(arr + e);
+    }
+    return prog;
+}
+
+IrProgram
+irIntAvg(unsigned width)
+{
+    IrBuilder b("intAvg", width);
+    const unsigned arr = b.allocWords(kernelArrayLen);
+    const unsigned out = b.allocWords(1);
+    const Reg p = b.reg(), sum = b.reg(), v = b.reg(),
+              lim = b.reg(), one = b.reg();
+    b.li(sum, 0);
+    b.li(p, arr);
+    b.li(lim, arr + kernelArrayLen);
+    b.li(one, 1);
+    const auto loop = b.newLabel("loop");
+    b.label(loop);
+    b.ld(v, p);
+    b.add(sum, v);
+    b.add(p, one);
+    b.bltu(p, lim, loop);
+    b.shr(sum);
+    b.shr(sum);
+    b.shr(sum);
+    b.shr(sum);
+    b.li(p, out);
+    b.st(p, sum);
+    b.halt();
+    auto prog = b.take();
+    for (unsigned e = 0; e < kernelArrayLen; ++e)
+        prog.inputAddrs.push_back(arr + e);
+    prog.outputAddrs = {out};
+    return prog;
+}
+
+IrProgram
+irTHold(unsigned width)
+{
+    IrBuilder b("tHold", width);
+    const unsigned arr = b.allocWords(kernelArrayLen);
+    const unsigned thr_addr = b.allocWords(1);
+    const unsigned out = b.allocWords(1);
+    const Reg p = b.reg(), cnt = b.reg(), v = b.reg(),
+              thr = b.reg(), lim = b.reg(), one = b.reg();
+    b.li(p, thr_addr);
+    b.ld(thr, p);
+    b.li(cnt, 0);
+    b.li(p, arr);
+    b.li(lim, arr + kernelArrayLen);
+    b.li(one, 1);
+    const auto loop = b.newLabel("loop");
+    const auto skip = b.newLabel("skip");
+    b.label(loop);
+    b.ld(v, p);
+    b.bgeu(thr, v, skip); // thr >= v: not above threshold
+    b.add(cnt, one);
+    b.label(skip);
+    b.add(p, one);
+    b.bltu(p, lim, loop);
+    b.li(p, out);
+    b.st(p, cnt);
+    b.halt();
+    auto prog = b.take();
+    for (unsigned e = 0; e < kernelArrayLen; ++e)
+        prog.inputAddrs.push_back(arr + e);
+    prog.inputAddrs.push_back(thr_addr);
+    prog.outputAddrs = {out};
+    return prog;
+}
+
+IrProgram
+irCrc8(unsigned width)
+{
+    fatalIf(width != 8, "crc8 is an 8-bit kernel");
+    IrBuilder b("crc8", 8);
+    const unsigned data = b.allocWords(crcStreamLen);
+    const unsigned out = b.allocWords(1);
+    const Reg p = b.reg(), crc = b.reg(), v = b.reg(),
+              bit = b.reg(), lim = b.reg(), one = b.reg(),
+              msb = b.reg(), poly = b.reg(), t = b.reg();
+    b.li(crc, 0);
+    b.li(p, data);
+    b.li(lim, data + crcStreamLen);
+    b.li(one, 1);
+    b.li(msb, 0x80);
+    b.li(poly, 0x07);
+    const auto byteloop = b.newLabel("byteloop");
+    const auto bitloop = b.newLabel("bitloop");
+    const auto nofix = b.newLabel("nofix");
+    b.label(byteloop);
+    b.ld(v, p);
+    b.xor_(crc, v);
+    b.li(bit, 8);
+    b.label(bitloop);
+    b.mov(t, crc);
+    b.and_(t, msb);
+    b.shl(crc);
+    b.beqz(t, nofix);
+    b.xor_(crc, poly);
+    b.label(nofix);
+    b.sub(bit, one);
+    b.bnez(bit, bitloop);
+    b.add(p, one);
+    b.bltu(p, lim, byteloop);
+    b.li(p, out);
+    b.st(p, crc);
+    b.halt();
+    auto prog = b.take();
+    for (unsigned e = 0; e < crcStreamLen; ++e)
+        prog.inputAddrs.push_back(data + e);
+    prog.outputAddrs = {out};
+    return prog;
+}
+
+IrProgram
+irDTree(unsigned width)
+{
+    IrBuilder b("dTree", width);
+    const unsigned s_base = b.allocWords(3);
+    const unsigned out = b.allocWords(1);
+    // Allocation order matters for the 8080 backend: the first
+    // four virtual registers get hardware registers, so the hot
+    // comparison operands come first.
+    const Reg s[3] = {b.reg(), b.reg(), b.reg()};
+    const Reg t = b.reg();
+    const Reg p = b.reg(), cls = b.reg();
+    for (unsigned i = 0; i < 3; ++i) {
+        b.li(p, s_base + i);
+        b.ld(s[i], p);
+    }
+    const auto end = b.newLabel("end");
+
+    // Same tree shape as golden::dTree / the TP-ISA generator.
+    struct Frame
+    {
+        unsigned node;
+        bool needLabel;
+    };
+    auto is_internal = [](unsigned node) { return node < 51; };
+    auto depth_of = [](unsigned node) {
+        unsigned d = 0;
+        while (node > 1) {
+            node >>= 1;
+            ++d;
+        }
+        return d;
+    };
+    std::vector<Frame> stack = {{1, false}};
+    while (!stack.empty()) {
+        const Frame f = stack.back();
+        stack.pop_back();
+        if (f.needLabel)
+            b.label("node_" + std::to_string(f.node));
+        if (is_internal(f.node)) {
+            b.li(t, golden::dTreeThreshold(f.node));
+            b.bltu(t, s[depth_of(f.node) % 3],
+                   "node_" + std::to_string(2 * f.node + 1));
+            stack.push_back({2 * f.node + 1, true});
+            stack.push_back({2 * f.node, false});
+        } else {
+            b.li(cls, f.node);
+            b.jmp(end);
+        }
+    }
+    b.label(end);
+    b.li(p, out);
+    b.st(p, cls);
+    b.halt();
+    auto prog = b.take();
+    prog.inputAddrs = {s_base, s_base + 1, s_base + 2};
+    prog.outputAddrs = {out};
+    return prog;
+}
+
+} // anonymous namespace
+
+IrProgram
+irKernel(Kernel kind, unsigned width)
+{
+    switch (kind) {
+      case Kernel::Mult:   return irMult(width);
+      case Kernel::Div:    return irDiv(width);
+      case Kernel::InSort: return irInSort(width);
+      case Kernel::IntAvg: return irIntAvg(width);
+      case Kernel::THold:  return irTHold(width);
+      case Kernel::Crc8:   return irCrc8(width);
+      case Kernel::DTree:  return irDTree(width);
+      default:
+        fatal("irKernel: unknown kernel");
+    }
+}
+
+} // namespace printed::legacy

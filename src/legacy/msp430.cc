@@ -1,0 +1,689 @@
+#include "msp430.hh"
+
+#include <array>
+#include <map>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace printed::legacy
+{
+
+namespace
+{
+
+// Memory map (word-aligned): data array, then virtual registers.
+constexpr std::uint16_t dataBase = 0x0200;
+constexpr std::uint16_t regsBase = 0x1000;
+constexpr std::uint16_t codeBase = 0x4000;
+
+// Format-I opcodes (bits 15:12).
+enum class Op2 : std::uint16_t
+{
+    MOV = 0x4, ADD = 0x5, ADDC = 0x6, SUBC = 0x7, SUB = 0x8,
+    CMP = 0x9, BIT = 0xA, BIC = 0xB, BIS = 0xC, XOR = 0xD,
+    AND = 0xF,
+};
+
+// Jump conditions (bits 12:10 of the 001x opcode).
+enum class Jcc : std::uint16_t
+{
+    JNE = 0, JEQ = 1, JNC = 2, JC = 3, JN = 4, JGE = 5, JL = 6,
+    JMP = 7,
+};
+
+/** Compiler: IR -> MSP430 machine code (vector of 16-bit words). */
+class Compiler
+{
+  public:
+    explicit Compiler(const IrProgram &prog)
+        : prog_(prog),
+          byteMode_(prog.width == 8),
+          chunks_(prog.width <= 16 ? 1 : prog.width / 16),
+          bytesPerWord_(prog.width <= 8 ? 1 : prog.width / 8),
+          // Register allocation: like msp430-gcc, virtual registers
+          // live in R4..R11 when they fit (R12 stays the indexing
+          // scratch); wide (32-bit) or register-hungry programs
+          // spill to RAM with absolute addressing.
+          // R4..R11 plus R13..R15 (R12 stays the indexing scratch).
+          regMode_(chunks_ == 1 && prog.regCount <= 11)
+    {
+        for (const IrInst &in : prog_.code)
+            lower(in);
+        patch();
+    }
+
+    std::vector<std::uint16_t> take() { return std::move(code_); }
+
+  private:
+    std::uint16_t
+    slot(Reg r, unsigned chunk) const
+    {
+        return std::uint16_t(regsBase + (r * chunks_ + chunk) * 2);
+    }
+
+    void word(std::uint16_t w) { code_.push_back(w); }
+
+    std::uint16_t
+    fmt1(Op2 op, unsigned sreg, unsigned ad, bool byte_mode,
+         unsigned as, unsigned dreg)
+    {
+        return std::uint16_t((unsigned(op) << 12) | (sreg << 8) |
+                             (ad << 7) | ((byte_mode ? 1u : 0u) << 6) |
+                             (as << 4) | dreg);
+    }
+
+    // abs -> abs (src = &saddr, dst = &daddr); SR(R2) As=01/Ad=1
+    // with a following address word selects absolute mode.
+    void
+    absAbs(Op2 op, std::uint16_t saddr, std::uint16_t daddr)
+    {
+        word(fmt1(op, 2, 1, byteMode_, 1, 2));
+        word(saddr);
+        word(daddr);
+    }
+
+    void
+    immAbs(Op2 op, std::uint16_t imm, std::uint16_t daddr)
+    {
+        word(fmt1(op, 0, 1, byteMode_, 3, 2)); // src @PC+ (imm)
+        word(imm);
+        word(daddr);
+    }
+
+    void
+    absReg(Op2 op, std::uint16_t saddr, unsigned dreg)
+    {
+        word(fmt1(op, 2, 0, false, 1, dreg));
+        word(saddr);
+    }
+
+    void
+    regReg(Op2 op, unsigned sreg, unsigned dreg)
+    {
+        word(fmt1(op, sreg, 0, false, 0, dreg));
+    }
+
+    /** MOV base+off(R12), &daddr or the reverse. */
+    void
+    indexedToAbs(std::uint16_t off, std::uint16_t daddr)
+    {
+        word(fmt1(Op2::MOV, 12, 1, byteMode_, 1, 2));
+        word(std::uint16_t(dataBase + off));
+        word(daddr);
+    }
+
+    void
+    absToIndexed(std::uint16_t saddr, std::uint16_t off)
+    {
+        word(fmt1(Op2::MOV, 2, 1, byteMode_, 1, 12));
+        word(saddr);
+        word(std::uint16_t(dataBase + off));
+    }
+
+    void
+    rrc(std::uint16_t addr)
+    {
+        // Format II: 000100 | 000 | B/W | Ad=01 (absolute via SR).
+        word(std::uint16_t(0x1000 | ((byteMode_ ? 1 : 0) << 6) |
+                           (1 << 4) | 2));
+        word(addr);
+    }
+
+    void
+    clrc()
+    {
+        // Emulated CLRC = BIC #1, SR (R3 As=01 is constant +1).
+        word(fmt1(Op2::BIC, 3, 0, false, 1, 2));
+    }
+
+    /** Short conditional jump by a word offset (local hops only). */
+    void
+    jcc(Jcc cond, int offset_words)
+    {
+        panicIf(offset_words < -512 || offset_words > 511,
+                "msp430: short jump out of range");
+        word(std::uint16_t(0x2000 | (unsigned(cond) << 10) |
+                           (unsigned(offset_words) & 0x3ff)));
+    }
+
+    /** BR #label (MOV #addr, PC), patched later. */
+    void
+    brFar(const std::string &label)
+    {
+        word(fmt1(Op2::MOV, 0, 0, false, 3, 0)); // MOV @PC+, PC
+        fixups_.emplace_back(code_.size(), label);
+        word(0);
+    }
+
+    /** Inverted-short-jump-over-BR idiom for far cond branches. */
+    void
+    condFar(Jcc inverted, const std::string &label)
+    {
+        jcc(inverted, 2); // skip the 2-word BR
+        brFar(label);
+    }
+
+    void
+    patch()
+    {
+        for (const auto &[pos, label] : fixups_) {
+            auto it = labels_.find(label);
+            fatalIf(it == labels_.end(),
+                    "msp430: undefined label " + label);
+            code_[pos] =
+                std::uint16_t(codeBase + it->second * 2);
+        }
+    }
+
+    unsigned
+    hwReg(Reg r) const
+    {
+        // R4..R11, then R13..R15 (skipping the R12 scratch).
+        return r < 8 ? 4 + r : 13 + (r - 8);
+    }
+
+    void
+    immReg(Op2 op, std::uint16_t imm, unsigned dreg)
+    {
+        word(fmt1(op, 0, 0, byteMode_, 3, dreg)); // src @PC+
+        word(imm);
+    }
+
+    /** MOV base+off(R12) <-> Rn. */
+    void
+    indexedToReg(std::uint16_t off, unsigned dreg)
+    {
+        word(fmt1(Op2::MOV, 12, 0, byteMode_, 1, dreg));
+        word(std::uint16_t(dataBase + off));
+    }
+
+    void
+    regToIndexed(unsigned sreg, std::uint16_t off)
+    {
+        word(fmt1(Op2::MOV, sreg, 1, byteMode_, 0, 12));
+        word(std::uint16_t(dataBase + off));
+    }
+
+    void
+    rrcReg(unsigned reg)
+    {
+        word(std::uint16_t(0x1000 | ((byteMode_ ? 1 : 0) << 6) |
+                           reg));
+    }
+
+    void
+    chunkOp(Op2 first, Op2 rest, Reg dst, Reg src)
+    {
+        if (regMode_) {
+            word(fmt1(first, hwReg(src), 0, byteMode_, 0,
+                      hwReg(dst)));
+            return;
+        }
+        for (unsigned c = 0; c < chunks_; ++c)
+            absAbs(c == 0 ? first : rest, slot(src, c),
+                   slot(dst, c));
+    }
+
+    void
+    lower(const IrInst &in)
+    {
+        switch (in.op) {
+          case IrOp::Li:
+            if (regMode_) {
+                immReg(Op2::MOV, std::uint16_t(in.imm),
+                       hwReg(in.dst));
+                break;
+            }
+            for (unsigned c = 0; c < chunks_; ++c)
+                immAbs(Op2::MOV,
+                       std::uint16_t(in.imm >> (16 * c)),
+                       slot(in.dst, c));
+            break;
+          case IrOp::Mov:
+            chunkOp(Op2::MOV, Op2::MOV, in.dst, in.src);
+            break;
+          case IrOp::Add:
+            chunkOp(Op2::ADD, Op2::ADDC, in.dst, in.src);
+            break;
+          case IrOp::Sub:
+            chunkOp(Op2::SUB, Op2::SUBC, in.dst, in.src);
+            break;
+          case IrOp::And:
+            chunkOp(Op2::AND, Op2::AND, in.dst, in.src);
+            break;
+          case IrOp::Or:
+            chunkOp(Op2::BIS, Op2::BIS, in.dst, in.src);
+            break;
+          case IrOp::Xor:
+            chunkOp(Op2::XOR, Op2::XOR, in.dst, in.src);
+            break;
+          case IrOp::Shl:
+            if (regMode_) {
+                // RLA Rn = ADD Rn, Rn.
+                word(fmt1(Op2::ADD, hwReg(in.dst), 0, byteMode_, 0,
+                          hwReg(in.dst)));
+                break;
+            }
+            for (unsigned c = 0; c < chunks_; ++c)
+                absAbs(c == 0 ? Op2::ADD : Op2::ADDC,
+                       slot(in.dst, c), slot(in.dst, c));
+            break;
+          case IrOp::Shr:
+            clrc();
+            if (regMode_) {
+                rrcReg(hwReg(in.dst));
+                break;
+            }
+            for (unsigned c = chunks_; c-- > 0;)
+                rrc(slot(in.dst, c));
+            break;
+          case IrOp::Ld:
+          case IrOp::St: {
+            // R12 = byte offset of the indexed word.
+            const Reg addr_reg = in.src;
+            if (regMode_)
+                regReg(Op2::MOV, hwReg(addr_reg), 12);
+            else
+                absReg(Op2::MOV, slot(addr_reg, 0), 12);
+            for (unsigned s = 1; s < bytesPerWord_; s <<= 1)
+                regReg(Op2::ADD, 12, 12); // R12 *= 2
+            if (regMode_) {
+                if (in.op == IrOp::Ld)
+                    indexedToReg(0, hwReg(in.dst));
+                else
+                    regToIndexed(hwReg(in.dst), 0);
+                break;
+            }
+            for (unsigned c = 0; c < chunks_; ++c) {
+                if (in.op == IrOp::Ld)
+                    indexedToAbs(std::uint16_t(2 * c),
+                                 slot(in.dst, c));
+                else
+                    absToIndexed(slot(in.dst, c),
+                                 std::uint16_t(2 * c));
+            }
+            break;
+          }
+          case IrOp::Label:
+            labels_[in.label] = code_.size();
+            break;
+          case IrOp::Jmp:
+            brFar(in.label);
+            break;
+          case IrOp::Beqz:
+          case IrOp::Bnez:
+            if (regMode_) {
+                // TST Rn = CMP #0, Rn (R3 As=00 is constant 0).
+                word(fmt1(Op2::CMP, 3, 0, byteMode_, 0,
+                          hwReg(in.dst)));
+            } else {
+                // OR the chunks into R12, test for zero.
+                absReg(Op2::MOV, slot(in.dst, 0), 12);
+                for (unsigned c = 1; c < chunks_; ++c)
+                    absReg(Op2::BIS, slot(in.dst, c), 12);
+                word(fmt1(Op2::CMP, 3, 0, false, 0, 12));
+            }
+            condFar(in.op == IrOp::Beqz ? Jcc::JNE : Jcc::JEQ,
+                    in.label);
+            break;
+          case IrOp::Bltu:
+          case IrOp::Bgeu: {
+            if (regMode_) {
+                word(fmt1(Op2::CMP, hwReg(in.src), 0, byteMode_, 0,
+                          hwReg(in.dst)));
+            } else {
+                // CMP high chunk; on equality fall through to the
+                // low chunk; then branch on carry.
+                if (chunks_ == 2) {
+                    absAbs(Op2::CMP, slot(in.src, 1),
+                           slot(in.dst, 1));
+                    jcc(Jcc::JNE, 3); // skip the 3-word low CMP
+                }
+                absAbs(Op2::CMP, slot(in.src, 0), slot(in.dst, 0));
+            }
+            condFar(in.op == IrOp::Bltu ? Jcc::JC : Jcc::JNC,
+                    in.label);
+            break;
+          }
+          case IrOp::Halt:
+            word(0xFFFF); // reserved: treated as HALT by our ISS
+            break;
+        }
+    }
+
+    const IrProgram &prog_;
+    bool byteMode_;
+    unsigned chunks_;
+    unsigned bytesPerWord_;
+    bool regMode_;
+    std::vector<std::uint16_t> code_;
+    std::map<std::string, std::size_t> labels_;
+    std::vector<std::pair<std::size_t, std::string>> fixups_;
+};
+
+/** MSP430 core state + interpreter for the emitted subset. */
+class Machine
+{
+  public:
+    explicit Machine(const std::vector<std::uint16_t> &code)
+        : mem_(0x10000, 0)
+    {
+        for (std::size_t i = 0; i < code.size(); ++i)
+            write16(std::uint16_t(codeBase + 2 * i), code[i]);
+        regs_[0] = codeBase; // PC
+    }
+
+    std::uint8_t &byteAt(std::uint16_t a) { return mem_[a]; }
+
+    std::uint16_t
+    read16(std::uint16_t a) const
+    {
+        return std::uint16_t(mem_[a] | (mem_[a + 1] << 8));
+    }
+
+    void
+    write16(std::uint16_t a, std::uint16_t v)
+    {
+        mem_[a] = std::uint8_t(v & 0xff);
+        mem_[a + 1] = std::uint8_t(v >> 8);
+    }
+
+    void
+    run(std::uint64_t max_steps, std::uint64_t &instructions,
+        std::uint64_t &cycles)
+    {
+        instructions = 0;
+        cycles = 0;
+        while (!halted_) {
+            fatalIf(instructions >= max_steps,
+                    "msp430: step budget exhausted");
+            step(cycles);
+            ++instructions;
+        }
+    }
+
+  private:
+    // SR flag bits.
+    static constexpr std::uint16_t flagC = 1 << 0;
+    static constexpr std::uint16_t flagZ = 1 << 1;
+    static constexpr std::uint16_t flagN = 1 << 2;
+    static constexpr std::uint16_t flagV = 1 << 8;
+
+    bool carry() const { return regs_[2] & flagC; }
+
+    void
+    setFlag(std::uint16_t bit, bool v)
+    {
+        if (v)
+            regs_[2] |= bit;
+        else
+            regs_[2] &= std::uint16_t(~bit);
+    }
+
+    std::uint16_t
+    fetch()
+    {
+        const std::uint16_t w = read16(regs_[0]);
+        regs_[0] = std::uint16_t(regs_[0] + 2);
+        return w;
+    }
+
+    void
+    step(std::uint64_t &cycles)
+    {
+        const std::uint16_t iw = fetch();
+        if (iw == 0xFFFF) {
+            halted_ = true;
+            ++cycles;
+            return;
+        }
+
+        const unsigned top = iw >> 13;
+        if (top == 1) { // 001x: jumps
+            const auto cond = Jcc((iw >> 10) & 7);
+            const int off = int(signExtend(iw & 0x3ff, 10));
+            bool take = false;
+            switch (cond) {
+              case Jcc::JNE: take = !(regs_[2] & flagZ); break;
+              case Jcc::JEQ: take = regs_[2] & flagZ; break;
+              case Jcc::JNC: take = !(regs_[2] & flagC); break;
+              case Jcc::JC: take = regs_[2] & flagC; break;
+              case Jcc::JMP: take = true; break;
+              default:
+                panic("msp430: unimplemented jump condition");
+            }
+            if (take)
+                regs_[0] = std::uint16_t(regs_[0] + 2 * off);
+            cycles += 2;
+            return;
+        }
+
+        if ((iw >> 10) == 0b000100) { // format II: RRC/RRA family
+            const unsigned opc = (iw >> 7) & 7;
+            const bool byte_mode = (iw >> 6) & 1;
+            const unsigned ad = (iw >> 4) & 3;
+            const unsigned reg = iw & 0xf;
+            fatalIf(opc != 0, "msp430: only RRC emitted");
+            if (ad == 0) { // register
+                rrcValue(regs_[reg], byte_mode, &regs_[reg]);
+                cycles += 1;
+            } else { // absolute (reg == SR)
+                panicIf(reg != 2, "msp430: RRC mode");
+                const std::uint16_t addr = fetch();
+                std::uint16_t v = byte_mode ? mem_[addr]
+                                            : read16(addr);
+                rrcValue(v, byte_mode, nullptr);
+                if (byte_mode)
+                    mem_[addr] = std::uint8_t(v_);
+                else
+                    write16(addr, v_);
+                cycles += 4;
+            }
+            return;
+        }
+
+        // Format I.
+        const auto op = Op2(iw >> 12);
+        const unsigned sreg = (iw >> 8) & 0xf;
+        const unsigned ad = (iw >> 7) & 1;
+        const bool byte_mode = (iw >> 6) & 1;
+        const unsigned as = (iw >> 4) & 3;
+        const unsigned dreg = iw & 0xf;
+
+        // Source operand.
+        std::uint16_t src = 0;
+        unsigned src_cycles = 0;
+        if (sreg == 3) { // constant generator R3
+            switch (as) {
+              case 0: src = 0; break;
+              case 1: src = 1; break;
+              case 2: src = 2; break;
+              case 3: src = 0xffff; break;
+            }
+        } else if (as == 0) {
+            src = regs_[sreg];
+        } else if (as == 1 && sreg == 2) { // absolute
+            const std::uint16_t a = fetch();
+            src = byte_mode ? mem_[a] : read16(a);
+            src_cycles = 3;
+        } else if (as == 1) { // indexed
+            const std::uint16_t a =
+                std::uint16_t(fetch() + regs_[sreg]);
+            src = byte_mode ? mem_[a] : read16(a);
+            src_cycles = 3;
+        } else if (as == 3 && sreg == 0) { // immediate @PC+
+            src = fetch();
+            src_cycles = 2;
+        } else {
+            panic("msp430: unimplemented source mode");
+        }
+
+        // Destination operand.
+        std::uint16_t daddr = 0;
+        bool dst_mem = false;
+        std::uint16_t dst = 0;
+        unsigned dst_cycles = 0;
+        if (ad == 0) {
+            dst = regs_[dreg];
+        } else {
+            dst_mem = true;
+            if (dreg == 2) { // absolute
+                daddr = fetch();
+            } else { // indexed
+                daddr = std::uint16_t(fetch() + regs_[dreg]);
+            }
+            dst = byte_mode ? mem_[daddr] : read16(daddr);
+            dst_cycles = 3;
+        }
+
+        const std::uint16_t mask = byte_mode ? 0xff : 0xffff;
+        const std::uint16_t msb = byte_mode ? 0x80 : 0x8000;
+        std::uint16_t result = 0;
+        bool write_back = true;
+        switch (op) {
+          case Op2::MOV:
+            result = src;
+            break;
+          case Op2::ADD:
+          case Op2::ADDC: {
+            const unsigned cin =
+                (op == Op2::ADDC && carry()) ? 1 : 0;
+            const unsigned full =
+                (dst & mask) + (src & mask) + cin;
+            result = std::uint16_t(full & mask);
+            setFlag(flagC, full > mask);
+            setFlag(flagZ, result == 0);
+            setFlag(flagN, result & msb);
+            setFlag(flagV, ((dst ^ result) & (src ^ result) & msb));
+            break;
+          }
+          case Op2::SUB:
+          case Op2::SUBC:
+          case Op2::CMP: {
+            const unsigned cin =
+                op == Op2::SUBC ? (carry() ? 1 : 0) : 1;
+            const unsigned full =
+                (dst & mask) + ((~src) & mask) + cin;
+            result = std::uint16_t(full & mask);
+            setFlag(flagC, full > mask);
+            setFlag(flagZ, result == 0);
+            setFlag(flagN, result & msb);
+            setFlag(flagV,
+                    ((dst ^ src) & (dst ^ result) & msb));
+            write_back = op != Op2::CMP;
+            break;
+          }
+          case Op2::AND:
+            result = dst & src & mask;
+            setFlag(flagZ, result == 0);
+            setFlag(flagN, result & msb);
+            setFlag(flagC, result != 0);
+            setFlag(flagV, false);
+            break;
+          case Op2::XOR:
+            result = (dst ^ src) & mask;
+            setFlag(flagZ, result == 0);
+            setFlag(flagN, result & msb);
+            setFlag(flagC, result != 0);
+            setFlag(flagV, false);
+            break;
+          case Op2::BIS:
+            result = (dst | src) & mask;
+            break;
+          case Op2::BIC:
+            result = dst & std::uint16_t(~src) & mask;
+            break;
+          default:
+            panic("msp430: unimplemented format-I opcode");
+        }
+
+        if (write_back) {
+            if (dst_mem) {
+                if (byte_mode)
+                    mem_[daddr] = std::uint8_t(result);
+                else
+                    write16(daddr, result);
+            } else {
+                regs_[dreg] =
+                    byte_mode ? std::uint16_t(result & 0xff)
+                              : result;
+            }
+        }
+
+        cycles += 1 + src_cycles + dst_cycles;
+    }
+
+    void
+    rrcValue(std::uint16_t v, bool byte_mode, std::uint16_t *reg_out)
+    {
+        const std::uint16_t msb_in =
+            carry() ? (byte_mode ? 0x80 : 0x8000) : 0;
+        setFlag(flagC, v & 1);
+        v_ = std::uint16_t(((v >> 1) |
+                            msb_in) & (byte_mode ? 0xff : 0xffff));
+        setFlag(flagZ, v_ == 0);
+        setFlag(flagN, v_ & (byte_mode ? 0x80 : 0x8000));
+        if (reg_out)
+            *reg_out = v_;
+    }
+
+    std::vector<std::uint8_t> mem_;
+    std::array<std::uint16_t, 16> regs_{};
+    std::uint16_t v_ = 0;
+    bool halted_ = false;
+};
+
+unsigned
+bytesPerLogicalWord(const IrProgram &prog)
+{
+    return prog.width <= 8 ? 1 : prog.width / 8;
+}
+
+} // anonymous namespace
+
+LegacySize
+sizeMsp430(const IrProgram &prog)
+{
+    Compiler c(prog);
+    LegacySize sz;
+    sz.codeBytes = c.take().size() * 2;
+    sz.dataBytes = prog.dataWords * bytesPerLogicalWord(prog);
+    return sz;
+}
+
+LegacyRun
+runMsp430(const IrProgram &prog,
+          const std::vector<std::uint64_t> &inputs)
+{
+    Compiler c(prog);
+    auto code = c.take();
+
+    LegacyRun result;
+    result.codeBytes = code.size() * 2;
+    result.dataBytes = prog.dataWords * bytesPerLogicalWord(prog);
+
+    Machine m(code);
+    const unsigned bpw = bytesPerLogicalWord(prog);
+    fatalIf(inputs.size() != prog.inputAddrs.size(),
+            "runMsp430: input count mismatch");
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        for (unsigned k = 0; k < bpw; ++k)
+            m.byteAt(std::uint16_t(dataBase +
+                                   prog.inputAddrs[i] * bpw + k)) =
+                std::uint8_t(inputs[i] >> (8 * k));
+
+    m.run(50'000'000, result.instructions, result.cycles);
+
+    for (unsigned addr : prog.outputAddrs) {
+        std::uint64_t v = 0;
+        for (unsigned k = 0; k < bpw; ++k)
+            v |= std::uint64_t(m.byteAt(std::uint16_t(
+                     dataBase + addr * bpw + k)))
+                 << (8 * k);
+        result.outputs.push_back(v & maskBits(prog.width));
+    }
+    return result;
+}
+
+} // namespace printed::legacy

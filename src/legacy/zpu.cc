@@ -1,0 +1,424 @@
+#include "zpu.hh"
+
+#include <map>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace printed::legacy
+{
+
+namespace
+{
+
+// One-byte opcodes (ZPU encoding space).
+enum Op : std::uint8_t
+{
+    BREAK = 0x00,
+    POPPC = 0x04,
+    ADD = 0x05,
+    AND = 0x06,
+    OR = 0x07,
+    LOAD = 0x08,
+    NOT = 0x09,
+    FLIP = 0x0A,
+    NOP = 0x0B,
+    STORE = 0x0C,
+    // EMULATE space (0x20..0x3F): taxed with zpuEmulatePenalty.
+    ULESSTHAN = 0x25,
+    LSHIFTRIGHT = 0x2A,
+    EQ = 0x2E,
+    SUB = 0x32,
+    XOR = 0x33,
+    NEQBRANCH = 0x38,
+    // LOADSP 0 (dup).
+    LOADSP0 = 0x60,
+    // IM: 0x80 | 7-bit payload.
+};
+
+bool
+isEmulate(std::uint8_t op)
+{
+    return op >= 0x20 && op < 0x40;
+}
+
+// Memory map (byte addresses, word-aligned): virtual registers at
+// 0, data array at 0x80, stack grows down from the top.
+constexpr std::uint32_t dataBase = 0x80;
+constexpr std::uint32_t ramBytes = 0x1000;
+
+class Compiler
+{
+  public:
+    explicit Compiler(const IrProgram &prog) : prog_(prog)
+    {
+        fatalIf(prog.regCount * 4 > dataBase,
+                "zpu: too many virtual registers");
+        for (const IrInst &in : prog_.code)
+            lower(in);
+        patch();
+    }
+
+    std::vector<std::uint8_t> take() { return std::move(code_); }
+
+  private:
+    std::uint32_t slot(Reg r) const { return r * 4; }
+
+    void byte(std::uint8_t b) { code_.push_back(b); }
+
+    /** Shortest IM chain for a value. */
+    void
+    im(std::uint32_t value)
+    {
+        // Collect 7-bit groups, most significant first.
+        std::vector<std::uint8_t> groups;
+        std::int64_t v = std::int64_t(std::int32_t(value));
+        while (true) {
+            groups.insert(groups.begin(),
+                          std::uint8_t(v & 0x7f));
+            v >>= 7;
+            // Sign-extension of the first IM reproduces the rest.
+            const std::int64_t sign =
+                (groups.front() & 0x40) ? -1 : 0;
+            if (v == sign)
+                break;
+        }
+        for (std::uint8_t g : groups)
+            byte(std::uint8_t(0x80 | g));
+    }
+
+    /** Fixed-width 3-byte IM chain, backpatched with a label. */
+    void
+    imLabel(const std::string &label)
+    {
+        fixups_.emplace_back(code_.size(), label);
+        byte(0x80);
+        byte(0x80);
+        byte(0x80);
+    }
+
+    void
+    patch()
+    {
+        for (const auto &[pos, label] : fixups_) {
+            auto it = labels_.find(label);
+            fatalIf(it == labels_.end(),
+                    "zpu: undefined label " + label);
+            const std::uint32_t t = std::uint32_t(it->second);
+            fatalIf(t >= (1u << 21), "zpu: target out of IM range");
+            code_[pos] = std::uint8_t(0x80 | ((t >> 14) & 0x7f));
+            code_[pos + 1] = std::uint8_t(0x80 | ((t >> 7) & 0x7f));
+            code_[pos + 2] = std::uint8_t(0x80 | (t & 0x7f));
+        }
+    }
+
+    void
+    pushReg(Reg r)
+    {
+        im(slot(r));
+        byte(LOAD);
+    }
+
+    void
+    popToReg(Reg r)
+    {
+        im(slot(r));
+        byte(STORE);
+    }
+
+    /** Mask the top of stack to the IR width (no-op for 32-bit). */
+    void
+    maskTop()
+    {
+        if (prog_.width == 32)
+            return;
+        im(std::uint32_t(maskBits(prog_.width)));
+        byte(AND);
+    }
+
+    void
+    binop(std::uint8_t op, Reg dst, Reg src, bool needs_mask)
+    {
+        pushReg(dst);
+        pushReg(src);
+        byte(op);
+        if (needs_mask)
+            maskTop();
+        popToReg(dst);
+    }
+
+    void
+    lower(const IrInst &in)
+    {
+        switch (in.op) {
+          case IrOp::Li:
+            im(std::uint32_t(in.imm));
+            byte(NOP); // break the IM chain before the slot address
+            popToReg(in.dst);
+            break;
+          case IrOp::Mov:
+            pushReg(in.src);
+            popToReg(in.dst);
+            break;
+          case IrOp::Add: binop(ADD, in.dst, in.src, true); break;
+          case IrOp::Sub: binop(SUB, in.dst, in.src, true); break;
+          case IrOp::And: binop(AND, in.dst, in.src, false); break;
+          case IrOp::Or: binop(OR, in.dst, in.src, false); break;
+          case IrOp::Xor: binop(XOR, in.dst, in.src, false); break;
+          case IrOp::Shl:
+            pushReg(in.dst);
+            byte(LOADSP0); // dup
+            byte(ADD);
+            maskTop();
+            popToReg(in.dst);
+            break;
+          case IrOp::Shr:
+            pushReg(in.dst);
+            im(1);
+            byte(LSHIFTRIGHT);
+            popToReg(in.dst);
+            break;
+          case IrOp::Ld:
+          case IrOp::St: {
+            if (in.op == IrOp::St)
+                pushReg(in.dst); // value under the address
+            // byte address = dataBase + idx * 4
+            pushReg(in.src);
+            byte(LOADSP0);
+            byte(ADD);
+            byte(LOADSP0);
+            byte(ADD);
+            im(dataBase);
+            byte(ADD);
+            if (in.op == IrOp::Ld) {
+                byte(LOAD);
+                popToReg(in.dst);
+            } else {
+                byte(STORE);
+            }
+            break;
+          }
+          case IrOp::Label:
+            labels_[in.label] = code_.size();
+            break;
+          case IrOp::Jmp:
+            imLabel(in.label);
+            byte(POPPC);
+            break;
+          case IrOp::Beqz:
+            pushReg(in.dst);
+            im(0);
+            byte(EQ);
+            imLabel(in.label);
+            byte(NEQBRANCH);
+            break;
+          case IrOp::Bnez:
+            pushReg(in.dst);
+            imLabel(in.label);
+            byte(NEQBRANCH);
+            break;
+          case IrOp::Bltu:
+            pushReg(in.dst);
+            pushReg(in.src);
+            byte(ULESSTHAN);
+            imLabel(in.label);
+            byte(NEQBRANCH);
+            break;
+          case IrOp::Bgeu:
+            pushReg(in.dst);
+            pushReg(in.src);
+            byte(ULESSTHAN);
+            im(0);
+            byte(EQ);
+            imLabel(in.label);
+            byte(NEQBRANCH);
+            break;
+          case IrOp::Halt:
+            byte(BREAK);
+            break;
+        }
+    }
+
+    const IrProgram &prog_;
+    std::vector<std::uint8_t> code_;
+    std::map<std::string, std::size_t> labels_;
+    std::vector<std::pair<std::size_t, std::string>> fixups_;
+};
+
+class Machine
+{
+  public:
+    explicit Machine(std::vector<std::uint8_t> code)
+        : code_(std::move(code)), ram_(ramBytes / 4, 0),
+          sp_(ramBytes)
+    {}
+
+    std::uint32_t
+    ramWord(std::uint32_t byte_addr) const
+    {
+        panicIf(byte_addr % 4 || byte_addr / 4 >= ram_.size(),
+                "zpu: bad word address");
+        return ram_[byte_addr / 4];
+    }
+
+    void
+    setRamWord(std::uint32_t byte_addr, std::uint32_t v)
+    {
+        panicIf(byte_addr % 4 || byte_addr / 4 >= ram_.size(),
+                "zpu: bad word address");
+        ram_[byte_addr / 4] = v;
+    }
+
+    void
+    run(std::uint64_t max_steps, std::uint64_t &instructions,
+        std::uint64_t &cycles)
+    {
+        instructions = 0;
+        cycles = 0;
+        bool idim = false;
+        while (!halted_) {
+            fatalIf(instructions >= max_steps,
+                    "zpu: step budget exhausted");
+            fatalIf(pc_ >= code_.size(), "zpu: PC out of code");
+            const std::uint8_t op = code_[pc_++];
+            ++instructions;
+            cycles += zpuBaseCpi;
+            if (isEmulate(op))
+                cycles += zpuEmulatePenalty;
+
+            if (op & 0x80) { // IM
+                const std::uint32_t payload = op & 0x7f;
+                if (idim) {
+                    push((pop() << 7) | payload);
+                } else {
+                    push(std::uint32_t(signExtend(payload, 7)));
+                }
+                idim = true;
+                continue;
+            }
+            idim = false;
+
+            switch (op) {
+              case BREAK: halted_ = true; break;
+              case NOP: break;
+              case POPPC: pc_ = pop(); break;
+              case ADD: { const auto b = pop(); push(pop() + b);
+                break; }
+              case SUB: { const auto b = pop(); push(pop() - b);
+                break; }
+              case AND: { const auto b = pop(); push(pop() & b);
+                break; }
+              case OR: { const auto b = pop(); push(pop() | b);
+                break; }
+              case XOR: { const auto b = pop(); push(pop() ^ b);
+                break; }
+              case NOT: push(~pop()); break;
+              case FLIP: {
+                std::uint32_t v = pop(), r = 0;
+                for (int i = 0; i < 32; ++i)
+                    r |= ((v >> i) & 1) << (31 - i);
+                push(r);
+                break;
+              }
+              case LOAD: push(ramWord(pop())); break;
+              case STORE: {
+                const auto addr = pop();
+                setRamWord(addr, pop());
+                break;
+              }
+              case ULESSTHAN: {
+                const auto b = pop();
+                const auto a = pop();
+                push(a < b ? 1 : 0);
+                break;
+              }
+              case EQ: {
+                const auto b = pop();
+                push(pop() == b ? 1 : 0);
+                break;
+              }
+              case LSHIFTRIGHT: {
+                const auto amount = pop() & 31;
+                push(pop() >> amount);
+                break;
+              }
+              case NEQBRANCH: {
+                const auto target = pop();
+                const auto cond = pop();
+                if (cond != 0)
+                    pc_ = target;
+                break;
+              }
+              case LOADSP0:
+                push(ramWord(sp_));
+                break;
+              default:
+                panic("zpu: unimplemented opcode " +
+                      std::to_string(op));
+            }
+        }
+    }
+
+  private:
+    void
+    push(std::uint32_t v)
+    {
+        sp_ -= 4;
+        setRamWord(sp_, v);
+    }
+
+    std::uint32_t
+    pop()
+    {
+        const std::uint32_t v = ramWord(sp_);
+        sp_ += 4;
+        return v;
+    }
+
+    std::vector<std::uint8_t> code_;
+    std::vector<std::uint32_t> ram_;
+    std::uint32_t sp_;
+    std::uint32_t pc_ = 0;
+    bool halted_ = false;
+};
+
+} // anonymous namespace
+
+LegacySize
+sizeZpu(const IrProgram &prog)
+{
+    Compiler c(prog);
+    LegacySize sz;
+    sz.codeBytes = c.take().size();
+    // ZPU stores every logical word in a 32-bit RAM word.
+    sz.dataBytes = prog.dataWords * 4;
+    return sz;
+}
+
+LegacyRun
+runZpu(const IrProgram &prog,
+       const std::vector<std::uint64_t> &inputs)
+{
+    Compiler c(prog);
+    auto code = c.take();
+
+    LegacyRun result;
+    result.codeBytes = code.size();
+    result.dataBytes = prog.dataWords * 4;
+
+    Machine m(std::move(code));
+    fatalIf(inputs.size() != prog.inputAddrs.size(),
+            "runZpu: input count mismatch");
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        m.setRamWord(dataBase + prog.inputAddrs[i] * 4,
+                     std::uint32_t(inputs[i]));
+
+    m.run(100'000'000, result.instructions, result.cycles);
+
+    for (unsigned addr : prog.outputAddrs)
+        result.outputs.push_back(m.ramWord(dataBase + addr * 4) &
+                                 maskBits(prog.width));
+    return result;
+}
+
+} // namespace printed::legacy

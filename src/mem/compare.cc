@@ -1,0 +1,34 @@
+#include "compare.hh"
+
+#include "mem/ram.hh"
+#include "mem/rom.hh"
+
+namespace printed
+{
+
+RomVsRam
+romVsRamPerDevice(TechKind tech)
+{
+    const MemoryDeviceSpec ram = memoryDevice(MemDevice::Ram1b, tech);
+    const MemoryDeviceSpec rom = memoryDevice(MemDevice::Rom1b, tech);
+    RomVsRam r;
+    r.powerGain = ram.activePower_uW / rom.activePower_uW;
+    r.areaGain = ram.area_mm2 / rom.area_mm2;
+    r.delayGain = ram.delay_ms / rom.delay_ms;
+    return r;
+}
+
+RomVsRam
+romVsRamForMemory(std::size_t words, unsigned word_bits, TechKind tech)
+{
+    const SramRam ram(words, word_bits, tech);
+    const CrosspointRom rom(words, word_bits, 1, tech);
+    RomVsRam r;
+    r.powerGain = (ram.activePower_uW() + ram.staticPower_uW()) /
+                  (rom.activePower_uW() + rom.staticPower_uW());
+    r.areaGain = ram.areaMm2() / rom.areaMm2();
+    r.delayGain = ram.accessDelayMs() / rom.readDelayMs();
+    return r;
+}
+
+} // namespace printed

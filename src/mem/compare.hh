@@ -1,0 +1,44 @@
+/**
+ * @file
+ * ROM-vs-RAM instruction memory comparison: the abstract's headline
+ * "crosspoint-based instruction ROM outperforms a RAM-based design
+ * by 5.77x, 16.8x, and 2.42x in power, area, and delay" follows
+ * directly from the Table 6 per-device data; this module computes
+ * it (and the same comparison at any memory geometry).
+ */
+
+#ifndef PRINTED_MEM_COMPARE_HH
+#define PRINTED_MEM_COMPARE_HH
+
+#include <cstddef>
+
+#include "tech/technology.hh"
+
+namespace printed
+{
+
+/** Improvement factors of the crosspoint ROM over a RAM design. */
+struct RomVsRam
+{
+    double powerGain = 0; ///< RAM active power / ROM active power
+    double areaGain = 0;  ///< RAM cell area / ROM dot area
+    double delayGain = 0; ///< RAM delay / ROM delay
+};
+
+/**
+ * Per-device comparison (the paper's headline numbers):
+ * 16/2.77 = 5.77x power, 0.84/0.05 = 16.8x area,
+ * 2.5/1.03 = 2.42x delay.
+ */
+RomVsRam romVsRamPerDevice(TechKind tech = TechKind::EGFET);
+
+/**
+ * Whole-memory comparison for a concrete instruction memory
+ * (includes ROM periphery and the RAM's full-array accounting).
+ */
+RomVsRam romVsRamForMemory(std::size_t words, unsigned word_bits,
+                           TechKind tech = TechKind::EGFET);
+
+} // namespace printed
+
+#endif // PRINTED_MEM_COMPARE_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Printed memory device characterization (paper Table 6) and the
+ * technology-scaling rules used to derive CNT-TFT equivalents.
+ *
+ * The EGFET values are the paper's measurements of inkjet-printed
+ * devices. CNT-TFT instruction ROMs use a diode-connected
+ * transistor per HIGH crosspoint (Section 6); the paper reports
+ * their access latency (302 us) but no full table, so the other
+ * CNT memory parameters are scaled from the EGFET entries by the
+ * corresponding standard-cell ratios (documented per accessor).
+ */
+
+#ifndef PRINTED_MEM_DEVICES_HH
+#define PRINTED_MEM_DEVICES_HH
+
+#include <string>
+#include <vector>
+
+#include "tech/technology.hh"
+
+namespace printed
+{
+
+/** One row of Table 6. */
+struct MemoryDeviceSpec
+{
+    std::string name;        ///< e.g. "1-bit RAM", "2-bit ROM"
+    double area_mm2 = 0;     ///< per cell (RAM bit / ROM dot / ADC)
+    double activePower_uW = 0;
+    double staticPower_uW = 0;
+    double delay_ms = 0;
+};
+
+/** Kinds of printed memory devices. */
+enum class MemDevice
+{
+    Ram1b,  ///< 1-bit SRAM cell
+    Rom1b,  ///< crosspoint dot, 1 bit
+    Rom2b,  ///< crosspoint dot, 2 bits (MLC)
+    Rom4b,  ///< crosspoint dot, 4 bits (MLC)
+    Adc2b,  ///< 2-bit sense ADC
+    Adc4b,  ///< 4-bit sense ADC
+};
+
+/** Table 6 (EGFET, VDD = 1 V). */
+const MemoryDeviceSpec &egfetMemoryDevice(MemDevice dev);
+
+/** All Table 6 rows in paper order. */
+const std::vector<MemoryDeviceSpec> &egfetMemoryDevices();
+
+/**
+ * Device spec in a given technology. EGFET returns Table 6
+ * directly; CNT-TFT scales area and power by the INVX1 cell ratios
+ * and uses the paper's reported 302 us CNT ROM latency (RAM delay
+ * scaled by the DFF delay ratio).
+ */
+MemoryDeviceSpec memoryDevice(MemDevice dev, TechKind tech);
+
+/** ROM dot device for a bits-per-cell setting (1, 2, or 4). */
+MemDevice romDeviceFor(unsigned bits_per_cell);
+
+/** ADC device matching a bits-per-cell setting (2 or 4). */
+MemDevice adcDeviceFor(unsigned bits_per_cell);
+
+} // namespace printed
+
+#endif // PRINTED_MEM_DEVICES_HH

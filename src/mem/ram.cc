@@ -1,0 +1,54 @@
+#include "ram.hh"
+
+#include "common/logging.hh"
+
+namespace printed
+{
+
+SramRam::SramRam(std::size_t words, unsigned word_bits, TechKind tech)
+    : words_(words), wordBits_(word_bits), tech_(tech),
+      cell_(memoryDevice(MemDevice::Ram1b, tech))
+{
+    fatalIf(words == 0, "SramRam: need at least one word");
+    fatalIf(word_bits == 0 || word_bits > 64,
+            "SramRam: word bits in 1..64");
+}
+
+double
+SramRam::areaMm2() const
+{
+    return double(bits()) * cell_.area_mm2;
+}
+
+double
+SramRam::accessDelayMs() const
+{
+    return cell_.delay_ms;
+}
+
+double
+SramRam::activePower_uW() const
+{
+    return double(wordBits_) * cell_.activePower_uW;
+}
+
+double
+SramRam::staticPower_uW() const
+{
+    return double(bits()) * cell_.staticPower_uW;
+}
+
+double
+SramRam::accessEnergyNj() const
+{
+    return activePower_uW() * accessDelayMs();
+}
+
+double
+SramRam::table5Power_mW() const
+{
+    return double(bits()) *
+           (cell_.activePower_uW + cell_.staticPower_uW) * 1e-3;
+}
+
+} // namespace printed

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Printed SRAM model (data memory, and the RAM-based instruction
+ * memory baseline of Table 5).
+ *
+ * Built from the Table 6 1-bit SRAM cell. Two power accountings are
+ * provided:
+ *
+ *   - table5Power(): every bit active, power = bits * (16 + 3.23)
+ *     uW. This is the accounting the paper's Table 5 uses (e.g.
+ *     openMSP430 mult: 512 bits -> 4.3 cm^2, 9.8 mW).
+ *   - access-based: one word's bits conduct during an access
+ *     (activePower), the rest contribute static power only. Used
+ *     for the application-level energy evaluation (Figure 8).
+ */
+
+#ifndef PRINTED_MEM_RAM_HH
+#define PRINTED_MEM_RAM_HH
+
+#include <cstddef>
+
+#include "mem/devices.hh"
+#include "tech/technology.hh"
+
+namespace printed
+{
+
+/** Parametric printed SRAM instance. */
+class SramRam
+{
+  public:
+    /**
+     * @param words number of words
+     * @param word_bits bits per word
+     * @param tech EGFET or CNT-TFT
+     */
+    SramRam(std::size_t words, unsigned word_bits,
+            TechKind tech = TechKind::EGFET);
+
+    std::size_t words() const { return words_; }
+    unsigned wordBits() const { return wordBits_; }
+    std::size_t bits() const { return words_ * wordBits_; }
+    TechKind tech() const { return tech_; }
+
+    /** Total area [mm^2] = bits x cell area. */
+    double areaMm2() const;
+
+    /** Access latency for one word [ms]. */
+    double accessDelayMs() const;
+
+    /** Power of one word's bits during an access [uW]. */
+    double activePower_uW() const;
+
+    /** Standby power of the whole array [uW]. */
+    double staticPower_uW() const;
+
+    /** Energy of one word access [nJ]. */
+    double accessEnergyNj() const;
+
+    /**
+     * The paper's Table 5 accounting: all bits charged at active +
+     * static power [mW].
+     */
+    double table5Power_mW() const;
+
+  private:
+    std::size_t words_;
+    unsigned wordBits_;
+    TechKind tech_;
+    MemoryDeviceSpec cell_;
+};
+
+} // namespace printed
+
+#endif // PRINTED_MEM_RAM_HH

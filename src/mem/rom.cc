@@ -1,0 +1,141 @@
+#include "rom.hh"
+
+#include <cmath>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace printed
+{
+
+namespace
+{
+
+/**
+ * Footprint of one peripheral device (access transistor, decoder
+ * transistor, or pull-up resistor) [mm^2], EGFET. Calibrated so the
+ * paper's 16x9 reference point lands at 20.42 mm^2 (144 dots at
+ * 0.05 plus ~268 peripheral devices at this pitch).
+ */
+constexpr double egfetPeripheralArea_mm2 = 0.05;
+
+/**
+ * Row count cap: the fabricated design uses a 4-to-16 row decoder
+ * (Figure 9); wider memories extend in columns.
+ */
+constexpr std::size_t maxRows = 16;
+
+} // anonymous namespace
+
+CrosspointRom::CrosspointRom(std::size_t words, unsigned word_bits,
+                             unsigned bits_per_cell, TechKind tech)
+    : words_(words), wordBits_(word_bits), bitsPerCell_(bits_per_cell),
+      tech_(tech), cell_(memoryDevice(romDeviceFor(bits_per_cell),
+                                      tech))
+{
+    fatalIf(words == 0 || words > 256,
+            "CrosspointRom: 1..256 words");
+    fatalIf(word_bits == 0 || word_bits > 64,
+            "CrosspointRom: word bits in 1..64");
+    if (bits_per_cell > 1)
+        adc_ = memoryDevice(adcDeviceFor(bits_per_cell), tech);
+}
+
+std::size_t
+CrosspointRom::rows() const
+{
+    return std::min(words_, maxRows);
+}
+
+std::size_t
+CrosspointRom::columns() const
+{
+    return (words_ + rows() - 1) / rows();
+}
+
+std::size_t
+CrosspointRom::subBlocks() const
+{
+    return (wordBits_ + bitsPerCell_ - 1) / bitsPerCell_;
+}
+
+std::size_t
+CrosspointRom::cells() const
+{
+    return subBlocks() * words_;
+}
+
+std::size_t
+CrosspointRom::transistors() const
+{
+    const std::size_t r = rows();
+    const std::size_t c = columns();
+    const std::size_t s = subBlocks();
+    return r * ceilLog2(r) + c * ceilLog2(c) + s * (r + c);
+}
+
+std::size_t
+CrosspointRom::pullUps() const
+{
+    return 2 * rows() + columns() + 2 * subBlocks();
+}
+
+double
+CrosspointRom::areaMm2() const
+{
+    // Dots + periphery (decoders, access transistors, pull-ups) +
+    // one sense ADC per sub-block for multi-level cells.
+    const double peripheral_pitch =
+        egfetPeripheralArea_mm2 *
+        (tech_ == TechKind::EGFET
+             ? 1.0
+             : memoryDevice(MemDevice::Rom1b, tech_).area_mm2 /
+                   egfetMemoryDevice(MemDevice::Rom1b).area_mm2);
+    double area = double(cells()) * cell_.area_mm2 +
+                  double(transistors() + pullUps()) * peripheral_pitch;
+    if (bitsPerCell_ > 1)
+        area += double(subBlocks()) * adc_.area_mm2;
+    return area;
+}
+
+double
+CrosspointRom::readDelayMs() const
+{
+    return cell_.delay_ms;
+}
+
+double
+CrosspointRom::activePower_uW() const
+{
+    // Only the addressed crosspoint of each sub-block conducts
+    // through the shared sensing resistor during a read; MLC adds
+    // the per-sub-block ADC.
+    double p = double(subBlocks()) * cell_.activePower_uW;
+    if (bitsPerCell_ > 1)
+        p += double(subBlocks()) * adc_.activePower_uW;
+    return p;
+}
+
+double
+CrosspointRom::staticPower_uW() const
+{
+    double p = double(cells()) * cell_.staticPower_uW;
+    if (bitsPerCell_ > 1)
+        p += double(subBlocks()) * adc_.staticPower_uW;
+    return p;
+}
+
+double
+CrosspointRom::readEnergyNj() const
+{
+    // uW * ms = nJ.
+    return activePower_uW() * readDelayMs();
+}
+
+WormMemorySpec
+wormReference()
+{
+    return WormMemorySpec{};
+}
+
+} // namespace printed

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Crosspoint instruction-ROM model (paper Section 6, Figure 9).
+ *
+ * Geometry: the memory is split into one sub-block per output digit
+ * (a word of W bits at m bits per cell needs S = ceil(W/m)
+ * sub-blocks). Each sub-block is an R x C crosspoint array holding
+ * one cell of every word (R*C >= N words); a shorted crosspoint
+ * (printed PEDOT:PSS dot) reads HIGH through the shared sensing
+ * resistor, an open one reads LOW. Row and column decoders are
+ * shared among all sub-blocks; access devices are one transistor
+ * per row and one per column in each sub-block.
+ *
+ * Transistor / pull-up accounting (validated against the paper's
+ * 16x9 example: 220 transistors + 52 pull-up resistors, 20.42 mm^2,
+ * roughly 1/3 the area of the WORM memory of Myny et al. [79]):
+ *
+ *   transistors = R*ceil(log2 R) + C*ceil(log2 C)   (decoders)
+ *               + S * (R + C)                       (access devices)
+ *   pull-ups    = 2R + C + 2S    (decoder loads + drivers, sense
+ *                                 resistor + output stage per block)
+ */
+
+#ifndef PRINTED_MEM_ROM_HH
+#define PRINTED_MEM_ROM_HH
+
+#include <cstddef>
+
+#include "mem/devices.hh"
+#include "tech/technology.hh"
+
+namespace printed
+{
+
+/** Parametric crosspoint ROM instance. */
+class CrosspointRom
+{
+  public:
+    /**
+     * @param words number of stored words (N)
+     * @param word_bits bits per word (W; 24 for standard TP-ISA)
+     * @param bits_per_cell 1, 2, or 4 (MLC dots, Section 6)
+     * @param tech EGFET or CNT-TFT
+     */
+    CrosspointRom(std::size_t words, unsigned word_bits,
+                  unsigned bits_per_cell = 1,
+                  TechKind tech = TechKind::EGFET);
+
+    std::size_t words() const { return words_; }
+    unsigned wordBits() const { return wordBits_; }
+    unsigned bitsPerCell() const { return bitsPerCell_; }
+    TechKind tech() const { return tech_; }
+
+    /** Sub-blocks S = ceil(W / m), one per output digit. */
+    std::size_t subBlocks() const;
+
+    /** Crosspoint dots in the whole memory (N per sub-block). */
+    std::size_t cells() const;
+
+    /**
+     * Rows per sub-block. The fabricated design uses a 4-to-16 row
+     * decoder, so rows are capped at 16 (the paper's 16x9 example
+     * is 16 rows x 1 column); larger memories extend in columns.
+     */
+    std::size_t rows() const;
+
+    /** Columns per sub-block: ceil(N / rows). */
+    std::size_t columns() const;
+
+    /** Transistor count per the Figure 9 accounting. */
+    std::size_t transistors() const;
+
+    /** Pull-up resistor count per the Figure 9 accounting. */
+    std::size_t pullUps() const;
+
+    /** Total area [mm^2]: dots + MLC sense ADCs. */
+    double areaMm2() const;
+
+    /** Read latency for one word [ms]. */
+    double readDelayMs() const;
+
+    /** Power while reading [uW]: active sub-blocks + shared ADC. */
+    double activePower_uW() const;
+
+    /** Standby power [uW]. */
+    double staticPower_uW() const;
+
+    /** Energy of one word read [nJ]. */
+    double readEnergyNj() const;
+
+  private:
+    std::size_t words_;
+    unsigned wordBits_;
+    unsigned bitsPerCell_;
+    TechKind tech_;
+    MemoryDeviceSpec cell_;
+    MemoryDeviceSpec adc_; ///< zeroed for 1-bit cells
+};
+
+/**
+ * The WORM (write-once read-many) instruction memory of Myny et
+ * al. [79], the paper's point of comparison for the 16x9 case:
+ * 815 storage + 189 programming/interface transistors, 62.1 mm^2.
+ */
+struct WormMemorySpec
+{
+    std::size_t storageTransistors = 815;
+    std::size_t interfaceTransistors = 189;
+    double area_mm2 = 62.1;
+
+    std::size_t totalTransistors() const
+    {
+        return storageTransistors + interfaceTransistors;
+    }
+};
+
+/** Published WORM reference design (16 words x 9 bits). */
+WormMemorySpec wormReference();
+
+} // namespace printed
+
+#endif // PRINTED_MEM_ROM_HH

@@ -1,0 +1,342 @@
+#include "netlist.hh"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace printed
+{
+
+Netlist::Netlist(std::string name)
+    : name_(std::move(name))
+{}
+
+NetId
+Netlist::addDrivenNet(NetSource source, std::string name)
+{
+    NetInfo info;
+    info.source = source;
+    info.name = std::move(name);
+    nets_.push_back(std::move(info));
+    return NetId(nets_.size() - 1);
+}
+
+NetId
+Netlist::addNet(std::string name)
+{
+    return addDrivenNet(NetSource::Undriven, std::move(name));
+}
+
+NetId
+Netlist::addInput(const std::string &name)
+{
+    const NetId id = addDrivenNet(NetSource::Input, name);
+    inputs_.push_back({name, id});
+    return id;
+}
+
+void
+Netlist::addOutput(const std::string &name, NetId net)
+{
+    panicIf(net >= nets_.size(), "addOutput: bad net");
+    outputs_.push_back({name, net});
+}
+
+NetId
+Netlist::constZero()
+{
+    if (const0_ == invalidNet)
+        const0_ = addDrivenNet(NetSource::Const0, "const0");
+    return const0_;
+}
+
+NetId
+Netlist::constOne()
+{
+    if (const1_ == invalidNet)
+        const1_ = addDrivenNet(NetSource::Const1, "const1");
+    return const1_;
+}
+
+NetId
+Netlist::addGate(CellKind kind, NetId a, NetId b)
+{
+    panicIf(kind == CellKind::TSBUFX1,
+            "addGate: use addTristate for TSBUFX1");
+    const unsigned wants = cellInputCount(kind);
+    panicIf(a >= nets_.size(), "addGate: bad input a");
+    panicIf(wants == 2 && b >= nets_.size(),
+            "addGate: " + cellName(kind) + " needs two inputs");
+    panicIf(wants == 1 && b != invalidNet,
+            "addGate: " + cellName(kind) + " takes one input");
+
+    const NetId out = addDrivenNet(NetSource::GateOutput);
+    Gate g;
+    g.kind = kind;
+    g.in0 = a;
+    g.in1 = wants == 2 ? b : invalidNet;
+    g.out = out;
+    gates_.push_back(g);
+    nets_[out].drivers.push_back(GateId(gates_.size() - 1));
+    return out;
+}
+
+GateId
+Netlist::addTristate(NetId a, NetId en, NetId bus)
+{
+    panicIf(a >= nets_.size() || en >= nets_.size() ||
+            bus >= nets_.size(), "addTristate: bad net");
+    panicIf(nets_[bus].source == NetSource::Input ||
+            nets_[bus].source == NetSource::Const0 ||
+            nets_[bus].source == NetSource::Const1,
+            "addTristate: bus cannot be an input or constant");
+
+    Gate g;
+    g.kind = CellKind::TSBUFX1;
+    g.in0 = a;
+    g.in1 = en;
+    g.out = bus;
+    gates_.push_back(g);
+    nets_[bus].source = NetSource::GateOutput;
+    nets_[bus].drivers.push_back(GateId(gates_.size() - 1));
+    return GateId(gates_.size() - 1);
+}
+
+NetId
+Netlist::addFlop(NetId d)
+{
+    return addGate(CellKind::DFFX1, d);
+}
+
+NetId
+Netlist::addFlopReset(NetId d, NetId rn)
+{
+    return addGate(CellKind::DFFNRX1, d, rn);
+}
+
+NetId
+Netlist::inputNet(const std::string &name) const
+{
+    for (const auto &p : inputs_)
+        if (p.name == name)
+            return p.net;
+    fatal("Netlist '" + name_ + "': no input named '" + name + "'");
+}
+
+NetId
+Netlist::outputNet(const std::string &name) const
+{
+    for (const auto &p : outputs_)
+        if (p.name == name)
+            return p.net;
+    fatal("Netlist '" + name_ + "': no output named '" + name + "'");
+}
+
+std::size_t
+Netlist::flopCount() const
+{
+    std::size_t n = 0;
+    for (const auto &g : gates_)
+        if (cellIsSequential(g.kind))
+            ++n;
+    return n;
+}
+
+void
+Netlist::validate() const
+{
+    // A net must be driven if anything reads it (a gate input or a
+    // primary output); orphaned nets left behind by optimization are
+    // tolerated.
+    std::vector<bool> read(nets_.size(), false);
+    for (const Gate &g : gates_) {
+        if (g.in0 < nets_.size())
+            read[g.in0] = true;
+        if (g.in1 != invalidNet && g.in1 < nets_.size())
+            read[g.in1] = true;
+    }
+    for (const auto &p : outputs_)
+        if (p.net < nets_.size())
+            read[p.net] = true;
+
+    for (NetId n = 0; n < nets_.size(); ++n) {
+        const NetInfo &info = nets_[n];
+        switch (info.source) {
+          case NetSource::Undriven:
+            panicIf(read[n],
+                    "Netlist '" + name_ + "': net " + std::to_string(n) +
+                    (info.name.empty() ? "" : " (" + info.name + ")") +
+                    " is read but undriven");
+            break;
+          case NetSource::GateOutput:
+            panicIf(info.drivers.empty(),
+                    "Netlist: GateOutput net with no drivers");
+            if (info.drivers.size() > 1) {
+                for (GateId g : info.drivers)
+                    panicIf(gates_[g].kind != CellKind::TSBUFX1,
+                            "Netlist: only TSBUFs may share net " +
+                            std::to_string(n));
+            }
+            break;
+          default:
+            panicIf(!info.drivers.empty(),
+                    "Netlist: input/const net has gate drivers");
+            break;
+        }
+    }
+
+    for (const Gate &g : gates_) {
+        panicIf(g.in0 >= nets_.size(), "Netlist: gate with bad in0");
+        if (cellInputCount(g.kind) == 2)
+            panicIf(g.in1 >= nets_.size(),
+                    "Netlist: gate with bad in1");
+        panicIf(g.out >= nets_.size(), "Netlist: gate with bad out");
+    }
+
+    for (const auto &p : outputs_)
+        panicIf(p.net >= nets_.size(), "Netlist: bad output binding");
+}
+
+std::vector<GateId>
+Netlist::levelize() const
+{
+    // Kahn's algorithm over combinational gates only. A net is
+    // "ready" when all its (combinational) drivers have been
+    // scheduled; sequential outputs, inputs, and constants are ready
+    // from the start.
+    std::vector<unsigned> pending_drivers(nets_.size(), 0);
+    for (const Gate &g : gates_) {
+        if (!cellIsSequential(g.kind))
+            ++pending_drivers[g.out];
+    }
+
+    // fanout[n] = combinational gates reading net n
+    std::vector<std::vector<GateId>> fanout(nets_.size());
+    std::vector<unsigned> unmet(gates_.size(), 0);
+    for (GateId gi = 0; gi < gates_.size(); ++gi) {
+        const Gate &g = gates_[gi];
+        if (cellIsSequential(g.kind))
+            continue;
+        auto watch = [&](NetId n) {
+            if (n == invalidNet)
+                return;
+            if (pending_drivers[n] > 0) {
+                fanout[n].push_back(gi);
+                ++unmet[gi];
+            }
+        };
+        // For multi-driver TSBUF buses a gate's own output may be a
+        // "pending" net, but it must not wait on itself; we count a
+        // dependency per input net only.
+        watch(g.in0);
+        watch(g.in1);
+    }
+
+    std::queue<GateId> ready;
+    for (GateId gi = 0; gi < gates_.size(); ++gi)
+        if (!cellIsSequential(gates_[gi].kind) && unmet[gi] == 0)
+            ready.push(gi);
+
+    std::vector<GateId> order;
+    order.reserve(gates_.size());
+    while (!ready.empty()) {
+        const GateId gi = ready.front();
+        ready.pop();
+        order.push_back(gi);
+        const NetId out = gates_[gi].out;
+        panicIf(pending_drivers[out] == 0,
+                "levelize: driver count underflow");
+        if (--pending_drivers[out] == 0) {
+            for (GateId reader : fanout[out]) {
+                panicIf(unmet[reader] == 0,
+                        "levelize: dependency underflow");
+                if (--unmet[reader] == 0)
+                    ready.push(reader);
+            }
+        }
+    }
+
+    std::size_t comb = 0;
+    for (const Gate &g : gates_)
+        if (!cellIsSequential(g.kind))
+            ++comb;
+    fatalIf(order.size() != comb,
+            "Netlist '" + name_ + "': combinational cycle detected (" +
+            std::to_string(comb - order.size()) +
+            " gates unschedulable)");
+    return order;
+}
+
+std::array<std::size_t, numCellKinds>
+Netlist::cellHistogram() const
+{
+    std::array<std::size_t, numCellKinds> histo{};
+    for (const Gate &g : gates_)
+        ++histo[static_cast<std::size_t>(g.kind)];
+    return histo;
+}
+
+void
+Netlist::rewireUses(NetId from, NetId to)
+{
+    panicIf(from >= nets_.size() || to >= nets_.size(),
+            "rewireUses: bad net");
+    for (Gate &g : gates_) {
+        if (g.in0 == from)
+            g.in0 = to;
+        if (g.in1 == from)
+            g.in1 = to;
+    }
+    for (auto &p : outputs_)
+        if (p.net == from)
+            p.net = to;
+}
+
+NetId
+Netlist::makeFeedback()
+{
+    return addDrivenNet(NetSource::Undriven, "feedback");
+}
+
+void
+Netlist::resolveFeedback(NetId placeholder, NetId actual)
+{
+    panicIf(placeholder >= nets_.size() || actual >= nets_.size(),
+            "resolveFeedback: bad net");
+    panicIf(nets_[placeholder].source != NetSource::Undriven,
+            "resolveFeedback: placeholder already driven");
+    rewireUses(placeholder, actual);
+    // Mark the placeholder as a harmless constant so validate() does
+    // not flag it; nothing references it any more.
+    nets_[placeholder].source = NetSource::Const0;
+}
+
+void
+Netlist::removeGates(const std::vector<bool> &dead)
+{
+    panicIf(dead.size() != gates_.size(),
+            "removeGates: flag vector size mismatch");
+
+    std::vector<Gate> kept;
+    kept.reserve(gates_.size());
+    for (GateId gi = 0; gi < gates_.size(); ++gi)
+        if (!dead[gi])
+            kept.push_back(gates_[gi]);
+    gates_ = std::move(kept);
+
+    // Rebuild net driver lists from scratch.
+    for (NetInfo &info : nets_) {
+        info.drivers.clear();
+        if (info.source == NetSource::GateOutput)
+            info.source = NetSource::Undriven;
+    }
+    for (GateId gi = 0; gi < gates_.size(); ++gi) {
+        NetInfo &info = nets_[gates_[gi].out];
+        info.source = NetSource::GateOutput;
+        info.drivers.push_back(gi);
+    }
+}
+
+} // namespace printed

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Gate-level netlist intermediate representation.
+ *
+ * A Netlist is a DAG of standard-cell instances (Gates) connected by
+ * Nets. Only the eleven cells of the printed standard-cell libraries
+ * (Table 2) can be instantiated, mirroring the constraint the paper's
+ * synthesis flow works under. Sequential cells (DFFX1 / DFFNRX1 /
+ * LATCHX1) break combinational paths; tri-state buffers may share an
+ * output net to form a resolved bus.
+ *
+ * The same netlist object is consumed by:
+ *   - printed::sim     (functional gate-level simulation + activity)
+ *   - printed::analysis (area, static timing, power)
+ *   - printed::synth   (optimization passes)
+ */
+
+#ifndef PRINTED_NETLIST_NETLIST_HH
+#define PRINTED_NETLIST_NETLIST_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "tech/cell.hh"
+
+namespace printed
+{
+
+/** Index of a net within its Netlist. */
+using NetId = std::uint32_t;
+
+/** Index of a gate within its Netlist. */
+using GateId = std::uint32_t;
+
+/** Sentinel for "no net" (e.g. the unused second input of an INV). */
+constexpr NetId invalidNet = std::numeric_limits<NetId>::max();
+
+/** Sentinel for "no gate". */
+constexpr GateId invalidGate = std::numeric_limits<GateId>::max();
+
+/** One standard-cell instance. */
+struct Gate
+{
+    CellKind kind = CellKind::INVX1;
+    NetId in0 = invalidNet; ///< first input (D for flops, A for TSBUF)
+    NetId in1 = invalidNet; ///< second input (RN for DFFNR, EN for TSBUF)
+    NetId out = invalidNet; ///< output net (Q for sequential cells)
+};
+
+/** How a net is driven. */
+enum class NetSource
+{
+    Undriven,   ///< error unless it is an input/constant
+    Input,      ///< primary input
+    Const0,     ///< constant logic 0 (tie-low)
+    Const1,     ///< constant logic 1 (tie-high)
+    GateOutput, ///< driven by one gate (or several TSBUFs)
+};
+
+/** Bookkeeping for one net. */
+struct NetInfo
+{
+    NetSource source = NetSource::Undriven;
+    std::string name;                 ///< optional; ports are named
+    std::vector<GateId> drivers;      ///< gates driving this net
+};
+
+/** A named primary output and the net it exposes. */
+struct PortBinding
+{
+    std::string name;
+    NetId net = invalidNet;
+};
+
+/**
+ * A flat gate-level module.
+ *
+ * Construction API returns NetIds so synthesis generators can be
+ * written in a dataflow style:
+ *
+ *     NetId sum = nl.addGate(CellKind::XOR2X1, a, b);
+ */
+class Netlist
+{
+  public:
+    explicit Netlist(std::string name = "top");
+
+    /** Module name (used in reports). */
+    const std::string &name() const { return name_; }
+
+    // ------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------
+
+    /** Create a fresh undriven net (to be driven later). */
+    NetId addNet(std::string name = {});
+
+    /** Create a named primary input. */
+    NetId addInput(const std::string &name);
+
+    /** Expose an existing net as a named primary output. */
+    void addOutput(const std::string &name, NetId net);
+
+    /** The constant-0 net (created on first use). */
+    NetId constZero();
+
+    /** The constant-1 net (created on first use). */
+    NetId constOne();
+
+    /**
+     * Instantiate a cell driving a fresh net.
+     * @param kind cell to instantiate
+     * @param a first input
+     * @param b second input (required iff the cell has two inputs)
+     * @return the new output net
+     */
+    NetId addGate(CellKind kind, NetId a, NetId b = invalidNet);
+
+    /**
+     * Instantiate a tri-state buffer driving an existing bus net.
+     * Multiple TSBUFs may drive the same bus; simulation checks that
+     * at most one is enabled at a time.
+     */
+    GateId addTristate(NetId a, NetId en, NetId bus);
+
+    /** D flip-flop: returns Q for the given D. */
+    NetId addFlop(NetId d);
+
+    /** D flip-flop with asynchronous active-low reset. */
+    NetId addFlopReset(NetId d, NetId rn);
+
+    // ------------------------------------------------------------
+    // Access
+    // ------------------------------------------------------------
+
+    std::size_t netCount() const { return nets_.size(); }
+    std::size_t gateCount() const { return gates_.size(); }
+
+    const Gate &gate(GateId id) const { return gates_[id]; }
+
+    /**
+     * Mutable gate access for the optimizer. Callers must keep the
+     * driver lists consistent (changing `out` is not allowed; use
+     * removeGates + addGate instead).
+     */
+    Gate &mutableGate(GateId id) { return gates_[id]; }
+    const NetInfo &net(NetId id) const { return nets_[id]; }
+
+    const std::vector<Gate> &gates() const { return gates_; }
+    const std::vector<PortBinding> &inputs() const { return inputs_; }
+    const std::vector<PortBinding> &outputs() const { return outputs_; }
+
+    /** Primary input net by name; fatal() if absent. */
+    NetId inputNet(const std::string &name) const;
+
+    /** Primary output net by name; fatal() if absent. */
+    NetId outputNet(const std::string &name) const;
+
+    /** Number of sequential cells (LATCH/DFF/DFFNR). */
+    std::size_t flopCount() const;
+
+    /**
+     * Check structural invariants: every net is driven (or is an
+     * input/constant), gate pins reference valid nets, only TSBUFs
+     * share output nets. panic()s on violation.
+     */
+    void validate() const;
+
+    /**
+     * Topologically order the combinational gates. Sequential cell
+     * outputs, constants, and primary inputs are sources. fatal()s
+     * on a combinational cycle.
+     *
+     * @return gate ids in evaluation order (sequential cells are not
+     *         included; they are clocked separately).
+     */
+    std::vector<GateId> levelize() const;
+
+    /** Per-cell-kind instance histogram. */
+    std::array<std::size_t, numCellKinds> cellHistogram() const;
+
+    // Mutation hooks for the optimizer (printed::synth).
+
+    /** Replace every reference to net `from` with `to`. */
+    void rewireUses(NetId from, NetId to);
+
+    /**
+     * Create a forward-reference net for sequential feedback loops
+     * (e.g. a register whose next-value mux reads its own output).
+     * Must be resolved with resolveFeedback() before validate().
+     */
+    NetId makeFeedback();
+
+    /**
+     * Resolve a feedback placeholder: every use of `placeholder` is
+     * rewired to `actual` and the placeholder becomes inert.
+     */
+    void resolveFeedback(NetId placeholder, NetId actual);
+
+    /**
+     * Remove gates flagged in `dead` (by GateId). Nets are left in
+     * place (cheap) but become undriven; callers must not leave live
+     * uses of removed outputs.
+     */
+    void removeGates(const std::vector<bool> &dead);
+
+  private:
+    NetId addDrivenNet(NetSource source, std::string name = {});
+
+    std::string name_;
+    std::vector<NetInfo> nets_;
+    std::vector<Gate> gates_;
+    std::vector<PortBinding> inputs_;
+    std::vector<PortBinding> outputs_;
+    NetId const0_ = invalidNet;
+    NetId const1_ = invalidNet;
+};
+
+/** A bus is simply an ordered list of nets, LSB first. */
+using Bus = std::vector<NetId>;
+
+} // namespace printed
+
+#endif // PRINTED_NETLIST_NETLIST_HH

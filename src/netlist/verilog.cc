@@ -1,0 +1,135 @@
+#include "verilog.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace printed
+{
+
+namespace
+{
+
+/** Legal Verilog identifier for a net. */
+std::string
+netName(const Netlist &nl, NetId id)
+{
+    const NetInfo &info = nl.net(id);
+    if (!info.name.empty()) {
+        std::string name = "\\" + info.name + " ";
+        return name; // escaped identifier (bus bracket syntax)
+    }
+    switch (info.source) {
+      case NetSource::Const0:
+        return "1'b0";
+      case NetSource::Const1:
+        return "1'b1";
+      default:
+        return "n" + std::to_string(id);
+    }
+}
+
+/** Behavioral models of the printed standard cells. */
+const char *cellModels = R"(
+// Behavioral models of the printed standard-cell library (Table 2).
+module INVX1(input A, output Y);        assign Y = ~A;        endmodule
+module NAND2X1(input A, B, output Y);   assign Y = ~(A & B);  endmodule
+module NOR2X1(input A, B, output Y);    assign Y = ~(A | B);  endmodule
+module AND2X1(input A, B, output Y);    assign Y = A & B;     endmodule
+module OR2X1(input A, B, output Y);     assign Y = A | B;     endmodule
+module XOR2X1(input A, B, output Y);    assign Y = A ^ B;     endmodule
+module XNOR2X1(input A, B, output Y);   assign Y = ~(A ^ B);  endmodule
+module TSBUFX1(input A, EN, output Y);  assign Y = EN ? A : 1'bz; endmodule
+module LATCHX1(input S, R, output reg Q);
+    always @(S or R)
+        if (S) Q <= 1'b1; else if (R) Q <= 1'b0;
+endmodule
+module DFFX1(input D, CK, output reg Q);
+    always @(posedge CK) Q <= D;
+endmodule
+module DFFNRX1(input D, RN, CK, output reg Q);
+    always @(posedge CK or negedge RN)
+        if (!RN) Q <= 1'b0; else Q <= D;
+endmodule
+)";
+
+} // anonymous namespace
+
+void
+writeVerilog(std::ostream &os, const Netlist &netlist,
+             bool include_cell_models)
+{
+    netlist.validate();
+
+    if (include_cell_models)
+        os << cellModels << "\n";
+
+    const bool has_seq = netlist.flopCount() > 0;
+
+    os << "module " << netlist.name() << " (\n";
+    if (has_seq)
+        os << "    input clk,\n";
+    for (const auto &p : netlist.inputs())
+        os << "    input " << netName(netlist, p.net) << ",\n";
+    for (std::size_t i = 0; i < netlist.outputs().size(); ++i) {
+        const auto &p = netlist.outputs()[i];
+        os << "    output \\" << p.name << " "
+           << (i + 1 < netlist.outputs().size() ? "," : "") << "\n";
+    }
+    os << ");\n\n";
+
+    // Internal wires.
+    for (NetId n = 0; n < netlist.netCount(); ++n) {
+        const NetInfo &info = netlist.net(n);
+        if (info.source == NetSource::GateOutput && info.name.empty())
+            os << "    wire n" << n << ";\n";
+    }
+    os << "\n";
+
+    // Cell instances.
+    for (GateId gi = 0; gi < netlist.gateCount(); ++gi) {
+        const Gate &g = netlist.gate(gi);
+        const std::string out = netName(netlist, g.out);
+        const std::string a = netName(netlist, g.in0);
+        os << "    " << cellName(g.kind) << " u" << gi << " (";
+        switch (g.kind) {
+          case CellKind::INVX1:
+            os << ".A(" << a << "), .Y(" << out << ")";
+            break;
+          case CellKind::DFFX1:
+            os << ".D(" << a << "), .CK(clk), .Q(" << out << ")";
+            break;
+          case CellKind::DFFNRX1:
+            os << ".D(" << a << "), .RN("
+               << netName(netlist, g.in1) << "), .CK(clk), .Q("
+               << out << ")";
+            break;
+          case CellKind::LATCHX1:
+            os << ".S(" << a << "), .R("
+               << netName(netlist, g.in1) << "), .Q(" << out << ")";
+            break;
+          case CellKind::TSBUFX1:
+            os << ".A(" << a << "), .EN("
+               << netName(netlist, g.in1) << "), .Y(" << out << ")";
+            break;
+          default:
+            os << ".A(" << a << "), .B("
+               << netName(netlist, g.in1) << "), .Y(" << out << ")";
+            break;
+        }
+        os << ");\n";
+    }
+
+    // Output bindings for outputs aliasing internal nets.
+    for (const auto &p : netlist.outputs()) {
+        const NetInfo &info = netlist.net(p.net);
+        const bool direct =
+            !info.name.empty() && info.name == p.name;
+        if (!direct)
+            os << "    assign \\" << p.name << "  = "
+               << netName(netlist, p.net) << ";\n";
+    }
+    os << "\nendmodule\n";
+}
+
+} // namespace printed

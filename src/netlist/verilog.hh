@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Structural Verilog export.
+ *
+ * Writes a generated netlist as a gate-level Verilog module over
+ * the printed standard-cell library (cell modules included as
+ * behavioral primitives), so synthesized cores can be inspected,
+ * simulated, or taken into an external physical-design flow - the
+ * handoff point the paper's PDK release targets.
+ */
+
+#ifndef PRINTED_NETLIST_VERILOG_HH
+#define PRINTED_NETLIST_VERILOG_HH
+
+#include <ostream>
+#include <string>
+
+#include "netlist/netlist.hh"
+
+namespace printed
+{
+
+/**
+ * Emit the netlist as structural Verilog.
+ *
+ * @param os output stream
+ * @param netlist the design (validated first)
+ * @param include_cell_models also emit behavioral models of the
+ *        eleven library cells so the file is self-contained for
+ *        simulation
+ */
+void writeVerilog(std::ostream &os, const Netlist &netlist,
+                  bool include_cell_models = true);
+
+} // namespace printed
+
+#endif // PRINTED_NETLIST_VERILOG_HH

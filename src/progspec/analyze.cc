@@ -1,0 +1,128 @@
+#include "analyze.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace printed
+{
+
+namespace
+{
+
+/** Bits needed to hold values 0..v (at least 1). */
+unsigned
+bitsForValue(std::uint64_t v)
+{
+    return std::max(1u, ceilLog2(v + 1));
+}
+
+} // anonymous namespace
+
+ProgSpecAnalysis
+analyzeProgram(const Program &program, std::size_t dmem_words)
+{
+    program.check();
+    fatalIf(dmem_words == 0, "analyzeProgram: empty data memory");
+
+    ProgSpecAnalysis a;
+    a.pcBits = std::max(1u, ceilLog2(program.size()));
+    a.barBits = std::max(1u, ceilLog2(dmem_words));
+
+    std::set<unsigned> bars_written;
+    unsigned max_off1 = 0, max_off2 = 0;
+    unsigned max_imm = 0;
+    unsigned max_target = 0;
+    unsigned flag_mask = 0;
+    bool bar1_used_in_addressing = false;
+
+    for (const Instruction &inst : program.code) {
+        const Mnemonic m = inst.mnemonic;
+
+        a.opcodeMask |=
+            1u << static_cast<unsigned>(opcodeOf(m));
+        if (readsCarry(m))
+            flag_mask |= 1u << flagBitC;
+
+        if (isBranch(m)) {
+            flag_mask |= inst.op2 & 0xF;
+            max_target = std::max(max_target, unsigned(inst.op1));
+            continue;
+        }
+
+        // Address operand 1 (all remaining formats).
+        const OperandFields f1 = splitOperand(inst.op1, program.isa);
+        max_off1 = std::max(max_off1, f1.offset);
+        if (f1.barSel != 0)
+            bar1_used_in_addressing = true;
+
+        if (m == Mnemonic::STORE) {
+            max_imm = std::max(max_imm, unsigned(inst.op2));
+        } else if (m == Mnemonic::SETBAR) {
+            bars_written.insert(inst.op2);
+        } else {
+            const OperandFields f2 =
+                splitOperand(inst.op2, program.isa);
+            max_off2 = std::max(max_off2, f2.offset);
+            if (f2.barSel != 0)
+                bar1_used_in_addressing = true;
+        }
+    }
+
+    a.writableBars =
+        unsigned(bars_written.size());
+    fatalIf(!bars_written.empty() && !bar1_used_in_addressing,
+            "analyzeProgram: SET-BAR without BAR-relative access");
+
+    a.flagMask = flag_mask;
+    a.flagCount = 0;
+    for (unsigned b = 0; b < 4; ++b)
+        if (flag_mask & (1u << b))
+            ++a.flagCount;
+
+    // Operand widths: each operand must hold its worst-case use.
+    const unsigned sel_bits =
+        a.writableBars == 0 ? 0
+                            : ceilLog2(a.writableBars + 1);
+    unsigned op1 = bitsForValue(max_off1) + sel_bits;
+    op1 = std::max(op1, a.pcBits); // branch targets travel in op1
+    unsigned op2 = std::max(bitsForValue(max_off2) + sel_bits,
+                            bitsForValue(max_imm));
+    op2 = std::max(op2, a.flagCount);           // compacted bmask
+    if (a.writableBars > 0)                     // SET-BAR index
+        op2 = std::max(op2, bitsForValue(a.writableBars));
+    a.op1Bits = std::min(8u, op1);
+    a.op2Bits = std::min(8u, std::max(1u, op2));
+    return a;
+}
+
+CoreConfig
+specializedConfig(const Program &program, std::size_t dmem_words)
+{
+    const ProgSpecAnalysis a = analyzeProgram(program, dmem_words);
+
+    CoreConfig cfg;
+    cfg.stages = 1; // single-cycle cores always win (Section 8)
+    cfg.isa.datawidth = program.isa.datawidth;
+    cfg.isa.barCount = a.writableBars + 1;
+    cfg.isa.pcBits = a.pcBits;
+    // The synthesized decoder uses symmetric operand fields sized
+    // for the wider of the two (the ROM may pack asymmetrically).
+    cfg.isa.operandBits =
+        std::max({a.op1Bits, a.op2Bits, cfg.isa.barSelBits() + 1});
+    cfg.isa.flagCount = a.flagCount;
+    cfg.flagMask = a.flagMask;
+    cfg.barBits = a.barBits;
+    cfg.opcodeMask = a.opcodeMask;
+    cfg.addrBits = std::max(1u, ceilLog2(dmem_words));
+    // Offsets must still reach every word the program touches.
+    cfg.isa.operandBits = std::max(
+        cfg.isa.operandBits, cfg.isa.barSelBits() + cfg.addrBits);
+    cfg.isa.operandBits = std::min(8u, cfg.isa.operandBits);
+    cfg.check();
+    return cfg;
+}
+
+} // namespace printed

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Program-specific ISA specialization (paper Section 7, Table 7).
+ *
+ * Printing lets every program get its own core: since the static
+ * instruction count, data footprint, BAR usage, and flag usage are
+ * known at print time, the PC, BARs, flags register, and operand
+ * fields can all be shrunk to exactly what the program needs -
+ * removing architectural registers (the dominant printed cost) and
+ * the logic that feeds them.
+ */
+
+#ifndef PRINTED_PROGSPEC_ANALYZE_HH
+#define PRINTED_PROGSPEC_ANALYZE_HH
+
+#include "core/config.hh"
+#include "isa/program.hh"
+
+namespace printed
+{
+
+/** Result of the static analysis of one program (a Table 7 row). */
+struct ProgSpecAnalysis
+{
+    unsigned pcBits = 8;       ///< ceil(log2(static instructions))
+    unsigned barBits = 8;      ///< ceil(log2(data words used))
+    unsigned writableBars = 0; ///< distinct SET-BAR targets used
+    unsigned flagMask = 0;     ///< flags actually read (S/Z/C/V)
+    unsigned flagCount = 0;    ///< popcount of flagMask
+    unsigned op1Bits = 8;      ///< required first-operand width
+    unsigned op2Bits = 8;      ///< required second-operand width
+    unsigned opcodeMask = 0;   ///< primary opcodes the program uses
+
+    /**
+     * Specialized instruction width: 4 opcode + 4 control +
+     * op1Bits + op2Bits (Table 7's rightmost column). The operand
+     * fields may be asymmetric in the ROM.
+     */
+    unsigned instructionBits() const
+    {
+        return 8 + op1Bits + op2Bits;
+    }
+};
+
+/**
+ * Statically analyze a program.
+ * @param program the TP-ISA program
+ * @param dmem_words exact data-memory footprint (D in Section 7)
+ */
+ProgSpecAnalysis analyzeProgram(const Program &program,
+                                std::size_t dmem_words);
+
+/**
+ * Derive the program-specific core configuration: single-cycle,
+ * shrunk PC / BARs / flags / operands. The generated core drops
+ * the unused registers and their feeding logic (BAR muxes, zero
+ * detect, etc.) via the optimizer.
+ */
+CoreConfig specializedConfig(const Program &program,
+                             std::size_t dmem_words);
+
+} // namespace printed
+
+#endif // PRINTED_PROGSPEC_ANALYZE_HH

@@ -1,0 +1,64 @@
+#include "specialize.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace printed
+{
+
+Program
+specializeProgram(const Program &program, const CoreConfig &config)
+{
+    program.check();
+    config.check();
+    fatalIf(config.isa.datawidth != program.isa.datawidth,
+            "specializeProgram: datawidth mismatch");
+
+    Program out;
+    out.name = program.name + "_ps";
+    out.isa = config.isa;
+    out.labels = program.labels;
+
+    // Compacted bmask: bit i selects the i-th live flag (V,C,Z,S
+    // order), matching the specialized core's branch unit.
+    std::vector<unsigned> live_bits;
+    for (unsigned b = 0; b < 4; ++b)
+        if (config.flagMask & (1u << b))
+            live_bits.push_back(b);
+
+    for (const Instruction &inst : program.code) {
+        Instruction ni = inst;
+        const Mnemonic m = inst.mnemonic;
+        if (isBranch(m)) {
+            // Target fits pcBits by construction.
+            fatalIf(inst.op1 >= (1u << config.isa.pcBits),
+                    "specializeProgram: branch target overflow");
+            unsigned mask = 0;
+            for (std::size_t i = 0; i < live_bits.size(); ++i)
+                if (inst.op2 & (1u << live_bits[i]))
+                    mask |= 1u << i;
+            fatalIf((inst.op2 & 0xF & ~config.flagMask) != 0,
+                    "specializeProgram: branch reads a dead flag");
+            ni.op2 = std::uint8_t(mask);
+        } else {
+            const OperandFields f1 =
+                splitOperand(inst.op1, program.isa);
+            ni.op1 = makeOperand(f1.barSel, f1.offset, config.isa);
+            if (m == Mnemonic::STORE || m == Mnemonic::SETBAR) {
+                ni.op2 = inst.op2; // immediate / BAR index
+                fatalIf(ni.op2 >= (1u << config.isa.operandBits),
+                        "specializeProgram: immediate overflow");
+            } else {
+                const OperandFields f2 =
+                    splitOperand(inst.op2, program.isa);
+                ni.op2 =
+                    makeOperand(f2.barSel, f2.offset, config.isa);
+            }
+        }
+        out.code.push_back(ni);
+    }
+    out.check();
+    return out;
+}
+
+} // namespace printed

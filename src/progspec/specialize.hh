@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Program re-encoding for program-specific cores.
+ *
+ * A specialized core decodes narrowed instruction words (shrunk
+ * operand fields, compacted branch masks). specializeProgram()
+ * transcodes a standard TP-ISA program into that layout so it can
+ * be placed in the narrow instruction ROM and executed on the
+ * gate-level specialized core.
+ */
+
+#ifndef PRINTED_PROGSPEC_SPECIALIZE_HH
+#define PRINTED_PROGSPEC_SPECIALIZE_HH
+
+#include "core/config.hh"
+#include "isa/program.hh"
+
+namespace printed
+{
+
+/**
+ * Re-encode a program for a specialized core configuration
+ * (operand fields re-packed for the narrow BAR-select layout,
+ * branch masks compacted to the live flags in V,C,Z,S order).
+ * fatal()s if anything does not fit - callers derive `config` from
+ * specializedConfig(program, ...) so it always fits.
+ */
+Program specializeProgram(const Program &program,
+                          const CoreConfig &config);
+
+} // namespace printed
+
+#endif // PRINTED_PROGSPEC_SPECIALIZE_HH

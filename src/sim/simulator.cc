@@ -1,0 +1,211 @@
+#include "simulator.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace printed
+{
+
+GateSimulator::GateSimulator(const Netlist &netlist)
+    : netlist_(netlist)
+{
+    netlist_.validate();
+    order_ = netlist_.levelize();
+    for (GateId gi = 0; gi < netlist_.gateCount(); ++gi)
+        if (cellIsSequential(netlist_.gate(gi).kind))
+            seqGates_.push_back(gi);
+
+    values_.assign(netlist_.netCount(), 0);
+    seqState_.assign(netlist_.gateCount(), 0);
+    busResolved_.assign(netlist_.netCount(), 0);
+    toggles_.assign(netlist_.gateCount(), 0);
+    reset();
+}
+
+void
+GateSimulator::reset()
+{
+    std::fill(seqState_.begin(), seqState_.end(), 0);
+    std::fill(toggles_.begin(), toggles_.end(), 0);
+    std::fill(values_.begin(), values_.end(), 0);
+    cycles_ = 0;
+    for (NetId n = 0; n < netlist_.netCount(); ++n)
+        if (netlist_.net(n).source == NetSource::Const1)
+            values_[n] = 1;
+}
+
+void
+GateSimulator::setInput(NetId net, bool value)
+{
+    panicIf(netlist_.net(net).source != NetSource::Input,
+            "setInput: net is not a primary input");
+    values_[net] = value ? 1 : 0;
+}
+
+void
+GateSimulator::setInput(const std::string &name, bool value)
+{
+    setInput(netlist_.inputNet(name), value);
+}
+
+void
+GateSimulator::setBus(const Bus &bus, std::uint64_t value)
+{
+    for (std::size_t i = 0; i < bus.size(); ++i)
+        setInput(bus[i], (value >> i) & 1);
+}
+
+void
+GateSimulator::evaluateGate(GateId gi)
+{
+    const Gate &g = netlist_.gate(gi);
+    const auto a = values_[g.in0];
+    const auto b = g.in1 != invalidNet ? values_[g.in1]
+                                       : std::uint8_t(0);
+    std::uint8_t out = 0;
+    switch (g.kind) {
+      case CellKind::INVX1:   out = !a; break;
+      case CellKind::NAND2X1: out = !(a && b); break;
+      case CellKind::NOR2X1:  out = !(a || b); break;
+      case CellKind::AND2X1:  out = a && b; break;
+      case CellKind::OR2X1:   out = a || b; break;
+      case CellKind::XOR2X1:  out = a != b; break;
+      case CellKind::XNOR2X1: out = a == b; break;
+      case CellKind::TSBUFX1:
+        // in0 = A, in1 = EN. Disabled buffers contribute nothing;
+        // the bus keeps its old value when nothing drives it.
+        if (!b)
+            return;
+        if (busResolved_[g.out]) {
+            panicIf(values_[g.out] != a,
+                    "GateSimulator: tri-state bus conflict");
+            return;
+        }
+        busResolved_[g.out] = 1;
+        if (values_[g.out] != a) {
+            values_[g.out] = a;
+            ++toggles_[gi];
+        }
+        return;
+      default:
+        panic("GateSimulator: sequential cell in comb. order");
+    }
+    if (values_[g.out] != out) {
+        values_[g.out] = out;
+        ++toggles_[gi];
+    }
+}
+
+void
+GateSimulator::evaluate()
+{
+    // Publish sequential state onto Q nets, honouring the
+    // asynchronous clear of DFFNRX1 (Q forced low while RN is 0).
+    std::fill(busResolved_.begin(), busResolved_.end(), 0);
+    for (GateId gi : seqGates_) {
+        const Gate &g = netlist_.gate(gi);
+        std::uint8_t q = seqState_[gi];
+        if (g.kind == CellKind::DFFNRX1 && !values_[g.in1])
+            q = 0;
+        values_[g.out] = q;
+    }
+    for (GateId gi : order_)
+        evaluateGate(gi);
+    // The async clear can depend on combinational logic (rare but
+    // legal); settle once more so RN computed above is honoured.
+    bool changed = false;
+    for (GateId gi : seqGates_) {
+        const Gate &g = netlist_.gate(gi);
+        if (g.kind == CellKind::DFFNRX1 && !values_[g.in1] &&
+            values_[g.out]) {
+            values_[g.out] = 0;
+            changed = true;
+        }
+    }
+    if (changed) {
+        std::fill(busResolved_.begin(), busResolved_.end(), 0);
+        for (GateId gi : order_)
+            evaluateGate(gi);
+    }
+}
+
+void
+GateSimulator::step()
+{
+    for (GateId gi : seqGates_) {
+        const Gate &g = netlist_.gate(gi);
+        const auto d = values_[g.in0];
+        switch (g.kind) {
+          case CellKind::DFFX1:
+            if (seqState_[gi] != d)
+                ++toggles_[gi];
+            seqState_[gi] = d;
+            break;
+          case CellKind::DFFNRX1: {
+            const auto rn = values_[g.in1];
+            const std::uint8_t next = rn ? d : 0;
+            if (seqState_[gi] != next)
+                ++toggles_[gi];
+            seqState_[gi] = next;
+            break;
+          }
+          case CellKind::LATCHX1: {
+            // in0 = S, in1 = R.
+            const auto s = values_[g.in0];
+            const auto r = values_[g.in1];
+            panicIf(s && r, "GateSimulator: SR latch with S=R=1");
+            const std::uint8_t next = s ? 1 : (r ? 0 : seqState_[gi]);
+            if (seqState_[gi] != next)
+                ++toggles_[gi];
+            seqState_[gi] = next;
+            break;
+          }
+          default:
+            panic("GateSimulator: non-sequential cell in seq list");
+        }
+    }
+    ++cycles_;
+}
+
+void
+GateSimulator::cycle()
+{
+    evaluate();
+    step();
+    evaluate();
+}
+
+std::uint64_t
+GateSimulator::readBus(const Bus &bus) const
+{
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < bus.size(); ++i)
+        if (values_[bus[i]])
+            v |= std::uint64_t(1) << i;
+    return v;
+}
+
+bool
+GateSimulator::output(const std::string &name) const
+{
+    return values_[netlist_.outputNet(name)];
+}
+
+std::uint64_t
+GateSimulator::totalToggles() const
+{
+    return std::accumulate(toggles_.begin(), toggles_.end(),
+                           std::uint64_t(0));
+}
+
+double
+GateSimulator::activityFactor() const
+{
+    if (cycles_ == 0 || netlist_.gateCount() == 0)
+        return 0.0;
+    return double(totalToggles()) /
+           (double(cycles_) * double(netlist_.gateCount()));
+}
+
+} // namespace printed

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * VCD (value change dump) tracing for gate-level simulations.
+ *
+ * Records selected nets of a GateSimulator cycle by cycle and
+ * writes a standard VCD file viewable in GTKWave etc. - the
+ * debugging companion to the co-simulation harness.
+ */
+
+#ifndef PRINTED_SIM_VCD_HH
+#define PRINTED_SIM_VCD_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hh"
+#include "sim/simulator.hh"
+
+namespace printed
+{
+
+/** Streams net values as VCD. */
+class VcdWriter
+{
+  public:
+    /**
+     * @param os destination stream (kept by reference)
+     * @param netlist the design being simulated
+     * @param module scope name in the VCD hierarchy
+     */
+    VcdWriter(std::ostream &os, const Netlist &netlist,
+              std::string module = "top");
+
+    /** Trace one net under the given display name. */
+    void addSignal(const std::string &name, NetId net);
+
+    /** Trace a bus as a single multi-bit VCD variable. */
+    void addBus(const std::string &name, const Bus &bus);
+
+    /** Trace every named port of the netlist. */
+    void addPorts();
+
+    /** Write the header; call once after adding signals. */
+    void writeHeader();
+
+    /**
+     * Sample the simulator's settled values at a timestamp
+     * (typically the cycle number). Emits only changes.
+     */
+    void sample(const GateSimulator &sim, std::uint64_t time);
+
+  private:
+    struct Signal
+    {
+        std::string name;
+        std::string id;   ///< VCD identifier code
+        Bus nets;         ///< one entry for scalars
+        std::string last; ///< previous emitted value
+    };
+
+    std::string nextId();
+    static std::string valueOf(const GateSimulator &sim,
+                               const Bus &nets);
+
+    std::ostream &os_;
+    const Netlist &netlist_;
+    std::string module_;
+    std::vector<Signal> signals_;
+    unsigned idCounter_ = 0;
+    bool headerWritten_ = false;
+};
+
+} // namespace printed
+
+#endif // PRINTED_SIM_VCD_HH

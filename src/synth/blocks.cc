@@ -1,0 +1,454 @@
+#include "blocks.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace printed::synth
+{
+
+// ----------------------------------------------------------------
+// Bus plumbing
+// ----------------------------------------------------------------
+
+Bus
+busInputs(Netlist &nl, const std::string &name, unsigned width)
+{
+    Bus bus;
+    bus.reserve(width);
+    for (unsigned i = 0; i < width; ++i)
+        bus.push_back(nl.addInput(name + "[" + std::to_string(i) + "]"));
+    return bus;
+}
+
+void
+busOutputs(Netlist &nl, const std::string &name, const Bus &bus)
+{
+    for (std::size_t i = 0; i < bus.size(); ++i)
+        nl.addOutput(name + "[" + std::to_string(i) + "]", bus[i]);
+}
+
+Bus
+busConst(Netlist &nl, unsigned width, std::uint64_t value)
+{
+    Bus bus;
+    bus.reserve(width);
+    for (unsigned i = 0; i < width; ++i)
+        bus.push_back((value >> i) & 1 ? nl.constOne() : nl.constZero());
+    return bus;
+}
+
+Bus
+busSlice(const Bus &bus, unsigned first, unsigned count)
+{
+    panicIf(first + count > bus.size(), "busSlice: out of range");
+    return Bus(bus.begin() + first, bus.begin() + first + count);
+}
+
+Bus
+busConcat(const Bus &lo, const Bus &hi)
+{
+    Bus out = lo;
+    out.insert(out.end(), hi.begin(), hi.end());
+    return out;
+}
+
+Bus
+busExtend(Netlist &nl, const Bus &bus, unsigned width)
+{
+    Bus out = bus;
+    if (out.size() > width)
+        out.resize(width);
+    while (out.size() < width)
+        out.push_back(nl.constZero());
+    return out;
+}
+
+// ----------------------------------------------------------------
+// Bitwise logic
+// ----------------------------------------------------------------
+
+NetId
+inv(Netlist &nl, NetId a)
+{
+    return nl.addGate(CellKind::INVX1, a);
+}
+
+Bus
+busNot(Netlist &nl, const Bus &a)
+{
+    Bus out;
+    out.reserve(a.size());
+    for (NetId n : a)
+        out.push_back(inv(nl, n));
+    return out;
+}
+
+namespace
+{
+
+Bus
+busBinop(Netlist &nl, CellKind kind, const Bus &a, const Bus &b)
+{
+    panicIf(a.size() != b.size(), "bus binop: width mismatch");
+    Bus out;
+    out.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out.push_back(nl.addGate(kind, a[i], b[i]));
+    return out;
+}
+
+NetId
+reduceTree(Netlist &nl, CellKind kind, Bus level)
+{
+    while (level.size() > 1) {
+        Bus next;
+        next.reserve((level.size() + 1) / 2);
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(nl.addGate(kind, level[i], level[i + 1]));
+        if (level.size() & 1)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+} // anonymous namespace
+
+Bus
+busAnd(Netlist &nl, const Bus &a, const Bus &b)
+{
+    return busBinop(nl, CellKind::AND2X1, a, b);
+}
+
+Bus
+busOr(Netlist &nl, const Bus &a, const Bus &b)
+{
+    return busBinop(nl, CellKind::OR2X1, a, b);
+}
+
+Bus
+busXor(Netlist &nl, const Bus &a, const Bus &b)
+{
+    return busBinop(nl, CellKind::XOR2X1, a, b);
+}
+
+NetId
+andReduce(Netlist &nl, const Bus &a)
+{
+    if (a.empty())
+        return nl.constOne();
+    return reduceTree(nl, CellKind::AND2X1, a);
+}
+
+NetId
+orReduce(Netlist &nl, const Bus &a)
+{
+    if (a.empty())
+        return nl.constZero();
+    return reduceTree(nl, CellKind::OR2X1, a);
+}
+
+NetId
+isZero(Netlist &nl, const Bus &a)
+{
+    if (a.empty())
+        return nl.constOne();
+    if (a.size() == 1)
+        return inv(nl, a[0]);
+    // NOR pairs then AND-reduce: 1 iff every bit is 0.
+    Bus nors;
+    for (std::size_t i = 0; i + 1 < a.size(); i += 2)
+        nors.push_back(nl.addGate(CellKind::NOR2X1, a[i], a[i + 1]));
+    if (a.size() & 1)
+        nors.push_back(inv(nl, a.back()));
+    return andReduce(nl, nors);
+}
+
+// ----------------------------------------------------------------
+// Selection
+// ----------------------------------------------------------------
+
+NetId
+mux2(Netlist &nl, NetId sel, NetId a, NetId b)
+{
+    // sel ? b : a built from NANDs: cheaper cells than AND/OR in the
+    // printed library (Table 2: NAND2X1 is the cheapest 2-input cell).
+    const NetId nsel = inv(nl, sel);
+    const NetId t0 = nl.addGate(CellKind::NAND2X1, a, nsel);
+    const NetId t1 = nl.addGate(CellKind::NAND2X1, b, sel);
+    return nl.addGate(CellKind::NAND2X1, t0, t1);
+}
+
+Bus
+busMux2(Netlist &nl, NetId sel, const Bus &a, const Bus &b)
+{
+    panicIf(a.size() != b.size(), "busMux2: width mismatch");
+    const NetId nsel = inv(nl, sel);
+    Bus out;
+    out.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const NetId t0 = nl.addGate(CellKind::NAND2X1, a[i], nsel);
+        const NetId t1 = nl.addGate(CellKind::NAND2X1, b[i], sel);
+        out.push_back(nl.addGate(CellKind::NAND2X1, t0, t1));
+    }
+    return out;
+}
+
+Bus
+busMuxOneHot(Netlist &nl, const std::vector<NetId> &sels,
+             const std::vector<Bus> &choices)
+{
+    panicIf(sels.size() != choices.size() || sels.empty(),
+            "busMuxOneHot: bad arguments");
+    const std::size_t width = choices[0].size();
+    for (const Bus &c : choices)
+        panicIf(c.size() != width, "busMuxOneHot: width mismatch");
+
+    Bus out;
+    out.reserve(width);
+    for (std::size_t bitpos = 0; bitpos < width; ++bitpos) {
+        Bus terms;
+        terms.reserve(sels.size());
+        for (std::size_t i = 0; i < sels.size(); ++i)
+            terms.push_back(nl.addGate(CellKind::AND2X1,
+                                       choices[i][bitpos], sels[i]));
+        out.push_back(orReduce(nl, terms));
+    }
+    return out;
+}
+
+Bus
+busMuxTristate(Netlist &nl, const std::vector<NetId> &sels,
+               const std::vector<Bus> &choices)
+{
+    panicIf(sels.size() != choices.size() || sels.empty(),
+            "busMuxTristate: bad arguments");
+    const std::size_t width = choices[0].size();
+    for (const Bus &c : choices)
+        panicIf(c.size() != width, "busMuxTristate: width mismatch");
+
+    Bus out;
+    out.reserve(width);
+    for (std::size_t bitpos = 0; bitpos < width; ++bitpos) {
+        const NetId bus = nl.addNet();
+        for (std::size_t i = 0; i < sels.size(); ++i)
+            nl.addTristate(choices[i][bitpos], sels[i], bus);
+        out.push_back(bus);
+    }
+    return out;
+}
+
+std::vector<NetId>
+binaryDecoder(Netlist &nl, const Bus &sel, std::size_t limit)
+{
+    const std::size_t total = std::size_t(1) << sel.size();
+    const std::size_t count = limit == 0 ? total
+                                         : std::min(limit, total);
+    // Share per-bit inverters across the product terms.
+    Bus nsel = busNot(nl, sel);
+    std::vector<NetId> out;
+    out.reserve(count);
+    for (std::size_t v = 0; v < count; ++v) {
+        Bus terms;
+        terms.reserve(sel.size());
+        for (std::size_t b = 0; b < sel.size(); ++b)
+            terms.push_back((v >> b) & 1 ? sel[b] : nsel[b]);
+        out.push_back(andReduce(nl, terms));
+    }
+    return out;
+}
+
+NetId
+equalsConst(Netlist &nl, const Bus &a, std::uint64_t value)
+{
+    Bus terms;
+    terms.reserve(a.size());
+    for (std::size_t b = 0; b < a.size(); ++b)
+        terms.push_back((value >> b) & 1 ? a[b] : inv(nl, a[b]));
+    return andReduce(nl, terms);
+}
+
+// ----------------------------------------------------------------
+// Arithmetic
+// ----------------------------------------------------------------
+
+namespace
+{
+
+/**
+ * One full adder: 2 XOR + 3 NAND (5 cells). The NAND-NAND carry
+ * (cout = NAND(NAND(a,b), NAND(a^b,cin))) is both smaller and
+ * faster than AND/OR in the printed library (Table 2: NAND2X1 is
+ * the cheapest 2-input cell), which matters because the ripple
+ * carry chain dominates the ALU critical path.
+ */
+void
+fullAdder(Netlist &nl, NetId a, NetId b, NetId cin, NetId &sum,
+          NetId &cout)
+{
+    const NetId axb = nl.addGate(CellKind::XOR2X1, a, b);
+    sum = nl.addGate(CellKind::XOR2X1, axb, cin);
+    const NetId t0 = nl.addGate(CellKind::NAND2X1, a, b);
+    const NetId t1 = nl.addGate(CellKind::NAND2X1, axb, cin);
+    cout = nl.addGate(CellKind::NAND2X1, t0, t1);
+}
+
+} // anonymous namespace
+
+AddResult
+rippleAdder(Netlist &nl, const Bus &a, const Bus &b, NetId carry_in)
+{
+    panicIf(a.size() != b.size() || a.empty(),
+            "rippleAdder: width mismatch");
+    AddResult res;
+    res.sum.resize(a.size());
+    NetId carry = carry_in == invalidNet ? nl.constZero() : carry_in;
+    NetId carry_into_msb = carry;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        carry_into_msb = carry;
+        NetId sum, cout;
+        fullAdder(nl, a[i], b[i], carry, sum, cout);
+        res.sum[i] = sum;
+        carry = cout;
+    }
+    res.carryOut = carry;
+    // Signed overflow: carry into MSB xor carry out of MSB.
+    res.overflow = nl.addGate(CellKind::XOR2X1, carry_into_msb, carry);
+    return res;
+}
+
+AddResult
+rippleAddSub(Netlist &nl, const Bus &a, const Bus &b, NetId subtract,
+             NetId carry_in)
+{
+    // b XOR subtract complements b when subtracting; the carry-in is
+    // supplied by the caller (for SUB it is !borrow = 1).
+    Bus b_eff;
+    b_eff.reserve(b.size());
+    for (NetId n : b)
+        b_eff.push_back(nl.addGate(CellKind::XOR2X1, n, subtract));
+    return rippleAdder(nl, a, b_eff, carry_in);
+}
+
+Bus
+incrementer(Netlist &nl, const Bus &a)
+{
+    // Half-adder chain: sum = a ^ c, c' = a & c, with c0 = 1.
+    Bus out;
+    out.reserve(a.size());
+    NetId carry = nl.constOne();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        out.push_back(nl.addGate(CellKind::XOR2X1, a[i], carry));
+        if (i + 1 < a.size())
+            carry = nl.addGate(CellKind::AND2X1, a[i], carry);
+    }
+    return out;
+}
+
+// ----------------------------------------------------------------
+// Rotates
+// ----------------------------------------------------------------
+
+RotateResult
+rotateLeft1(const Bus &a)
+{
+    panicIf(a.empty(), "rotateLeft1: empty bus");
+    RotateResult res;
+    res.data.push_back(a.back());
+    for (std::size_t i = 0; i + 1 < a.size(); ++i)
+        res.data.push_back(a[i]);
+    res.carryOut = a.back();
+    return res;
+}
+
+RotateResult
+rotateLeft1Carry(const Bus &a, NetId carry_in)
+{
+    panicIf(a.empty(), "rotateLeft1Carry: empty bus");
+    RotateResult res;
+    res.data.push_back(carry_in);
+    for (std::size_t i = 0; i + 1 < a.size(); ++i)
+        res.data.push_back(a[i]);
+    res.carryOut = a.back();
+    return res;
+}
+
+RotateResult
+rotateRight1(const Bus &a)
+{
+    panicIf(a.empty(), "rotateRight1: empty bus");
+    RotateResult res;
+    for (std::size_t i = 1; i < a.size(); ++i)
+        res.data.push_back(a[i]);
+    res.data.push_back(a.front());
+    res.carryOut = a.front();
+    return res;
+}
+
+RotateResult
+rotateRight1Carry(const Bus &a, NetId carry_in)
+{
+    panicIf(a.empty(), "rotateRight1Carry: empty bus");
+    RotateResult res;
+    for (std::size_t i = 1; i < a.size(); ++i)
+        res.data.push_back(a[i]);
+    res.data.push_back(carry_in);
+    res.carryOut = a.front();
+    return res;
+}
+
+RotateResult
+shiftRightArith1(const Bus &a)
+{
+    panicIf(a.empty(), "shiftRightArith1: empty bus");
+    RotateResult res;
+    for (std::size_t i = 1; i < a.size(); ++i)
+        res.data.push_back(a[i]);
+    res.data.push_back(a.back()); // duplicate sign bit
+    res.carryOut = a.front();
+    return res;
+}
+
+// ----------------------------------------------------------------
+// Registers
+// ----------------------------------------------------------------
+
+Bus
+registerBank(Netlist &nl, const Bus &d)
+{
+    Bus q;
+    q.reserve(d.size());
+    for (NetId n : d)
+        q.push_back(nl.addFlop(n));
+    return q;
+}
+
+Bus
+registerBankReset(Netlist &nl, const Bus &d, NetId rn)
+{
+    Bus q;
+    q.reserve(d.size());
+    for (NetId n : d)
+        q.push_back(nl.addFlopReset(n, rn));
+    return q;
+}
+
+Bus
+registerEnable(Netlist &nl, const Bus &d, NetId en, NetId rn)
+{
+    // q feeds back through the hold mux, so q must exist before its
+    // own D; use feedback placeholders.
+    Bus q_fb;
+    q_fb.reserve(d.size());
+    for (std::size_t i = 0; i < d.size(); ++i)
+        q_fb.push_back(nl.makeFeedback());
+
+    const Bus next = busMux2(nl, en, q_fb, d);
+    const Bus q = rn == invalidNet ? registerBank(nl, next)
+                                   : registerBankReset(nl, next, rn);
+    for (std::size_t i = 0; i < d.size(); ++i)
+        nl.resolveFeedback(q_fb[i], q[i]);
+    return q;
+}
+
+} // namespace printed::synth

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Structural synthesis generators.
+ *
+ * These functions play the role of Synopsys Design Compiler in the
+ * paper's flow: they elaborate datapath and control blocks directly
+ * into gate-level netlists over the eleven-cell printed standard-cell
+ * library. All buses are LSB-first.
+ *
+ * The generators deliberately use the cheap topologies appropriate
+ * for printed technologies: ripple-carry arithmetic (no carry
+ * lookahead: printed cells are area-dominated), AND-OR one-hot
+ * muxes, and single-bit rotators (the paper rejects barrel shifters
+ * as too large - 152 cells for 8 bits).
+ */
+
+#ifndef PRINTED_SYNTH_BLOCKS_HH
+#define PRINTED_SYNTH_BLOCKS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace printed::synth
+{
+
+// ----------------------------------------------------------------
+// Bus plumbing
+// ----------------------------------------------------------------
+
+/** Create `width` primary inputs named name[0..width). */
+Bus busInputs(Netlist &nl, const std::string &name, unsigned width);
+
+/** Expose a bus as primary outputs named name[0..width). */
+void busOutputs(Netlist &nl, const std::string &name, const Bus &bus);
+
+/** A bus of constant nets carrying `value` (LSB first). */
+Bus busConst(Netlist &nl, unsigned width, std::uint64_t value);
+
+/** Slice bits [first, first+count) of a bus. */
+Bus busSlice(const Bus &bus, unsigned first, unsigned count);
+
+/** Concatenate: lo bits first, then hi bits. */
+Bus busConcat(const Bus &lo, const Bus &hi);
+
+/** Zero-extend (or truncate) a bus to `width` bits. */
+Bus busExtend(Netlist &nl, const Bus &bus, unsigned width);
+
+// ----------------------------------------------------------------
+// Bitwise logic
+// ----------------------------------------------------------------
+
+NetId inv(Netlist &nl, NetId a);
+Bus busNot(Netlist &nl, const Bus &a);
+Bus busAnd(Netlist &nl, const Bus &a, const Bus &b);
+Bus busOr(Netlist &nl, const Bus &a, const Bus &b);
+Bus busXor(Netlist &nl, const Bus &a, const Bus &b);
+
+/** AND of all bus bits (balanced tree). Empty bus -> constant 1. */
+NetId andReduce(Netlist &nl, const Bus &a);
+
+/** OR of all bus bits (balanced tree). Empty bus -> constant 0. */
+NetId orReduce(Netlist &nl, const Bus &a);
+
+/** NOR of all bus bits: 1 iff the bus is all zero. */
+NetId isZero(Netlist &nl, const Bus &a);
+
+// ----------------------------------------------------------------
+// Selection
+// ----------------------------------------------------------------
+
+/** 2:1 mux, one bit: sel ? b : a. */
+NetId mux2(Netlist &nl, NetId sel, NetId a, NetId b);
+
+/** 2:1 mux, bus: sel ? b : a. */
+Bus busMux2(Netlist &nl, NetId sel, const Bus &a, const Bus &b);
+
+/**
+ * One-hot AND-OR mux: output = OR_i (choices[i] AND sels[i]).
+ * Exactly one select is expected to be high (zero output if none).
+ */
+Bus busMuxOneHot(Netlist &nl, const std::vector<NetId> &sels,
+                 const std::vector<Bus> &choices);
+
+/**
+ * One-hot tri-state bus mux: each choice drives a shared bus
+ * through TSBUFX1 cells. Cheaper than the AND-OR mux for wide
+ * many-way selection (one cell per choice per bit), at the cost of
+ * requiring exactly-one-hot selects. This is the idiom the printed
+ * library's tri-state buffer exists for.
+ */
+Bus busMuxTristate(Netlist &nl, const std::vector<NetId> &sels,
+                   const std::vector<Bus> &choices);
+
+/**
+ * Binary decoder: 2^sel.size() one-hot outputs. When `limit` is
+ * nonzero only the first `limit` outputs are generated.
+ */
+std::vector<NetId> binaryDecoder(Netlist &nl, const Bus &sel,
+                                 std::size_t limit = 0);
+
+/** 1 iff bus equals the constant value. */
+NetId equalsConst(Netlist &nl, const Bus &a, std::uint64_t value);
+
+// ----------------------------------------------------------------
+// Arithmetic
+// ----------------------------------------------------------------
+
+/** Result of an addition/subtraction. */
+struct AddResult
+{
+    Bus sum;              ///< n-bit result
+    NetId carryOut = invalidNet;  ///< carry (add) / not-borrow (sub)
+    NetId overflow = invalidNet;  ///< signed overflow flag
+};
+
+/** Ripple-carry adder: a + b + carryIn. */
+AddResult rippleAdder(Netlist &nl, const Bus &a, const Bus &b,
+                      NetId carry_in);
+
+/**
+ * Ripple add/sub: subtract==0 -> a + b + carryIn,
+ * subtract==1 -> a - b - (1 - carryIn), i.e. b is complemented and
+ * carryIn is the inverted borrow, the standard shared-adder trick.
+ */
+AddResult rippleAddSub(Netlist &nl, const Bus &a, const Bus &b,
+                       NetId subtract, NetId carry_in);
+
+/** a + 1 using a half-adder chain (cheap PC incrementer). */
+Bus incrementer(Netlist &nl, const Bus &a);
+
+// ----------------------------------------------------------------
+// Rotates (single position, as in TP-ISA)
+// ----------------------------------------------------------------
+
+/** Rotate result bundle: data plus the carry-out bit. */
+struct RotateResult
+{
+    Bus data;
+    NetId carryOut = invalidNet; ///< bit shifted out
+};
+
+/** Rotate left by one; carryOut is the old MSB. */
+RotateResult rotateLeft1(const Bus &a);
+
+/** Rotate left through carry; carryOut is the old MSB. */
+RotateResult rotateLeft1Carry(const Bus &a, NetId carry_in);
+
+/** Rotate right by one; carryOut is the old LSB. */
+RotateResult rotateRight1(const Bus &a);
+
+/** Rotate right through carry; carryOut is the old LSB. */
+RotateResult rotateRight1Carry(const Bus &a, NetId carry_in);
+
+/** Arithmetic shift right by one (MSB duplicated). */
+RotateResult shiftRightArith1(const Bus &a);
+
+// ----------------------------------------------------------------
+// Registers
+// ----------------------------------------------------------------
+
+/** Bank of plain DFFs. */
+Bus registerBank(Netlist &nl, const Bus &d);
+
+/** Bank of DFFNRs sharing one active-low reset. */
+Bus registerBankReset(Netlist &nl, const Bus &d, NetId rn);
+
+/**
+ * Register with write enable (and asynchronous reset): q is fed back
+ * through a 2:1 mux so the value holds when en is low.
+ */
+Bus registerEnable(Netlist &nl, const Bus &d, NetId en, NetId rn);
+
+} // namespace printed::synth
+
+#endif // PRINTED_SYNTH_BLOCKS_HH

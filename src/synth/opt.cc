@@ -1,0 +1,287 @@
+#include "opt.hh"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace printed::synth
+{
+
+namespace
+{
+
+/** Three-value constant lattice per net. */
+enum class Lat : std::uint8_t { Unknown, Zero, One };
+
+Lat
+latOfSource(const NetInfo &info)
+{
+    switch (info.source) {
+      case NetSource::Const0:
+        return Lat::Zero;
+      case NetSource::Const1:
+        return Lat::One;
+      default:
+        return Lat::Unknown;
+    }
+}
+
+/**
+ * One constant-folding + identity-simplification sweep.
+ * Returns number of gates simplified.
+ */
+std::size_t
+foldConstants(Netlist &nl)
+{
+    // Materialize the constant nets up front so rewiring to them
+    // never grows the net array mid-pass.
+    nl.constZero();
+    nl.constOne();
+
+    std::vector<Lat> lat(nl.netCount(), Lat::Unknown);
+    for (NetId n = 0; n < nl.netCount(); ++n)
+        lat[n] = latOfSource(nl.net(n));
+
+    std::size_t folded = 0;
+    const auto order = nl.levelize();
+    for (GateId gi : order) {
+        Gate &g = nl.mutableGate(gi);
+        if (g.kind == CellKind::TSBUFX1)
+            continue; // bus drivers are left alone
+
+        const Lat a = lat[g.in0];
+        const Lat b = g.in1 != invalidNet ? lat[g.in1] : Lat::Unknown;
+
+        auto replace_with_const = [&](bool one) {
+            nl.rewireUses(g.out, one ? nl.constOne() : nl.constZero());
+            lat[g.out] = one ? Lat::One : Lat::Zero;
+            ++folded;
+        };
+        auto replace_with_net = [&](NetId n) {
+            nl.rewireUses(g.out, n);
+            lat[g.out] = lat[n];
+            ++folded;
+        };
+        auto become_inv_of = [&](NetId n) {
+            g.kind = CellKind::INVX1;
+            g.in0 = n;
+            g.in1 = invalidNet;
+            lat[g.out] = lat[n] == Lat::Zero  ? Lat::One
+                       : lat[n] == Lat::One   ? Lat::Zero
+                                              : Lat::Unknown;
+            ++folded;
+        };
+
+        const bool same_inputs = g.in1 != invalidNet && g.in0 == g.in1;
+
+        switch (g.kind) {
+          case CellKind::INVX1:
+            if (a == Lat::Zero)
+                replace_with_const(true);
+            else if (a == Lat::One)
+                replace_with_const(false);
+            break;
+
+          case CellKind::AND2X1:
+            if (a == Lat::Zero || b == Lat::Zero)
+                replace_with_const(false);
+            else if (a == Lat::One)
+                replace_with_net(g.in1);
+            else if (b == Lat::One || same_inputs)
+                replace_with_net(g.in0);
+            break;
+
+          case CellKind::OR2X1:
+            if (a == Lat::One || b == Lat::One)
+                replace_with_const(true);
+            else if (a == Lat::Zero)
+                replace_with_net(g.in1);
+            else if (b == Lat::Zero || same_inputs)
+                replace_with_net(g.in0);
+            break;
+
+          case CellKind::NAND2X1:
+            if (a == Lat::Zero || b == Lat::Zero)
+                replace_with_const(true);
+            else if (a == Lat::One)
+                become_inv_of(g.in1);
+            else if (b == Lat::One || same_inputs)
+                become_inv_of(g.in0);
+            break;
+
+          case CellKind::NOR2X1:
+            if (a == Lat::One || b == Lat::One)
+                replace_with_const(false);
+            else if (a == Lat::Zero)
+                become_inv_of(g.in1);
+            else if (b == Lat::Zero || same_inputs)
+                become_inv_of(g.in0);
+            break;
+
+          case CellKind::XOR2X1:
+            if (same_inputs)
+                replace_with_const(false);
+            else if (a == Lat::Zero)
+                replace_with_net(g.in1);
+            else if (b == Lat::Zero)
+                replace_with_net(g.in0);
+            else if (a == Lat::One)
+                become_inv_of(g.in1);
+            else if (b == Lat::One)
+                become_inv_of(g.in0);
+            else if (a != Lat::Unknown && b != Lat::Unknown)
+                replace_with_const(a != b);
+            break;
+
+          case CellKind::XNOR2X1:
+            if (same_inputs)
+                replace_with_const(true);
+            else if (a == Lat::One)
+                replace_with_net(g.in1);
+            else if (b == Lat::One)
+                replace_with_net(g.in0);
+            else if (a == Lat::Zero)
+                become_inv_of(g.in1);
+            else if (b == Lat::Zero)
+                become_inv_of(g.in0);
+            break;
+
+          default:
+            break;
+        }
+    }
+    return folded;
+}
+
+/** Collapse INV(INV(x)) -> x. Returns number of pairs removed. */
+std::size_t
+collapseInvPairs(Netlist &nl)
+{
+    std::size_t pairs = 0;
+    for (GateId gi = 0; gi < nl.gateCount(); ++gi) {
+        const Gate &g = nl.gate(gi);
+        if (g.kind != CellKind::INVX1)
+            continue;
+        const NetInfo &in_info = nl.net(g.in0);
+        if (in_info.source != NetSource::GateOutput ||
+            in_info.drivers.size() != 1)
+            continue;
+        const Gate &drv = nl.gate(in_info.drivers[0]);
+        if (drv.kind != CellKind::INVX1)
+            continue;
+        nl.rewireUses(g.out, drv.in0);
+        ++pairs;
+    }
+    return pairs;
+}
+
+/**
+ * Structural CSE: combinational gates with identical kind and inputs
+ * (inputs normalized for commutative cells) share one instance.
+ */
+std::size_t
+shareDuplicates(Netlist &nl)
+{
+    std::unordered_map<std::uint64_t, GateId> seen;
+    std::size_t shared = 0;
+    const auto order = nl.levelize();
+    for (GateId gi : order) {
+        const Gate &g = nl.gate(gi);
+        if (g.kind == CellKind::TSBUFX1)
+            continue;
+        NetId lo = g.in0, hi = g.in1;
+        // All 2-input combinational library cells are commutative.
+        if (hi != invalidNet && hi < lo)
+            std::swap(lo, hi);
+        const std::uint64_t key =
+            (std::uint64_t(static_cast<unsigned>(g.kind)) << 58) ^
+            (std::uint64_t(lo) << 29) ^ std::uint64_t(hi + 1);
+        auto [it, inserted] = seen.emplace(key, gi);
+        if (inserted)
+            continue;
+        const Gate &prev = nl.gate(it->second);
+        NetId plo = prev.in0, phi = prev.in1;
+        if (phi != invalidNet && phi < plo)
+            std::swap(plo, phi);
+        if (prev.kind == g.kind && plo == lo && phi == hi &&
+            prev.out != g.out) {
+            nl.rewireUses(g.out, prev.out);
+            ++shared;
+        }
+    }
+    return shared;
+}
+
+/**
+ * Remove gates not reachable (backwards) from any primary output.
+ * Returns the number of gates removed.
+ */
+std::size_t
+sweepDead(Netlist &nl)
+{
+    // Live nets: transitive fan-in of the primary outputs.
+    std::vector<bool> net_live(nl.netCount(), false);
+    std::vector<NetId> work;
+    for (const auto &p : nl.outputs()) {
+        if (!net_live[p.net]) {
+            net_live[p.net] = true;
+            work.push_back(p.net);
+        }
+    }
+    while (!work.empty()) {
+        const NetId n = work.back();
+        work.pop_back();
+        for (GateId gi : nl.net(n).drivers) {
+            const Gate &g = nl.gate(gi);
+            for (NetId in : {g.in0, g.in1}) {
+                if (in != invalidNet && !net_live[in]) {
+                    net_live[in] = true;
+                    work.push_back(in);
+                }
+            }
+        }
+    }
+
+    std::vector<bool> dead(nl.gateCount(), false);
+    std::size_t removed = 0;
+    for (GateId gi = 0; gi < nl.gateCount(); ++gi) {
+        if (!net_live[nl.gate(gi).out]) {
+            dead[gi] = true;
+            ++removed;
+        }
+    }
+    if (removed)
+        nl.removeGates(dead);
+    return removed;
+}
+
+} // anonymous namespace
+
+OptStats
+optimize(Netlist &nl)
+{
+    OptStats stats;
+    stats.gatesBefore = nl.gateCount();
+
+    bool progress = true;
+    while (progress && stats.iterations < 32) {
+        ++stats.iterations;
+        const std::size_t folded = foldConstants(nl);
+        const std::size_t pairs = collapseInvPairs(nl);
+        const std::size_t shared = shareDuplicates(nl);
+        const std::size_t dead = sweepDead(nl);
+        stats.constFolded += folded;
+        stats.invPairs += pairs;
+        stats.shared += shared;
+        stats.deadRemoved += dead;
+        progress = folded + pairs + shared + dead > 0;
+    }
+
+    nl.validate();
+    stats.gatesAfter = nl.gateCount();
+    return stats;
+}
+
+} // namespace printed::synth

@@ -1,0 +1,118 @@
+#include "liberty.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace printed
+{
+
+namespace
+{
+
+/** Boolean function of each combinational cell. */
+const char *
+cellFunction(CellKind kind)
+{
+    switch (kind) {
+      case CellKind::INVX1:   return "(!A)";
+      case CellKind::NAND2X1: return "(!(A&B))";
+      case CellKind::NOR2X1:  return "(!(A+B))";
+      case CellKind::AND2X1:  return "(A&B)";
+      case CellKind::OR2X1:   return "(A+B)";
+      case CellKind::XOR2X1:  return "(A^B)";
+      case CellKind::XNOR2X1: return "(!(A^B))";
+      case CellKind::TSBUFX1: return "A";
+      default:
+        panic("cellFunction: sequential cell");
+    }
+}
+
+void
+writePin(std::ostream &os, const char *name)
+{
+    os << "    pin(" << name << ") {\n"
+       << "      direction : input;\n"
+       << "    }\n";
+}
+
+} // anonymous namespace
+
+void
+writeLiberty(std::ostream &os, const CellLibrary &lib)
+{
+    std::string name = lib.name();
+    std::replace(name.begin(), name.end(), '@', '_');
+    std::replace(name.begin(), name.end(), '-', '_');
+
+    os << "/* Printed standard-cell library (Table 2 of 'Printed"
+          " Microprocessors', ISCA 2020 reproduction). */\n"
+       << "library(" << name << ") {\n"
+       << "  delay_model : generic_cmos;\n"
+       << "  time_unit : \"1us\";\n"
+       << "  voltage_unit : \"1V\";\n"
+       << "  leakage_power_unit : \"1uW\";\n"
+       << "  capacitive_load_unit(1, pf);\n"
+       << "  nom_voltage : " << lib.vdd() << ";\n\n";
+
+    for (std::size_t i = 0; i < numCellKinds; ++i) {
+        const auto kind = static_cast<CellKind>(i);
+        const CellSpec &spec = lib.cell(kind);
+        os << "  cell(" << cellName(kind) << ") {\n"
+           << "    area : " << spec.area_mm2 << "; /* mm^2 */\n"
+           << "    cell_leakage_power : "
+           << lib.staticPowerUw(kind) << ";\n";
+
+        const bool seq = cellIsSequential(kind);
+        if (kind == CellKind::DFFX1 || kind == CellKind::DFFNRX1) {
+            os << "    ff(IQ, IQN) {\n"
+               << "      clocked_on : \"CK\";\n"
+               << "      next_state : \"D\";\n";
+            if (kind == CellKind::DFFNRX1)
+                os << "      clear : \"!RN\";\n";
+            os << "    }\n";
+            writePin(os, "D");
+            writePin(os, "CK");
+            if (kind == CellKind::DFFNRX1)
+                writePin(os, "RN");
+        } else if (kind == CellKind::LATCHX1) {
+            os << "    latch(IQ, IQN) {\n"
+               << "      preset : \"S\";\n"
+               << "      clear : \"R\";\n"
+               << "    }\n";
+            writePin(os, "S");
+            writePin(os, "R");
+        } else {
+            writePin(os, "A");
+            if (cellInputCount(kind) == 2)
+                writePin(os, kind == CellKind::TSBUFX1 ? "EN" : "B");
+        }
+
+        const char *out = seq ? "Q" : "Y";
+        os << "    pin(" << out << ") {\n"
+           << "      direction : output;\n";
+        if (!seq)
+            os << "      function : \"" << cellFunction(kind)
+               << "\";\n";
+        else
+            os << "      function : \"IQ\";\n";
+        if (kind == CellKind::TSBUFX1)
+            os << "      three_state : \"!EN\";\n";
+        os << "      timing() {\n"
+           << "        cell_rise(scalar) { values(\""
+           << spec.rise_us << "\"); }\n"
+           << "        cell_fall(scalar) { values(\""
+           << spec.fall_us << "\"); }\n"
+           << "      }\n"
+           << "      internal_power() {\n"
+           << "        rise_power(scalar) { values(\""
+           << spec.energy_nJ << "\"); } /* nJ per toggle */\n"
+           << "      }\n"
+           << "    }\n"
+           << "  }\n\n";
+    }
+    os << "}\n";
+}
+
+} // namespace printed

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Liberty (.lib) export of the printed standard-cell libraries.
+ *
+ * The paper's released artifact is a synthesis-ready PDK; this
+ * writer emits the characterized cells in the Liberty format EDA
+ * tools consume (scalar delay/energy values - the printed cells
+ * were characterized at a single operating point, Table 2), so the
+ * libraries can be used with an external synthesis flow alongside
+ * the structural Verilog exporter.
+ */
+
+#ifndef PRINTED_TECH_LIBERTY_HH
+#define PRINTED_TECH_LIBERTY_HH
+
+#include <ostream>
+
+#include "tech/library.hh"
+
+namespace printed
+{
+
+/** Emit a CellLibrary in Liberty format. */
+void writeLiberty(std::ostream &os, const CellLibrary &lib);
+
+} // namespace printed
+
+#endif // PRINTED_TECH_LIBERTY_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Standard-cell libraries for the EGFET and CNT-TFT printed
+ * technologies.
+ *
+ * A CellLibrary bundles the Table 2 characterization of all eleven
+ * cells with the technology's supply voltage and static-power
+ * coefficient. It is the single source of truth consumed by the
+ * synthesis generators, static timing analysis, and the power model.
+ */
+
+#ifndef PRINTED_TECH_LIBRARY_HH
+#define PRINTED_TECH_LIBRARY_HH
+
+#include <array>
+#include <string>
+
+#include "tech/cell.hh"
+#include "tech/technology.hh"
+
+namespace printed
+{
+
+/**
+ * A characterized standard-cell library for one printed technology.
+ *
+ * Static power model: Table 2 reports switching energy only, but
+ * EGFET transistor-resistor logic conducts statically whenever a
+ * pull-down network is on (and pseudo-CMOS CNT-TFT has residual
+ * leakage). We model per-cell static power as
+ *
+ *     P_static(cell) = staticPowerPerStage_uW * staticStages(cell)
+ *
+ * with the per-stage coefficient calibrated once per technology so
+ * the Table 4 totals of the four legacy cores are reproduced (see
+ * DESIGN.md, "Calibration & modeling notes"). The same coefficient
+ * is used unchanged for all TP-ISA results.
+ */
+class CellLibrary
+{
+  public:
+    CellLibrary(TechKind kind, double vdd, double static_per_stage_uw,
+                std::array<CellSpec, numCellKinds> cells);
+
+    /** Technology this library characterizes. */
+    TechKind tech() const { return tech_; }
+
+    /** Library display name, e.g. "EGFET@1V". */
+    std::string name() const;
+
+    /** Nominal supply voltage [V]. */
+    double vdd() const { return vdd_; }
+
+    /** Characterization record for one cell. */
+    const CellSpec &cell(CellKind kind) const;
+
+    /** All cells in Table 2 order. */
+    const std::array<CellSpec, numCellKinds> &cells() const
+    {
+        return cells_;
+    }
+
+    /** Static power of one cell instance [uW]. */
+    double staticPowerUw(CellKind kind) const;
+
+    /** Calibrated static power per resistor-loaded stage [uW]. */
+    double staticPowerPerStageUw() const { return staticPerStageUw_; }
+
+    /**
+     * Clock period floor contributed by a flip-flop [us]: the
+     * clk-to-q delay of DFFX1 (its worst-case transition).
+     */
+    double flopPeriodFloorUs() const;
+
+  private:
+    TechKind tech_;
+    double vdd_;
+    double staticPerStageUw_;
+    std::array<CellSpec, numCellKinds> cells_;
+};
+
+/** The EGFET standard-cell library at VDD = 1 V (Table 2). */
+const CellLibrary &egfetLibrary();
+
+/** The CNT-TFT standard-cell library at VDD = 3 V (Table 2). */
+const CellLibrary &cntLibrary();
+
+/** Library for the given technology kind. */
+const CellLibrary &libraryFor(TechKind kind);
+
+} // namespace printed
+
+#endif // PRINTED_TECH_LIBRARY_HH

@@ -1,0 +1,61 @@
+#include "technology.hh"
+
+#include "common/logging.hh"
+
+namespace printed
+{
+
+std::string
+techName(TechKind kind)
+{
+    switch (kind) {
+      case TechKind::EGFET:
+        return "EGFET";
+      case TechKind::CNT_TFT:
+        return "CNT-TFT";
+    }
+    panic("techName: unknown TechKind");
+}
+
+const std::vector<TechnologyInfo> &
+technologySurvey()
+{
+    // Table 1 of the paper. Voltages follow the printed ranges; a
+    // single reported value is stored as min == max.
+    static const std::vector<TechnologyInfo> rows = {
+        {"EGFET", "Inkjet", ProcessingRoute::Additive,
+         0.0, 1.0, 126.0, true},
+        {"IOTFT", "Solution/inkjet", ProcessingRoute::Additive,
+         40.0, 40.0, 1.0, false},
+        {"OTFT (Ramon)", "Inkjet", ProcessingRoute::Additive,
+         30.0, 30.0, 2e-4, false},
+        {"OTFT (Chung)", "Inkjet", ProcessingRoute::Additive,
+         50.0, 50.0, 0.02, false},
+        {"OTFT (Kang)", "Gravure-inkjet", ProcessingRoute::Additive,
+         15.0, 15.0, 1.0, false},
+        {"Carbon Nanotube", "Solution/shadow mask",
+         ProcessingRoute::Subtractive, 1.0, 2.0, 25.0, true},
+        {"OTFT (Chang)", "Shadow mask", ProcessingRoute::Subtractive,
+         5.0, 10.0, 0.16, false},
+        {"SAM OTFT", "Shadow mask", ProcessingRoute::Subtractive,
+         2.0, 2.0, 0.5, true},
+        {"OTFT (Plassmeyer)", "Shadow mask",
+         ProcessingRoute::Subtractive, 20.0, 40.0, 11.0, false},
+    };
+    return rows;
+}
+
+const TechnologyInfo &
+technologyInfo(TechKind kind)
+{
+    const auto &rows = technologySurvey();
+    switch (kind) {
+      case TechKind::EGFET:
+        return rows[0];
+      case TechKind::CNT_TFT:
+        return rows[5];
+    }
+    panic("technologyInfo: unknown TechKind");
+}
+
+} // namespace printed

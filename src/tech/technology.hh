@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Printed/flexible electronics technology descriptors.
+ *
+ * Reproduces Table 1 of the paper: operating voltage and mobility of
+ * the candidate printed technologies, plus the processing route
+ * (additive inkjet vs. subtractive shadow-mask/solution) that drives
+ * the paper's cost arguments.
+ */
+
+#ifndef PRINTED_TECH_TECHNOLOGY_HH
+#define PRINTED_TECH_TECHNOLOGY_HH
+
+#include <string>
+#include <vector>
+
+namespace printed
+{
+
+/** The two technologies the paper builds standard-cell libraries for. */
+enum class TechKind
+{
+    EGFET,  ///< Electrolyte-gated FET, inkjet printed, VDD = 1 V
+    CNT_TFT ///< Carbon-nanotube TFT, shadow mask, VDD = 3 V
+};
+
+/** Human-readable name of a TechKind ("EGFET" / "CNT-TFT"). */
+std::string techName(TechKind kind);
+
+/** Manufacturing route classes from Figure 1. */
+enum class ProcessingRoute
+{
+    Additive,    ///< deposition only (e.g. inkjet)
+    Subtractive, ///< deposition + etching steps (e.g. shadow mask)
+};
+
+/**
+ * One row of Table 1: a printed/flexible transistor technology and
+ * its headline electrical characteristics.
+ */
+struct TechnologyInfo
+{
+    std::string name;          ///< process technology label
+    std::string processing;    ///< processing route description
+    ProcessingRoute route;     ///< additive or subtractive
+    double minVoltage;         ///< lower bound of operating voltage [V]
+    double maxVoltage;         ///< upper bound of operating voltage [V]
+    double mobility;           ///< field-effect mobility [cm^2/Vs]
+    bool batteryCompatible;    ///< operating voltage low enough for
+                               ///< printed batteries (<= ~3 V)
+};
+
+/**
+ * The Table 1 technology survey, in paper order.
+ *
+ * EGFET and CNT-TFT are the two battery-compatible entries; the
+ * others motivate why older printed technologies (30-50 V OTFTs)
+ * could not target battery-powered applications.
+ */
+const std::vector<TechnologyInfo> &technologySurvey();
+
+/** Table 1 row for the given standard-cell technology. */
+const TechnologyInfo &technologyInfo(TechKind kind);
+
+} // namespace printed
+
+#endif // PRINTED_TECH_TECHNOLOGY_HH

@@ -1,0 +1,221 @@
+#include "builder.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+
+namespace printed
+{
+
+AsmBuilder::AsmBuilder(unsigned data_width, unsigned core_width,
+                       unsigned bar_count)
+    : dataWidth_(data_width), coreWidth_(core_width),
+      barCount_(bar_count)
+{
+    fatalIf(core_width == 0 || data_width % core_width != 0,
+            "AsmBuilder: core width must divide data width");
+    words_ = data_width / core_width;
+    fatalIf(words_ == 0 || words_ > 8,
+            "AsmBuilder: at most 8 words per variable");
+}
+
+IsaConfig
+AsmBuilder::isaConfig() const
+{
+    IsaConfig cfg;
+    cfg.datawidth = coreWidth_;
+    cfg.barCount = barCount_;
+    return cfg;
+}
+
+unsigned
+AsmBuilder::allocVar(const std::string &name)
+{
+    const unsigned addr = nextAddr_;
+    nextAddr_ += words_;
+    comment("var " + name + " @ " + std::to_string(addr) + " (" +
+            std::to_string(words_) + " words)");
+    return addr;
+}
+
+unsigned
+AsmBuilder::allocWord(const std::string &name)
+{
+    const unsigned addr = nextAddr_;
+    nextAddr_ += 1;
+    comment("word " + name + " @ " + std::to_string(addr));
+    return addr;
+}
+
+unsigned
+AsmBuilder::allocArray(const std::string &name, std::size_t elems)
+{
+    const unsigned addr = nextAddr_;
+    nextAddr_ += unsigned(elems) * words_;
+    comment("array " + name + "[" + std::to_string(elems) + "] @ " +
+            std::to_string(addr));
+    return addr;
+}
+
+std::string
+AsmBuilder::newLabel(const std::string &hint)
+{
+    return hint + "_" + std::to_string(labelCounter_++);
+}
+
+void
+AsmBuilder::placeLabel(const std::string &label)
+{
+    src_ << label << ":\n";
+}
+
+void
+AsmBuilder::branch(const std::string &label, const std::string &mask,
+                   bool negated)
+{
+    src_ << "    " << (negated ? "BRN" : "BR") << " " << label << ", "
+         << mask << "\n";
+}
+
+void
+AsmBuilder::halt()
+{
+    const std::string label = newLabel("halt");
+    placeLabel(label);
+    branch(label, "#0", true); // BRN with empty mask: always taken
+}
+
+std::string
+AsmBuilder::opText(AsmOp op) const
+{
+    if (op.bar == 0)
+        return "[" + std::to_string(op.off) + "]";
+    return "[b" + std::to_string(op.bar) + "+" +
+           std::to_string(op.off) + "]";
+}
+
+void
+AsmBuilder::ins(const std::string &mnemonic, AsmOp a, AsmOp b)
+{
+    src_ << "    " << mnemonic << " " << opText(a) << ", "
+         << opText(b) << "\n";
+}
+
+void
+AsmBuilder::storeW(AsmOp a, unsigned imm)
+{
+    fatalIf(imm > 255, "storeW: immediate exceeds 8 bits");
+    src_ << "    STORE " << opText(a) << ", #" << imm << "\n";
+}
+
+void
+AsmBuilder::movW(AsmOp dst, AsmOp src)
+{
+    storeW(dst, 0);
+    orW(dst, src);
+}
+
+void
+AsmBuilder::setbar(unsigned ptr_word, unsigned index)
+{
+    src_ << "    SETBAR [" << ptr_word << "], #" << index << "\n";
+}
+
+void
+AsmBuilder::comment(const std::string &text)
+{
+    src_ << "    ; " << text << "\n";
+}
+
+void
+AsmBuilder::storeVarImm(unsigned var, std::uint64_t value)
+{
+    for (unsigned w = 0; w < words_; ++w) {
+        const std::uint64_t slice =
+            (value >> (w * coreWidth_)) &
+            maskBits(std::min(coreWidth_, 8u));
+        // Word slices wider than 8 bits can only be STOREd when the
+        // upper bits are zero.
+        const std::uint64_t full =
+            (value >> (w * coreWidth_)) & maskBits(coreWidth_);
+        fatalIf(full > 255,
+                "storeVarImm: word slice exceeds the 8-bit STORE "
+                "immediate");
+        storeW({0, var + w}, unsigned(slice));
+    }
+}
+
+void
+AsmBuilder::addVar(unsigned a, unsigned b)
+{
+    for (unsigned w = 0; w < words_; ++w)
+        ins(w == 0 ? "ADD" : "ADC", {0, a + w}, {0, b + w});
+}
+
+void
+AsmBuilder::subVar(unsigned a, unsigned b)
+{
+    for (unsigned w = 0; w < words_; ++w)
+        ins(w == 0 ? "SUB" : "SBB", {0, a + w}, {0, b + w});
+}
+
+void
+AsmBuilder::subVarFromBar(unsigned a, unsigned bar, unsigned off)
+{
+    for (unsigned w = 0; w < words_; ++w)
+        ins(w == 0 ? "SUB" : "SBB", {0, a + w}, {bar, off + w});
+}
+
+void
+AsmBuilder::addVarFromBar(unsigned a, unsigned bar, unsigned off)
+{
+    for (unsigned w = 0; w < words_; ++w)
+        ins(w == 0 ? "ADD" : "ADC", {0, a + w}, {bar, off + w});
+}
+
+void
+AsmBuilder::movVar(unsigned dst, unsigned src)
+{
+    for (unsigned w = 0; w < words_; ++w)
+        movW({0, dst + w}, {0, src + w});
+}
+
+void
+AsmBuilder::movVarFromBar(unsigned dst, unsigned bar, unsigned off)
+{
+    for (unsigned w = 0; w < words_; ++w)
+        movW({0, dst + w}, {bar, off + w});
+}
+
+void
+AsmBuilder::movVarToBar(unsigned bar, unsigned off, unsigned src)
+{
+    for (unsigned w = 0; w < words_; ++w)
+        movW({bar, off + w}, {0, src + w});
+}
+
+void
+AsmBuilder::shlVar(unsigned var)
+{
+    // TEST clears C; RLC low-to-high shifts zero into the LSB and
+    // chains the carries (the paper's coalescing idiom).
+    testW({0, var}, {0, var});
+    for (unsigned w = 0; w < words_; ++w)
+        ins("RLC", {0, var + w}, {0, var + w});
+}
+
+void
+AsmBuilder::shrVar(unsigned var)
+{
+    testW({0, var}, {0, var});
+    for (unsigned w = words_; w-- > 0;)
+        ins("RRC", {0, var + w}, {0, var + w});
+}
+
+Program
+AsmBuilder::assemble(const std::string &name) const
+{
+    return printed::assemble(source(), isaConfig(), name);
+}
+
+} // namespace printed

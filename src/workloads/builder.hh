@@ -1,0 +1,173 @@
+/**
+ * @file
+ * TP-ISA assembly builder with data coalescing.
+ *
+ * Kernels are written once against this builder and parameterized
+ * by (data width W, core width D). When W > D a logical variable
+ * spans W/D consecutive memory words (little-endian) and the
+ * builder emits the paper's coalescing sequences: ADD/ADC chains,
+ * SUB/SBB chains, and carry-linked RLC/RRC shifts (Section 5.1).
+ */
+
+#ifndef PRINTED_WORKLOADS_BUILDER_HH
+#define PRINTED_WORKLOADS_BUILDER_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace printed
+{
+
+/** An operand: either an absolute word address (bar == 0 with the
+ *  address as offset) or a BAR-relative offset. */
+struct AsmOp
+{
+    unsigned bar = 0;
+    unsigned off = 0;
+};
+
+/** Emit TP-ISA assembly for one (W, D) kernel instantiation. */
+class AsmBuilder
+{
+  public:
+    /**
+     * @param data_width logical data width W (4/8/16/32)
+     * @param core_width core datawidth D (divides W)
+     * @param bar_count ISA BAR count (2 or 4; includes BAR[0])
+     */
+    AsmBuilder(unsigned data_width, unsigned core_width,
+               unsigned bar_count = 2);
+
+    /** Words per logical variable (W / D). */
+    unsigned wordsPerVar() const { return words_; }
+
+    unsigned dataWidth() const { return dataWidth_; }
+    unsigned coreWidth() const { return coreWidth_; }
+
+    // ------------------------------------------------------------
+    // Data layout
+    // ------------------------------------------------------------
+
+    /** Allocate one logical variable; returns its base address. */
+    unsigned allocVar(const std::string &name);
+
+    /** Allocate a single memory word (loop counters, pointers). */
+    unsigned allocWord(const std::string &name);
+
+    /** Allocate an array of `elems` variables; returns the base. */
+    unsigned allocArray(const std::string &name, std::size_t elems);
+
+    /** Data-memory high-water mark (words). */
+    std::size_t dmemWords() const { return nextAddr_; }
+
+    // ------------------------------------------------------------
+    // Labels / control flow
+    // ------------------------------------------------------------
+
+    std::string newLabel(const std::string &hint);
+    void placeLabel(const std::string &label);
+
+    void branch(const std::string &label, const std::string &mask,
+                bool negated);
+    void brZ(const std::string &l) { branch(l, "Z", false); }
+    void brNZ(const std::string &l) { branch(l, "Z", true); }
+    void brC(const std::string &l) { branch(l, "C", false); }
+    void brNC(const std::string &l) { branch(l, "C", true); }
+    void brS(const std::string &l) { branch(l, "S", false); }
+    void jmp(const std::string &l) { branch(l, "#0", true); }
+
+    /** Idle spin: the workload halt convention. */
+    void halt();
+
+    // ------------------------------------------------------------
+    // Single-word operations
+    // ------------------------------------------------------------
+
+    void ins(const std::string &mnemonic, AsmOp a, AsmOp b);
+    void storeW(AsmOp a, unsigned imm);
+    void addW(AsmOp a, AsmOp b) { ins("ADD", a, b); }
+    void subW(AsmOp a, AsmOp b) { ins("SUB", a, b); }
+    void cmpW(AsmOp a, AsmOp b) { ins("CMP", a, b); }
+    void andW(AsmOp a, AsmOp b) { ins("AND", a, b); }
+    void orW(AsmOp a, AsmOp b) { ins("OR", a, b); }
+    void xorW(AsmOp a, AsmOp b) { ins("XOR", a, b); }
+    void testW(AsmOp a, AsmOp b) { ins("TEST", a, b); }
+    /** dst = src | 0 (two instructions: STORE 0 then OR). */
+    void movW(AsmOp dst, AsmOp src);
+
+    /** BAR[index] = mem[ptr_word]. */
+    void setbar(unsigned ptr_word, unsigned index);
+
+    void comment(const std::string &text);
+
+    // ------------------------------------------------------------
+    // Multi-word (coalesced) variable operations
+    // ------------------------------------------------------------
+
+    /**
+     * Store a constant into a variable. Every D-bit word slice of
+     * the value must fit the 8-bit STORE immediate.
+     */
+    void storeVarImm(unsigned var, std::uint64_t value);
+
+    /** a += b via ADD/ADC chain. */
+    void addVar(unsigned a, unsigned b);
+
+    /** a -= b via SUB/SBB chain (C = no-borrow afterwards). */
+    void subVar(unsigned a, unsigned b);
+
+    /** a -= BAR-relative variable (element access). */
+    void subVarFromBar(unsigned a, unsigned bar, unsigned off = 0);
+
+    /** a += BAR-relative variable. */
+    void addVarFromBar(unsigned a, unsigned bar, unsigned off = 0);
+
+    /** dst = src (STORE 0 + OR per word). */
+    void movVar(unsigned dst, unsigned src);
+
+    /** dst = BAR-relative variable. */
+    void movVarFromBar(unsigned dst, unsigned bar, unsigned off = 0);
+
+    /** BAR-relative variable = src. */
+    void movVarToBar(unsigned bar, unsigned off, unsigned src);
+
+    /** Logical shift left by one across all words (clears carry
+     *  first with TEST, then RLC low to high; C = bit shifted out). */
+    void shlVar(unsigned var);
+
+    /** Logical shift right by one (TEST, then RRC high to low;
+     *  C = original LSB afterwards - the multiply loop hinges on
+     *  this). */
+    void shrVar(unsigned var);
+
+    // ------------------------------------------------------------
+    // Output
+    // ------------------------------------------------------------
+
+    /** Accumulated assembly text. */
+    std::string source() const { return src_.str(); }
+
+    /** Assemble with the matching IsaConfig. */
+    Program assemble(const std::string &name) const;
+
+    /** The ISA configuration programs built here target. */
+    IsaConfig isaConfig() const;
+
+  private:
+    std::string opText(AsmOp op) const;
+
+    unsigned dataWidth_;
+    unsigned coreWidth_;
+    unsigned barCount_;
+    unsigned words_;
+    unsigned nextAddr_ = 0;
+    unsigned labelCounter_ = 0;
+    std::ostringstream src_;
+};
+
+} // namespace printed
+
+#endif // PRINTED_WORKLOADS_BUILDER_HH

@@ -1,0 +1,158 @@
+#include "golden.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace printed
+{
+
+const char *
+kernelName(Kernel k)
+{
+    switch (k) {
+      case Kernel::Mult:   return "mult";
+      case Kernel::Div:    return "div";
+      case Kernel::InSort: return "inSort";
+      case Kernel::IntAvg: return "intAvg";
+      case Kernel::THold:  return "tHold";
+      case Kernel::Crc8:   return "crc8";
+      case Kernel::DTree:  return "dTree";
+      default:
+        panic("kernelName: unknown kernel");
+    }
+}
+
+namespace golden
+{
+
+std::uint64_t
+mult(std::uint64_t a, std::uint64_t b, unsigned width)
+{
+    const std::uint64_t mask = maskBits(width);
+    std::uint64_t product = 0;
+    a &= mask;
+    b &= mask;
+    for (unsigned i = 0; i < width; ++i) {
+        if ((b >> i) & 1)
+            product += a << i;
+    }
+    return product & mask;
+}
+
+DivResult
+div(std::uint64_t a, std::uint64_t b, unsigned width)
+{
+    const std::uint64_t mask = maskBits(width);
+    a &= mask;
+    b &= mask;
+    fatalIf(b == 0, "golden::div: divide by zero");
+    return {a / b, a % b};
+}
+
+std::vector<std::uint64_t>
+inSort(std::vector<std::uint64_t> data)
+{
+    for (std::size_t i = 1; i < data.size(); ++i) {
+        const std::uint64_t key = data[i];
+        std::size_t j = i;
+        while (j > 0 && data[j - 1] > key) {
+            data[j] = data[j - 1];
+            --j;
+        }
+        data[j] = key;
+    }
+    return data;
+}
+
+std::uint64_t
+intAvg(const std::vector<std::uint64_t> &data, unsigned width)
+{
+    const std::uint64_t mask = maskBits(width);
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : data)
+        sum = (sum + (v & mask)) & mask;
+    return (sum / data.size()) & mask;
+}
+
+std::uint64_t
+tHold(const std::vector<std::uint64_t> &data, std::uint64_t threshold)
+{
+    std::uint64_t count = 0;
+    for (std::uint64_t v : data)
+        if (v > threshold)
+            ++count;
+    return count;
+}
+
+std::uint8_t
+crc8(const std::vector<std::uint8_t> &stream)
+{
+    std::uint8_t crc = 0;
+    for (std::uint8_t byte : stream) {
+        crc ^= byte;
+        for (int bit = 0; bit < 8; ++bit) {
+            if (crc & 0x80)
+                crc = std::uint8_t((crc << 1) ^ 0x07);
+            else
+                crc = std::uint8_t(crc << 1);
+        }
+    }
+    return crc;
+}
+
+namespace
+{
+
+/**
+ * Tree shape shared with the TP-ISA dTree generator: a full
+ * depth-5 binary tree (internal node ids 1..31) whose first 19
+ * depth-5 leaves (ids 32..50) are promoted to internal nodes,
+ * sizing the program to exactly 256 instruction words.
+ */
+constexpr unsigned dTreePromotedLeaves = 19;
+
+bool
+dTreeIsInternal(unsigned node)
+{
+    return node < 32 || (node >= 32 && node < 32 + dTreePromotedLeaves);
+}
+
+unsigned
+dTreeDepth(unsigned node)
+{
+    unsigned depth = 0;
+    while (node > 1) {
+        node >>= 1;
+        ++depth;
+    }
+    return depth;
+}
+
+} // anonymous namespace
+
+std::uint8_t
+dTreeThreshold(unsigned node_index)
+{
+    return std::uint8_t((node_index * 37u + 11u) % 199u);
+}
+
+std::uint64_t
+dTree(std::uint64_t s0, std::uint64_t s1, std::uint64_t s2,
+      unsigned width)
+{
+    const std::uint64_t mask = maskBits(width);
+    const std::uint64_t s[3] = {s0 & mask, s1 & mask, s2 & mask};
+    unsigned node = 1;
+    while (dTreeIsInternal(node)) {
+        const std::uint64_t input = s[dTreeDepth(node) % 3];
+        const std::uint64_t thr = dTreeThreshold(node);
+        node = 2 * node + (input > thr ? 1 : 0);
+    }
+    return node; // leaf id is the class label
+}
+
+} // namespace golden
+
+} // namespace printed

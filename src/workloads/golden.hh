@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Golden (reference) implementations of the paper's seven
+ * benchmarks (Section 8; multiply, divide, inSort, intAvg,
+ * threshold, CRC8 from Zhai et al. [121], plus the paper's new
+ * decision tree). Every TP-ISA program and every legacy-ISA code
+ * sequence in this repository is validated against these.
+ */
+
+#ifndef PRINTED_WORKLOADS_GOLDEN_HH
+#define PRINTED_WORKLOADS_GOLDEN_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace printed
+{
+
+/** The paper's benchmark suite. */
+enum class Kernel
+{
+    Mult,   ///< W-bit multiply (shift-and-add)
+    Div,    ///< W-bit divide (restoring), quotient + remainder
+    InSort, ///< insertion sort of 16 W-bit words
+    IntAvg, ///< average of 16 W-bit words (sum bounded to W bits)
+    THold,  ///< count of 16 W-bit words strictly above a threshold
+    Crc8,   ///< CRC-8 (poly 0x07) over a 16-byte stream
+    DTree,  ///< 3-input decision tree, 256 static instructions
+    NumKernels
+};
+
+constexpr unsigned numKernels =
+    static_cast<unsigned>(Kernel::NumKernels);
+
+/** Display name, e.g. "mult", "inSort". */
+const char *kernelName(Kernel k);
+
+/** Array length used by the array kernels (the paper uses 16). */
+constexpr std::size_t kernelArrayLen = 16;
+
+/** CRC stream length in bytes (the paper uses 16). */
+constexpr std::size_t crcStreamLen = 16;
+
+namespace golden
+{
+
+/** a * b mod 2^width. */
+std::uint64_t mult(std::uint64_t a, std::uint64_t b, unsigned width);
+
+/** Quotient and remainder of a / b (b != 0). */
+struct DivResult
+{
+    std::uint64_t quotient = 0;
+    std::uint64_t remainder = 0;
+};
+DivResult div(std::uint64_t a, std::uint64_t b, unsigned width);
+
+/** Ascending insertion sort. */
+std::vector<std::uint64_t> inSort(std::vector<std::uint64_t> data);
+
+/** Floor average (sum must fit in `width` bits, as in the paper's
+ *  flag-free straight-line version). */
+std::uint64_t intAvg(const std::vector<std::uint64_t> &data,
+                     unsigned width);
+
+/** Count of elements strictly greater than the threshold. */
+std::uint64_t tHold(const std::vector<std::uint64_t> &data,
+                    std::uint64_t threshold);
+
+/** CRC-8 with polynomial x^8 + x^2 + x + 1 (0x07), init 0. */
+std::uint8_t crc8(const std::vector<std::uint8_t> &stream);
+
+/**
+ * The decision-tree classifier: three sensor inputs are pushed
+ * through a depth-6 threshold tree (thresholds hardcoded, exactly
+ * as the paper embeds them in the instruction stream).
+ * @return the leaf class id.
+ */
+std::uint64_t dTree(std::uint64_t s0, std::uint64_t s1,
+                    std::uint64_t s2, unsigned width);
+
+/**
+ * The dTree threshold for a node index (deterministic; shared by
+ * the golden model and the TP-ISA program generator so both walk
+ * the same tree).
+ */
+std::uint8_t dTreeThreshold(unsigned node_index);
+
+} // namespace golden
+
+} // namespace printed
+
+#endif // PRINTED_WORKLOADS_GOLDEN_HH

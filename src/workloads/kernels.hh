@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The paper's benchmark programs as TP-ISA workloads.
+ *
+ * makeWorkload() instantiates a kernel for a (data width, core
+ * width) pair: equal widths give the native program, and a wider
+ * data width on a narrower core emits the data-coalescing sequences
+ * of Section 5.1 (e.g. mult16 on an 8-bit core). Each Workload
+ * carries its program, memory budget, and the I/O map needed to run
+ * it on the instruction-set simulator or the gate-level cosim.
+ */
+
+#ifndef PRINTED_WORKLOADS_KERNELS_HH
+#define PRINTED_WORKLOADS_KERNELS_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "isa/program.hh"
+#include "workloads/golden.hh"
+
+namespace printed
+{
+
+/** A kernel instantiated for one (W, D) pair. */
+struct Workload
+{
+    Kernel kind = Kernel::Mult;
+    unsigned dataWidth = 8;  ///< logical data width W
+    unsigned coreWidth = 8;  ///< target core datawidth D
+    unsigned wordsPerVar = 1;
+
+    Program program;
+    std::size_t dmemWords = 0;
+
+    /** Base addresses of the logical inputs, in input order. */
+    std::vector<unsigned> inputAddrs;
+
+    /** Base addresses of the logical outputs, in output order. */
+    std::vector<unsigned> outputAddrs;
+
+    /** Stream-port address (crc8), or -1 when unused. */
+    long streamAddr = -1;
+
+    /** Writer callback: (word address, word value). */
+    using Poke = std::function<void(std::size_t, std::uint64_t)>;
+
+    /** Reader callback: word address -> word value. */
+    using Peek = std::function<std::uint64_t(std::size_t)>;
+
+    /**
+     * Split logical input values into core words and write them.
+     * Stream inputs (crc8) are not written here - pass them to the
+     * machine's stream port instead.
+     */
+    void load(const Poke &poke,
+              const std::vector<std::uint64_t> &inputs) const;
+
+    /** Reassemble the logical outputs from core words. */
+    std::vector<std::uint64_t> read(const Peek &peek) const;
+
+    /** Values that go to the stream port (crc8), from inputs. */
+    std::vector<std::uint64_t>
+    streamInputs(const std::vector<std::uint64_t> &inputs) const;
+};
+
+/**
+ * Build a kernel program.
+ * @param kind which benchmark
+ * @param data_width logical width (8/16/32; crc8 is 8-bit only,
+ *        dTree requires data_width == core_width)
+ * @param core_width target core datawidth (must divide data_width)
+ * @param bar_count ISA BAR count (default 2, as the paper's
+ *        benchmarks were originally written for the 2-BAR variant)
+ */
+Workload makeWorkload(Kernel kind, unsigned data_width,
+                      unsigned core_width, unsigned bar_count = 2);
+
+/** Deterministic default inputs for a kernel at a data width. */
+std::vector<std::uint64_t> defaultInputs(Kernel kind,
+                                         unsigned data_width,
+                                         std::uint64_t seed = 1);
+
+/** Golden outputs for the given inputs. */
+std::vector<std::uint64_t>
+goldenOutputs(Kernel kind, unsigned data_width,
+              const std::vector<std::uint64_t> &inputs);
+
+/** All (kernel, width) points of Figure 8 / Table 8: every kernel
+ *  at 8/16/32 bits except crc8 (8-bit only); dTree at the core's
+ *  native width. */
+struct KernelPoint
+{
+    Kernel kind;
+    unsigned dataWidth;
+};
+std::vector<KernelPoint> paperKernelPoints();
+
+} // namespace printed
+
+#endif // PRINTED_WORKLOADS_KERNELS_HH

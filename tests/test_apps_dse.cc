@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the application/battery layer (Table 3, Figures 4/5)
+ * and the system-level design-space evaluation (Figures 7/8,
+ * Table 8).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/applications.hh"
+#include "apps/battery.hh"
+#include "dse/sweep.hh"
+#include "dse/system_eval.hh"
+#include "legacy/cores.hh"
+
+namespace printed
+{
+namespace
+{
+
+// ----------------------------------------------------------------
+// Applications / batteries
+// ----------------------------------------------------------------
+
+TEST(Apps, SurveyHasSeventeenRows)
+{
+    EXPECT_EQ(applicationSurvey().size(), 17u);
+}
+
+TEST(Apps, FourPrintedBatteries)
+{
+    const auto &batteries = printedBatteries();
+    ASSERT_EQ(batteries.size(), 4u);
+    EXPECT_DOUBLE_EQ(batteries[0].capacity_mah, 90.0);
+    EXPECT_DOUBLE_EQ(table8Battery().capacity_mah, 30.0);
+    // Section 4: 30 mAh at 1 V stores 108 J.
+    EXPECT_DOUBLE_EQ(table8Battery().energyJoules(), 108.0);
+}
+
+TEST(Apps, LifetimeMatchesPaperModel)
+{
+    // A legacy core at full duty drains a printed battery within
+    // ~2 hours (Section 4 / Figures 4-5). light8080 EGFET: 41.7 mW
+    // on 30 mAh at 1 V -> 108 J / 0.0417 W = 0.72 h.
+    const double h = lifetimeHours(table8Battery(), 41.7, 1.0);
+    EXPECT_GT(h, 0.5);
+    EXPECT_LT(h, 2.0);
+
+    // Lifetime scales inversely with duty cycle.
+    EXPECT_NEAR(lifetimeHours(table8Battery(), 41.7, 0.01),
+                100 * h, 1e-9);
+}
+
+TEST(Apps, AllLegacyCoresUnderTwoHoursAtFullDuty)
+{
+    using namespace legacy;
+    for (LegacyCore core : allLegacyCores) {
+        const double p =
+            legacyCoreSpec(core).egfet.powerMw;
+        for (const Battery &b : printedBatteries()) {
+            if (b.capacity_mah > 30)
+                continue; // the Molex 90 mAh lasts a bit longer
+            EXPECT_LT(lifetimeHours(b, p, 1.0), 2.0)
+                << legacyCoreSpec(core).name << " on " << b.name;
+        }
+    }
+}
+
+TEST(Apps, CntCoresExceedBatteryPower)
+{
+    // Section 4/8: CNT-TFT cores at nominal frequency draw more
+    // than printed batteries can deliver.
+    using namespace legacy;
+    for (LegacyCore core : allLegacyCores)
+        EXPECT_FALSE(withinPowerBudget(
+            table8Battery(), legacyCoreSpec(core).cnt.powerMw));
+}
+
+TEST(Apps, FeasibilityScreens)
+{
+    const auto &apps = applicationSurvey();
+    // A ~17 IPS EGFET core serves slow sensors but not 100 Hz
+    // sampling.
+    int feasible_slow = 0, feasible_fast = 0;
+    for (const auto &app : apps) {
+        if (feasible(app, 17.0, 8))
+            ++feasible_slow;
+        if (feasible(app, 50'000.0, 8)) // CNT-class throughput
+            ++feasible_fast;
+    }
+    EXPECT_GT(feasible_slow, 0);
+    EXPECT_LT(feasible_slow, int(apps.size()));
+    EXPECT_EQ(feasible_fast, int(apps.size()));
+}
+
+// ----------------------------------------------------------------
+// Figure 7 sweep
+// ----------------------------------------------------------------
+
+TEST(Dse, SweepHasTwentyFourPoints)
+{
+    const auto points = sweepDesignSpace();
+    EXPECT_EQ(points.size(), 24u);
+}
+
+TEST(Dse, SingleStageDominates)
+{
+    // Section 8: single-stage pipelines always outperform deeper
+    // ones (same width/BARs) in area and power; fmax does not
+    // improve enough to matter.
+    const auto points = sweepDesignSpace();
+    auto find = [&](unsigned p, unsigned d, unsigned b)
+        -> const DesignPoint & {
+        for (const auto &pt : points)
+            if (pt.config.stages == p &&
+                pt.config.isa.datawidth == d &&
+                pt.config.isa.barCount == b)
+                return pt;
+        throw std::runtime_error("point not found");
+    };
+    for (unsigned d : {4u, 8u, 16u, 32u}) {
+        for (unsigned b : {2u, 4u}) {
+            const auto &p1 = find(1, d, b);
+            const auto &p3 = find(3, d, b);
+            EXPECT_LT(p1.egfet.areaCm2(), p3.egfet.areaCm2());
+            EXPECT_LT(p1.egfet.powerMw(), p3.egfet.powerMw());
+            EXPECT_GE(p1.egfet.fmaxHz(), 0.95 * p3.egfet.fmaxHz());
+        }
+    }
+}
+
+TEST(Dse, BestCoresBeatLegacyByAnOrderOfMagnitude)
+{
+    // Abstract: the best TP-ISA cores outperform pre-existing
+    // cores by at least an order of magnitude in power and area
+    // ... once program-specific; core-level the paper shows the
+    // largest TP-ISA core smaller than the smallest legacy core.
+    using namespace legacy;
+    const auto points = sweepDesignSpace();
+    const auto &light8080 =
+        legacyCoreSpec(LegacyCore::Light8080).egfet;
+
+    double largest_area = 0;
+    for (const auto &pt : points)
+        largest_area = std::max(largest_area, pt.egfet.areaCm2());
+    EXPECT_LT(largest_area, light8080.areaCm2);
+
+    // The smallest 8-bit TP-ISA core is several times smaller than
+    // light8080 (the paper quotes 5.2x).
+    double smallest8 = 1e9;
+    for (const auto &pt : points)
+        if (pt.config.isa.datawidth == 8)
+            smallest8 = std::min(smallest8, pt.egfet.areaCm2());
+    EXPECT_GT(light8080.areaCm2 / smallest8, 3.5);
+}
+
+// ----------------------------------------------------------------
+// Figure 8 / Table 8 system evaluation
+// ----------------------------------------------------------------
+
+TEST(SystemEvalTest, MultOnEightBitCore)
+{
+    const Workload wl = makeWorkload(Kernel::Mult, 8, 8);
+    const SystemEval eval = evaluateSystem(
+        wl, CoreConfig::standard(1, 8, 2), TechKind::EGFET);
+
+    EXPECT_GT(eval.cycles, 30u);
+    EXPECT_GT(eval.areaTotal(), 0.0);
+    EXPECT_GT(eval.energyTotal(), 0.0);
+    EXPECT_GT(eval.timeTotal(), 0.0);
+    // Components present and sensible.
+    EXPECT_GT(eval.areaImem, 0.0);
+    EXPECT_GT(eval.areaDmem, 0.0);
+    EXPECT_GT(eval.timeImem, 0.0);
+    // Iterations in the Table 8 regime (paper: 3727 for mult STD).
+    EXPECT_GT(eval.iterationsOn30mAh(), 300u);
+    EXPECT_LT(eval.iterationsOn30mAh(), 40'000u);
+}
+
+TEST(SystemEvalTest, SpecializedBeatsStandardEnergy)
+{
+    // Section 8: the program-specific core consumes less energy
+    // than all other cores for every benchmark.
+    for (Kernel k : {Kernel::Mult, Kernel::Div, Kernel::IntAvg}) {
+        const Workload wl = makeWorkload(k, 8, 8);
+        const auto std_eval = evaluateSystem(
+            wl, CoreConfig::standard(1, 8, 2), TechKind::EGFET);
+        const auto ps_eval =
+            evaluateSpecializedSystem(wl, TechKind::EGFET);
+        EXPECT_LT(ps_eval.energyTotal(), std_eval.energyTotal())
+            << kernelName(k);
+        EXPECT_LT(ps_eval.areaTotal(), std_eval.areaTotal())
+            << kernelName(k);
+        EXPECT_GT(ps_eval.iterationsOn30mAh(),
+                  std_eval.iterationsOn30mAh())
+            << kernelName(k);
+    }
+}
+
+TEST(SystemEvalTest, MlcRomCutsDTreeImemArea)
+{
+    // Section 8 (dTree-ROMopt): 2-bit MLC ROM reduces instruction
+    // memory area by almost 30% with a small energy change.
+    const Workload wl = makeWorkload(Kernel::DTree, 8, 8);
+    const CoreConfig cfg = CoreConfig::standard(1, 8, 2);
+    const auto slc = evaluateSystem(wl, cfg, TechKind::EGFET, 1);
+    const auto mlc = evaluateSystem(wl, cfg, TechKind::EGFET, 2);
+    const double reduction = 1.0 - mlc.areaImem / slc.areaImem;
+    EXPECT_GT(reduction, 0.25);
+    EXPECT_LT(reduction, 0.35);
+    // Energy stays within ~10% of the SLC design (the paper sees
+    // <1% increase; our static-dominated ROM model shows a small
+    // decrease since MLC halves the dot count - see
+    // EXPERIMENTS.md).
+    EXPECT_NEAR(mlc.energyTotal() / slc.energyTotal(), 1.0, 0.10);
+}
+
+TEST(SystemEvalTest, CntSystemsOrdersOfMagnitudeFaster)
+{
+    const Workload wl = makeWorkload(Kernel::Mult, 8, 8);
+    const CoreConfig cfg = CoreConfig::standard(1, 8, 2);
+    const auto eg = evaluateSystem(wl, cfg, TechKind::EGFET);
+    const auto cnt = evaluateSystem(wl, cfg, TechKind::CNT_TFT);
+    EXPECT_LT(cnt.timeTotal(), eg.timeTotal() / 50);
+    // Section 8: CNT execution time is dominated by the 302 us
+    // ROM access latency.
+    EXPECT_GT(cnt.timeImem, cnt.timeCore);
+}
+
+TEST(SystemEvalTest, WiderDataNeedsWiderOrCoalescedCores)
+{
+    // mult16 on an 8-bit core (coalesced) runs more instructions
+    // than on a native 16-bit core.
+    const Workload narrow = makeWorkload(Kernel::Mult, 16, 8);
+    const Workload native = makeWorkload(Kernel::Mult, 16, 16);
+    const auto e_narrow = evaluateSystem(
+        narrow, CoreConfig::standard(1, 8, 2), TechKind::EGFET);
+    const auto e_native = evaluateSystem(
+        native, CoreConfig::standard(1, 16, 2), TechKind::EGFET);
+    EXPECT_GT(e_narrow.cycles, e_native.cycles);
+    // ...but the narrow core + program still has less core area.
+    EXPECT_LT(e_narrow.areaComb + e_narrow.areaRegs,
+              e_native.areaComb + e_native.areaRegs);
+}
+
+} // anonymous namespace
+} // namespace printed

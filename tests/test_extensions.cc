@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the extension facilities: Monte-Carlo variation-aware
+ * timing, the manufacturing-yield model, the Liberty exporter, and
+ * the VCD tracer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/timing.hh"
+#include "analysis/variation.hh"
+#include "analysis/yield.hh"
+#include "common/logging.hh"
+#include "core/generator.hh"
+#include "sim/vcd.hh"
+#include "synth/blocks.hh"
+#include "tech/liberty.hh"
+
+namespace printed
+{
+namespace
+{
+
+using namespace synth;
+
+// ----------------------------------------------------------------
+// Variation-aware timing
+// ----------------------------------------------------------------
+
+TEST(Variation, ZeroSigmaReproducesNominal)
+{
+    const Netlist nl = buildCore(CoreConfig::standard(1, 8, 2));
+    VariationModel model;
+    model.lnSigma = 0.0;
+    model.samples = 5;
+    const VariationReport r =
+        analyzeVariation(nl, egfetLibrary(), model);
+    EXPECT_NEAR(r.meanPeriodUs, r.nominalPeriodUs, 1e-9);
+    EXPECT_NEAR(r.stdDevUs, 0.0, 1e-9);
+    EXPECT_NEAR(r.guardBand(), 1.0, 1e-9);
+}
+
+TEST(Variation, NominalMatchesSta)
+{
+    const Netlist nl = buildCore(CoreConfig::standard(1, 8, 2));
+    const TimingReport sta = analyzeTiming(nl, egfetLibrary());
+    VariationModel model;
+    model.samples = 1;
+    const VariationReport r =
+        analyzeVariation(nl, egfetLibrary(), model);
+    EXPECT_NEAR(r.nominalPeriodUs, sta.periodUs, 1e-9);
+}
+
+TEST(Variation, SpreadGrowsWithSigmaAndNeedsGuardBand)
+{
+    const Netlist nl = buildCore(CoreConfig::standard(1, 8, 2));
+    VariationModel small;
+    small.lnSigma = 0.1;
+    small.samples = 100;
+    VariationModel big = small;
+    big.lnSigma = 0.4;
+    const auto rs = analyzeVariation(nl, egfetLibrary(), small);
+    const auto rb = analyzeVariation(nl, egfetLibrary(), big);
+    EXPECT_GT(rb.stdDevUs, rs.stdDevUs);
+    EXPECT_GT(rb.guardBand(), rs.guardBand());
+    EXPECT_GT(rs.guardBand(), 1.0);
+    EXPECT_LT(rs.guardedFmaxHz(), 1e6 / rs.nominalPeriodUs);
+    // Percentiles are ordered.
+    EXPECT_LE(rb.p50Us, rb.p95Us);
+    EXPECT_LE(rb.p95Us, rb.p99Us);
+    EXPECT_LE(rb.p99Us, rb.worstUs);
+}
+
+TEST(Variation, Deterministic)
+{
+    const Netlist nl = buildCore(CoreConfig::standard(1, 4, 2));
+    VariationModel model;
+    model.samples = 50;
+    const auto a = analyzeVariation(nl, egfetLibrary(), model);
+    const auto b = analyzeVariation(nl, egfetLibrary(), model);
+    EXPECT_DOUBLE_EQ(a.meanPeriodUs, b.meanPeriodUs);
+    EXPECT_DOUBLE_EQ(a.p95Us, b.p95Us);
+}
+
+// ----------------------------------------------------------------
+// Yield
+// ----------------------------------------------------------------
+
+TEST(Yield, GeometricDecay)
+{
+    const YieldReport r100 = yieldForDevices(100);
+    const YieldReport r1000 = yieldForDevices(1000);
+    EXPECT_NEAR(r100.yield, std::pow(0.99, 100), 1e-12);
+    EXPECT_GT(r100.yield, r1000.yield);
+    EXPECT_NEAR(r100.printsPerGood, 1.0 / r100.yield, 1e-9);
+}
+
+TEST(Yield, SmallCoresArePrintableBigOnesAreNot)
+{
+    // The paper's yield argument: at 99% device yield a TP-ISA
+    // core prints at useful rates; a 12k-gate openMSP430-class
+    // design essentially never works.
+    const Netlist tp = buildCore(CoreConfig::standard(1, 8, 2));
+    const YieldReport small = analyzeYield(tp);
+    EXPECT_GT(small.yield, 1e-6);
+
+    const YieldReport msp430ish = yieldForDevices(12101 * 2);
+    EXPECT_LT(msp430ish.yield, 1e-10);
+}
+
+TEST(Yield, DeviceCountTracksStages)
+{
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    nl.addOutput("x", nl.addGate(CellKind::NAND2X1, a, b)); // 1
+    nl.addOutput("y", nl.addGate(CellKind::XOR2X1, a, b));  // 3
+    nl.addOutput("q", nl.addFlop(a));                       // 8
+    EXPECT_EQ(deviceCount(nl), 12u);
+}
+
+TEST(Yield, RejectsBadModel)
+{
+    YieldModel model;
+    model.deviceYield = 0.0;
+    EXPECT_THROW(yieldForDevices(10, model), FatalError);
+}
+
+// ----------------------------------------------------------------
+// Liberty export
+// ----------------------------------------------------------------
+
+TEST(Liberty, ContainsEveryCell)
+{
+    std::ostringstream os;
+    writeLiberty(os, egfetLibrary());
+    const std::string lib = os.str();
+    EXPECT_NE(lib.find("library(EGFET_1V)"), std::string::npos);
+    for (std::size_t i = 0; i < numCellKinds; ++i)
+        EXPECT_NE(lib.find("cell(" +
+                           cellName(static_cast<CellKind>(i)) +
+                           ")"),
+                  std::string::npos);
+    // Flop description and tri-state attribute present.
+    EXPECT_NE(lib.find("clocked_on"), std::string::npos);
+    EXPECT_NE(lib.find("three_state"), std::string::npos);
+    // A Table 2 value survives verbatim.
+    EXPECT_NE(lib.find("values(\"1212\")"), std::string::npos);
+}
+
+TEST(Liberty, CntLibraryExports)
+{
+    std::ostringstream os;
+    writeLiberty(os, cntLibrary());
+    EXPECT_NE(os.str().find("nom_voltage : 3"), std::string::npos);
+}
+
+// ----------------------------------------------------------------
+// VCD tracing
+// ----------------------------------------------------------------
+
+TEST(Vcd, TracesACounter)
+{
+    Netlist nl("ctr");
+    const NetId fb = nl.makeFeedback();
+    const NetId next = nl.addGate(CellKind::INVX1, fb);
+    const NetId q = nl.addFlop(next);
+    nl.resolveFeedback(fb, q);
+    nl.addOutput("q", q);
+
+    GateSimulator sim(nl);
+    std::ostringstream os;
+    VcdWriter vcd(os, nl);
+    vcd.addSignal("q", q);
+    vcd.writeHeader();
+    for (std::uint64_t t = 0; t < 4; ++t) {
+        sim.evaluate();
+        vcd.sample(sim, t);
+        sim.step();
+    }
+
+    const std::string out = os.str();
+    EXPECT_NE(out.find("$timescale 1 us $end"), std::string::npos);
+    EXPECT_NE(out.find("$var wire 1"), std::string::npos);
+    // q toggles every cycle: timestamps 0..3 all present.
+    for (int t = 0; t < 4; ++t)
+        EXPECT_NE(out.find("#" + std::to_string(t)),
+                  std::string::npos);
+}
+
+TEST(Vcd, BusGroupingFromPorts)
+{
+    Netlist nl("bus");
+    const Bus a = busInputs(nl, "a", 4);
+    busOutputs(nl, "y", busNot(nl, a));
+
+    GateSimulator sim(nl);
+    std::ostringstream os;
+    VcdWriter vcd(os, nl);
+    vcd.addPorts();
+    vcd.writeHeader();
+    sim.setBus(a, 0x5);
+    sim.evaluate();
+    vcd.sample(sim, 0);
+
+    const std::string out = os.str();
+    EXPECT_NE(out.find("$var wire 4"), std::string::npos);
+    EXPECT_NE(out.find("b0101"), std::string::npos); // a = 5
+    EXPECT_NE(out.find("b1010"), std::string::npos); // y = ~5
+}
+
+TEST(Vcd, OnlyChangesEmitted)
+{
+    Netlist nl("stable");
+    const NetId a = nl.addInput("a");
+    nl.addOutput("y", nl.addGate(CellKind::INVX1, a));
+    GateSimulator sim(nl);
+    std::ostringstream os;
+    VcdWriter vcd(os, nl);
+    vcd.addPorts();
+    vcd.writeHeader();
+    sim.evaluate();
+    vcd.sample(sim, 0);
+    vcd.sample(sim, 1); // nothing changed
+    const std::string out = os.str();
+    EXPECT_NE(out.find("#0"), std::string::npos);
+    EXPECT_EQ(out.find("#1"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace printed

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Differential fuzzing: randomly generated TP-ISA programs run on
+ * the instruction-set simulator and on synthesized gate-level
+ * cores (1- and 2-stage), and the complete data-memory images must
+ * match. Programs use every instruction class; control flow is
+ * restricted to forward branches so every program terminates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/machine.hh"
+#include "common/rng.hh"
+#include "core/cosim.hh"
+#include "core/generator.hh"
+#include "isa/program.hh"
+
+namespace printed
+{
+namespace
+{
+
+// Full address space: every effective address (BAR + offset mod 256)
+// is in range by construction, so random pointer mutation is safe.
+constexpr std::size_t fuzzDmemWords = 256;
+
+/** Generate a random, terminating TP-ISA program. */
+Program
+randomProgram(Rng &rng, const IsaConfig &isa, std::size_t length)
+{
+    Program p;
+    p.name = "fuzz";
+    p.isa = isa;
+
+    auto rand_operand = [&] {
+        // Address within the small data memory; occasionally via
+        // BAR1 (whose value stays within range: SETBAR sources are
+        // memory words we keep small below).
+        const bool use_bar =
+            isa.barCount > 1 && rng.below(4) == 0;
+        const unsigned off = unsigned(rng.below(32));
+        return makeOperand(use_bar ? 1 : 0, off, isa);
+    };
+
+    static const Mnemonic pool[] = {
+        Mnemonic::ADD, Mnemonic::ADC, Mnemonic::SUB, Mnemonic::CMP,
+        Mnemonic::SBB, Mnemonic::AND, Mnemonic::TEST, Mnemonic::OR,
+        Mnemonic::XOR, Mnemonic::NOT, Mnemonic::RL, Mnemonic::RLC,
+        Mnemonic::RR, Mnemonic::RRC, Mnemonic::RRA, Mnemonic::STORE,
+        Mnemonic::STORE, Mnemonic::SETBAR, Mnemonic::BR,
+        Mnemonic::BRN};
+
+    for (std::size_t pc = 0; pc < length; ++pc) {
+        Instruction inst;
+        inst.mnemonic = pool[rng.below(std::size(pool))];
+        if (isBranch(inst.mnemonic)) {
+            if (pc + 2 >= length) {
+                inst.mnemonic = Mnemonic::TEST; // no room forward
+                inst.op1 = rand_operand();
+                inst.op2 = rand_operand();
+            } else {
+                // Strictly forward target: guarantees termination.
+                inst.op1 = std::uint8_t(
+                    pc + 1 + rng.below(length - pc - 1));
+                inst.op2 = std::uint8_t(rng.below(16));
+            }
+        } else if (inst.mnemonic == Mnemonic::STORE) {
+            inst.op1 = rand_operand();
+            inst.op2 = std::uint8_t(rng.below(256));
+        } else if (inst.mnemonic == Mnemonic::SETBAR) {
+            inst.op1 = rand_operand();
+            inst.op2 = 1;
+        } else {
+            inst.op1 = rand_operand();
+            inst.op2 = rand_operand();
+        }
+        p.code.push_back(inst);
+    }
+    p.check();
+    return p;
+}
+
+class FuzzTest : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(FuzzTest, IssMatchesGatesAcrossRandomPrograms)
+{
+    const unsigned stages = GetParam();
+    Rng rng(0xF00D + stages);
+    const IsaConfig isa; // 8-bit, 2 BARs
+
+    // Build the core once; run many programs through it.
+    const CoreConfig cfg = CoreConfig::standard(stages, 8, 2);
+    const Netlist nl = buildCore(cfg);
+
+    for (int trial = 0; trial < 30; ++trial) {
+        Program p = randomProgram(rng, isa, 24);
+
+        TpIsaMachine iss(p, fuzzDmemWords);
+        iss.run(10'000);
+        ASSERT_NE(iss.stats().halt, HaltReason::MaxSteps);
+
+        CoreCosim cosim(nl, cfg, p, fuzzDmemWords);
+        cosim.run(50'000);
+
+        for (std::size_t a = 0; a < fuzzDmemWords; ++a)
+            ASSERT_EQ(cosim.mem(a), iss.mem(a))
+                << "stages " << stages << " trial " << trial
+                << " mem[" << a << "]\n"
+                << disassemble(p);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pipelines, FuzzTest,
+                         ::testing::Values(1u, 2u),
+                         [](const auto &info) {
+                             return "p" +
+                                    std::to_string(info.param);
+                         });
+
+} // anonymous namespace
+} // namespace printed

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the TP-ISA definition: encoding/decoding per Figure 6,
+ * operand packing, the assembler, and the disassembler round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+#include "isa/isa.hh"
+#include "isa/program.hh"
+
+namespace printed
+{
+namespace
+{
+
+TEST(Isa, NineteenMnemonics)
+{
+    // Figure 6 defines exactly 19 instructions.
+    EXPECT_EQ(numMnemonics, 19u);
+}
+
+TEST(Isa, ControlBitsMatchFigure6)
+{
+    // Spot checks of the W/C/A/B table.
+    EXPECT_EQ(controlsOf(Mnemonic::ADD), (ControlBits{1, 0, 0, 0}));
+    EXPECT_EQ(controlsOf(Mnemonic::ADC), (ControlBits{1, 1, 0, 0}));
+    EXPECT_EQ(controlsOf(Mnemonic::SUB), (ControlBits{1, 0, 1, 0}));
+    EXPECT_EQ(controlsOf(Mnemonic::CMP), (ControlBits{0, 0, 1, 0}));
+    EXPECT_EQ(controlsOf(Mnemonic::SBB), (ControlBits{1, 1, 1, 0}));
+    EXPECT_EQ(controlsOf(Mnemonic::TEST), (ControlBits{0, 0, 0, 0}));
+    EXPECT_EQ(controlsOf(Mnemonic::RRA), (ControlBits{1, 0, 1, 0}));
+    EXPECT_EQ(controlsOf(Mnemonic::BR), (ControlBits{0, 0, 0, 1}));
+    EXPECT_EQ(controlsOf(Mnemonic::BRN), (ControlBits{0, 0, 1, 1}));
+}
+
+TEST(Isa, EncodeDecodeRoundTripsAllMnemonics)
+{
+    for (unsigned m = 0; m < numMnemonics; ++m) {
+        Instruction inst;
+        inst.mnemonic = static_cast<Mnemonic>(m);
+        inst.op1 = isBranch(inst.mnemonic) ? 3 : std::uint8_t(0xa5);
+        inst.op2 = inst.mnemonic == Mnemonic::SETBAR
+                       ? std::uint8_t(1)
+                       : std::uint8_t(0x5a);
+        const std::uint32_t word = encode(inst);
+        EXPECT_LT(word, 1u << 24);
+        const Instruction back = decode(word);
+        EXPECT_EQ(back, inst) << mnemonicName(inst.mnemonic);
+    }
+}
+
+TEST(Isa, EncodingLayout)
+{
+    // ADD [0x12], [0x34]: opcode 0, W=1 -> word = 0x081234.
+    Instruction inst;
+    inst.mnemonic = Mnemonic::ADD;
+    inst.op1 = 0x12;
+    inst.op2 = 0x34;
+    EXPECT_EQ(encode(inst), 0x081234u);
+
+    // BRN: opcode 9, A=1, B=1 -> top byte 0x93.
+    inst.mnemonic = Mnemonic::BRN;
+    inst.op1 = 0x02;
+    inst.op2 = 0x04;
+    EXPECT_EQ(encode(inst), 0x930204u);
+}
+
+TEST(Isa, DecodeRejectsIllegalPatterns)
+{
+    EXPECT_THROW(decode(0xF00000), FatalError); // opcode 15
+    // Opcode BR with B=0 is not a defined instruction.
+    EXPECT_THROW(decode(0x900000), FatalError);
+}
+
+TEST(Isa, MnemonicNamesRoundTrip)
+{
+    for (unsigned m = 0; m < numMnemonics; ++m) {
+        const auto mn = static_cast<Mnemonic>(m);
+        const auto back = mnemonicFromName(mnemonicName(mn));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, mn);
+    }
+    EXPECT_EQ(mnemonicFromName("setbar"), Mnemonic::SETBAR);
+    EXPECT_EQ(mnemonicFromName("adc"), Mnemonic::ADC);
+    EXPECT_FALSE(mnemonicFromName("MOV").has_value());
+}
+
+TEST(Isa, Classification)
+{
+    EXPECT_TRUE(isMType(Mnemonic::ADD));
+    EXPECT_TRUE(isMType(Mnemonic::RRA));
+    EXPECT_FALSE(isMType(Mnemonic::STORE));
+    EXPECT_FALSE(isMType(Mnemonic::BR));
+    EXPECT_TRUE(isBinaryAlu(Mnemonic::XOR));
+    EXPECT_FALSE(isBinaryAlu(Mnemonic::NOT));
+    EXPECT_TRUE(isUnaryAlu(Mnemonic::RLC));
+    EXPECT_TRUE(isBranch(Mnemonic::BRN));
+    EXPECT_TRUE(readsCarry(Mnemonic::SBB));
+    EXPECT_FALSE(readsCarry(Mnemonic::SUB));
+    EXPECT_TRUE(writesMemory(Mnemonic::STORE));
+    EXPECT_FALSE(writesMemory(Mnemonic::CMP));
+    EXPECT_FALSE(writesMemory(Mnemonic::SETBAR));
+}
+
+TEST(Isa, OperandSplitTwoBars)
+{
+    IsaConfig cfg; // 2 BARs: 1 select bit, 7 offset bits
+    EXPECT_EQ(cfg.barSelBits(), 1u);
+    EXPECT_EQ(cfg.offsetBits(), 7u);
+    const OperandFields f = splitOperand(0x85, cfg);
+    EXPECT_EQ(f.barSel, 1u);
+    EXPECT_EQ(f.offset, 5u);
+    EXPECT_EQ(makeOperand(1, 5, cfg), 0x85);
+}
+
+TEST(Isa, OperandSplitFourBars)
+{
+    IsaConfig cfg;
+    cfg.barCount = 4; // 2 select bits, 6 offset bits
+    EXPECT_EQ(cfg.offsetBits(), 6u);
+    const OperandFields f = splitOperand(0xC5, cfg);
+    EXPECT_EQ(f.barSel, 3u);
+    EXPECT_EQ(f.offset, 5u);
+    EXPECT_EQ(makeOperand(3, 5, cfg), 0xC5);
+}
+
+TEST(Isa, InstructionBits)
+{
+    IsaConfig cfg;
+    EXPECT_EQ(cfg.instructionBits(), 24u); // 4+4+8+8
+    cfg.operandBits = 6;
+    EXPECT_EQ(cfg.instructionBits(), 20u); // Table 7 'div' row
+    cfg.operandBits = 4;
+    EXPECT_EQ(cfg.instructionBits(), 16u); // Table 7 'CRC8' row
+}
+
+TEST(Isa, FlagsMask)
+{
+    Flags f;
+    f.s = true;
+    f.c = true;
+    EXPECT_EQ(f.toMask(), 0b1010u);
+    EXPECT_EQ(Flags::fromMask(0b0101), (Flags{false, true, false,
+                                              true}));
+}
+
+// ----------------------------------------------------------------
+// Assembler
+// ----------------------------------------------------------------
+
+TEST(Assembler, BasicProgram)
+{
+    const IsaConfig cfg;
+    const Program p = assemble(R"(
+        ; simple loop
+        STORE [0], #5
+        loop:
+            SUB [0], [1]
+            BRN loop, Z
+        done:
+            BRN done, #0
+    )", cfg, "basic");
+
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.code[0].mnemonic, Mnemonic::STORE);
+    EXPECT_EQ(p.code[0].op2, 5);
+    EXPECT_EQ(p.code[1].mnemonic, Mnemonic::SUB);
+    EXPECT_EQ(p.code[2].mnemonic, Mnemonic::BRN);
+    EXPECT_EQ(p.code[2].op1, 1); // label 'loop'
+    EXPECT_EQ(p.code[2].op2, 1u << flagBitZ);
+    EXPECT_EQ(p.code[3].op1, 3); // self-branch halt
+    EXPECT_EQ(p.labels.at("loop"), 1u);
+}
+
+TEST(Assembler, BarOperands)
+{
+    const IsaConfig cfg;
+    const Program p = assemble(R"(
+        SETBAR [16], #1
+        ADD [b1+3], [5]
+    )", cfg, "bars");
+    EXPECT_EQ(p.code[0].mnemonic, Mnemonic::SETBAR);
+    EXPECT_EQ(p.code[0].op1, makeOperand(0, 16, cfg));
+    EXPECT_EQ(p.code[0].op2, 1);
+    EXPECT_EQ(p.code[1].op1, makeOperand(1, 3, cfg));
+    EXPECT_EQ(p.code[1].op2, makeOperand(0, 5, cfg));
+}
+
+TEST(Assembler, FlagMaskLetters)
+{
+    const IsaConfig cfg;
+    const Program p = assemble(R"(
+        t: TEST [0], [0]
+        BR t, SZCV
+        BR t, C
+    )", cfg, "masks");
+    EXPECT_EQ(p.code[1].op2, 0xF);
+    EXPECT_EQ(p.code[2].op2, 1u << flagBitC);
+}
+
+TEST(Assembler, HexAndCommentStyles)
+{
+    const IsaConfig cfg;
+    const Program p = assemble(R"(
+        STORE [0x10], #0x2A   ; semicolon comment
+        STORE [1], #3         # hash comment
+    )", cfg, "hex");
+    EXPECT_EQ(p.code[0].op1, 0x10);
+    EXPECT_EQ(p.code[0].op2, 42);
+}
+
+TEST(Assembler, Errors)
+{
+    const IsaConfig cfg;
+    EXPECT_THROW(assemble("FOO [0], [1]", cfg), FatalError);
+    EXPECT_THROW(assemble("ADD [0]", cfg), FatalError);
+    EXPECT_THROW(assemble("BR nowhere, Z", cfg), FatalError);
+    EXPECT_THROW(assemble("ADD [0], [200]", cfg), FatalError);
+    EXPECT_THROW(assemble("STORE [0], #300", cfg), FatalError);
+    EXPECT_THROW(assemble("SETBAR [0], #0", cfg), FatalError);
+    EXPECT_THROW(assemble("SETBAR [0], #2", cfg), FatalError);
+    EXPECT_THROW(assemble("ADD [b7+0], [0]", cfg), FatalError);
+    EXPECT_THROW(assemble("x: ADD [0], [0]\nx: ADD [0], [0]", cfg),
+                 FatalError);
+}
+
+TEST(Assembler, FourBarEncoding)
+{
+    IsaConfig cfg;
+    cfg.barCount = 4;
+    const Program p = assemble("ADD [b3+5], [b2+1]", cfg, "b4");
+    EXPECT_EQ(p.code[0].op1, 0xC5);
+    EXPECT_EQ(p.code[0].op2, 0x81);
+}
+
+TEST(Assembler, OffsetRangeDependsOnBars)
+{
+    IsaConfig two;
+    EXPECT_NO_THROW(assemble("ADD [127], [0]", two));
+    EXPECT_THROW(assemble("ADD [128], [0]", two), FatalError);
+    IsaConfig four;
+    four.barCount = 4;
+    EXPECT_NO_THROW(assemble("ADD [63], [0]", four));
+    EXPECT_THROW(assemble("ADD [64], [0]", four), FatalError);
+}
+
+TEST(Disassembler, RoundTripsThroughAssembler)
+{
+    const IsaConfig cfg;
+    const Program p = assemble(R"(
+        SETBAR [8], #1
+        STORE [b1+2], #7
+        loop:
+            ADD [0], [b1+2]
+            ADC [1], [2]
+            CMP [0], [3]
+            BR loop, SZ
+        halt:
+            BRN halt, #0
+    )", cfg, "round");
+
+    const std::string text = disassemble(p);
+    const Program p2 = assemble(text, cfg, "round2");
+    ASSERT_EQ(p2.size(), p.size());
+    for (std::size_t i = 0; i < p.size(); ++i)
+        EXPECT_EQ(p2.code[i], p.code[i]) << "instruction " << i;
+}
+
+TEST(Program, ChecksPcRange)
+{
+    IsaConfig cfg;
+    cfg.pcBits = 2; // max 4 instructions
+    Program p;
+    p.name = "tiny";
+    p.isa = cfg;
+    for (int i = 0; i < 5; ++i)
+        p.code.push_back({Mnemonic::ADD, 0, 0});
+    EXPECT_THROW(p.check(), FatalError);
+}
+
+TEST(Program, ImemBits)
+{
+    const IsaConfig cfg;
+    Program p;
+    p.name = "x";
+    p.isa = cfg;
+    p.code.assign(16, {Mnemonic::ADD, 0, 0});
+    EXPECT_EQ(p.imemBits(), 16u * 24u);
+}
+
+} // anonymous namespace
+} // namespace printed

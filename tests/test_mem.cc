@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the printed memory models: Table 6 device data, the
+ * crosspoint ROM geometry of Figure 9 (validated against the
+ * paper's 16x9 reference: ~220 transistors, ~52 pull-ups,
+ * 20.42 mm^2, ~1/3 of the WORM memory), MLC sizing, the SRAM
+ * model (Table 5 arithmetic), and the ROM-vs-RAM headline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "mem/compare.hh"
+#include "mem/devices.hh"
+#include "mem/ram.hh"
+#include "mem/rom.hh"
+
+namespace printed
+{
+namespace
+{
+
+TEST(MemDevices, Table6Rows)
+{
+    const auto &ram = egfetMemoryDevice(MemDevice::Ram1b);
+    EXPECT_DOUBLE_EQ(ram.area_mm2, 0.84);
+    EXPECT_DOUBLE_EQ(ram.activePower_uW, 16.0);
+    EXPECT_DOUBLE_EQ(ram.staticPower_uW, 3.23);
+    EXPECT_DOUBLE_EQ(ram.delay_ms, 2.5);
+
+    const auto &rom = egfetMemoryDevice(MemDevice::Rom1b);
+    EXPECT_DOUBLE_EQ(rom.area_mm2, 0.05);
+    EXPECT_DOUBLE_EQ(rom.activePower_uW, 2.77);
+    EXPECT_DOUBLE_EQ(rom.delay_ms, 1.03);
+
+    EXPECT_DOUBLE_EQ(egfetMemoryDevice(MemDevice::Adc4b).area_mm2,
+                     25.4);
+    EXPECT_EQ(egfetMemoryDevices().size(), 6u);
+}
+
+TEST(MemDevices, CntScalingIsSmallerAndFaster)
+{
+    const auto eg = memoryDevice(MemDevice::Rom1b, TechKind::EGFET);
+    const auto cnt = memoryDevice(MemDevice::Rom1b, TechKind::CNT_TFT);
+    EXPECT_LT(cnt.area_mm2, eg.area_mm2 / 10);
+    // Section 8: CNT ROM access latency is 302 us.
+    EXPECT_NEAR(cnt.delay_ms, 0.302, 1e-9);
+}
+
+TEST(MemDevices, RomDeviceSelection)
+{
+    EXPECT_EQ(romDeviceFor(1), MemDevice::Rom1b);
+    EXPECT_EQ(romDeviceFor(2), MemDevice::Rom2b);
+    EXPECT_EQ(romDeviceFor(4), MemDevice::Rom4b);
+    EXPECT_THROW(romDeviceFor(3), FatalError);
+    EXPECT_EQ(adcDeviceFor(2), MemDevice::Adc2b);
+    EXPECT_THROW(adcDeviceFor(1), FatalError);
+}
+
+// ----------------------------------------------------------------
+// Crosspoint ROM geometry (Figure 9 / Section 6)
+// ----------------------------------------------------------------
+
+TEST(CrosspointRomTest, PaperSixteenByNineReference)
+{
+    // The paper's reference design: 16 words x 9 bits, 9 sub-blocks
+    // of 16 rows x 1 column, 220 transistors + 52 pull-up
+    // resistors, 20.42 mm^2.
+    const CrosspointRom rom(16, 9);
+    EXPECT_EQ(rom.subBlocks(), 9u);
+    EXPECT_EQ(rom.rows(), 16u);
+    EXPECT_EQ(rom.columns(), 1u);
+    EXPECT_EQ(rom.cells(), 144u);
+    EXPECT_NEAR(double(rom.transistors()), 220.0, 5.0);
+    EXPECT_NEAR(double(rom.pullUps()), 52.0, 2.0);
+    EXPECT_NEAR(rom.areaMm2(), 20.42, 1.0);
+}
+
+TEST(CrosspointRomTest, ThirdOfWormArea)
+{
+    // Section 6: roughly 1/3 the area of the WORM design [79].
+    const CrosspointRom rom(16, 9);
+    const WormMemorySpec worm = wormReference();
+    EXPECT_EQ(worm.totalTransistors(), 1004u);
+    const double ratio = rom.areaMm2() / worm.area_mm2;
+    EXPECT_GT(ratio, 0.25);
+    EXPECT_LT(ratio, 0.42);
+    EXPECT_LT(rom.transistors(), worm.totalTransistors() / 4);
+}
+
+TEST(CrosspointRomTest, WideMemoriesExtendInColumns)
+{
+    const CrosspointRom rom(256, 24);
+    EXPECT_EQ(rom.rows(), 16u);
+    EXPECT_EQ(rom.columns(), 16u);
+    EXPECT_EQ(rom.subBlocks(), 24u);
+    EXPECT_EQ(rom.cells(), 256u * 24u);
+}
+
+TEST(CrosspointRomTest, MlcCutsDTreeImemAreaByThirty)
+{
+    // Section 8: a 2-bit MLC ROM cuts the 256-word dTree
+    // instruction memory area by almost 30%.
+    const CrosspointRom slc(256, 24, 1);
+    const CrosspointRom mlc(256, 24, 2);
+    const double reduction = 1.0 - mlc.areaMm2() / slc.areaMm2();
+    EXPECT_GT(reduction, 0.25);
+    EXPECT_LT(reduction, 0.35);
+}
+
+TEST(CrosspointRomTest, MlcHalvesCells)
+{
+    const CrosspointRom slc(64, 24, 1);
+    const CrosspointRom mlc(64, 24, 2);
+    EXPECT_EQ(mlc.cells(), slc.cells() / 2);
+    EXPECT_EQ(mlc.subBlocks(), 12u);
+}
+
+TEST(CrosspointRomTest, ReadEnergyIsPowerTimesDelay)
+{
+    const CrosspointRom rom(32, 24);
+    EXPECT_NEAR(rom.readEnergyNj(),
+                rom.activePower_uW() * rom.readDelayMs(), 1e-9);
+    EXPECT_GT(rom.staticPower_uW(), 0.0);
+}
+
+// ----------------------------------------------------------------
+// SRAM model (Table 5 arithmetic)
+// ----------------------------------------------------------------
+
+TEST(SramTest, Table5MspMultReference)
+{
+    // Table 5, openMSP430 mult: 512 bits of EGFET RAM are 4.3 cm^2
+    // and 9.8 mW (bits x 0.84 mm^2, bits x 19.23 uW).
+    const SramRam ram(32, 16); // 32 16-bit words = 512 bits
+    EXPECT_EQ(ram.bits(), 512u);
+    EXPECT_NEAR(ram.areaMm2() / 100.0, 4.3, 0.05);     // cm^2
+    EXPECT_NEAR(ram.table5Power_mW(), 9.8, 0.1);
+}
+
+TEST(SramTest, AccessEnergyOnlyChargesOneWord)
+{
+    const SramRam ram(256, 8);
+    EXPECT_DOUBLE_EQ(ram.activePower_uW(), 8 * 16.0);
+    EXPECT_DOUBLE_EQ(ram.staticPower_uW(), 2048 * 3.23);
+    EXPECT_NEAR(ram.accessEnergyNj(), 8 * 16.0 * 2.5, 1e-9);
+}
+
+// ----------------------------------------------------------------
+// ROM vs RAM headline
+// ----------------------------------------------------------------
+
+TEST(RomVsRamTest, HeadlineFactors)
+{
+    // Abstract: 5.77x power, 16.8x area, 2.42x delay.
+    const RomVsRam r = romVsRamPerDevice();
+    EXPECT_NEAR(r.powerGain, 5.77, 0.01);
+    EXPECT_NEAR(r.areaGain, 16.8, 0.01);
+    EXPECT_NEAR(r.delayGain, 2.42, 0.01);
+}
+
+TEST(RomVsRamTest, WholeMemoryStillFavorsRom)
+{
+    const RomVsRam r = romVsRamForMemory(256, 24);
+    EXPECT_GT(r.areaGain, 5.0);   // periphery eats part of 16.8x
+    EXPECT_GT(r.powerGain, 1.0);
+    EXPECT_GT(r.delayGain, 2.0);
+}
+
+} // anonymous namespace
+} // namespace printed

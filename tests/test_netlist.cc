@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the gate-level netlist IR.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "netlist/netlist.hh"
+#include "netlist/stats.hh"
+
+namespace printed
+{
+namespace
+{
+
+TEST(Netlist, BuildSimpleGate)
+{
+    Netlist nl("t");
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    const NetId y = nl.addGate(CellKind::NAND2X1, a, b);
+    nl.addOutput("y", y);
+
+    EXPECT_EQ(nl.gateCount(), 1u);
+    EXPECT_EQ(nl.inputs().size(), 2u);
+    EXPECT_EQ(nl.outputs().size(), 1u);
+    EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Netlist, PortLookup)
+{
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    nl.addOutput("y", nl.addGate(CellKind::INVX1, a));
+    EXPECT_EQ(nl.inputNet("a"), a);
+    EXPECT_THROW(nl.inputNet("nope"), FatalError);
+    EXPECT_THROW(nl.outputNet("nope"), FatalError);
+}
+
+TEST(Netlist, UndrivenNetFailsValidation)
+{
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId floating = nl.addNet("floating");
+    nl.addOutput("y", nl.addGate(CellKind::AND2X1, a, floating));
+    EXPECT_THROW(nl.validate(), PanicError);
+}
+
+TEST(Netlist, SingleInputCellRejectsTwoInputs)
+{
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    EXPECT_THROW(nl.addGate(CellKind::INVX1, a, b), PanicError);
+}
+
+TEST(Netlist, TwoInputCellRequiresTwoInputs)
+{
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    EXPECT_THROW(nl.addGate(CellKind::NAND2X1, a), PanicError);
+}
+
+TEST(Netlist, CombinationalCycleDetected)
+{
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    // Build a cycle through the feedback mechanism, without a flop.
+    const NetId fb = nl.makeFeedback();
+    const NetId y = nl.addGate(CellKind::AND2X1, a, fb);
+    const NetId z = nl.addGate(CellKind::INVX1, y);
+    nl.resolveFeedback(fb, z);
+    nl.addOutput("y", y);
+    EXPECT_THROW(nl.levelize(), FatalError);
+}
+
+TEST(Netlist, FlopBreaksCycle)
+{
+    Netlist nl;
+    const NetId fb = nl.makeFeedback();
+    const NetId next = nl.addGate(CellKind::INVX1, fb);
+    const NetId q = nl.addFlop(next);
+    nl.resolveFeedback(fb, q);
+    nl.addOutput("q", q);
+    EXPECT_NO_THROW(nl.validate());
+    EXPECT_EQ(nl.levelize().size(), 1u); // only the INV
+    EXPECT_EQ(nl.flopCount(), 1u);
+}
+
+TEST(Netlist, ConstantNetsAreCached)
+{
+    Netlist nl;
+    EXPECT_EQ(nl.constZero(), nl.constZero());
+    EXPECT_EQ(nl.constOne(), nl.constOne());
+    EXPECT_NE(nl.constZero(), nl.constOne());
+}
+
+TEST(Netlist, TristateBusSharing)
+{
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    const NetId ena = nl.addInput("ena");
+    const NetId enb = nl.addInput("enb");
+    const NetId bus = nl.addNet("bus");
+    nl.addTristate(a, ena, bus);
+    nl.addTristate(b, enb, bus);
+    nl.addOutput("bus", bus);
+    EXPECT_NO_THROW(nl.validate());
+    EXPECT_EQ(nl.net(bus).drivers.size(), 2u);
+}
+
+TEST(Netlist, NonTristateSharingRejected)
+{
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId en = nl.addInput("en");
+    const NetId y = nl.addGate(CellKind::INVX1, a);
+    nl.addTristate(a, en, y); // sharing with an INV output
+    nl.addOutput("y", y);
+    EXPECT_THROW(nl.validate(), PanicError);
+}
+
+TEST(Netlist, HistogramCounts)
+{
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    nl.addOutput("x", nl.addGate(CellKind::NAND2X1, a, b));
+    nl.addOutput("y", nl.addGate(CellKind::NAND2X1, a, b));
+    nl.addOutput("z", nl.addFlop(a));
+    const auto histo = nl.cellHistogram();
+    EXPECT_EQ(histo[std::size_t(CellKind::NAND2X1)], 2u);
+    EXPECT_EQ(histo[std::size_t(CellKind::DFFX1)], 1u);
+    EXPECT_EQ(histo[std::size_t(CellKind::INVX1)], 0u);
+}
+
+TEST(Netlist, RemoveGatesRebuildsDrivers)
+{
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId x = nl.addGate(CellKind::INVX1, a);
+    const NetId y = nl.addGate(CellKind::INVX1, a);
+    nl.addOutput("y", y);
+    (void)x;
+
+    std::vector<bool> dead(nl.gateCount(), false);
+    dead[0] = true; // remove the x inverter
+    nl.removeGates(dead);
+    EXPECT_EQ(nl.gateCount(), 1u);
+    EXPECT_NO_THROW(nl.levelize());
+}
+
+TEST(NetlistStats, DepthOfChain)
+{
+    Netlist nl;
+    NetId n = nl.addInput("a");
+    for (int i = 0; i < 5; ++i)
+        n = nl.addGate(CellKind::INVX1, n);
+    nl.addOutput("y", n);
+    const NetlistStats stats = computeStats(nl);
+    EXPECT_EQ(stats.logicDepth, 5u);
+    EXPECT_EQ(stats.totalGates, 5u);
+    EXPECT_EQ(stats.combGates, 5u);
+    EXPECT_EQ(stats.seqGates, 0u);
+}
+
+} // anonymous namespace
+} // namespace printed

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for program-specific ISA specialization (Section 7 /
+ * Table 7): static analysis results, shrunk core configurations,
+ * area/power gains, and gate-level equivalence of specialized
+ * cores running transcoded programs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/characterize.hh"
+#include "core/cosim.hh"
+#include "core/generator.hh"
+#include "progspec/analyze.hh"
+#include "progspec/specialize.hh"
+#include "workloads/kernels.hh"
+
+namespace printed
+{
+namespace
+{
+
+TEST(ProgSpec, MultAnalysis)
+{
+    // Table 7 mult row: PC 4 bits, no BARs.
+    const Workload wl = makeWorkload(Kernel::Mult, 8, 8);
+    const auto a = analyzeProgram(wl.program, wl.dmemWords);
+    EXPECT_LE(a.pcBits, 4u);
+    EXPECT_EQ(a.writableBars, 0u);
+    EXPECT_LT(a.instructionBits(), 24u);
+    // Our mult uses C (shift/branch) and Z (loop) flags.
+    EXPECT_LE(a.flagCount, 2u);
+}
+
+TEST(ProgSpec, DivAnalysisMatchesTable7Flags)
+{
+    // Table 7 div row: 2 flags, no BARs, 20-bit instructions.
+    const Workload wl = makeWorkload(Kernel::Div, 8, 8);
+    const auto a = analyzeProgram(wl.program, wl.dmemWords);
+    EXPECT_EQ(a.flagCount, 2u);
+    EXPECT_EQ(a.writableBars, 0u);
+    EXPECT_LE(a.pcBits, 5u); // ours is tighter than the paper's 5
+    EXPECT_LE(a.instructionBits(), 20u);
+}
+
+TEST(ProgSpec, DTreeKeepsEightBitPc)
+{
+    // Table 7 dTree row: PC 8 bits (256 instructions), 24-bit
+    // instructions (branch targets need full-width operands).
+    const Workload wl = makeWorkload(Kernel::DTree, 8, 8);
+    const auto a = analyzeProgram(wl.program, wl.dmemWords);
+    EXPECT_EQ(a.pcBits, 8u);
+    EXPECT_EQ(a.writableBars, 0u);
+    EXPECT_EQ(a.flagCount, 1u); // only C is branched on
+    EXPECT_GE(a.instructionBits(), 20u);
+}
+
+TEST(ProgSpec, InSortUsesOneBar)
+{
+    // Table 7 inSort row: 1 writable BAR, small BAR width.
+    const Workload wl = makeWorkload(Kernel::InSort, 8, 8);
+    const auto a = analyzeProgram(wl.program, wl.dmemWords);
+    EXPECT_EQ(a.writableBars, 1u);
+    EXPECT_EQ(a.pcBits, 5u);
+    EXPECT_LE(a.barBits, 5u);
+    EXPECT_EQ(a.flagCount, 2u);
+}
+
+TEST(ProgSpec, IntAvgNeedsFewFlags)
+{
+    const Workload wl = makeWorkload(Kernel::IntAvg, 8, 8);
+    const auto a = analyzeProgram(wl.program, wl.dmemWords);
+    EXPECT_EQ(a.writableBars, 0u);
+    // Straight-line except the carry used by the /16 shifts.
+    EXPECT_LE(a.flagCount, 1u);
+}
+
+TEST(ProgSpec, SpecializedConfigValidates)
+{
+    for (const KernelPoint &p : paperKernelPoints()) {
+        const Workload wl =
+            makeWorkload(p.kind, p.dataWidth, p.dataWidth);
+        const CoreConfig cfg =
+            specializedConfig(wl.program, wl.dmemWords);
+        EXPECT_NO_THROW(cfg.check()) << wl.program.name;
+        EXPECT_EQ(cfg.stages, 1u);
+        EXPECT_LE(cfg.isa.pcBits, 8u);
+    }
+}
+
+TEST(ProgSpec, SpecializedCoreIsSmallerAndCheaper)
+{
+    // Section 7/8: program-specific cores beat the standard core
+    // of the same width in both area and power; the abstract
+    // quotes gains of up to 1.93x area and 4.18x power.
+    for (Kernel k : {Kernel::Mult, Kernel::Div, Kernel::Crc8}) {
+        const Workload wl = makeWorkload(k, 8, 8);
+        const CoreConfig std_cfg = CoreConfig::standard(1, 8, 2);
+        const CoreConfig ps_cfg =
+            specializedConfig(wl.program, wl.dmemWords);
+
+        const auto std_ch =
+            characterize(buildCore(std_cfg), egfetLibrary());
+        const auto ps_ch =
+            characterize(buildCore(ps_cfg), egfetLibrary());
+
+        EXPECT_LT(ps_ch.areaCm2(), std_ch.areaCm2())
+            << kernelName(k);
+        EXPECT_LT(ps_ch.powerMw(), std_ch.powerMw())
+            << kernelName(k);
+        EXPECT_LT(ps_ch.stats.seqGates, std_ch.stats.seqGates)
+            << kernelName(k);
+    }
+}
+
+TEST(ProgSpec, TranscodedProgramFitsNarrowRom)
+{
+    const Workload wl = makeWorkload(Kernel::Mult, 8, 8);
+    const CoreConfig cfg =
+        specializedConfig(wl.program, wl.dmemWords);
+    const Program ps = specializeProgram(wl.program, cfg);
+    EXPECT_EQ(ps.size(), wl.program.size());
+    for (const std::uint32_t w : ps.words())
+        EXPECT_LT(w, 1u << cfg.isa.instructionBits());
+}
+
+// Gate-level equivalence: the specialized core running the
+// transcoded program must compute the same results as golden.
+class ProgSpecCosim : public ::testing::TestWithParam<Kernel>
+{};
+
+TEST_P(ProgSpecCosim, SpecializedCoreMatchesGolden)
+{
+    const Kernel kind = GetParam();
+    const Workload wl = makeWorkload(kind, 8, 8);
+    const CoreConfig cfg =
+        specializedConfig(wl.program, wl.dmemWords);
+    const Program ps = specializeProgram(wl.program, cfg);
+    const Netlist nl = buildCore(cfg);
+
+    const auto inputs = defaultInputs(kind, 8, 4);
+    const auto want = goldenOutputs(kind, 8, inputs);
+
+    CoreCosim cosim(nl, cfg, ps, wl.dmemWords);
+    wl.load([&](std::size_t a, std::uint64_t v) {
+        cosim.setMem(a, v);
+    }, inputs);
+    cosim.run();
+
+    const auto got =
+        wl.read([&](std::size_t a) { return cosim.mem(a); });
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(got[i], want[i]) << kernelName(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, ProgSpecCosim,
+    ::testing::Values(Kernel::Mult, Kernel::Div, Kernel::InSort,
+                      Kernel::IntAvg, Kernel::THold, Kernel::DTree),
+    [](const auto &info) {
+        return std::string(kernelName(info.param));
+    });
+
+} // anonymous namespace
+} // namespace printed

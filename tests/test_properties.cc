@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Cross-module property tests: invariants that must hold across
+ * the whole design space rather than at hand-picked points -
+ * optimizer monotonicity, power-model linearity, disassembler
+ * round trips for every generated kernel, and system-evaluation
+ * dominance relations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/characterize.hh"
+#include "common/rng.hh"
+#include "dse/system_eval.hh"
+#include "isa/assembler.hh"
+#include "netlist/stats.hh"
+#include "synth/blocks.hh"
+#include "synth/opt.hh"
+
+namespace printed
+{
+namespace
+{
+
+using namespace synth;
+
+// ----------------------------------------------------------------
+// Optimizer monotonicity over random netlists
+// ----------------------------------------------------------------
+
+Netlist
+randomNetlist(Rng &rng, unsigned inputs, unsigned gates)
+{
+    Netlist nl("rand");
+    Bus pool = busInputs(nl, "x", inputs);
+    pool.push_back(nl.constZero());
+    pool.push_back(nl.constOne());
+    static const CellKind kinds[] = {
+        CellKind::INVX1, CellKind::NAND2X1, CellKind::NOR2X1,
+        CellKind::AND2X1, CellKind::OR2X1, CellKind::XOR2X1,
+        CellKind::XNOR2X1};
+    for (unsigned g = 0; g < gates; ++g) {
+        const CellKind kind = kinds[rng.below(7)];
+        const NetId a = pool[rng.below(pool.size())];
+        if (cellInputCount(kind) == 1)
+            pool.push_back(nl.addGate(kind, a));
+        else
+            pool.push_back(
+                nl.addGate(kind, a, pool[rng.below(pool.size())]));
+    }
+    // Expose a handful of outputs so some logic is live.
+    for (unsigned o = 0; o < 4; ++o)
+        nl.addOutput("y" + std::to_string(o),
+                     pool[pool.size() - 1 - o]);
+    return nl;
+}
+
+TEST(Properties, OptimizerNeverHurtsAreaOrDepth)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 15; ++trial) {
+        Netlist nl = randomNetlist(rng, 6, 60);
+        const AreaReport before_area =
+            analyzeArea(nl, egfetLibrary());
+        const TimingReport before_t =
+            analyzeTiming(nl, egfetLibrary());
+
+        optimize(nl);
+
+        const AreaReport after_area =
+            analyzeArea(nl, egfetLibrary());
+        const TimingReport after_t =
+            analyzeTiming(nl, egfetLibrary());
+        EXPECT_LE(after_area.total_mm2,
+                  before_area.total_mm2 + 1e-9)
+            << "trial " << trial;
+        EXPECT_LE(after_t.criticalPathUs,
+                  before_t.criticalPathUs + 1e-9)
+            << "trial " << trial;
+    }
+}
+
+TEST(Properties, OptimizerIsIdempotent)
+{
+    Rng rng(123);
+    for (int trial = 0; trial < 10; ++trial) {
+        Netlist nl = randomNetlist(rng, 5, 50);
+        optimize(nl);
+        const std::size_t once = nl.gateCount();
+        const OptStats again = optimize(nl);
+        EXPECT_EQ(nl.gateCount(), once);
+        EXPECT_EQ(again.gatesBefore, again.gatesAfter);
+    }
+}
+
+// ----------------------------------------------------------------
+// Power-model linearity
+// ----------------------------------------------------------------
+
+TEST(Properties, PowerLinearInActivityAndFrequency)
+{
+    Netlist nl("block");
+    const Bus a = busInputs(nl, "a", 8);
+    const Bus b = busInputs(nl, "b", 8);
+    busOutputs(nl, "s",
+               rippleAdder(nl, a, b, nl.constZero()).sum);
+
+    const PowerReport base =
+        analyzePower(nl, egfetLibrary(), 10.0, 0.4);
+    const PowerReport act2 =
+        analyzePower(nl, egfetLibrary(), 10.0, 0.8);
+    const PowerReport freq2 =
+        analyzePower(nl, egfetLibrary(), 20.0, 0.4);
+    EXPECT_NEAR(act2.dynamic_mW, 2 * base.dynamic_mW, 1e-12);
+    EXPECT_NEAR(freq2.dynamic_mW, 2 * base.dynamic_mW, 1e-12);
+    EXPECT_DOUBLE_EQ(base.static_mW, act2.static_mW);
+}
+
+// ----------------------------------------------------------------
+// Disassembler round trip for every generated kernel
+// ----------------------------------------------------------------
+
+TEST(Properties, AllKernelsDisassembleAndReassemble)
+{
+    for (const KernelPoint &p : paperKernelPoints()) {
+        const Workload wl =
+            makeWorkload(p.kind, p.dataWidth, p.dataWidth);
+        const std::string text = disassemble(wl.program);
+        const Program back =
+            assemble(text, wl.program.isa, "roundtrip");
+        ASSERT_EQ(back.size(), wl.program.size())
+            << wl.program.name;
+        for (std::size_t i = 0; i < back.size(); ++i)
+            EXPECT_EQ(back.code[i], wl.program.code[i])
+                << wl.program.name << " instruction " << i;
+    }
+}
+
+// ----------------------------------------------------------------
+// System evaluation dominance across the full kernel set
+// ----------------------------------------------------------------
+
+TEST(Properties, SpecializationDominatesEverywhere)
+{
+    // The Section 8 claim, checked at every (kernel, width) point:
+    // the program-specific system never loses on energy or area.
+    for (const KernelPoint &p : paperKernelPoints()) {
+        const Workload wl =
+            makeWorkload(p.kind, p.dataWidth, p.dataWidth);
+        const auto std_eval = evaluateSystem(
+            wl, CoreConfig::standard(1, p.dataWidth, 2),
+            TechKind::EGFET);
+        const auto ps_eval =
+            evaluateSpecializedSystem(wl, TechKind::EGFET);
+        EXPECT_LE(ps_eval.energyTotal(), std_eval.energyTotal())
+            << wl.program.name;
+        EXPECT_LE(ps_eval.areaTotal(), std_eval.areaTotal())
+            << wl.program.name;
+        EXPECT_EQ(ps_eval.cycles, std_eval.cycles)
+            << wl.program.name;
+    }
+}
+
+TEST(Properties, EnergyScalesWithDatawidth)
+{
+    // Wider standard cores burn more energy per iteration on the
+    // same logical task (Table 8's column ordering).
+    for (Kernel k : {Kernel::Mult, Kernel::Div, Kernel::IntAvg,
+                     Kernel::THold, Kernel::InSort}) {
+        double prev = 0;
+        for (unsigned w : {8u, 16u, 32u}) {
+            const Workload wl = makeWorkload(k, w, w);
+            const auto eval = evaluateSystem(
+                wl, CoreConfig::standard(1, w, 2),
+                TechKind::EGFET);
+            EXPECT_GT(eval.energyTotal(), prev)
+                << kernelName(k) << " " << w;
+            prev = eval.energyTotal();
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace printed

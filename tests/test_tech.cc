@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the technology descriptors and standard-cell
+ * libraries (paper Tables 1 and 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tech/library.hh"
+#include "tech/technology.hh"
+
+namespace printed
+{
+namespace
+{
+
+TEST(Technology, SurveyHasNineRows)
+{
+    EXPECT_EQ(technologySurvey().size(), 9u);
+}
+
+TEST(Technology, EgfetIsBatteryCompatibleAdditive)
+{
+    const TechnologyInfo &egfet = technologyInfo(TechKind::EGFET);
+    EXPECT_TRUE(egfet.batteryCompatible);
+    EXPECT_EQ(egfet.route, ProcessingRoute::Additive);
+    EXPECT_LE(egfet.maxVoltage, 1.0);
+    EXPECT_DOUBLE_EQ(egfet.mobility, 126.0);
+}
+
+TEST(Technology, CntIsBatteryCompatibleSubtractive)
+{
+    const TechnologyInfo &cnt = technologyInfo(TechKind::CNT_TFT);
+    EXPECT_TRUE(cnt.batteryCompatible);
+    EXPECT_EQ(cnt.route, ProcessingRoute::Subtractive);
+    EXPECT_DOUBLE_EQ(cnt.mobility, 25.0);
+}
+
+TEST(Technology, OnlyLowVoltageRowsAreBatteryCompatible)
+{
+    for (const auto &row : technologySurvey()) {
+        if (row.batteryCompatible)
+            EXPECT_LE(row.maxVoltage, 3.0) << row.name;
+        else
+            EXPECT_GT(row.maxVoltage, 3.0) << row.name;
+    }
+}
+
+TEST(CellLibrary, VddMatchesPaper)
+{
+    EXPECT_DOUBLE_EQ(egfetLibrary().vdd(), 1.0);
+    EXPECT_DOUBLE_EQ(cntLibrary().vdd(), 3.0);
+}
+
+TEST(CellLibrary, Table2EgfetSpotChecks)
+{
+    const CellLibrary &lib = egfetLibrary();
+    EXPECT_DOUBLE_EQ(lib.cell(CellKind::INVX1).area_mm2, 0.224);
+    EXPECT_DOUBLE_EQ(lib.cell(CellKind::INVX1).rise_us, 1212);
+    EXPECT_DOUBLE_EQ(lib.cell(CellKind::DFFX1).area_mm2, 1.41);
+    EXPECT_DOUBLE_EQ(lib.cell(CellKind::DFFX1).energy_nJ, 2360);
+    EXPECT_DOUBLE_EQ(lib.cell(CellKind::DFFNRX1).area_mm2, 2.77);
+    EXPECT_DOUBLE_EQ(lib.cell(CellKind::XNOR2X1).rise_us, 6159);
+}
+
+TEST(CellLibrary, Table2CntSpotChecks)
+{
+    const CellLibrary &lib = cntLibrary();
+    EXPECT_DOUBLE_EQ(lib.cell(CellKind::INVX1).area_mm2, 0.002);
+    EXPECT_DOUBLE_EQ(lib.cell(CellKind::DFFX1).energy_nJ, 41.5);
+    EXPECT_DOUBLE_EQ(lib.cell(CellKind::TSBUFX1).fall_us, 2.83);
+}
+
+TEST(CellLibrary, DffDominatesCombCells)
+{
+    // The paper's key architectural observation (Section 5): DFFs
+    // are considerably more expensive than combinational cells in
+    // both technologies.
+    for (TechKind kind : {TechKind::EGFET, TechKind::CNT_TFT}) {
+        const CellLibrary &lib = libraryFor(kind);
+        const CellSpec &dff = lib.cell(CellKind::DFFX1);
+        const CellSpec &nand2 = lib.cell(CellKind::NAND2X1);
+        EXPECT_GT(dff.area_mm2, 4 * nand2.area_mm2) << lib.name();
+        EXPECT_GT(dff.energy_nJ, nand2.energy_nJ) << lib.name();
+        EXPECT_GT(lib.staticPowerUw(CellKind::DFFX1),
+                  4 * lib.staticPowerUw(CellKind::NAND2X1))
+            << lib.name();
+    }
+}
+
+TEST(CellLibrary, CntCellsSmallerAndFasterThanEgfet)
+{
+    // Section 3.2.1: CNT-TFT cells are much smaller, faster, and
+    // lower energy than EGFET.
+    const CellLibrary &egfet = egfetLibrary();
+    const CellLibrary &cnt = cntLibrary();
+    for (std::size_t i = 0; i < numCellKinds; ++i) {
+        const auto kind = static_cast<CellKind>(i);
+        EXPECT_LT(cnt.cell(kind).area_mm2, egfet.cell(kind).area_mm2)
+            << cellName(kind);
+        EXPECT_LT(cnt.cell(kind).worstDelayUs(),
+                  egfet.cell(kind).worstDelayUs())
+            << cellName(kind);
+    }
+}
+
+TEST(CellLibrary, CellNamesRoundTrip)
+{
+    EXPECT_EQ(cellName(CellKind::NAND2X1), "NAND2X1");
+    EXPECT_EQ(cellName(CellKind::DFFNRX1), "DFFNRX1");
+}
+
+TEST(CellLibrary, InputCounts)
+{
+    EXPECT_EQ(cellInputCount(CellKind::INVX1), 1u);
+    EXPECT_EQ(cellInputCount(CellKind::DFFX1), 1u);
+    EXPECT_EQ(cellInputCount(CellKind::DFFNRX1), 2u);
+    EXPECT_EQ(cellInputCount(CellKind::NAND2X1), 2u);
+    EXPECT_EQ(cellInputCount(CellKind::TSBUFX1), 2u);
+}
+
+TEST(CellLibrary, Classification)
+{
+    EXPECT_TRUE(cellIsSequential(CellKind::DFFX1));
+    EXPECT_TRUE(cellIsSequential(CellKind::LATCHX1));
+    EXPECT_FALSE(cellIsSequential(CellKind::INVX1));
+    EXPECT_TRUE(cellIsInverting(CellKind::NAND2X1));
+    EXPECT_FALSE(cellIsInverting(CellKind::AND2X1));
+    EXPECT_TRUE(cellIsNonMonotone(CellKind::XOR2X1));
+    EXPECT_FALSE(cellIsNonMonotone(CellKind::OR2X1));
+}
+
+TEST(CellLibrary, FlopPeriodFloor)
+{
+    // EGFET DFF: max(6149, 3923) = 6149 us.
+    EXPECT_DOUBLE_EQ(egfetLibrary().flopPeriodFloorUs(), 6149);
+    EXPECT_DOUBLE_EQ(cntLibrary().flopPeriodFloorUs(), 4.19);
+}
+
+} // anonymous namespace
+} // namespace printed

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the benchmark workloads: every kernel at every (data
+ * width, core width) combination runs on the instruction-set
+ * simulator and must match the golden C++ model, across many
+ * random input sets (property-style). Single-cycle gate-level
+ * co-simulation is cross-checked for the native-width kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/machine.hh"
+#include "common/logging.hh"
+#include "core/cosim.hh"
+#include "core/generator.hh"
+#include "workloads/kernels.hh"
+
+namespace printed
+{
+namespace
+{
+
+std::vector<std::uint64_t>
+runOnIss(const Workload &wl, const std::vector<std::uint64_t> &inputs,
+         ExecutionStats *stats_out = nullptr)
+{
+    TpIsaMachine m(wl.program, wl.dmemWords);
+    wl.load([&](std::size_t a, std::uint64_t v) { m.setMem(a, v); },
+            inputs);
+    if (wl.streamAddr >= 0)
+        m.setStreamPort(std::size_t(wl.streamAddr),
+                        wl.streamInputs(inputs));
+    m.run();
+    EXPECT_NE(m.stats().halt, HaltReason::MaxSteps)
+        << wl.program.name;
+    if (stats_out)
+        *stats_out = m.stats();
+    return wl.read([&](std::size_t a) { return m.mem(a); });
+}
+
+// ----------------------------------------------------------------
+// Parameterized: kernel x data width x core width vs golden
+// ----------------------------------------------------------------
+
+struct WlCase
+{
+    Kernel kind;
+    unsigned dataWidth;
+    unsigned coreWidth;
+};
+
+class WorkloadGolden : public ::testing::TestWithParam<WlCase>
+{};
+
+TEST_P(WorkloadGolden, MatchesGoldenOverRandomInputs)
+{
+    const WlCase &c = GetParam();
+    const Workload wl = makeWorkload(c.kind, c.dataWidth,
+                                     c.coreWidth);
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        const auto inputs = defaultInputs(c.kind, c.dataWidth, seed);
+        const auto want = goldenOutputs(c.kind, c.dataWidth, inputs);
+        const auto got = runOnIss(wl, inputs);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < want.size(); ++i)
+            EXPECT_EQ(got[i], want[i])
+                << wl.program.name << " seed " << seed << " output "
+                << i;
+    }
+}
+
+std::string
+wlName(const ::testing::TestParamInfo<WlCase> &info)
+{
+    return std::string(kernelName(info.param.kind)) +
+           std::to_string(info.param.dataWidth) + "_on_" +
+           std::to_string(info.param.coreWidth);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NativeWidth, WorkloadGolden,
+    ::testing::Values(WlCase{Kernel::Mult, 8, 8},
+                      WlCase{Kernel::Mult, 16, 16},
+                      WlCase{Kernel::Mult, 32, 32},
+                      WlCase{Kernel::Div, 8, 8},
+                      WlCase{Kernel::Div, 16, 16},
+                      WlCase{Kernel::Div, 32, 32},
+                      WlCase{Kernel::InSort, 8, 8},
+                      WlCase{Kernel::InSort, 16, 16},
+                      WlCase{Kernel::InSort, 32, 32},
+                      WlCase{Kernel::IntAvg, 8, 8},
+                      WlCase{Kernel::IntAvg, 16, 16},
+                      WlCase{Kernel::IntAvg, 32, 32},
+                      WlCase{Kernel::THold, 8, 8},
+                      WlCase{Kernel::THold, 16, 16},
+                      WlCase{Kernel::THold, 32, 32},
+                      WlCase{Kernel::Crc8, 8, 8},
+                      WlCase{Kernel::DTree, 8, 8},
+                      WlCase{Kernel::DTree, 16, 16},
+                      WlCase{Kernel::DTree, 32, 32}),
+    wlName);
+
+INSTANTIATE_TEST_SUITE_P(
+    Coalesced, WorkloadGolden,
+    ::testing::Values(WlCase{Kernel::Mult, 16, 8},
+                      WlCase{Kernel::Mult, 32, 8},
+                      WlCase{Kernel::Mult, 32, 16},
+                      WlCase{Kernel::Div, 16, 8},
+                      WlCase{Kernel::Div, 32, 16},
+                      WlCase{Kernel::InSort, 16, 8},
+                      WlCase{Kernel::InSort, 32, 8},
+                      WlCase{Kernel::IntAvg, 16, 8},
+                      WlCase{Kernel::IntAvg, 32, 16},
+                      WlCase{Kernel::THold, 16, 8},
+                      WlCase{Kernel::THold, 32, 8},
+                      WlCase{Kernel::Mult, 16, 4},
+                      WlCase{Kernel::IntAvg, 8, 4}),
+    wlName);
+
+// ----------------------------------------------------------------
+// Structural expectations (Table 7 shape)
+// ----------------------------------------------------------------
+
+TEST(Workloads, DTreeFillsAllInstructionWords)
+{
+    // Section 8: dTree uses all 256 instruction words.
+    const Workload wl = makeWorkload(Kernel::DTree, 8, 8);
+    EXPECT_EQ(wl.program.size(), 256u);
+}
+
+TEST(Workloads, KernelsFitTheirTable7PcBudgets)
+{
+    // Table 7 PC sizes imply static instruction budgets: mult <= 16,
+    // div/inSort/tHold/crc8 <= 32, intAvg <= 64.
+    EXPECT_LE(makeWorkload(Kernel::Mult, 8, 8).program.size(), 16u);
+    EXPECT_LE(makeWorkload(Kernel::Div, 8, 8).program.size(), 32u);
+    EXPECT_LE(makeWorkload(Kernel::InSort, 8, 8).program.size(), 32u);
+    EXPECT_LE(makeWorkload(Kernel::THold, 8, 8).program.size(), 32u);
+    EXPECT_LE(makeWorkload(Kernel::Crc8, 8, 8).program.size(), 32u);
+    EXPECT_LE(makeWorkload(Kernel::IntAvg, 8, 8).program.size(), 64u);
+}
+
+TEST(Workloads, CoalescedProgramsAreLarger)
+{
+    const auto native = makeWorkload(Kernel::Mult, 16, 16);
+    const auto coalesced = makeWorkload(Kernel::Mult, 16, 8);
+    EXPECT_GT(coalesced.program.size(), native.program.size());
+}
+
+TEST(Workloads, ArrayKernelsUseOneBar)
+{
+    // inSort and tHold loop with a single writable BAR (Table 7);
+    // intAvg is straight-line and touches no BAR at all.
+    auto uses_setbar = [](const Workload &wl) {
+        for (const Instruction &inst : wl.program.code)
+            if (inst.mnemonic == Mnemonic::SETBAR)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(uses_setbar(makeWorkload(Kernel::InSort, 8, 8)));
+    EXPECT_TRUE(uses_setbar(makeWorkload(Kernel::THold, 8, 8)));
+    EXPECT_FALSE(uses_setbar(makeWorkload(Kernel::IntAvg, 8, 8)));
+    EXPECT_FALSE(uses_setbar(makeWorkload(Kernel::Mult, 8, 8)));
+    EXPECT_FALSE(uses_setbar(makeWorkload(Kernel::Crc8, 8, 8)));
+    EXPECT_FALSE(uses_setbar(makeWorkload(Kernel::DTree, 8, 8)));
+}
+
+TEST(Workloads, DmemFitsAddressSpace)
+{
+    for (const KernelPoint &p : paperKernelPoints()) {
+        for (unsigned core_w : {8u, 16u, 32u}) {
+            if (core_w > p.dataWidth || p.dataWidth % core_w)
+                continue;
+            if (p.kind == Kernel::DTree && core_w != p.dataWidth)
+                continue;
+            const Workload wl =
+                makeWorkload(p.kind, p.dataWidth, core_w);
+            EXPECT_LE(wl.dmemWords, 256u) << wl.program.name;
+            EXPECT_LE(wl.program.size(), 256u) << wl.program.name;
+        }
+    }
+}
+
+TEST(Workloads, DefaultInputsDeterministic)
+{
+    const auto a = defaultInputs(Kernel::InSort, 8, 5);
+    const auto b = defaultInputs(Kernel::InSort, 8, 5);
+    EXPECT_EQ(a, b);
+    const auto c = defaultInputs(Kernel::InSort, 8, 6);
+    EXPECT_NE(a, c);
+}
+
+// ----------------------------------------------------------------
+// Golden-model self-checks
+// ----------------------------------------------------------------
+
+TEST(Golden, Crc8KnownVector)
+{
+    // CRC-8/ATM of "123456789" is 0xF4.
+    const std::vector<std::uint8_t> msg = {'1', '2', '3', '4', '5',
+                                           '6', '7', '8', '9'};
+    EXPECT_EQ(golden::crc8(msg), 0xF4);
+}
+
+TEST(Golden, DivBasics)
+{
+    const auto r = golden::div(100, 7, 8);
+    EXPECT_EQ(r.quotient, 14u);
+    EXPECT_EQ(r.remainder, 2u);
+    EXPECT_THROW(golden::div(1, 0, 8), FatalError);
+}
+
+TEST(Golden, DTreeDeterministic)
+{
+    const auto a = golden::dTree(10, 20, 30, 8);
+    EXPECT_EQ(a, golden::dTree(10, 20, 30, 8));
+    // Leaf ids live past the internal nodes.
+    EXPECT_GE(a, 51u);
+    EXPECT_LT(a, 128u);
+}
+
+// ----------------------------------------------------------------
+// Gate-level cross-check (single-cycle cores)
+// ----------------------------------------------------------------
+
+class WorkloadCosim : public ::testing::TestWithParam<WlCase>
+{};
+
+TEST_P(WorkloadCosim, GateLevelMatchesIss)
+{
+    const WlCase &c = GetParam();
+    const Workload wl = makeWorkload(c.kind, c.dataWidth,
+                                     c.coreWidth);
+    const CoreConfig cfg = CoreConfig::standard(1, c.coreWidth, 2);
+    const Netlist nl = buildCore(cfg);
+
+    const auto inputs = defaultInputs(c.kind, c.dataWidth, 3);
+    const auto want = goldenOutputs(c.kind, c.dataWidth, inputs);
+
+    CoreCosim cosim(nl, cfg, wl.program, wl.dmemWords);
+    wl.load([&](std::size_t a, std::uint64_t v) {
+        cosim.setMem(a, v);
+    }, inputs);
+    if (wl.streamAddr >= 0)
+        cosim.setStreamPort(std::size_t(wl.streamAddr),
+                            wl.streamInputs(inputs));
+    cosim.run();
+
+    const auto got =
+        wl.read([&](std::size_t a) { return cosim.mem(a); });
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_EQ(got[i], want[i]) << wl.program.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GateLevel, WorkloadCosim,
+    ::testing::Values(WlCase{Kernel::Mult, 8, 8},
+                      WlCase{Kernel::Div, 8, 8},
+                      WlCase{Kernel::InSort, 8, 8},
+                      WlCase{Kernel::IntAvg, 8, 8},
+                      WlCase{Kernel::THold, 8, 8},
+                      WlCase{Kernel::Crc8, 8, 8},
+                      WlCase{Kernel::DTree, 8, 8},
+                      WlCase{Kernel::Mult, 16, 8},
+                      WlCase{Kernel::Mult, 16, 16}),
+    wlName);
+
+} // anonymous namespace
+} // namespace printed
