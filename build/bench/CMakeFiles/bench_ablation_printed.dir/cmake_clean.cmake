@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_printed.dir/bench_ablation_printed.cc.o"
+  "CMakeFiles/bench_ablation_printed.dir/bench_ablation_printed.cc.o.d"
+  "bench_ablation_printed"
+  "bench_ablation_printed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_printed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

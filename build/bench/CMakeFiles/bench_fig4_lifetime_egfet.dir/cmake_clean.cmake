@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_lifetime_egfet.dir/bench_fig4_lifetime_egfet.cc.o"
+  "CMakeFiles/bench_fig4_lifetime_egfet.dir/bench_fig4_lifetime_egfet.cc.o.d"
+  "bench_fig4_lifetime_egfet"
+  "bench_fig4_lifetime_egfet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_lifetime_egfet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_lifetime_cnt.dir/bench_fig5_lifetime_cnt.cc.o"
+  "CMakeFiles/bench_fig5_lifetime_cnt.dir/bench_fig5_lifetime_cnt.cc.o.d"
+  "bench_fig5_lifetime_cnt"
+  "bench_fig5_lifetime_cnt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_lifetime_cnt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

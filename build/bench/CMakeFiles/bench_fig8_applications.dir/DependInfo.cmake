@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8_applications.cc" "bench/CMakeFiles/bench_fig8_applications.dir/bench_fig8_applications.cc.o" "gcc" "bench/CMakeFiles/bench_fig8_applications.dir/bench_fig8_applications.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dse/CMakeFiles/printed_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/printed_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/printed_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/printed_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/progspec/CMakeFiles/printed_progspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/printed_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/printed_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/printed_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/printed_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/printed_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/printed_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/printed_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/printed_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/printed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

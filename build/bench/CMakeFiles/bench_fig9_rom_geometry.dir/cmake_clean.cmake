@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_rom_geometry.dir/bench_fig9_rom_geometry.cc.o"
+  "CMakeFiles/bench_fig9_rom_geometry.dir/bench_fig9_rom_geometry.cc.o.d"
+  "bench_fig9_rom_geometry"
+  "bench_fig9_rom_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_rom_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_progspec_gains.dir/bench_progspec_gains.cc.o"
+  "CMakeFiles/bench_progspec_gains.dir/bench_progspec_gains.cc.o.d"
+  "bench_progspec_gains"
+  "bench_progspec_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_progspec_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

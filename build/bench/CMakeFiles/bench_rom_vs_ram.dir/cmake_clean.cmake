@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rom_vs_ram.dir/bench_rom_vs_ram.cc.o"
+  "CMakeFiles/bench_rom_vs_ram.dir/bench_rom_vs_ram.cc.o.d"
+  "bench_rom_vs_ram"
+  "bench_rom_vs_ram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rom_vs_ram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_rom_vs_ram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_section8_legacy_apps.dir/bench_section8_legacy_apps.cc.o"
+  "CMakeFiles/bench_section8_legacy_apps.dir/bench_section8_legacy_apps.cc.o.d"
+  "bench_section8_legacy_apps"
+  "bench_section8_legacy_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section8_legacy_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

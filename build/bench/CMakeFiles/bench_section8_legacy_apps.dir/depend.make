@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_section8_legacy_apps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cells.dir/bench_table2_cells.cc.o"
+  "CMakeFiles/bench_table2_cells.dir/bench_table2_cells.cc.o.d"
+  "bench_table2_cells"
+  "bench_table2_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_legacy_cores.dir/bench_table4_legacy_cores.cc.o"
+  "CMakeFiles/bench_table4_legacy_cores.dir/bench_table4_legacy_cores.cc.o.d"
+  "bench_table4_legacy_cores"
+  "bench_table4_legacy_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_legacy_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_memory_devices.dir/bench_table6_memory_devices.cc.o"
+  "CMakeFiles/bench_table6_memory_devices.dir/bench_table6_memory_devices.cc.o.d"
+  "bench_table6_memory_devices"
+  "bench_table6_memory_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_memory_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_progspec.dir/bench_table7_progspec.cc.o"
+  "CMakeFiles/bench_table7_progspec.dir/bench_table7_progspec.cc.o.d"
+  "bench_table7_progspec"
+  "bench_table7_progspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_progspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_variation_yield.dir/bench_variation_yield.cc.o"
+  "CMakeFiles/bench_variation_yield.dir/bench_variation_yield.cc.o.d"
+  "bench_variation_yield"
+  "bench_variation_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_variation_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_pdk.dir/export_pdk.cpp.o"
+  "CMakeFiles/export_pdk.dir/export_pdk.cpp.o.d"
+  "export_pdk"
+  "export_pdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_pdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/print_shop.dir/print_shop.cpp.o"
+  "CMakeFiles/print_shop.dir/print_shop.cpp.o.d"
+  "print_shop"
+  "print_shop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/print_shop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tech")
+subdirs("netlist")
+subdirs("sim")
+subdirs("synth")
+subdirs("analysis")
+subdirs("isa")
+subdirs("arch")
+subdirs("core")
+subdirs("mem")
+subdirs("workloads")
+subdirs("legacy")
+subdirs("progspec")
+subdirs("apps")
+subdirs("dse")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/area.cc" "src/analysis/CMakeFiles/printed_analysis.dir/area.cc.o" "gcc" "src/analysis/CMakeFiles/printed_analysis.dir/area.cc.o.d"
+  "/root/repo/src/analysis/characterize.cc" "src/analysis/CMakeFiles/printed_analysis.dir/characterize.cc.o" "gcc" "src/analysis/CMakeFiles/printed_analysis.dir/characterize.cc.o.d"
+  "/root/repo/src/analysis/power.cc" "src/analysis/CMakeFiles/printed_analysis.dir/power.cc.o" "gcc" "src/analysis/CMakeFiles/printed_analysis.dir/power.cc.o.d"
+  "/root/repo/src/analysis/timing.cc" "src/analysis/CMakeFiles/printed_analysis.dir/timing.cc.o" "gcc" "src/analysis/CMakeFiles/printed_analysis.dir/timing.cc.o.d"
+  "/root/repo/src/analysis/variation.cc" "src/analysis/CMakeFiles/printed_analysis.dir/variation.cc.o" "gcc" "src/analysis/CMakeFiles/printed_analysis.dir/variation.cc.o.d"
+  "/root/repo/src/analysis/yield.cc" "src/analysis/CMakeFiles/printed_analysis.dir/yield.cc.o" "gcc" "src/analysis/CMakeFiles/printed_analysis.dir/yield.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/printed_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/printed_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/printed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printed_analysis.dir/area.cc.o"
+  "CMakeFiles/printed_analysis.dir/area.cc.o.d"
+  "CMakeFiles/printed_analysis.dir/characterize.cc.o"
+  "CMakeFiles/printed_analysis.dir/characterize.cc.o.d"
+  "CMakeFiles/printed_analysis.dir/power.cc.o"
+  "CMakeFiles/printed_analysis.dir/power.cc.o.d"
+  "CMakeFiles/printed_analysis.dir/timing.cc.o"
+  "CMakeFiles/printed_analysis.dir/timing.cc.o.d"
+  "CMakeFiles/printed_analysis.dir/variation.cc.o"
+  "CMakeFiles/printed_analysis.dir/variation.cc.o.d"
+  "CMakeFiles/printed_analysis.dir/yield.cc.o"
+  "CMakeFiles/printed_analysis.dir/yield.cc.o.d"
+  "libprinted_analysis.a"
+  "libprinted_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printed_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/applications.cc" "src/apps/CMakeFiles/printed_apps.dir/applications.cc.o" "gcc" "src/apps/CMakeFiles/printed_apps.dir/applications.cc.o.d"
+  "/root/repo/src/apps/battery.cc" "src/apps/CMakeFiles/printed_apps.dir/battery.cc.o" "gcc" "src/apps/CMakeFiles/printed_apps.dir/battery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/printed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printed_apps.dir/applications.cc.o"
+  "CMakeFiles/printed_apps.dir/applications.cc.o.d"
+  "CMakeFiles/printed_apps.dir/battery.cc.o"
+  "CMakeFiles/printed_apps.dir/battery.cc.o.d"
+  "libprinted_apps.a"
+  "libprinted_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printed_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/machine.cc" "src/arch/CMakeFiles/printed_arch.dir/machine.cc.o" "gcc" "src/arch/CMakeFiles/printed_arch.dir/machine.cc.o.d"
+  "/root/repo/src/arch/pipeline.cc" "src/arch/CMakeFiles/printed_arch.dir/pipeline.cc.o" "gcc" "src/arch/CMakeFiles/printed_arch.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/printed_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/printed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printed_arch.dir/machine.cc.o"
+  "CMakeFiles/printed_arch.dir/machine.cc.o.d"
+  "CMakeFiles/printed_arch.dir/pipeline.cc.o"
+  "CMakeFiles/printed_arch.dir/pipeline.cc.o.d"
+  "libprinted_arch.a"
+  "libprinted_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printed_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

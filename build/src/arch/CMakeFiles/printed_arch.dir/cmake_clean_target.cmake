@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprinted_arch.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printed_common.dir/logging.cc.o"
+  "CMakeFiles/printed_common.dir/logging.cc.o.d"
+  "CMakeFiles/printed_common.dir/table.cc.o"
+  "CMakeFiles/printed_common.dir/table.cc.o.d"
+  "libprinted_common.a"
+  "libprinted_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printed_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

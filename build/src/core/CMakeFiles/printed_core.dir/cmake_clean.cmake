@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printed_core.dir/config.cc.o"
+  "CMakeFiles/printed_core.dir/config.cc.o.d"
+  "CMakeFiles/printed_core.dir/cosim.cc.o"
+  "CMakeFiles/printed_core.dir/cosim.cc.o.d"
+  "CMakeFiles/printed_core.dir/generator.cc.o"
+  "CMakeFiles/printed_core.dir/generator.cc.o.d"
+  "libprinted_core.a"
+  "libprinted_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printed_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

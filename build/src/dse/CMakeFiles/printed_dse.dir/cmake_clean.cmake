@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printed_dse.dir/sweep.cc.o"
+  "CMakeFiles/printed_dse.dir/sweep.cc.o.d"
+  "CMakeFiles/printed_dse.dir/system_eval.cc.o"
+  "CMakeFiles/printed_dse.dir/system_eval.cc.o.d"
+  "libprinted_dse.a"
+  "libprinted_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printed_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printed_isa.dir/assembler.cc.o"
+  "CMakeFiles/printed_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/printed_isa.dir/isa.cc.o"
+  "CMakeFiles/printed_isa.dir/isa.cc.o.d"
+  "CMakeFiles/printed_isa.dir/program.cc.o"
+  "CMakeFiles/printed_isa.dir/program.cc.o.d"
+  "libprinted_isa.a"
+  "libprinted_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printed_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

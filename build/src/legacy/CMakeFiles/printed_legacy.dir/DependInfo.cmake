@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/legacy/cores.cc" "src/legacy/CMakeFiles/printed_legacy.dir/cores.cc.o" "gcc" "src/legacy/CMakeFiles/printed_legacy.dir/cores.cc.o.d"
+  "/root/repo/src/legacy/i8080.cc" "src/legacy/CMakeFiles/printed_legacy.dir/i8080.cc.o" "gcc" "src/legacy/CMakeFiles/printed_legacy.dir/i8080.cc.o.d"
+  "/root/repo/src/legacy/ir.cc" "src/legacy/CMakeFiles/printed_legacy.dir/ir.cc.o" "gcc" "src/legacy/CMakeFiles/printed_legacy.dir/ir.cc.o.d"
+  "/root/repo/src/legacy/ir_kernels.cc" "src/legacy/CMakeFiles/printed_legacy.dir/ir_kernels.cc.o" "gcc" "src/legacy/CMakeFiles/printed_legacy.dir/ir_kernels.cc.o.d"
+  "/root/repo/src/legacy/msp430.cc" "src/legacy/CMakeFiles/printed_legacy.dir/msp430.cc.o" "gcc" "src/legacy/CMakeFiles/printed_legacy.dir/msp430.cc.o.d"
+  "/root/repo/src/legacy/zpu.cc" "src/legacy/CMakeFiles/printed_legacy.dir/zpu.cc.o" "gcc" "src/legacy/CMakeFiles/printed_legacy.dir/zpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/printed_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/printed_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/printed_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/printed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/printed_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/printed_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printed_legacy.dir/cores.cc.o"
+  "CMakeFiles/printed_legacy.dir/cores.cc.o.d"
+  "CMakeFiles/printed_legacy.dir/i8080.cc.o"
+  "CMakeFiles/printed_legacy.dir/i8080.cc.o.d"
+  "CMakeFiles/printed_legacy.dir/ir.cc.o"
+  "CMakeFiles/printed_legacy.dir/ir.cc.o.d"
+  "CMakeFiles/printed_legacy.dir/ir_kernels.cc.o"
+  "CMakeFiles/printed_legacy.dir/ir_kernels.cc.o.d"
+  "CMakeFiles/printed_legacy.dir/msp430.cc.o"
+  "CMakeFiles/printed_legacy.dir/msp430.cc.o.d"
+  "CMakeFiles/printed_legacy.dir/zpu.cc.o"
+  "CMakeFiles/printed_legacy.dir/zpu.cc.o.d"
+  "libprinted_legacy.a"
+  "libprinted_legacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printed_legacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for printed_legacy.
+# This may be replaced when dependencies are built.

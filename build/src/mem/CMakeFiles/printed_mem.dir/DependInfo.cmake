@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/compare.cc" "src/mem/CMakeFiles/printed_mem.dir/compare.cc.o" "gcc" "src/mem/CMakeFiles/printed_mem.dir/compare.cc.o.d"
+  "/root/repo/src/mem/devices.cc" "src/mem/CMakeFiles/printed_mem.dir/devices.cc.o" "gcc" "src/mem/CMakeFiles/printed_mem.dir/devices.cc.o.d"
+  "/root/repo/src/mem/ram.cc" "src/mem/CMakeFiles/printed_mem.dir/ram.cc.o" "gcc" "src/mem/CMakeFiles/printed_mem.dir/ram.cc.o.d"
+  "/root/repo/src/mem/rom.cc" "src/mem/CMakeFiles/printed_mem.dir/rom.cc.o" "gcc" "src/mem/CMakeFiles/printed_mem.dir/rom.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/printed_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/printed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

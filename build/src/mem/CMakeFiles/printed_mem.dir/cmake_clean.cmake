@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printed_mem.dir/compare.cc.o"
+  "CMakeFiles/printed_mem.dir/compare.cc.o.d"
+  "CMakeFiles/printed_mem.dir/devices.cc.o"
+  "CMakeFiles/printed_mem.dir/devices.cc.o.d"
+  "CMakeFiles/printed_mem.dir/ram.cc.o"
+  "CMakeFiles/printed_mem.dir/ram.cc.o.d"
+  "CMakeFiles/printed_mem.dir/rom.cc.o"
+  "CMakeFiles/printed_mem.dir/rom.cc.o.d"
+  "libprinted_mem.a"
+  "libprinted_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printed_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

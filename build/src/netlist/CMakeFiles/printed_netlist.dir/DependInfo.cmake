@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/netlist.cc" "src/netlist/CMakeFiles/printed_netlist.dir/netlist.cc.o" "gcc" "src/netlist/CMakeFiles/printed_netlist.dir/netlist.cc.o.d"
+  "/root/repo/src/netlist/stats.cc" "src/netlist/CMakeFiles/printed_netlist.dir/stats.cc.o" "gcc" "src/netlist/CMakeFiles/printed_netlist.dir/stats.cc.o.d"
+  "/root/repo/src/netlist/verilog.cc" "src/netlist/CMakeFiles/printed_netlist.dir/verilog.cc.o" "gcc" "src/netlist/CMakeFiles/printed_netlist.dir/verilog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/printed_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/printed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

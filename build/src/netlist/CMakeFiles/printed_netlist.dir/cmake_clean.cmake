@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printed_netlist.dir/netlist.cc.o"
+  "CMakeFiles/printed_netlist.dir/netlist.cc.o.d"
+  "CMakeFiles/printed_netlist.dir/stats.cc.o"
+  "CMakeFiles/printed_netlist.dir/stats.cc.o.d"
+  "CMakeFiles/printed_netlist.dir/verilog.cc.o"
+  "CMakeFiles/printed_netlist.dir/verilog.cc.o.d"
+  "libprinted_netlist.a"
+  "libprinted_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printed_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printed_progspec.dir/analyze.cc.o"
+  "CMakeFiles/printed_progspec.dir/analyze.cc.o.d"
+  "CMakeFiles/printed_progspec.dir/specialize.cc.o"
+  "CMakeFiles/printed_progspec.dir/specialize.cc.o.d"
+  "libprinted_progspec.a"
+  "libprinted_progspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printed_progspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

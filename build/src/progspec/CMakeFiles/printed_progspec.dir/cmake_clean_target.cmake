@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprinted_progspec.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printed_sim.dir/simulator.cc.o"
+  "CMakeFiles/printed_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/printed_sim.dir/vcd.cc.o"
+  "CMakeFiles/printed_sim.dir/vcd.cc.o.d"
+  "libprinted_sim.a"
+  "libprinted_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printed_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printed_synth.dir/blocks.cc.o"
+  "CMakeFiles/printed_synth.dir/blocks.cc.o.d"
+  "CMakeFiles/printed_synth.dir/opt.cc.o"
+  "CMakeFiles/printed_synth.dir/opt.cc.o.d"
+  "libprinted_synth.a"
+  "libprinted_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printed_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printed_tech.dir/cell.cc.o"
+  "CMakeFiles/printed_tech.dir/cell.cc.o.d"
+  "CMakeFiles/printed_tech.dir/liberty.cc.o"
+  "CMakeFiles/printed_tech.dir/liberty.cc.o.d"
+  "CMakeFiles/printed_tech.dir/library.cc.o"
+  "CMakeFiles/printed_tech.dir/library.cc.o.d"
+  "CMakeFiles/printed_tech.dir/technology.cc.o"
+  "CMakeFiles/printed_tech.dir/technology.cc.o.d"
+  "libprinted_tech.a"
+  "libprinted_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printed_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

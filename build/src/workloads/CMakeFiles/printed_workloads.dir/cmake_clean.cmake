@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printed_workloads.dir/builder.cc.o"
+  "CMakeFiles/printed_workloads.dir/builder.cc.o.d"
+  "CMakeFiles/printed_workloads.dir/golden.cc.o"
+  "CMakeFiles/printed_workloads.dir/golden.cc.o.d"
+  "CMakeFiles/printed_workloads.dir/kernels.cc.o"
+  "CMakeFiles/printed_workloads.dir/kernels.cc.o.d"
+  "libprinted_workloads.a"
+  "libprinted_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printed_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

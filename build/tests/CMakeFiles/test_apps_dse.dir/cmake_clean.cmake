@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_dse.dir/test_apps_dse.cc.o"
+  "CMakeFiles/test_apps_dse.dir/test_apps_dse.cc.o.d"
+  "test_apps_dse"
+  "test_apps_dse.pdb"
+  "test_apps_dse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_legacy.cc" "tests/CMakeFiles/test_legacy.dir/test_legacy.cc.o" "gcc" "tests/CMakeFiles/test_legacy.dir/test_legacy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/legacy/CMakeFiles/printed_legacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/printed_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/printed_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/printed_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/printed_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/printed_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/printed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_progspec.dir/test_progspec.cc.o"
+  "CMakeFiles/test_progspec.dir/test_progspec.cc.o.d"
+  "test_progspec"
+  "test_progspec.pdb"
+  "test_progspec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_progspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
