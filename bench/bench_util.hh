@@ -1,17 +1,27 @@
 /**
  * @file
  * Shared helpers for the table/figure reproduction binaries: a
- * uniform header banner and paper-vs-measured comparison lines so
- * every bench prints in the same style.
+ * uniform header banner, paper-vs-measured comparison lines, and a
+ * small JSON report writer so benches can emit machine-readable
+ * results (--json <path>) for trajectory tracking alongside the
+ * human-readable tables.
  */
 
 #ifndef PRINTED_BENCH_BENCH_UTIL_HH
 #define PRINTED_BENCH_BENCH_UTIL_HH
 
+#include <cmath>
+#include <cstdint>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
+#include "common/logging.hh"
 #include "common/table.hh"
 
 namespace printed::bench
@@ -38,6 +48,166 @@ compare(const std::string &what, double paper, double measured,
         std::cout << " " << unit;
     std::cout << "  (x" << std::setprecision(3) << ratio << ")\n"
               << std::setprecision(6);
+}
+
+// ----------------------------------------------------------------
+// JSON reporting
+// ----------------------------------------------------------------
+
+/** One pre-rendered JSON scalar (string, number, or bool). */
+class JsonValue
+{
+  public:
+    JsonValue(const char *s) : text_(quote(s)) {}
+    JsonValue(const std::string &s) : text_(quote(s)) {}
+    JsonValue(bool v) : text_(v ? "true" : "false") {}
+    JsonValue(double v) { render(v); }
+
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T>>>
+    JsonValue(T v) : text_(std::to_string(v))
+    {}
+
+    const std::string &text() const { return text_; }
+
+  private:
+    static std::string
+    quote(const std::string &s)
+    {
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            if (static_cast<unsigned char>(c) < 0x20) {
+                std::ostringstream esc;
+                esc << "\\u" << std::hex << std::setw(4)
+                    << std::setfill('0') << int(c);
+                out += esc.str();
+                continue;
+            }
+            out += c;
+        }
+        return out + "\"";
+    }
+
+    void
+    render(double v)
+    {
+        if (!std::isfinite(v)) {
+            text_ = "null"; // JSON has no inf/nan
+            return;
+        }
+        std::ostringstream os;
+        os << std::setprecision(12) << v;
+        text_ = os.str();
+    }
+
+    std::string text_;
+};
+
+/** One JSON object, built as ordered key/value pairs. */
+using JsonRecord = std::vector<std::pair<std::string, JsonValue>>;
+
+/**
+ * Accumulates named record arrays plus top-level scalars and writes
+ * them as one JSON document:
+ *
+ *   { "bench": "...", "<scalar>": ..., "<array>": [ {...}, ... ] }
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string bench_name)
+        : bench_(std::move(bench_name))
+    {}
+
+    /** Set a top-level scalar (e.g. the parameters of the run). */
+    void
+    meta(const std::string &key, JsonValue value)
+    {
+        meta_.emplace_back(key, std::move(value));
+    }
+
+    /** Append one record to the named array (created on first use). */
+    void
+    add(const std::string &array, JsonRecord record)
+    {
+        for (auto &a : arrays_) {
+            if (a.first == array) {
+                a.second.push_back(std::move(record));
+                return;
+            }
+        }
+        arrays_.push_back({array, {std::move(record)}});
+    }
+
+    void
+    write(std::ostream &os) const
+    {
+        os << "{\n  \"bench\": " << JsonValue(bench_).text();
+        for (const auto &m : meta_)
+            os << ",\n  " << JsonValue(m.first).text() << ": "
+               << m.second.text();
+        for (const auto &a : arrays_) {
+            os << ",\n  " << JsonValue(a.first).text() << ": [\n";
+            for (std::size_t i = 0; i < a.second.size(); ++i) {
+                os << "    {";
+                const JsonRecord &rec = a.second[i];
+                for (std::size_t f = 0; f < rec.size(); ++f)
+                    os << (f ? ", " : "")
+                       << JsonValue(rec[f].first).text() << ": "
+                       << rec[f].second.text();
+                os << "}" << (i + 1 < a.second.size() ? "," : "")
+                   << "\n";
+            }
+            os << "  ]";
+        }
+        os << "\n}\n";
+    }
+
+    /** Write to a file; fatal() if the file cannot be opened. */
+    void
+    writeTo(const std::string &path) const
+    {
+        std::ofstream os(path);
+        fatalIf(!os, "cannot open JSON output file '" + path + "'");
+        write(os);
+        std::cout << "\nJSON report written to " << path << "\n";
+    }
+
+  private:
+    std::string bench_;
+    JsonRecord meta_;
+    std::vector<std::pair<std::string, std::vector<JsonRecord>>>
+        arrays_;
+};
+
+/** Value of "--json <path>" in argv, or "" when absent. */
+inline std::string
+jsonPathFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--json")
+            return argv[i + 1];
+    return "";
+}
+
+/** Value of "--<name> <integer>" in argv, or fallback when absent. */
+inline std::uint64_t
+uintFromArgs(int argc, char **argv, const std::string &name,
+             std::uint64_t fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) != "--" + name)
+            continue;
+        try {
+            return std::stoull(argv[i + 1]);
+        } catch (const std::exception &) {
+            fatal("--" + name + " expects an unsigned integer, got '" +
+                  std::string(argv[i + 1]) + "'");
+        }
+    }
+    return fallback;
 }
 
 } // namespace printed::bench

@@ -10,6 +10,8 @@
  * demands, and the print-until-it-works cost that yields imply -
  * the clearest quantitative argument for low-gate-count printed
  * cores beyond area and power.
+ *
+ * Options: --json <path> for a machine-readable report.
  */
 
 #include <iostream>
@@ -22,9 +24,12 @@
 #include "legacy/cores.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace printed;
+    const std::string jsonPath = bench::jsonPathFromArgs(argc, argv);
+    bench::JsonReport jr("bench_variation_yield");
+
     bench::banner("Extension: variation & yield",
                   "Monte-Carlo timing guard-bands and print yield "
                   "of EGFET cores");
@@ -44,6 +49,13 @@ main()
                   TableWriter::fixed(r.guardBand(), 2) + "x",
                   TableWriter::fixed(
                       100 * r.stdDevUs / r.meanPeriodUs, 1) + "%"});
+        jr.add("variation",
+               {{"core", cfg.label()},
+                {"nominal_fmax_hz", 1e6 / r.nominalPeriodUs},
+                {"p95_fmax_hz", r.guardedFmaxHz()},
+                {"guard_band", r.guardBand()},
+                {"sigma_over_mean",
+                 r.stdDevUs / r.meanPeriodUs}});
     }
     t.print(std::cout);
 
@@ -64,6 +76,13 @@ main()
                   y9999.yield > 1e-6
                       ? TableWriter::fixed(y9999.printsPerGood, 1)
                       : std::string(">1e6")});
+        jr.add("yield",
+               {{"design", name},
+                {"devices", devices},
+                {"yield_at_99", y99.yield},
+                {"yield_at_999", y999.yield},
+                {"yield_at_9999", y9999.yield},
+                {"prints_per_good_at_9999", y9999.printsPerGood}});
     };
 
     for (unsigned w : {4u, 8u, 32u}) {
@@ -90,5 +109,8 @@ main()
            "needs an order of magnitude more attempts - yield is "
            "as strong an argument for low-gate-count printed "
            "cores as area and power.\n";
+
+    if (!jsonPath.empty())
+        jr.writeTo(jsonPath);
     return 0;
 }

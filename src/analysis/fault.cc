@@ -1,0 +1,291 @@
+#include "fault.hh"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "analysis/yield.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "core/cosim.hh"
+#include "workloads/kernels.hh"
+
+namespace printed
+{
+
+namespace
+{
+
+/** Uniform double in [0, 1) from 53 random bits. */
+double
+uniform(Rng &rng)
+{
+    return double(rng.next() >> 11) / 9007199254740992.0;
+}
+
+/** SplitMix64 finalizer over a combined word. */
+std::uint64_t
+mix(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** One workload instantiated for the core, with golden results. */
+struct KernelHarness
+{
+    Workload wl;
+    std::vector<std::uint64_t> inputs;
+    std::vector<std::uint64_t> golden;
+    std::uint64_t cycleBudget = 0;
+};
+
+/** Per-thread gate-level harnesses (one cosim per kernel). */
+std::vector<std::unique_ptr<CoreCosim>>
+buildCosims(const Netlist &core, const CoreConfig &config,
+            const std::vector<KernelHarness> &kernels)
+{
+    std::vector<std::unique_ptr<CoreCosim>> sims;
+    sims.reserve(kernels.size());
+    for (const KernelHarness &k : kernels) {
+        sims.push_back(std::make_unique<CoreCosim>(
+            core, config, k.wl.program, k.wl.dmemWords));
+        if (k.wl.streamAddr >= 0)
+            sims.back()->setStreamPort(
+                std::size_t(k.wl.streamAddr),
+                k.wl.streamInputs(k.inputs));
+    }
+    return sims;
+}
+
+/**
+ * Run every kernel on one defective replica.
+ * @return Fatal on any wrong result / illegal state / lost halt,
+ *         otherwise WorkloadMasked or FullyBenign by whether any
+ *         fault activation was observed.
+ */
+TrialOutcome
+runDefectMap(std::vector<std::unique_ptr<CoreCosim>> &sims,
+             const std::vector<KernelHarness> &kernels,
+             const DefectMap &map)
+{
+    std::uint64_t activations = 0;
+    bool fatal = false;
+    for (std::size_t i = 0; i < kernels.size() && !fatal; ++i) {
+        CoreCosim &cs = *sims[i];
+        const KernelHarness &k = kernels[i];
+        cs.simulator().setFaults(map.faults);
+        try {
+            cs.reset();
+            k.wl.load([&](std::size_t a, std::uint64_t v) {
+                cs.setMem(a, v);
+            }, k.inputs);
+            cs.run(k.cycleBudget);
+            const auto got = k.wl.read(
+                [&](std::size_t a) { return cs.mem(a); });
+            fatal = got != k.golden;
+        } catch (const SimulationError &) {
+            // Defect drove an illegal state (bus contention,
+            // S=R=1): the print is electrically broken.
+            fatal = true;
+        } catch (const FatalError &) {
+            // Lost halt (cycle budget) or wild write: broken.
+            fatal = true;
+        }
+        activations += cs.simulator().faultActivations();
+        cs.simulator().clearFaults();
+    }
+    if (fatal)
+        return TrialOutcome::Fatal;
+    return activations ? TrialOutcome::WorkloadMasked
+                       : TrialOutcome::FullyBenign;
+}
+
+/** Outcome counters, merged across worker threads. */
+struct Counters
+{
+    unsigned fatal = 0;
+    unsigned masked = 0;
+    unsigned benign = 0;
+    unsigned defectFree = 0;
+};
+
+} // anonymous namespace
+
+std::uint64_t
+faultTrialSeed(std::uint64_t seed, std::uint64_t trial,
+               std::uint64_t replica)
+{
+    return mix(mix(seed, trial), replica);
+}
+
+DefectMap
+drawDefects(const Netlist &netlist, const FaultModel &model,
+            std::uint64_t trialSeed)
+{
+    fatalIf(model.deviceYield < 0 || model.deviceYield > 1,
+            "drawDefects: device yield must be in [0, 1]");
+    fatalIf(model.bridgeFraction < 0 || model.bridgeFraction > 1,
+            "drawDefects: bridge fraction must be in [0, 1]");
+
+    // Per-cell-kind failure probability 1 - y^devices, shared with
+    // the analytic model through cellDeviceCount().
+    std::array<double, numCellKinds> failProb{};
+    for (std::size_t k = 0; k < numCellKinds; ++k)
+        failProb[k] = 1.0 - std::pow(model.deviceYield,
+                                     double(cellDeviceCount(
+                                         static_cast<CellKind>(k))));
+
+    DefectMap map;
+    map.seed = trialSeed;
+    Rng rng(trialSeed);
+    for (GateId gi = 0; gi < netlist.gateCount(); ++gi) {
+        const Gate &g = netlist.gate(gi);
+        if (uniform(rng) >=
+            failProb[static_cast<std::size_t>(g.kind)])
+            continue;
+        InjectedFault f;
+        f.gate = gi;
+        const bool canBridge = !cellIsSequential(g.kind) &&
+                               g.kind != CellKind::TSBUFX1;
+        if (canBridge && uniform(rng) < model.bridgeFraction) {
+            f.kind = FaultKind::BridgeInput;
+            f.bridge = (g.in1 != invalidNet && rng.flip()) ? g.in1
+                                                           : g.in0;
+        } else {
+            f.kind = rng.flip() ? FaultKind::StuckAt1
+                                : FaultKind::StuckAt0;
+        }
+        map.faults.push_back(f);
+    }
+    return map;
+}
+
+FunctionalYieldReport
+measureFunctionalYield(const Netlist &core, const CoreConfig &config,
+                       const FunctionalYieldConfig &cfg)
+{
+    fatalIf(cfg.trials == 0, "measureFunctionalYield: need trials");
+    fatalIf(cfg.replicas == 0,
+            "measureFunctionalYield: need at least one replica");
+    fatalIf(cfg.kernels.empty(),
+            "measureFunctionalYield: need at least one kernel");
+
+    // Instantiate the kernels at the core's native width and verify
+    // them on the fault-free netlist; the clean cycle counts set
+    // the per-trial budget (a fault that quadruples the runtime has
+    // de facto killed the core).
+    const unsigned w = config.isa.datawidth;
+    std::vector<KernelHarness> kernels;
+    for (Kernel kind : cfg.kernels) {
+        KernelHarness k;
+        k.wl = makeWorkload(kind, w, w, config.isa.barCount);
+        k.inputs = defaultInputs(kind, w);
+        k.golden = goldenOutputs(kind, w, k.inputs);
+        kernels.push_back(std::move(k));
+    }
+    {
+        auto sims = buildCosims(core, config, kernels);
+        for (std::size_t i = 0; i < kernels.size(); ++i) {
+            KernelHarness &k = kernels[i];
+            CoreCosim &cs = *sims[i];
+            cs.reset();
+            k.wl.load([&](std::size_t a, std::uint64_t v) {
+                cs.setMem(a, v);
+            }, k.inputs);
+            const std::uint64_t cycles = cs.run();
+            const auto got = k.wl.read(
+                [&](std::size_t a) { return cs.mem(a); });
+            fatalIf(got != k.golden,
+                    "measureFunctionalYield: fault-free core fails "
+                    "workload " + k.wl.program.name);
+            k.cycleBudget = 4 * cycles + 64;
+        }
+    }
+
+    const unsigned hw = std::thread::hardware_concurrency();
+    unsigned threads = cfg.threads ? cfg.threads
+                                   : (hw ? hw : 1u);
+    threads = std::min(threads, cfg.trials);
+
+    // Each trial is fully determined by (seed, trial, replica), so
+    // any partition of the trial space over threads produces the
+    // same counts.
+    std::atomic<unsigned> nextTrial{0};
+    Counters total;
+    std::mutex totalMutex;
+    auto worker = [&]() {
+        auto sims = buildCosims(core, config, kernels);
+        Counters local;
+        for (;;) {
+            const unsigned t =
+                nextTrial.fetch_add(1, std::memory_order_relaxed);
+            if (t >= cfg.trials)
+                break;
+            TrialOutcome out = TrialOutcome::FullyBenign;
+            bool anyDefect = false;
+            for (unsigned r = 0; r < cfg.replicas; ++r) {
+                const DefectMap map = drawDefects(
+                    core, cfg.fault,
+                    faultTrialSeed(cfg.fault.seed, t, r));
+                if (map.empty())
+                    continue;
+                anyDefect = true;
+                const TrialOutcome o =
+                    runDefectMap(sims, kernels, map);
+                if (o == TrialOutcome::Fatal) {
+                    out = TrialOutcome::Fatal;
+                    break;
+                }
+                if (o == TrialOutcome::WorkloadMasked)
+                    out = TrialOutcome::WorkloadMasked;
+            }
+            if (!anyDefect)
+                ++local.defectFree;
+            else if (out == TrialOutcome::Fatal)
+                ++local.fatal;
+            else if (out == TrialOutcome::WorkloadMasked)
+                ++local.masked;
+            else
+                ++local.benign;
+        }
+        std::lock_guard<std::mutex> lock(totalMutex);
+        total.fatal += local.fatal;
+        total.masked += local.masked;
+        total.benign += local.benign;
+        total.defectFree += local.defectFree;
+    };
+
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            pool.emplace_back(worker);
+        for (std::thread &th : pool)
+            th.join();
+    }
+
+    FunctionalYieldReport report;
+    report.trials = cfg.trials;
+    report.fatalTrials = total.fatal;
+    report.maskedTrials = total.masked;
+    report.benignTrials = total.benign;
+    report.defectFreeTrials = total.defectFree;
+    report.devicesPerReplica = deviceCount(core);
+    report.replicas = cfg.replicas;
+    report.analyticYield =
+        yieldForDevices(report.devicesPerReplica * cfg.replicas,
+                        {cfg.fault.deviceYield, 1.0})
+            .yield;
+    return report;
+}
+
+} // namespace printed

@@ -97,6 +97,16 @@ samplePeriod(const Netlist &nl, const CellLibrary &lib,
 
 } // anonymous namespace
 
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    fatalIf(sorted.empty(), "percentile: empty sample set");
+    fatalIf(p < 0 || p > 1, "percentile: p must be in [0, 1]");
+    const std::size_t idx = std::min(
+        sorted.size() - 1, std::size_t(p * double(sorted.size())));
+    return sorted[idx];
+}
+
 VariationReport
 analyzeVariation(const Netlist &netlist, const CellLibrary &lib,
                  const VariationModel &model)
@@ -134,15 +144,9 @@ analyzeVariation(const Netlist &netlist, const CellLibrary &lib,
     report.stdDevUs = std::sqrt(
         std::max(0.0, sum_sq / n -
                           report.meanPeriodUs * report.meanPeriodUs));
-    auto pct = [&](double p) {
-        const std::size_t idx = std::min(
-            periods.size() - 1,
-            std::size_t(p * double(periods.size())));
-        return periods[idx];
-    };
-    report.p50Us = pct(0.50);
-    report.p95Us = pct(0.95);
-    report.p99Us = pct(0.99);
+    report.p50Us = percentile(periods, 0.50);
+    report.p95Us = percentile(periods, 0.95);
+    report.p99Us = percentile(periods, 0.99);
     report.worstUs = periods.back();
     return report;
 }

@@ -63,6 +63,17 @@ struct VariationReport
 };
 
 /**
+ * Nearest-rank p-quantile of an ascending-sorted sample vector.
+ * @param sorted non-empty, ascending
+ * @param p quantile in [0, 1]; p = 0.5 is the median, p = 1 the max
+ *
+ * This is the estimator analyzeVariation() uses for its p50/p95/p99
+ * columns, exposed so the percentile math is unit-testable against
+ * known distributions.
+ */
+double percentile(const std::vector<double> &sorted, double p);
+
+/**
  * Monte-Carlo timing analysis of a netlist under per-cell delay
  * variation.
  */

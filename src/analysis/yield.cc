@@ -9,53 +9,56 @@ namespace printed
 {
 
 std::size_t
-deviceCount(const Netlist &netlist)
+cellDeviceCount(CellKind kind)
 {
     // One driving transistor per resistor-loaded stage; the stage
     // counts mirror tech/library.cc and are identical across
     // technologies.
-    std::size_t devices = 0;
-    for (const Gate &g : netlist.gates()) {
-        switch (g.kind) {
-          case CellKind::INVX1:
-          case CellKind::NAND2X1:
-          case CellKind::NOR2X1:
-            devices += 1;
-            break;
-          case CellKind::AND2X1:
-          case CellKind::OR2X1:
-          case CellKind::TSBUFX1:
-            devices += 2;
-            break;
-          case CellKind::XOR2X1:
-          case CellKind::XNOR2X1:
-            devices += 3;
-            break;
-          case CellKind::LATCHX1:
-            devices += 4;
-            break;
-          case CellKind::DFFX1:
-            devices += 8;
-            break;
-          case CellKind::DFFNRX1:
-            devices += 10;
-            break;
-          default:
-            panic("deviceCount: unknown cell");
-        }
+    switch (kind) {
+      case CellKind::INVX1:
+      case CellKind::NAND2X1:
+      case CellKind::NOR2X1:
+        return 1;
+      case CellKind::AND2X1:
+      case CellKind::OR2X1:
+      case CellKind::TSBUFX1:
+        return 2;
+      case CellKind::XOR2X1:
+      case CellKind::XNOR2X1:
+        return 3;
+      case CellKind::LATCHX1:
+        return 4;
+      case CellKind::DFFX1:
+        return 8;
+      case CellKind::DFFNRX1:
+        return 10;
+      default:
+        panic("cellDeviceCount: unknown cell");
     }
+}
+
+std::size_t
+deviceCount(const Netlist &netlist)
+{
+    std::size_t devices = 0;
+    for (const Gate &g : netlist.gates())
+        devices += cellDeviceCount(g.kind);
     return devices;
 }
 
 YieldReport
 yieldForDevices(std::size_t devices, const YieldModel &model)
 {
-    fatalIf(model.deviceYield <= 0 || model.deviceYield > 1,
-            "yieldForDevices: device yield must be in (0, 1]");
+    fatalIf(model.deviceYield < 0 || model.deviceYield > 1,
+            "yieldForDevices: device yield must be in [0, 1]");
     YieldReport report;
     report.devices = devices;
-    report.yield = std::pow(model.deviceYield,
-                            double(devices) * model.devicesPerStage);
+    // pow(0, 0) == 1: a zero-device design always "works".
+    report.yield = devices == 0
+                       ? 1.0
+                       : std::pow(model.deviceYield,
+                                  double(devices) *
+                                      model.devicesPerStage);
     report.printsPerGood =
         report.yield > 0 ? 1.0 / report.yield
                          : std::numeric_limits<double>::infinity();

@@ -25,10 +25,10 @@ namespace printed
 struct YieldModel
 {
     /**
-     * Probability that one printed transistor works. The paper's
-     * measured EGFET device yield is 90-99%; the default sits at
-     * the optimistic end, which is what makes microprocessors
-     * printable at all.
+     * Probability that one printed transistor works, in [0, 1].
+     * The paper's measured EGFET device yield is 90-99%; the
+     * default sits at the optimistic end, which is what makes
+     * microprocessors printable at all.
      */
     double deviceYield = 0.99;
 
@@ -47,6 +47,15 @@ struct YieldReport
     double yield = 0;         ///< probability a print works
     double printsPerGood = 0; ///< expected prints per working unit
 };
+
+/**
+ * Printed-device count of one cell instance under the stage model
+ * (one driving transistor per resistor-loaded stage; mirrors
+ * tech/library.cc). Shared by the analytic yield model and the
+ * fault-injection defect draw (analysis/fault.hh), so a cell's
+ * defect probability and its analytic yield contribution agree.
+ */
+std::size_t cellDeviceCount(CellKind kind);
 
 /** Device count of a netlist under the stage model. */
 std::size_t deviceCount(const Netlist &netlist);

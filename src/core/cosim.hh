@@ -79,6 +79,13 @@ class CoreCosim
     /** Measured switching-activity factor of the core netlist. */
     double activityFactor() const { return sim_.activityFactor(); }
 
+    /**
+     * The underlying gate-level simulator. Exposed so fault
+     * injection (analysis/fault.hh) can overlay defect maps on the
+     * core between trials; call reset() after changing the overlay.
+     */
+    GateSimulator &simulator() { return sim_; }
+
   private:
     const CoreConfig config_;
     CorePorts ports_;

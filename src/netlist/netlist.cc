@@ -134,6 +134,26 @@ Netlist::outputNet(const std::string &name) const
     fatal("Netlist '" + name_ + "': no output named '" + name + "'");
 }
 
+std::string
+Netlist::netLabel(NetId id) const
+{
+    if (id == invalidNet)
+        return "<no net>";
+    if (id < nets_.size() && !nets_[id].name.empty())
+        return nets_[id].name;
+    return "net#" + std::to_string(id);
+}
+
+std::string
+Netlist::gateLabel(GateId id) const
+{
+    if (id >= gates_.size())
+        return "gate#" + std::to_string(id);
+    const Gate &g = gates_[id];
+    return cellName(g.kind) + "#" + std::to_string(id) + " -> " +
+           netLabel(g.out);
+}
+
 std::size_t
 Netlist::flopCount() const
 {

@@ -155,6 +155,12 @@ class Netlist
     /** Primary input net by name; fatal() if absent. */
     NetId inputNet(const std::string &name) const;
 
+    /** Human-readable net label: its name, or "net#<id>". */
+    std::string netLabel(NetId id) const;
+
+    /** Human-readable gate label: "<CELL>#<id> -> <net label>". */
+    std::string gateLabel(GateId id) const;
+
     /** Primary output net by name; fatal() if absent. */
     NetId outputNet(const std::string &name) const;
 

@@ -36,6 +36,66 @@ GateSimulator::reset()
 }
 
 void
+GateSimulator::setFaults(const std::vector<InjectedFault> &faults)
+{
+    clearFaults();
+    if (faults.empty())
+        return;
+    if (faultKind_.empty()) {
+        faultKind_.assign(netlist_.gateCount(), FaultKind::None);
+        faultBridge_.assign(netlist_.gateCount(), invalidNet);
+    }
+    for (const InjectedFault &f : faults) {
+        panicIf(f.gate >= netlist_.gateCount(),
+                "setFaults: bad gate id");
+        panicIf(f.kind == FaultKind::BridgeInput &&
+                    f.bridge >= netlist_.netCount(),
+                "setFaults: bad bridge net");
+        if (f.kind == FaultKind::None)
+            continue;
+        faultKind_[f.gate] = f.kind;
+        faultBridge_[f.gate] = f.bridge;
+        faultedGates_.push_back(f.gate);
+    }
+    anyFaults_ = !faultedGates_.empty();
+}
+
+void
+GateSimulator::clearFaults()
+{
+    for (GateId gi : faultedGates_) {
+        faultKind_[gi] = FaultKind::None;
+        faultBridge_[gi] = invalidNet;
+    }
+    faultedGates_.clear();
+    anyFaults_ = false;
+    activations_ = 0;
+}
+
+std::uint8_t
+GateSimulator::faultValue(GateId gi, std::uint8_t out)
+{
+    std::uint8_t forced = out;
+    switch (faultKind_[gi]) {
+      case FaultKind::None:
+        return out;
+      case FaultKind::StuckAt0:
+        forced = 0;
+        break;
+      case FaultKind::StuckAt1:
+        forced = 1;
+        break;
+      case FaultKind::BridgeInput:
+        // Wired-AND with the bridged trace (dominant-low short).
+        forced = out && values_[faultBridge_[gi]];
+        break;
+    }
+    if (forced != out)
+        ++activations_;
+    return forced;
+}
+
+void
 GateSimulator::setInput(NetId net, bool value)
 {
     panicIf(netlist_.net(net).source != NetSource::Input,
@@ -72,25 +132,35 @@ GateSimulator::evaluateGate(GateId gi)
       case CellKind::OR2X1:   out = a || b; break;
       case CellKind::XOR2X1:  out = a != b; break;
       case CellKind::XNOR2X1: out = a == b; break;
-      case CellKind::TSBUFX1:
+      case CellKind::TSBUFX1: {
         // in0 = A, in1 = EN. Disabled buffers contribute nothing;
-        // the bus keeps its old value when nothing drives it.
+        // the bus keeps its old value when nothing drives it. A
+        // defective buffer corrupts only the value it drives.
         if (!b)
             return;
+        std::uint8_t driven = a;
+        if (anyFaults_)
+            driven = faultValue(gi, driven);
         if (busResolved_[g.out]) {
-            panicIf(values_[g.out] != a,
-                    "GateSimulator: tri-state bus conflict");
+            if (values_[g.out] != driven)
+                throw SimulationError(
+                    "tri-state bus conflict",
+                    netlist_.gateLabel(gi),
+                    netlist_.netLabel(g.out));
             return;
         }
         busResolved_[g.out] = 1;
-        if (values_[g.out] != a) {
-            values_[g.out] = a;
+        if (values_[g.out] != driven) {
+            values_[g.out] = driven;
             ++toggles_[gi];
         }
         return;
+      }
       default:
         panic("GateSimulator: sequential cell in comb. order");
     }
+    if (anyFaults_)
+        out = faultValue(gi, out);
     if (values_[g.out] != out) {
         values_[g.out] = out;
         ++toggles_[gi];
@@ -102,12 +172,15 @@ GateSimulator::evaluate()
 {
     // Publish sequential state onto Q nets, honouring the
     // asynchronous clear of DFFNRX1 (Q forced low while RN is 0).
+    // A defective Q trace overrides even the async clear.
     std::fill(busResolved_.begin(), busResolved_.end(), 0);
     for (GateId gi : seqGates_) {
         const Gate &g = netlist_.gate(gi);
         std::uint8_t q = seqState_[gi];
         if (g.kind == CellKind::DFFNRX1 && !values_[g.in1])
             q = 0;
+        if (anyFaults_)
+            q = faultValue(gi, q);
         values_[g.out] = q;
     }
     for (GateId gi : order_)
@@ -119,8 +192,13 @@ GateSimulator::evaluate()
         const Gate &g = netlist_.gate(gi);
         if (g.kind == CellKind::DFFNRX1 && !values_[g.in1] &&
             values_[g.out]) {
-            values_[g.out] = 0;
-            changed = true;
+            std::uint8_t q = 0;
+            if (anyFaults_)
+                q = faultValue(gi, q);
+            if (values_[g.out] != q) {
+                values_[g.out] = q;
+                changed = true;
+            }
         }
     }
     if (changed) {
@@ -136,34 +214,36 @@ GateSimulator::step()
     for (GateId gi : seqGates_) {
         const Gate &g = netlist_.gate(gi);
         const auto d = values_[g.in0];
+        std::uint8_t next = 0;
         switch (g.kind) {
           case CellKind::DFFX1:
-            if (seqState_[gi] != d)
-                ++toggles_[gi];
-            seqState_[gi] = d;
+            next = d;
             break;
           case CellKind::DFFNRX1: {
             const auto rn = values_[g.in1];
-            const std::uint8_t next = rn ? d : 0;
-            if (seqState_[gi] != next)
-                ++toggles_[gi];
-            seqState_[gi] = next;
+            next = rn ? d : 0;
             break;
           }
           case CellKind::LATCHX1: {
             // in0 = S, in1 = R.
             const auto s = values_[g.in0];
             const auto r = values_[g.in1];
-            panicIf(s && r, "GateSimulator: SR latch with S=R=1");
-            const std::uint8_t next = s ? 1 : (r ? 0 : seqState_[gi]);
-            if (seqState_[gi] != next)
-                ++toggles_[gi];
-            seqState_[gi] = next;
+            if (s && r)
+                throw SimulationError(
+                    "SR latch with S=R=1",
+                    netlist_.gateLabel(gi),
+                    netlist_.netLabel(g.out));
+            next = s ? 1 : (r ? 0 : seqState_[gi]);
             break;
           }
           default:
             panic("GateSimulator: non-sequential cell in seq list");
         }
+        if (anyFaults_)
+            next = faultValue(gi, next);
+        if (seqState_[gi] != next)
+            ++toggles_[gi];
+        seqState_[gi] = next;
     }
     ++cycles_;
 }

@@ -11,19 +11,81 @@
  *   - measured switching-activity factors that feed the power model
  *     (the paper reports an average Design Compiler activity of
  *     0.88; we can reproduce activity from simulation instead of
- *     assuming it).
+ *     assuming it),
+ *   - gate-level fault injection (analysis/fault.hh): a defect map
+ *     can be overlaid on the simulator without copying the netlist,
+ *     so Monte-Carlo functional-yield trials stay cheap.
  */
 
 #ifndef PRINTED_SIM_SIMULATOR_HH
 #define PRINTED_SIM_SIMULATOR_HH
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "netlist/netlist.hh"
 
 namespace printed
 {
+
+/**
+ * Runtime error raised by the simulator for electrically illegal
+ * states (SR latch with S=R=1, tri-state bus contention). Unlike
+ * panic(), these states are reachable by *valid* netlists under
+ * fault injection - a stuck-at defect can enable two bus drivers at
+ * once - so they are structured and catchable, carrying the
+ * offending cell and net labels.
+ */
+class SimulationError : public std::runtime_error
+{
+  public:
+    SimulationError(const std::string &what, std::string cell,
+                    std::string net)
+        : std::runtime_error(what + " [cell " + cell + ", net " +
+                             net + "]"),
+          cell_(std::move(cell)), net_(std::move(net))
+    {}
+
+    /** Label of the offending cell instance. */
+    const std::string &cell() const { return cell_; }
+
+    /** Label of the affected net. */
+    const std::string &net() const { return net_; }
+
+  private:
+    std::string cell_;
+    std::string net_;
+};
+
+/**
+ * Manufacturing-defect kinds injectable at a gate instance
+ * (analysis/fault.hh draws these from the Section 3.1 device-yield
+ * parameter).
+ */
+enum class FaultKind : std::uint8_t
+{
+    None,     ///< no defect (overlay slot unused)
+    StuckAt0, ///< output permanently low
+    StuckAt1, ///< output permanently high
+    /**
+     * Input-output pin bridge: the output trace is shorted to one of
+     * the cell's own input traces. Resistor-load printed logic makes
+     * such shorts dominant-low, so the output becomes
+     * out AND value(bridged input) (wired-AND bridging model).
+     */
+    BridgeInput,
+};
+
+/** One injected defect: a gate instance and how it fails. */
+struct InjectedFault
+{
+    GateId gate = invalidGate;
+    FaultKind kind = FaultKind::None;
+    /** Net the output is shorted to (BridgeInput only). */
+    NetId bridge = invalidNet;
+};
 
 /**
  * Gate-level simulator bound to one (immutable) Netlist.
@@ -33,10 +95,18 @@ namespace printed
  *   - DFFNRX1: Q <= RN ? D : 0 on step(); additionally Q is forced
  *     low whenever RN is 0 during evaluate() (asynchronous clear).
  *   - LATCHX1 (SR): on step(), Q <= S ? 1 : (R ? 0 : Q). S and R
- *     both high is a panic (illegal input).
+ *     both high throws SimulationError (illegal input).
  *   - TSBUFX1 buses: at most one enabled driver per evaluation
  *     (multiple enabled drivers with equal values are tolerated);
- *     a bus with no enabled driver keeps its previous value.
+ *     conflicting enabled drivers throw SimulationError; a bus with
+ *     no enabled driver keeps its previous value.
+ *
+ * Fault overlay: setFaults() marks gate instances as defective
+ * without touching the netlist; evaluate()/step() then force the
+ * defective outputs. faultActivations() counts how often a forced
+ * value differed from the fault-free one, which is what separates
+ * "fully benign" from "workload-masked" defects in the functional-
+ * yield Monte Carlo.
  */
 class GateSimulator
 {
@@ -74,6 +144,31 @@ class GateSimulator
     bool output(const std::string &name) const;
 
     // ------------------------------------------------------------
+    // Fault overlay
+    // ------------------------------------------------------------
+
+    /**
+     * Overlay a defect map: each listed gate's output is forced
+     * according to its FaultKind from now on. Replaces any earlier
+     * overlay and zeroes faultActivations(). Sequential state and
+     * activity counters are untouched; call reset() to start a
+     * clean faulted trial.
+     */
+    void setFaults(const std::vector<InjectedFault> &faults);
+
+    /** Drop the fault overlay (fault-free simulation again). */
+    void clearFaults();
+
+    /**
+     * Times a forced (faulty) output differed from the value the
+     * fault-free cell would have produced, since setFaults().
+     * Zero after a run means the defect never mattered ("fully
+     * benign"); nonzero with correct results means the workload
+     * masked it.
+     */
+    std::uint64_t faultActivations() const { return activations_; }
+
+    // ------------------------------------------------------------
     // Activity accounting
     // ------------------------------------------------------------
 
@@ -96,6 +191,9 @@ class GateSimulator
   private:
     void evaluateGate(GateId gi);
 
+    /** Apply the fault overlay to a fault-free output value. */
+    std::uint8_t faultValue(GateId gi, std::uint8_t out);
+
     const Netlist &netlist_;
     std::vector<GateId> order_;        ///< levelized comb. gates
     std::vector<GateId> seqGates_;     ///< sequential cell instances
@@ -104,6 +202,12 @@ class GateSimulator
     std::vector<std::uint8_t> busResolved_;///< per-net: TSBUF drove it
     std::vector<std::uint64_t> toggles_;   ///< per-gate output toggles
     std::uint64_t cycles_ = 0;
+
+    bool anyFaults_ = false;             ///< overlay non-empty
+    std::vector<FaultKind> faultKind_;   ///< per-gate overlay (lazy)
+    std::vector<NetId> faultBridge_;     ///< per-gate bridge net
+    std::vector<GateId> faultedGates_;   ///< for cheap clearFaults()
+    std::uint64_t activations_ = 0;
 };
 
 } // namespace printed

@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "analysis/timing.hh"
 #include "analysis/variation.hh"
@@ -125,8 +126,63 @@ TEST(Yield, DeviceCountTracksStages)
 TEST(Yield, RejectsBadModel)
 {
     YieldModel model;
-    model.deviceYield = 0.0;
+    model.deviceYield = -0.1;
     EXPECT_THROW(yieldForDevices(10, model), FatalError);
+    model.deviceYield = 1.5;
+    EXPECT_THROW(yieldForDevices(10, model), FatalError);
+}
+
+TEST(Yield, DeviceYieldEdgeCases)
+{
+    // Perfect devices: every print works, one print per good unit.
+    const YieldReport perfect = yieldForDevices(5000, {1.0, 1.0});
+    EXPECT_DOUBLE_EQ(perfect.yield, 1.0);
+    EXPECT_DOUBLE_EQ(perfect.printsPerGood, 1.0);
+
+    // Hopeless devices: nothing ever works, infinite prints.
+    const YieldReport broken = yieldForDevices(10, {0.0, 1.0});
+    EXPECT_DOUBLE_EQ(broken.yield, 0.0);
+    EXPECT_TRUE(std::isinf(broken.printsPerGood));
+
+    // A zero-device design "works" even with hopeless devices.
+    EXPECT_DOUBLE_EQ(yieldForDevices(0, {0.0, 1.0}).yield, 1.0);
+}
+
+TEST(Yield, SingleCellNetlist)
+{
+    // One inverter = one printed device under the stage model, so
+    // circuit yield equals device yield exactly.
+    Netlist nl;
+    nl.addOutput("y", nl.addGate(CellKind::INVX1, nl.addInput("a")));
+    EXPECT_EQ(deviceCount(nl), 1u);
+    EXPECT_EQ(cellDeviceCount(CellKind::INVX1), 1u);
+    YieldModel model;
+    model.deviceYield = 0.97;
+    EXPECT_NEAR(analyzeYield(nl, model).yield, 0.97, 1e-12);
+}
+
+TEST(Variation, PercentileNearestRank)
+{
+    std::vector<double> v(100);
+    for (int i = 0; i < 100; ++i)
+        v[i] = i + 1; // sorted 1..100
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 51.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.95), 96.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 100.0);
+
+    const std::vector<double> small = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(percentile(small, 0.25), 20.0);
+    EXPECT_DOUBLE_EQ(percentile(small, 0.5), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(small, 1.0), 40.0);
+
+    const std::vector<double> one = {7.0};
+    EXPECT_DOUBLE_EQ(percentile(one, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile(one, 0.99), 7.0);
+
+    EXPECT_THROW(percentile({}, 0.5), FatalError);
+    EXPECT_THROW(percentile(v, -0.01), FatalError);
+    EXPECT_THROW(percentile(v, 1.01), FatalError);
 }
 
 // ----------------------------------------------------------------

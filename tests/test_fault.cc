@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Unit tests for gate-level fault injection (analysis/fault.hh,
+ * sim fault overlay) and the redundancy-hardening passes
+ * (synth/harden.hh): defect-draw determinism, voter correctness,
+ * TMR single-fault tolerance, and functional-yield Monte-Carlo
+ * determinism across thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/fault.hh"
+#include "analysis/yield.hh"
+#include "core/generator.hh"
+#include "netlist/netlist.hh"
+#include "sim/simulator.hh"
+#include "synth/harden.hh"
+
+namespace printed
+{
+namespace
+{
+
+// ----------------------------------------------------------------
+// Test circuits
+// ----------------------------------------------------------------
+
+/**
+ * 2-bit enabled counter plus a combinational parity output. 4
+ * combinational gates, 2 flops, no tri-states - the gate layout
+ * documented in harden.hh makes every TMR copy's GateId
+ * predictable for the single-fault sweeps below.
+ */
+Netlist
+makeCounter()
+{
+    Netlist nl("counter");
+    const NetId en = nl.addInput("en");
+    const NetId fb0 = nl.makeFeedback();
+    const NetId fb1 = nl.makeFeedback();
+    const NetId d0 = nl.addGate(CellKind::XOR2X1, fb0, en);
+    const NetId carry = nl.addGate(CellKind::AND2X1, fb0, en);
+    const NetId d1 = nl.addGate(CellKind::XOR2X1, fb1, carry);
+    const NetId q0 = nl.addFlop(d0);
+    const NetId q1 = nl.addFlop(d1);
+    nl.resolveFeedback(fb0, q0);
+    nl.resolveFeedback(fb1, q1);
+    nl.addOutput("q0", q0);
+    nl.addOutput("q1", q1);
+    nl.addOutput("odd", nl.addGate(CellKind::XOR2X1, q0, q1));
+    nl.validate();
+    return nl;
+}
+
+/** Tri-state 2:1 mux with a registered copy of the bus. */
+Netlist
+makeTristateMux()
+{
+    Netlist nl("tmux");
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    const NetId sel = nl.addInput("sel");
+    const NetId nsel = nl.addGate(CellKind::INVX1, sel);
+    const NetId bus = nl.addNet("bus");
+    nl.addTristate(a, sel, bus);
+    nl.addTristate(b, nsel, bus);
+    nl.addOutput("y", bus);
+    nl.addOutput("q", nl.addFlop(bus));
+    nl.validate();
+    return nl;
+}
+
+/** Deterministic pseudo-random input pattern per (cycle, input). */
+bool
+inputPattern(unsigned cycle, std::size_t input)
+{
+    const std::uint64_t h =
+        (cycle + 1) * 0x9e3779b97f4a7c15ull + input * 0xbf58476d1ce4e5b9ull;
+    return ((h >> 17) ^ (h >> 3)) & 1;
+}
+
+/** Run `cycles` cycles and collect every output value per cycle. */
+std::vector<bool>
+runTrace(const Netlist &nl, const std::vector<InjectedFault> &faults,
+         unsigned cycles)
+{
+    GateSimulator sim(nl);
+    sim.reset();
+    if (!faults.empty())
+        sim.setFaults(faults);
+    std::vector<bool> trace;
+    for (unsigned c = 0; c < cycles; ++c) {
+        for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+            sim.setInput(nl.inputs()[i].net, inputPattern(c, i));
+        sim.cycle();
+        for (const auto &p : nl.outputs())
+            trace.push_back(sim.output(p.name));
+    }
+    return trace;
+}
+
+// ----------------------------------------------------------------
+// Defect drawing
+// ----------------------------------------------------------------
+
+TEST(FaultSeed, DeterministicAndDistinct)
+{
+    EXPECT_EQ(faultTrialSeed(1, 0, 0), faultTrialSeed(1, 0, 0));
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t s : {1ull, 2ull})
+        for (std::uint64_t t = 0; t < 8; ++t)
+            for (std::uint64_t r = 0; r < 3; ++r)
+                seen.insert(faultTrialSeed(s, t, r));
+    EXPECT_EQ(seen.size(), 2u * 8u * 3u);
+}
+
+TEST(FaultDraw, DeterministicPerTrialSeed)
+{
+    const Netlist nl = makeCounter();
+    FaultModel model;
+    model.deviceYield = 0.9; // plenty of defects on 7 gates
+    bool anyDiffer = false;
+    for (std::uint64_t t = 0; t < 32; ++t) {
+        const std::uint64_t ts = faultTrialSeed(7, t);
+        const DefectMap m1 = drawDefects(nl, model, ts);
+        const DefectMap m2 = drawDefects(nl, model, ts);
+        ASSERT_EQ(m1.faults.size(), m2.faults.size());
+        for (std::size_t i = 0; i < m1.faults.size(); ++i) {
+            EXPECT_EQ(m1.faults[i].gate, m2.faults[i].gate);
+            EXPECT_EQ(m1.faults[i].kind, m2.faults[i].kind);
+            EXPECT_EQ(m1.faults[i].bridge, m2.faults[i].bridge);
+        }
+        if (t > 0) {
+            const DefectMap prev =
+                drawDefects(nl, model, faultTrialSeed(7, t - 1));
+            if (prev.faults.size() != m1.faults.size())
+                anyDiffer = true;
+            else
+                for (std::size_t i = 0; i < m1.faults.size(); ++i)
+                    if (prev.faults[i].gate != m1.faults[i].gate ||
+                        prev.faults[i].kind != m1.faults[i].kind)
+                        anyDiffer = true;
+        }
+    }
+    EXPECT_TRUE(anyDiffer) << "every trial drew the same defects";
+}
+
+TEST(FaultDraw, PerfectDeviceYieldDrawsNothing)
+{
+    const Netlist nl = makeCounter();
+    FaultModel model;
+    model.deviceYield = 1.0;
+    for (std::uint64_t t = 0; t < 64; ++t)
+        EXPECT_TRUE(
+            drawDefects(nl, model, faultTrialSeed(1, t)).empty());
+}
+
+TEST(FaultDraw, ZeroDeviceYieldBreaksEveryGate)
+{
+    const Netlist nl = makeCounter();
+    FaultModel model;
+    model.deviceYield = 0.0;
+    const DefectMap m = drawDefects(nl, model, faultTrialSeed(1, 0));
+    EXPECT_EQ(m.faults.size(), nl.gateCount());
+}
+
+// ----------------------------------------------------------------
+// Fault overlay semantics
+// ----------------------------------------------------------------
+
+TEST(FaultOverlay, StuckAtForcesOutputAndCountsActivations)
+{
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    nl.addOutput("y", nl.addGate(CellKind::AND2X1, a, b));
+    GateSimulator sim(nl);
+
+    sim.setFaults({{0, FaultKind::StuckAt1, invalidNet}});
+    sim.setInput(a, false);
+    sim.setInput(b, false);
+    sim.evaluate();
+    EXPECT_TRUE(sim.output("y")); // fault-free AND would give 0
+    EXPECT_GE(sim.faultActivations(), 1u);
+
+    sim.setFaults({{0, FaultKind::StuckAt0, invalidNet}});
+    sim.setInput(a, true);
+    sim.setInput(b, true);
+    sim.evaluate();
+    EXPECT_FALSE(sim.output("y"));
+    EXPECT_GE(sim.faultActivations(), 1u);
+
+    // A stuck-at that matches the fault-free value never activates.
+    sim.setFaults({{0, FaultKind::StuckAt1, invalidNet}});
+    sim.evaluate();
+    EXPECT_TRUE(sim.output("y"));
+    EXPECT_EQ(sim.faultActivations(), 0u);
+
+    sim.clearFaults();
+    sim.setInput(b, false);
+    sim.evaluate();
+    EXPECT_FALSE(sim.output("y"));
+}
+
+TEST(FaultOverlay, BridgeIsWiredAndWithAggressor)
+{
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    nl.addOutput("y", nl.addGate(CellKind::OR2X1, a, b));
+    GateSimulator sim(nl);
+    sim.setFaults({{0, FaultKind::BridgeInput, a}});
+
+    // Aggressor low drags the shorted output low (wired-AND).
+    sim.setInput(a, false);
+    sim.setInput(b, true);
+    sim.evaluate();
+    EXPECT_FALSE(sim.output("y")); // fault-free OR would give 1
+    EXPECT_GE(sim.faultActivations(), 1u);
+
+    // Aggressor high leaves the output alone.
+    sim.setFaults({{0, FaultKind::BridgeInput, a}});
+    sim.setInput(a, true);
+    sim.setInput(b, false);
+    sim.evaluate();
+    EXPECT_TRUE(sim.output("y"));
+    EXPECT_EQ(sim.faultActivations(), 0u);
+}
+
+// ----------------------------------------------------------------
+// Hardening passes
+// ----------------------------------------------------------------
+
+TEST(Harden, MajorityVoterTruthTable)
+{
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    const NetId c = nl.addInput("c");
+    nl.addOutput("m", synth::majority3(nl, a, b, c));
+    GateSimulator sim(nl);
+    for (int v = 0; v < 8; ++v) {
+        sim.setInput(a, v & 1);
+        sim.setInput(b, v & 2);
+        sim.setInput(c, v & 4);
+        sim.evaluate();
+        const int ones = (v & 1) + ((v >> 1) & 1) + ((v >> 2) & 1);
+        EXPECT_EQ(sim.output("m"), ones >= 2) << "inputs " << v;
+    }
+}
+
+TEST(Harden, PreservesFunctionWithoutFaults)
+{
+    for (const Netlist &src : {makeCounter(), makeTristateMux()}) {
+        const std::vector<bool> golden = runTrace(src, {}, 24);
+        for (auto strategy : {synth::HardenStrategy::TmrFull,
+                              synth::HardenStrategy::TmrSequential}) {
+            synth::HardenReport rep;
+            const Netlist hard = synth::harden(src, strategy, &rep);
+            hard.validate();
+            EXPECT_EQ(rep.gatesBefore, src.gateCount());
+            EXPECT_EQ(rep.gatesAfter, hard.gateCount());
+            EXPECT_GT(rep.votersInserted, 0u);
+            EXPECT_EQ(runTrace(hard, {}, 24), golden)
+                << synth::hardenStrategyName(strategy) << " on "
+                << (src.gateCount() == 7 ? "counter" : "tmux");
+        }
+    }
+}
+
+TEST(Harden, TmrFullCorrectsAnySingleCopyFault)
+{
+    const Netlist src = makeCounter(); // 4 comb gates, 2 flops
+    const Netlist hard =
+        synth::harden(src, synth::HardenStrategy::TmrFull);
+    const std::vector<bool> golden = runTrace(src, {}, 24);
+
+    // Documented layout: 3 consecutive copies per comb gate first,
+    // then per flop its 3 copies followed by 5 voter gates.
+    const std::size_t comb = 4, flops = 2;
+    std::vector<GateId> copies;
+    for (GateId gi = 0; gi < 3 * comb; ++gi)
+        copies.push_back(gi);
+    for (std::size_t f = 0; f < flops; ++f)
+        for (GateId k = 0; k < 3; ++k)
+            copies.push_back(GateId(3 * comb + 8 * f) + k);
+
+    for (GateId gi : copies)
+        for (FaultKind kind :
+             {FaultKind::StuckAt0, FaultKind::StuckAt1})
+            EXPECT_EQ(runTrace(hard, {{gi, kind, invalidNet}}, 24),
+                      golden)
+                << "uncorrected fault on " << hard.gateLabel(gi);
+}
+
+TEST(Harden, TmrSequentialCorrectsFlopCopyFaults)
+{
+    const Netlist src = makeCounter();
+    const Netlist hard =
+        synth::harden(src, synth::HardenStrategy::TmrSequential);
+    const std::vector<bool> golden = runTrace(src, {}, 24);
+
+    // Layout: single comb copy (4 gates), then per flop 3 copies +
+    // 5 voter gates.
+    const std::size_t comb = 4, flops = 2;
+    for (std::size_t f = 0; f < flops; ++f)
+        for (GateId k = 0; k < 3; ++k) {
+            const GateId gi = GateId(comb + 8 * f) + k;
+            for (FaultKind kind :
+                 {FaultKind::StuckAt0, FaultKind::StuckAt1})
+                EXPECT_EQ(
+                    runTrace(hard, {{gi, kind, invalidNet}}, 24),
+                    golden)
+                    << "uncorrected fault on " << hard.gateLabel(gi);
+        }
+}
+
+// ----------------------------------------------------------------
+// Functional-yield Monte Carlo
+// ----------------------------------------------------------------
+
+TEST(FunctionalYield, DeterministicAcrossThreadCounts)
+{
+    const CoreConfig cfg = CoreConfig::standard(1, 8, 2);
+    const Netlist core = buildCore(cfg);
+
+    FunctionalYieldConfig mc;
+    mc.fault.deviceYield = 0.999; // frequent defects on few trials
+    mc.fault.seed = 42;
+    mc.trials = 24;
+    mc.kernels = {Kernel::Mult};
+
+    mc.threads = 1;
+    const FunctionalYieldReport serial =
+        measureFunctionalYield(core, cfg, mc);
+    mc.threads = 4;
+    const FunctionalYieldReport parallel =
+        measureFunctionalYield(core, cfg, mc);
+
+    EXPECT_EQ(serial.fatalTrials, parallel.fatalTrials);
+    EXPECT_EQ(serial.maskedTrials, parallel.maskedTrials);
+    EXPECT_EQ(serial.benignTrials, parallel.benignTrials);
+    EXPECT_EQ(serial.defectFreeTrials, parallel.defectFreeTrials);
+
+    // Accounting: every trial lands in exactly one bucket.
+    EXPECT_EQ(serial.trials, mc.trials);
+    EXPECT_EQ(serial.fatalTrials + serial.maskedTrials +
+                  serial.benignTrials + serial.defectFreeTrials,
+              serial.trials);
+
+    // Functional yield can only be *better* than defect-free rate.
+    EXPECT_GE(serial.functionalYield() + 1e-12,
+              serial.defectFreeRate());
+    EXPECT_EQ(serial.devicesPerReplica, deviceCount(core));
+    EXPECT_GT(serial.analyticYield, 0.0);
+    EXPECT_LT(serial.analyticYield, 1.0);
+}
+
+TEST(FunctionalYield, PerfectDeviceYieldIsAllDefectFree)
+{
+    const CoreConfig cfg = CoreConfig::standard(1, 8, 2);
+    const Netlist core = buildCore(cfg);
+
+    FunctionalYieldConfig mc;
+    mc.fault.deviceYield = 1.0;
+    mc.trials = 4;
+    mc.threads = 1;
+    mc.kernels = {Kernel::Mult};
+
+    const FunctionalYieldReport r =
+        measureFunctionalYield(core, cfg, mc);
+    EXPECT_EQ(r.defectFreeTrials, r.trials);
+    EXPECT_EQ(r.fatalTrials, 0u);
+    EXPECT_DOUBLE_EQ(r.functionalYield(), 1.0);
+    EXPECT_DOUBLE_EQ(r.analyticYield, 1.0);
+}
+
+} // anonymous namespace
+} // namespace printed

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/logging.hh"
 #include "netlist/netlist.hh"
 #include "sim/simulator.hh"
@@ -167,7 +169,7 @@ TEST(GateSimulator, SrLatch)
 
     sim.setInput(s, true);
     sim.evaluate();
-    EXPECT_THROW(sim.step(), PanicError); // S = R = 1 illegal
+    EXPECT_THROW(sim.step(), SimulationError); // S = R = 1 illegal
 }
 
 TEST(GateSimulator, CounterCountsToEight)
@@ -225,7 +227,7 @@ TEST(GateSimulator, TristateBusSelects)
     EXPECT_FALSE(sim.output("bus"));
 }
 
-TEST(GateSimulator, TristateConflictPanics)
+TEST(GateSimulator, TristateConflictThrows)
 {
     Netlist nl;
     const NetId a = nl.addInput("a");
@@ -238,7 +240,7 @@ TEST(GateSimulator, TristateConflictPanics)
     GateSimulator sim(nl);
     sim.setInput(a, true);
     sim.setInput(b, false);
-    EXPECT_THROW(sim.evaluate(), PanicError);
+    EXPECT_THROW(sim.evaluate(), SimulationError);
 }
 
 // ----------------------------------------------------------------
@@ -278,6 +280,77 @@ TEST(GateSimulator, ActivityFactorOfToggleFlop)
     for (int i = 0; i < 100; ++i)
         sim.cycle();
     EXPECT_NEAR(sim.activityFactor(), 1.0, 0.05);
+}
+
+// ----------------------------------------------------------------
+// Illegal electrical states raise catchable SimulationError
+// ----------------------------------------------------------------
+
+TEST(GateSimulator, BusContentionThrowsSimulationError)
+{
+    // Two enabled tri-state buffers driving opposite values. The
+    // fault-injection Monte Carlo must survive this, so it is a
+    // catchable SimulationError naming the gate and net, not a
+    // process-level panic.
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    const NetId en = nl.addInput("en");
+    const NetId bus = nl.addNet("shared_bus");
+    nl.addTristate(a, en, bus);
+    nl.addTristate(b, en, bus);
+    nl.addOutput("y", bus);
+
+    GateSimulator sim(nl);
+    sim.setInput(a, true);
+    sim.setInput(b, false);
+    sim.setInput(en, true);
+    try {
+        sim.evaluate();
+        FAIL() << "expected SimulationError";
+    } catch (const SimulationError &e) {
+        EXPECT_NE(std::string(e.what()).find("conflict"),
+                  std::string::npos);
+        EXPECT_NE(e.cell().find("TSBUFX1"), std::string::npos);
+        EXPECT_NE(e.net().find("shared_bus"), std::string::npos);
+    }
+
+    // Non-conflicting drive works again afterwards.
+    sim.setInput(b, true);
+    sim.evaluate();
+    EXPECT_TRUE(sim.output("y"));
+}
+
+TEST(GateSimulator, LatchSetResetThrowsSimulationError)
+{
+    Netlist nl;
+    const NetId s = nl.addInput("s");
+    const NetId r = nl.addInput("r");
+    const NetId q = nl.addGate(CellKind::LATCHX1, s, r);
+    nl.addOutput("q", q);
+
+    GateSimulator sim(nl);
+    sim.setInput(s, true);
+    sim.setInput(r, false);
+    sim.cycle();
+    EXPECT_TRUE(sim.output("q"));
+
+    sim.setInput(r, true); // S=R=1 is electrically illegal
+    sim.evaluate();
+    try {
+        sim.step();
+        FAIL() << "expected SimulationError";
+    } catch (const SimulationError &e) {
+        EXPECT_NE(std::string(e.what()).find("S=R=1"),
+                  std::string::npos);
+        EXPECT_NE(e.cell().find("LATCHX1"), std::string::npos);
+        EXPECT_FALSE(e.net().empty());
+    }
+
+    // The latch holds state and keeps working after the error.
+    sim.setInput(s, false);
+    sim.cycle();
+    EXPECT_FALSE(sim.output("q"));
 }
 
 } // anonymous namespace
