@@ -5,6 +5,12 @@
  * {2,4}), each synthesized to gates and characterized in both
  * technologies. Area and power are split into combinational (C)
  * and register (R) shares, as in the figure's stacked bars.
+ *
+ * Options:
+ *   --threads N   parallel sweep workers (0 = hardware concurrency;
+ *                 results are bit-identical for every N)
+ *   --json PATH   machine-readable report with per-point results,
+ *                 wall-clock timing, and synthesis-cache statistics
  */
 
 #include <iostream>
@@ -12,16 +18,26 @@
 #include "bench_util.hh"
 #include "dse/sweep.hh"
 #include "legacy/cores.hh"
+#include "synth/cache.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace printed;
+    const std::string jsonPath = bench::jsonPathFromArgs(argc, argv);
+    const unsigned threads =
+        unsigned(bench::uintFromArgs(argc, argv, "threads", 1));
+    bench::JsonReport jr("bench_fig7_design_space");
+
     bench::banner("Figure 7",
                   "TP-ISA design space: fmax / area / power per "
                   "pP_D_B core (both technologies)");
 
-    const auto points = sweepDesignSpace();
+    SweepOptions opts;
+    opts.threads = threads;
+    const bench::WallTimer timer;
+    const auto points = sweepDesignSpace(opts);
+    const double sweepMs = timer.elapsedMs();
 
     TableWriter t({"Core", "Gates", "Flops", "EGFET fmax Hz",
                    "EGFET area cm^2 (C+R)", "EGFET power mW (C+R)",
@@ -42,6 +58,16 @@ main()
             TableWriter::fixed(p.cnt.areaCm2(), 3),
             TableWriter::fixed(p.cnt.powerMw(), 1),
         });
+        jr.add("points",
+               {{"core", p.config.label()},
+                {"gates", p.egfet.gateCount()},
+                {"flops", p.egfet.stats.seqGates},
+                {"egfet_fmax_hz", p.egfet.fmaxHz()},
+                {"egfet_area_cm2", p.egfet.areaCm2()},
+                {"egfet_power_mw", p.egfet.powerMw()},
+                {"cnt_fmax_hz", p.cnt.fmaxHz()},
+                {"cnt_area_cm2", p.cnt.areaCm2()},
+                {"cnt_power_mw", p.cnt.powerMw()}});
     }
     t.print(std::cout);
 
@@ -65,5 +91,22 @@ main()
               << " cm^2 vs smallest legacy core (light8080) "
               << l8080.areaCm2
               << " cm^2 -> every TP-ISA core is smaller.\n";
+
+    const SynthCacheStats cs = SynthCache::global().stats();
+    std::cout << "\nSweep wall clock: "
+              << TableWriter::fixed(sweepMs, 1) << " ms on "
+              << threads << " thread(s); synthesis cache "
+              << cs.netlistHits << " hits / " << cs.netlistMisses
+              << " misses.\n";
+
+    if (!jsonPath.empty()) {
+        jr.meta("threads", threads);
+        jr.meta("wall_ms", sweepMs);
+        jr.meta("cache_netlist_hits", cs.netlistHits);
+        jr.meta("cache_netlist_misses", cs.netlistMisses);
+        jr.meta("cache_char_hits", cs.charHits);
+        jr.meta("cache_char_misses", cs.charMisses);
+        jr.writeTo(jsonPath);
+    }
     return 0;
 }

@@ -2,24 +2,41 @@
  * @file
  * Google-benchmark microbenchmarks of the toolchain itself:
  * synthesis (core generation + optimization), static timing,
- * gate-level simulation, the assembler, and the instruction-set
- * simulator. These guard the usability of the flow (a full
+ * gate-level simulation, the assembler, the instruction-set
+ * simulator, the parallel execution layer, and the synthesis
+ * cache. These guard the usability of the flow (a full
  * design-space sweep runs hundreds of synthesis+analysis passes).
+ *
+ * Options: --threads N sets the worker count of the parallel-sweep
+ * and variation benchmarks (default 1; stripped before
+ * google-benchmark parses the remaining flags). Machine-readable
+ * timing comes from google-benchmark itself, e.g.
+ * --benchmark_format=json or --benchmark_out=BENCH_micro.json.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "analysis/characterize.hh"
+#include "analysis/variation.hh"
 #include "arch/machine.hh"
+#include "common/parallel.hh"
+#include "common/rng.hh"
 #include "core/generator.hh"
+#include "dse/sweep.hh"
 #include "isa/assembler.hh"
 #include "sim/simulator.hh"
+#include "synth/cache.hh"
 #include "workloads/kernels.hh"
 
 namespace
 {
 
 using namespace printed;
+
+/** Worker count for the parallel benchmarks (--threads N). */
+unsigned gThreads = 1;
 
 void
 BM_BuildCore(benchmark::State &state)
@@ -103,6 +120,97 @@ BM_IssMultIteration(benchmark::State &state)
 }
 BENCHMARK(BM_IssMultIteration);
 
+void
+BM_ParallelForOverhead(benchmark::State &state)
+{
+    ThreadPool pool(gThreads);
+    std::vector<std::uint64_t> out(1024);
+    for (auto _ : state) {
+        pool.parallelFor(out.size(), [&](std::size_t i) {
+            out[i] = mixSeed(0xABCD, i);
+        });
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        std::int64_t(state.iterations() * out.size()));
+}
+BENCHMARK(BM_ParallelForOverhead);
+
+void
+BM_SweepDesignSpace(benchmark::State &state)
+{
+    // Cold sweep: every iteration re-synthesizes all 24 Figure 7
+    // points (the cache is cleared), spread over --threads workers.
+    SweepOptions opts;
+    opts.threads = gThreads;
+    for (auto _ : state) {
+        SynthCache::global().clear();
+        const auto points = sweepDesignSpace(opts);
+        benchmark::DoNotOptimize(points.size());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations() * 24));
+}
+BENCHMARK(BM_SweepDesignSpace)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepDesignSpaceCached(benchmark::State &state)
+{
+    // Warm sweep: all 24 points served from the synthesis cache.
+    SweepOptions opts;
+    opts.threads = gThreads;
+    SynthCache::global().clear();
+    {
+        const auto warmup = sweepDesignSpace(opts);
+        benchmark::DoNotOptimize(warmup.size());
+    }
+    for (auto _ : state) {
+        const auto points = sweepDesignSpace(opts);
+        benchmark::DoNotOptimize(points.size());
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations() * 24));
+}
+BENCHMARK(BM_SweepDesignSpaceCached)->Unit(benchmark::kMillisecond);
+
+void
+BM_VariationMc(benchmark::State &state)
+{
+    const std::shared_ptr<const Netlist> nl =
+        SynthCache::global().core(CoreConfig::standard(1, 8, 2));
+    VariationModel model;
+    model.samples = 32;
+    model.threads = gThreads;
+    for (auto _ : state) {
+        const VariationReport r =
+            analyzeVariation(*nl, egfetLibrary(), model);
+        benchmark::DoNotOptimize(r.p95Us);
+    }
+    state.SetItemsProcessed(
+        std::int64_t(state.iterations() * model.samples));
+}
+BENCHMARK(BM_VariationMc)->Unit(benchmark::kMillisecond);
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Strip "--threads N" before google-benchmark rejects it as an
+    // unrecognized flag.
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            gThreads = unsigned(std::strtoul(argv[i + 1], nullptr, 10));
+            ++i;
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    argc = out;
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

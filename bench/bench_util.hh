@@ -10,6 +10,7 @@
 #ifndef PRINTED_BENCH_BENCH_UTIL_HH
 #define PRINTED_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <fstream>
@@ -54,12 +55,50 @@ compare(const std::string &what, double paper, double measured,
 // JSON reporting
 // ----------------------------------------------------------------
 
+/**
+ * Escape a string for embedding in a JSON document (RFC 8259):
+ * backslash and double quote get a backslash prefix, control
+ * characters (U+0000..U+001F) become \u00XX escapes, everything
+ * else — including DEL and multi-byte UTF-8 — passes through
+ * verbatim. Returns the escaped body *without* surrounding quotes.
+ */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+            continue;
+        }
+        if (static_cast<unsigned char>(c) < 0x20) {
+            std::ostringstream esc;
+            esc << "\\u" << std::hex << std::setw(4)
+                << std::setfill('0')
+                << int(static_cast<unsigned char>(c));
+            out += esc.str();
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+/** Escape and quote a JSON string literal. */
+inline std::string
+jsonQuote(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
 /** One pre-rendered JSON scalar (string, number, or bool). */
 class JsonValue
 {
   public:
-    JsonValue(const char *s) : text_(quote(s)) {}
-    JsonValue(const std::string &s) : text_(quote(s)) {}
+    JsonValue(const char *s) : text_(jsonQuote(s)) {}
+    JsonValue(const std::string &s) : text_(jsonQuote(s)) {}
     JsonValue(bool v) : text_(v ? "true" : "false") {}
     JsonValue(double v) { render(v); }
 
@@ -71,25 +110,6 @@ class JsonValue
     const std::string &text() const { return text_; }
 
   private:
-    static std::string
-    quote(const std::string &s)
-    {
-        std::string out = "\"";
-        for (char c : s) {
-            if (c == '"' || c == '\\')
-                out += '\\';
-            if (static_cast<unsigned char>(c) < 0x20) {
-                std::ostringstream esc;
-                esc << "\\u" << std::hex << std::setw(4)
-                    << std::setfill('0') << int(c);
-                out += esc.str();
-                continue;
-            }
-            out += c;
-        }
-        return out + "\"";
-    }
-
     void
     render(double v)
     {
@@ -180,6 +200,28 @@ class JsonReport
     JsonRecord meta_;
     std::vector<std::pair<std::string, std::vector<JsonRecord>>>
         arrays_;
+};
+
+/**
+ * Wall-clock stopwatch for the perf-trajectory fields of the
+ * --json reports (BENCH_*.json): construction starts the clock.
+ */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Milliseconds elapsed since construction. */
+    double
+    elapsedMs() const
+    {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
 };
 
 /** Value of "--json <path>" in argv, or "" when absent. */

@@ -11,7 +11,12 @@
  * the clearest quantitative argument for low-gate-count printed
  * cores beyond area and power.
  *
- * Options: --json <path> for a machine-readable report.
+ * Options:
+ *   --json PATH    machine-readable report (incl. wall-clock time)
+ *   --threads N    Monte-Carlo worker threads (0 = hardware
+ *                  concurrency; results identical for every N)
+ *   --samples N    variation samples per core (default 200; smoke
+ *                  runs in CI use a small count)
  */
 
 #include <iostream>
@@ -22,27 +27,40 @@
 #include "bench_util.hh"
 #include "core/generator.hh"
 #include "legacy/cores.hh"
+#include "synth/cache.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace printed;
     const std::string jsonPath = bench::jsonPathFromArgs(argc, argv);
+    const unsigned threads =
+        unsigned(bench::uintFromArgs(argc, argv, "threads", 1));
+    const unsigned samples =
+        unsigned(bench::uintFromArgs(argc, argv, "samples", 200));
     bench::JsonReport jr("bench_variation_yield");
+    const bench::WallTimer timer;
 
     bench::banner("Extension: variation & yield",
                   "Monte-Carlo timing guard-bands and print yield "
                   "of EGFET cores");
 
+    VariationModel model;
+    model.threads = threads;
+    model.samples = samples;
+
     std::cout << "Timing under process variation (lognormal cell "
-                 "delays, sigma 25%, 200 samples):\n";
+                 "delays, sigma 25%, "
+              << samples << " samples):\n";
     TableWriter t({"Core", "nominal fmax Hz", "p95 fmax Hz",
                    "guard-band", "sigma/mean"});
     for (unsigned w : {4u, 8u, 16u, 32u}) {
         const CoreConfig cfg = CoreConfig::standard(1, w, 2);
-        const Netlist nl = buildCore(cfg);
+        const std::shared_ptr<const Netlist> core =
+            SynthCache::global().core(cfg);
+        const Netlist &nl = *core;
         const VariationReport r =
-            analyzeVariation(nl, egfetLibrary());
+            analyzeVariation(nl, egfetLibrary(), model);
         t.addRow({cfg.label(),
                   TableWriter::fixed(1e6 / r.nominalPeriodUs, 2),
                   TableWriter::fixed(r.guardedFmaxHz(), 2),
@@ -86,9 +104,10 @@ main(int argc, char **argv)
     };
 
     for (unsigned w : {4u, 8u, 32u}) {
-        const Netlist nl = buildCore(CoreConfig::standard(1, w, 2));
+        const std::shared_ptr<const Netlist> nl =
+            SynthCache::global().core(CoreConfig::standard(1, w, 2));
         add_design("TP-ISA p1_" + std::to_string(w) + "_2",
-                   deviceCount(nl));
+                   deviceCount(*nl));
     }
     using namespace legacy;
     for (LegacyCore core :
@@ -110,7 +129,11 @@ main(int argc, char **argv)
            "as strong an argument for low-gate-count printed "
            "cores as area and power.\n";
 
-    if (!jsonPath.empty())
+    if (!jsonPath.empty()) {
+        jr.meta("threads", threads);
+        jr.meta("samples", samples);
+        jr.meta("wall_ms", timer.elapsedMs());
         jr.writeTo(jsonPath);
+    }
     return 0;
 }

@@ -2,14 +2,12 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <cmath>
 #include <memory>
-#include <mutex>
-#include <thread>
 
 #include "analysis/yield.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "core/cosim.hh"
 #include "workloads/kernels.hh"
@@ -25,16 +23,6 @@ double
 uniform(Rng &rng)
 {
     return double(rng.next() >> 11) / 9007199254740992.0;
-}
-
-/** SplitMix64 finalizer over a combined word. */
-std::uint64_t
-mix(std::uint64_t a, std::uint64_t b)
-{
-    std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
 }
 
 /** One workload instantiated for the core, with golden results. */
@@ -107,13 +95,13 @@ runDefectMap(std::vector<std::unique_ptr<CoreCosim>> &sims,
                        : TrialOutcome::FullyBenign;
 }
 
-/** Outcome counters, merged across worker threads. */
-struct Counters
+/** Classification of one full trial (all replicas). */
+enum class TrialClass : std::uint8_t
 {
-    unsigned fatal = 0;
-    unsigned masked = 0;
-    unsigned benign = 0;
-    unsigned defectFree = 0;
+    DefectFree,
+    Benign,
+    Masked,
+    Fatal,
 };
 
 } // anonymous namespace
@@ -122,7 +110,7 @@ std::uint64_t
 faultTrialSeed(std::uint64_t seed, std::uint64_t trial,
                std::uint64_t replica)
 {
-    return mix(mix(seed, trial), replica);
+    return mixSeed(mixSeed(seed, trial), replica);
 }
 
 DefectMap
@@ -209,25 +197,27 @@ measureFunctionalYield(const Netlist &core, const CoreConfig &config,
         }
     }
 
-    const unsigned hw = std::thread::hardware_concurrency();
     unsigned threads = cfg.threads ? cfg.threads
-                                   : (hw ? hw : 1u);
+                                   : ThreadPool::defaultThreadCount();
     threads = std::min(threads, cfg.trials);
 
-    // Each trial is fully determined by (seed, trial, replica), so
-    // any partition of the trial space over threads produces the
-    // same counts.
-    std::atomic<unsigned> nextTrial{0};
-    Counters total;
-    std::mutex totalMutex;
-    auto worker = [&]() {
-        auto sims = buildCosims(core, config, kernels);
-        Counters local;
-        for (;;) {
-            const unsigned t =
-                nextTrial.fetch_add(1, std::memory_order_relaxed);
-            if (t >= cfg.trials)
-                break;
+    // Each trial is fully determined by (seed, trial, replica) and
+    // classified into its own slot of `outcome`, so the report is
+    // bit-identical for any thread count and schedule (the
+    // determinism contract of common/parallel.hh). The gate-level
+    // cosims are expensive to construct, so each pool worker lazily
+    // builds one set and reuses it across the trials it claims —
+    // sims carry no state between trials (faults are cleared, the
+    // core reset), so which worker runs a trial cannot matter.
+    ThreadPool pool(threads);
+    std::vector<std::vector<std::unique_ptr<CoreCosim>>> workerSims(
+        pool.threadCount());
+    std::vector<TrialClass> outcome(cfg.trials);
+    pool.parallelForWorkers(
+        cfg.trials, [&](std::size_t t, unsigned worker) {
+            auto &sims = workerSims[worker];
+            if (sims.empty())
+                sims = buildCosims(core, config, kernels);
             TrialOutcome out = TrialOutcome::FullyBenign;
             bool anyDefect = false;
             for (unsigned r = 0; r < cfg.replicas; ++r) {
@@ -247,38 +237,26 @@ measureFunctionalYield(const Netlist &core, const CoreConfig &config,
                     out = TrialOutcome::WorkloadMasked;
             }
             if (!anyDefect)
-                ++local.defectFree;
+                outcome[t] = TrialClass::DefectFree;
             else if (out == TrialOutcome::Fatal)
-                ++local.fatal;
+                outcome[t] = TrialClass::Fatal;
             else if (out == TrialOutcome::WorkloadMasked)
-                ++local.masked;
+                outcome[t] = TrialClass::Masked;
             else
-                ++local.benign;
-        }
-        std::lock_guard<std::mutex> lock(totalMutex);
-        total.fatal += local.fatal;
-        total.masked += local.masked;
-        total.benign += local.benign;
-        total.defectFree += local.defectFree;
-    };
-
-    if (threads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (unsigned i = 0; i < threads; ++i)
-            pool.emplace_back(worker);
-        for (std::thread &th : pool)
-            th.join();
-    }
+                outcome[t] = TrialClass::Benign;
+        });
 
     FunctionalYieldReport report;
     report.trials = cfg.trials;
-    report.fatalTrials = total.fatal;
-    report.maskedTrials = total.masked;
-    report.benignTrials = total.benign;
-    report.defectFreeTrials = total.defectFree;
+    for (TrialClass c : outcome) {
+        switch (c) {
+          case TrialClass::Fatal:      ++report.fatalTrials; break;
+          case TrialClass::Masked:     ++report.maskedTrials; break;
+          case TrialClass::Benign:     ++report.benignTrials; break;
+          case TrialClass::DefectFree: ++report.defectFreeTrials;
+            break;
+        }
+    }
     report.devicesPerReplica = deviceCount(core);
     report.replicas = cfg.replicas;
     report.analyticYield =

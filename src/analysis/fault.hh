@@ -21,8 +21,10 @@
  *      defect map as fatal, workload-masked, or fully benign.
  *
  * Determinism contract: every trial's defect map depends only on
- * (model.seed, trial index, replica index) via faultTrialSeed(), so
- * reports are bit-identical across runs and across thread counts.
+ * (model.seed, trial index, replica index) via faultTrialSeed(), and
+ * trials run on the deterministic parallel layer
+ * (common/parallel.hh) with per-trial result slots, so reports are
+ * bit-identical across runs and across thread counts.
  */
 
 #ifndef PRINTED_ANALYSIS_FAULT_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 
 namespace printed
@@ -123,17 +124,20 @@ analyzeVariation(const Netlist &netlist, const CellLibrary &lib,
             samplePeriod(netlist, lib, order, unit);
     }
 
-    Rng rng(model.seed);
-    std::vector<double> periods;
-    periods.reserve(model.samples);
-    std::vector<double> mult(netlist.gateCount());
+    // Each sample owns an RNG stream seeded from its index, so the
+    // period vector — and everything reduced from it below, in
+    // index order — is bit-identical for any thread count.
+    std::vector<double> periods = parallelMap(
+        model.threads, model.samples, [&](std::size_t s) {
+            Rng rng(mixSeed(model.seed, s));
+            std::vector<double> mult(netlist.gateCount());
+            for (double &m : mult)
+                m = std::exp(model.lnSigma * gaussian(rng));
+            return samplePeriod(netlist, lib, order, mult);
+        });
+
     double sum = 0, sum_sq = 0;
-    for (unsigned s = 0; s < model.samples; ++s) {
-        for (double &m : mult)
-            m = std::exp(model.lnSigma * gaussian(rng));
-        const double period =
-            samplePeriod(netlist, lib, order, mult);
-        periods.push_back(period);
+    for (double period : periods) {
         sum += period;
         sum_sq += period * period;
     }

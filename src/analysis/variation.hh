@@ -36,8 +36,15 @@ struct VariationModel
     /** Monte-Carlo sample count. */
     unsigned samples = 200;
 
-    /** PRNG seed (deterministic reproduction). */
+    /**
+     * PRNG seed. Sample s draws its multipliers from an
+     * independent stream seeded mixSeed(seed, s), so the report is
+     * bit-identical for every thread count.
+     */
     std::uint64_t seed = 1;
+
+    /** Worker threads; 0 = hardware concurrency, 1 = serial. */
+    unsigned threads = 1;
 };
 
 /** Distribution of the minimum clock period over process samples. */

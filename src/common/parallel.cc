@@ -1,0 +1,154 @@
+#include "parallel.hh"
+
+#include <memory>
+
+namespace printed
+{
+
+/**
+ * State of one parallelFor job. Heap-allocated and shared between
+ * the dispatcher and the workers so a straggler that wakes up after
+ * the dispatcher has moved on only ever touches its own (already
+ * drained) job object — never a half-reset one.
+ */
+struct ThreadPool::Job
+{
+    const std::function<void(std::size_t, unsigned)> *fn = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::atomic<bool> aborted{false};
+    std::exception_ptr exception;
+    std::mutex exceptionMutex;
+};
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads ? threads : defaultThreadCount())
+{
+    workers_.reserve(threads_ - 1);
+    for (unsigned slot = 1; slot < threads_; ++slot)
+        workers_.emplace_back([this, slot] { workerLoop(slot); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::runJob(Job &job, unsigned slot)
+{
+    // Claim indices until the space is exhausted. Every claimed
+    // index < n bumps `completed` exactly once — also when the item
+    // threw or was skipped after an abort — so the dispatcher's
+    // completed == n wait is exact and `fn` stays alive until the
+    // last in-flight item has finished.
+    for (;;) {
+        const std::size_t i =
+            job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.n)
+            break;
+        if (!job.aborted.load(std::memory_order_relaxed)) {
+            try {
+                (*job.fn)(i, slot);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(job.exceptionMutex);
+                if (!job.exception)
+                    job.exception = std::current_exception();
+                job.aborted.store(true, std::memory_order_relaxed);
+            }
+        }
+        if (job.completed.fetch_add(1, std::memory_order_acq_rel) +
+                1 ==
+            job.n) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop(unsigned slot)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            job = current_;
+        }
+        runJob(*job, slot);
+    }
+}
+
+void
+ThreadPool::parallelForWorkers(
+    std::size_t n, const std::function<void(std::size_t, unsigned)> &fn)
+{
+    if (n == 0)
+        return;
+    if (threads_ <= 1 || n == 1) {
+        // Inline fast path; exceptions propagate naturally.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i, 0);
+        return;
+    }
+
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->n = n;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        current_ = job;
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    runJob(*job, 0); // the caller is worker 0
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] {
+            return job->completed.load(std::memory_order_acquire) ==
+                   job->n;
+        });
+    }
+    if (job->exception)
+        std::rethrow_exception(job->exception);
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    parallelForWorkers(n, [&](std::size_t i, unsigned) { fn(i); });
+}
+
+void
+parallelFor(unsigned threads, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    ThreadPool pool(threads);
+    pool.parallelFor(n, fn);
+}
+
+} // namespace printed

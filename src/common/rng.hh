@@ -60,6 +60,22 @@ class Rng
     std::uint64_t state_;
 };
 
+/**
+ * SplitMix64-finalizer mix of two words, for deriving per-item
+ * seeds in parallel Monte Carlos: item i of a run with master seed
+ * s uses Rng(mixSeed(s, i)). Each item owns an independent stream,
+ * so results are bit-identical for any thread count and schedule
+ * (the determinism contract of common/parallel.hh).
+ */
+inline std::uint64_t
+mixSeed(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 } // namespace printed
 
 #endif // PRINTED_COMMON_RNG_HH

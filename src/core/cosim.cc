@@ -150,24 +150,28 @@ CoreCosim::cycle()
     // spin was reached. (Caveat: a genuine two-instruction busy
     // loop is indistinguishable from the halt spin on a pipelined
     // core; the workload convention avoids such loops.)
+    // A taken self-branch refetches stages-1 sequential successors
+    // before the redirect lands, so the spin signature is a
+    // backward-by-(stages-1) hop to the branch address.
     const unsigned npc = pc();
+    const unsigned span = config_.stages - 1;
     if (npc == pcv) {
         // Pinned PC: the single-cycle spin signature.
         if (++samePcStreak_ >= 4)
             halted_ = true;
-    } else if (config_.stages > 1 && npc + 1 == pcv &&
+    } else if (span > 0 && npc + span == pcv &&
                npc == spinAnchor_) {
-        // Repeated backward-by-one step to the same address: the
-        // pipelined spin re-taking its self-branch after each
-        // flush bubble.
+        // Repeated backward hop to the same address: the pipelined
+        // spin re-taking its self-branch after each flush bubble.
         if (++samePcStreak_ >= 2 * config_.stages)
             halted_ = true;
-    } else if (config_.stages > 1 && npc + 1 == pcv) {
+    } else if (span > 0 && npc + span == pcv) {
         spinAnchor_ = npc; // candidate spin branch address
         samePcStreak_ = 1;
-    } else if (npc == pcv + 1 && pcv == spinAnchor_) {
-        // The forward hop inside the spin window (anchor ->
-        // anchor+1): keep the streak alive.
+    } else if (npc == pcv + 1 && spinAnchor_ <= pcv &&
+               pcv < spinAnchor_ + span) {
+        // A forward hop inside the spin window (anchor ..
+        // anchor+span): keep the streak alive.
     } else {
         samePcStreak_ = 0;
     }

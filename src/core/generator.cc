@@ -233,6 +233,7 @@ buildCore(const CoreConfig &cfg)
     const NetId taken_fb = nl.makeFeedback();
     const NetId stall_fb =
         cfg.stages == 3 ? nl.makeFeedback() : nl.constZero();
+    NetId stall_sig = invalidNet; // P3: resolved after the PC logic
 
     // ------------------------------------------------------------
     // Fetch stage: IR and stage-valid bits
@@ -302,18 +303,27 @@ buildCore(const CoreConfig &cfg)
         nl.resolveFeedback(v2_fb, v2);
 
         // P3 stage 2: decode + address generation. SET-BAR executes
-        // in stage 2; its write is squashed both when the stage is
-        // invalid and when an older branch is being taken in stage 3
-        // this very cycle.
+        // in stage 2; its write is squashed when the stage is
+        // invalid, when an older branch is being taken in stage 3
+        // this very cycle, and during a stall (the stalled SET-BAR
+        // re-reads its pointer word after the conflicting stage-3
+        // write commits; committing the stale word here would also
+        // corrupt its own re-computed effective address).
         dec2 = decodeFields(nl, ir, isa);
-        const NetId bar_ok =
+        const NetId bar_live =
             nl.addGate(CellKind::AND2X1, v2, inv(nl, taken_fb));
+        const NetId bar_ok = nl.addGate(CellKind::AND2X1, bar_live,
+                                        inv(nl, stall_fb));
         build_bars(dec2, bar_ok);
         ea1_s2 = addressUnit(nl, dec2.op1, bar_vals, cfg);
         ea2_s2 = addressUnit(nl, dec2.op2, bar_vals, cfg);
 
         // Stage-2 -> stage-3 pipeline register: opcode + W/C/A/B +
-        // operands + write address + valid.
+        // operands + write address + read data + valid. The data
+        // RAM reads combinationally at the stage-2 addresses, so
+        // the operand words must ride into stage 3 with the rest of
+        // the instruction: the execute-stage rdata1/rdata2 port
+        // values belong to the *younger* instruction in stage 2.
         Bus to_latch = dec2.opcode;
         to_latch.push_back(dec2.b);
         to_latch.push_back(dec2.a);
@@ -322,6 +332,8 @@ buildCore(const CoreConfig &cfg)
         to_latch = busConcat(to_latch, dec2.op1);
         to_latch = busConcat(to_latch, dec2.op2);
         to_latch = busConcat(to_latch, ea1_s2);
+        to_latch = busConcat(to_latch, rdata1);
+        to_latch = busConcat(to_latch, rdata2);
         d3_latched = registerBankReset(nl, to_latch, rstn);
 
         // v3_next = v2 & !stall & !taken
@@ -353,8 +365,12 @@ buildCore(const CoreConfig &cfg)
             nl.addGate(CellKind::AND2X1, dec.w, v_ex);
         const NetId both =
             nl.addGate(CellKind::AND2X1, wr3, v2);
-        const NetId stall = nl.addGate(CellKind::AND2X1, both, any);
-        nl.resolveFeedback(stall_fb, stall);
+        stall_sig = nl.addGate(CellKind::AND2X1, both, any);
+        // NOTE: stall_fb is resolved only after the PC logic below;
+        // resolveFeedback() retires the placeholder, so resolving
+        // here would leave the later-built PC hold mux reading a
+        // dead net (stuck at 0) and the PC would run past the
+        // stalled instruction.
     }
 
     // Execute-stage effective addresses / write-back address.
@@ -368,8 +384,19 @@ buildCore(const CoreConfig &cfg)
     // ------------------------------------------------------------
     // ALU
     // ------------------------------------------------------------
+    // Execute-stage operand data: p1/p2 read the RAM in the same
+    // stage that executes; p3 executes on the words latched with
+    // the instruction (see the stage-2 -> stage-3 register above).
+    Bus ex_rdata1 = rdata1;
+    Bus ex_rdata2 = rdata2;
+    if (cfg.stages == 3) {
+        const unsigned data_at =
+            8 + 2 * isa.operandBits + cfg.addrBits;
+        ex_rdata1 = busSlice(d3_latched, data_at, width);
+        ex_rdata2 = busSlice(d3_latched, data_at + width, width);
+    }
     const AluOut alu =
-        buildAlu(nl, dec, rdata1, rdata2, flag_c_use, cfg);
+        buildAlu(nl, dec, ex_rdata1, ex_rdata2, flag_c_use, cfg);
 
     // ------------------------------------------------------------
     // Flags
@@ -455,6 +482,11 @@ buildCore(const CoreConfig &cfg)
     const Bus pc_q = registerBankReset(nl, pc_next, rstn);
     for (unsigned i = 0; i < isa.pcBits; ++i)
         nl.resolveFeedback(pc_fb[i], pc_q[i]);
+
+    // The PC hold mux above is the last consumer of the stall
+    // placeholder; it is safe to retire it only now.
+    if (cfg.stages == 3)
+        nl.resolveFeedback(stall_fb, stall_sig);
 
     // ------------------------------------------------------------
     // Outputs

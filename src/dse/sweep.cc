@@ -1,6 +1,7 @@
 #include "sweep.hh"
 
-#include "core/generator.hh"
+#include "common/parallel.hh"
+#include "synth/cache.hh"
 
 namespace printed
 {
@@ -8,24 +9,40 @@ namespace printed
 DesignPoint
 evaluateDesignPoint(const CoreConfig &config)
 {
+    SynthCache &cache = SynthCache::global();
     DesignPoint point;
     point.config = config;
-    const Netlist netlist = buildCore(config);
-    point.egfet = characterize(netlist, egfetLibrary());
-    point.cnt = characterize(netlist, cntLibrary());
+    point.egfet = *cache.characterization(config, TechKind::EGFET);
+    point.cnt = *cache.characterization(config, TechKind::CNT_TFT);
     return point;
 }
 
-std::vector<DesignPoint>
-sweepDesignSpace()
+std::vector<CoreConfig>
+figure7Configs()
 {
-    std::vector<DesignPoint> points;
+    std::vector<CoreConfig> configs;
     for (unsigned stages : {1u, 2u, 3u})
         for (unsigned width : {4u, 8u, 16u, 32u})
             for (unsigned bars : {2u, 4u})
-                points.push_back(evaluateDesignPoint(
-                    CoreConfig::standard(stages, width, bars)));
-    return points;
+                configs.push_back(
+                    CoreConfig::standard(stages, width, bars));
+    return configs;
+}
+
+std::vector<DesignPoint>
+sweepConfigs(const std::vector<CoreConfig> &configs,
+             const SweepOptions &opts)
+{
+    return parallelMap(opts.threads, configs.size(),
+                       [&](std::size_t i) {
+                           return evaluateDesignPoint(configs[i]);
+                       });
+}
+
+std::vector<DesignPoint>
+sweepDesignSpace(const SweepOptions &opts)
+{
+    return sweepConfigs(figure7Configs(), opts);
 }
 
 } // namespace printed

@@ -4,6 +4,14 @@
  * Figure 7): sweep pipeline depth x datawidth x BAR count,
  * synthesize every point, and characterize it in both printed
  * technologies.
+ *
+ * Every design point is independent, so the sweep runs on the
+ * deterministic parallel layer (common/parallel.hh): points are
+ * evaluated concurrently and collected by index, making the result
+ * vector bit-identical for any thread count. Synthesis and
+ * characterization go through the process-wide SynthCache, so a
+ * second sweep over the same configs (or a bench re-using a core a
+ * test already built) is served from memory.
  */
 
 #ifndef PRINTED_DSE_SWEEP_HH
@@ -25,14 +33,36 @@ struct DesignPoint
     Characterization cnt;
 };
 
+/** Options of a design-space sweep. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = hardware concurrency, 1 = serial. */
+    unsigned threads = 1;
+};
+
+/** The 24 Figure 7 configurations, in canonical order. */
+std::vector<CoreConfig> figure7Configs();
+
 /**
  * The Figure 7 sweep: stages in {1,2,3}, datawidth in
  * {4,8,16,32}, BARs in {2,4} - 24 cores, each actually
- * synthesized to gates and analyzed.
+ * synthesized to gates and analyzed. Deterministic for any
+ * opts.threads.
  */
-std::vector<DesignPoint> sweepDesignSpace();
+std::vector<DesignPoint> sweepDesignSpace(const SweepOptions &opts = {});
 
-/** Synthesize and characterize one configuration. */
+/**
+ * Evaluate an arbitrary list of configurations in parallel,
+ * returning one DesignPoint per config in input order.
+ */
+std::vector<DesignPoint>
+sweepConfigs(const std::vector<CoreConfig> &configs,
+             const SweepOptions &opts = {});
+
+/**
+ * Synthesize and characterize one configuration (through the
+ * global SynthCache).
+ */
 DesignPoint evaluateDesignPoint(const CoreConfig &config);
 
 } // namespace printed

@@ -1,0 +1,146 @@
+#include "cache.hh"
+
+#include <bit>
+
+#include "common/rng.hh"
+#include "core/generator.hh"
+
+namespace printed
+{
+
+CoreConfigKey
+coreConfigKey(const CoreConfig &config)
+{
+    CoreConfigKey key;
+    key.stages = config.stages;
+    key.datawidth = config.isa.datawidth;
+    key.barCount = config.isa.barCount;
+    key.pcBits = config.isa.pcBits;
+    key.operandBits = config.isa.operandBits;
+    key.isaFlagCount = config.isa.flagCount;
+    key.flagMask = config.flagMask;
+    key.barBits = config.barBits;
+    key.opcodeMask = config.opcodeMask;
+    key.addrBits = config.addrBits;
+    key.tristateResultMux = config.tristateResultMux;
+    return key;
+}
+
+std::uint64_t
+coreConfigHash(const CoreConfig &config)
+{
+    const CoreConfigKey k = coreConfigKey(config);
+    std::uint64_t h = 0x243f6a8885a308d3ULL;
+    for (std::uint64_t field :
+         {std::uint64_t(k.stages), std::uint64_t(k.datawidth),
+          std::uint64_t(k.barCount), std::uint64_t(k.pcBits),
+          std::uint64_t(k.operandBits), std::uint64_t(k.isaFlagCount),
+          std::uint64_t(k.flagMask), std::uint64_t(k.barBits),
+          std::uint64_t(k.opcodeMask), std::uint64_t(k.addrBits),
+          std::uint64_t(k.tristateResultMux)})
+        h = mixSeed(h, field);
+    return h;
+}
+
+std::shared_ptr<const Netlist>
+SynthCache::core(const CoreConfig &config)
+{
+    const CoreConfigKey key = coreConfigKey(config);
+    std::promise<std::shared_ptr<const Netlist>> promise;
+    std::shared_future<std::shared_ptr<const Netlist>> future;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cores_.find(key);
+        if (it == cores_.end()) {
+            builder = true;
+            future = promise.get_future().share();
+            cores_.emplace(key, future);
+            ++stats_.netlistMisses;
+        } else {
+            future = it->second;
+            ++stats_.netlistHits;
+        }
+    }
+    if (builder) {
+        try {
+            promise.set_value(
+                std::make_shared<const Netlist>(buildCore(config)));
+        } catch (...) {
+            // Don't cache failures: drop the entry so a later call
+            // re-attempts (and re-reports) the error.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                cores_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+std::shared_ptr<const Characterization>
+SynthCache::characterization(const CoreConfig &config, TechKind tech,
+                             double activity)
+{
+    CharKey key;
+    key.config = coreConfigKey(config);
+    key.tech = tech;
+    key.activityBits = std::bit_cast<std::uint64_t>(activity);
+
+    std::promise<std::shared_ptr<const Characterization>> promise;
+    std::shared_future<std::shared_ptr<const Characterization>> future;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = chars_.find(key);
+        if (it == chars_.end()) {
+            builder = true;
+            future = promise.get_future().share();
+            chars_.emplace(key, future);
+            ++stats_.charMisses;
+        } else {
+            future = it->second;
+            ++stats_.charHits;
+        }
+    }
+    if (builder) {
+        try {
+            const std::shared_ptr<const Netlist> nl = core(config);
+            promise.set_value(std::make_shared<const Characterization>(
+                characterize(*nl, libraryFor(tech), activity)));
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                chars_.erase(key);
+            }
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+SynthCacheStats
+SynthCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+SynthCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cores_.clear();
+    chars_.clear();
+    stats_ = SynthCacheStats{};
+}
+
+SynthCache &
+SynthCache::global()
+{
+    static SynthCache cache;
+    return cache;
+}
+
+} // namespace printed

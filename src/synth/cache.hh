@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Thread-safe memoizing cache in front of buildCore + characterize.
+ *
+ * The bench binaries and the test suite synthesize the same handful
+ * of CoreConfigs over and over (the 24 Figure 7 points, the p1_8_2
+ * workhorse, the Table 8 cores); a full build-and-characterize pass
+ * is by far the hottest path in the flow. This cache memoizes both
+ * stages:
+ *
+ *   netlist          = f(canonical CoreConfig key)
+ *   characterization = f(canonical CoreConfig key, tech, activity)
+ *
+ * Keying rules (documented in DESIGN.md):
+ *   - The netlist key is the exhaustive tuple of every CoreConfig
+ *     field that buildCore() reads: stages, the full IsaConfig
+ *     (datawidth, barCount, pcBits, operandBits, flagCount),
+ *     flagMask, barBits, opcodeMask, tristateResultMux, addrBits.
+ *     Two configs with equal keys elaborate identical netlists, so
+ *     sharing is sound; coreConfigHash() is a mixed hash of the
+ *     same tuple used for bucketing, with full-key equality on
+ *     lookup (a hash collision can never alias two configs).
+ *   - The characterization key extends the netlist key with the
+ *     technology kind and the exact activity-factor bits.
+ *
+ * Concurrency: lookups are guarded by a mutex; a miss installs a
+ * shared_future before building so concurrent requests for the same
+ * key synthesize once and share the result. Values are immutable
+ * (shared_ptr<const T>), so sweep workers can hold them without
+ * copying. Hit/miss statistics are exposed for tests and bench
+ * reports.
+ */
+
+#ifndef PRINTED_SYNTH_CACHE_HH
+#define PRINTED_SYNTH_CACHE_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "analysis/characterize.hh"
+#include "core/config.hh"
+#include "netlist/netlist.hh"
+#include "tech/library.hh"
+
+namespace printed
+{
+
+/**
+ * Canonical identity of a CoreConfig for caching: every field
+ * buildCore() consumes, nothing else (the label is derived, not
+ * identity).
+ */
+struct CoreConfigKey
+{
+    unsigned stages = 0;
+    unsigned datawidth = 0;
+    unsigned barCount = 0;
+    unsigned pcBits = 0;
+    unsigned operandBits = 0;
+    unsigned isaFlagCount = 0;
+    unsigned flagMask = 0;
+    unsigned barBits = 0;
+    unsigned opcodeMask = 0;
+    unsigned addrBits = 0;
+    bool tristateResultMux = false;
+
+    auto operator<=>(const CoreConfigKey &) const = default;
+};
+
+/** Canonical cache key of a config. */
+CoreConfigKey coreConfigKey(const CoreConfig &config);
+
+/** Mixed 64-bit hash of the canonical key (for bucketing/reports). */
+std::uint64_t coreConfigHash(const CoreConfig &config);
+
+/** Cache hit/miss counters (monotonic since construction/clear). */
+struct SynthCacheStats
+{
+    std::uint64_t netlistHits = 0;
+    std::uint64_t netlistMisses = 0;
+    std::uint64_t charHits = 0;
+    std::uint64_t charMisses = 0;
+};
+
+/** Memoizing synthesis + characterization cache. */
+class SynthCache
+{
+  public:
+    SynthCache() = default;
+
+    /**
+     * The netlist of buildCore(config), synthesized at most once
+     * per canonical key. Concurrent callers block until the one
+     * builder finishes.
+     */
+    std::shared_ptr<const Netlist> core(const CoreConfig &config);
+
+    /**
+     * The characterization of buildCore(config) in one technology
+     * (going through core(), so the netlist is shared too).
+     */
+    std::shared_ptr<const Characterization>
+    characterization(const CoreConfig &config, TechKind tech,
+                     double activity = paperActivityFactor);
+
+    /** Snapshot of the hit/miss counters. */
+    SynthCacheStats stats() const;
+
+    /** Drop all entries and reset the counters. */
+    void clear();
+
+    /** The process-wide cache used by sweeps and benches. */
+    static SynthCache &global();
+
+  private:
+    struct CharKey
+    {
+        CoreConfigKey config;
+        TechKind tech = TechKind::EGFET;
+        std::uint64_t activityBits = 0;
+
+        auto operator<=>(const CharKey &) const = default;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<CoreConfigKey,
+             std::shared_future<std::shared_ptr<const Netlist>>>
+        cores_;
+    std::map<CharKey,
+             std::shared_future<std::shared_ptr<const Characterization>>>
+        chars_;
+    SynthCacheStats stats_;
+};
+
+} // namespace printed
+
+#endif // PRINTED_SYNTH_CACHE_HH

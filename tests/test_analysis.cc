@@ -2,12 +2,15 @@
  * @file
  * Tests for the characterization core: static timing, area, and
  * power analysis, verified against hand-computed values from the
- * Table 2 cell data.
+ * Table 2 cell data — plus thread-count determinism of the
+ * variation Monte Carlo (the test_fault.cc pattern extended to
+ * analysis code running on common/parallel.hh).
  */
 
 #include <gtest/gtest.h>
 
 #include "analysis/characterize.hh"
+#include "analysis/variation.hh"
 #include "netlist/netlist.hh"
 #include "synth/blocks.hh"
 
@@ -172,6 +175,70 @@ TEST(Characterize, SequentialBlockUsesRegPath)
     // EGFET frequencies land in the paper's "few Hz to kHz" band.
     EXPECT_GT(ch.fmaxHz(), 1.0);
     EXPECT_LT(ch.fmaxHz(), 1000.0);
+}
+
+// ----------------------------------------------------------------
+// Variation Monte Carlo: parallel determinism
+// ----------------------------------------------------------------
+
+/** A small but non-trivial sequential netlist for the MC. */
+Netlist
+makeVariationTestNetlist()
+{
+    Netlist nl("vartest");
+    const Bus a = busInputs(nl, "a", 8);
+    const Bus b = busInputs(nl, "b", 8);
+    const AddResult res = rippleAdder(nl, a, b, nl.constZero());
+    const Bus q = registerBank(nl, res.sum);
+    busOutputs(nl, "s", q);
+    nl.validate();
+    return nl;
+}
+
+TEST(Variation, BitIdenticalAcrossThreadCounts)
+{
+    const Netlist nl = makeVariationTestNetlist();
+    VariationModel model;
+    model.samples = 64;
+    model.seed = 99;
+
+    model.threads = 1;
+    const VariationReport serial =
+        analyzeVariation(nl, egfetLibrary(), model);
+    for (unsigned threads : {2u, 8u}) {
+        model.threads = threads;
+        const VariationReport parallel =
+            analyzeVariation(nl, egfetLibrary(), model);
+        // Bit-identical, not merely close: per-sample seeding plus
+        // index-ordered reduction make the thread count invisible.
+        EXPECT_EQ(serial.nominalPeriodUs, parallel.nominalPeriodUs);
+        EXPECT_EQ(serial.meanPeriodUs, parallel.meanPeriodUs);
+        EXPECT_EQ(serial.stdDevUs, parallel.stdDevUs);
+        EXPECT_EQ(serial.p50Us, parallel.p50Us);
+        EXPECT_EQ(serial.p95Us, parallel.p95Us);
+        EXPECT_EQ(serial.p99Us, parallel.p99Us);
+        EXPECT_EQ(serial.worstUs, parallel.worstUs);
+    }
+}
+
+TEST(Variation, SamplesAreIndependentOfSampleCount)
+{
+    // Per-sample seeding also means sample s draws the same
+    // multipliers no matter how many other samples run: the sorted
+    // 32-sample distribution is a superset-invariant of the first
+    // 16 samples' values.
+    const Netlist nl = makeVariationTestNetlist();
+    VariationModel small;
+    small.samples = 16;
+    small.seed = 5;
+    VariationModel big = small;
+    big.samples = 32;
+
+    const auto rs = analyzeVariation(nl, egfetLibrary(), small);
+    const auto rb = analyzeVariation(nl, egfetLibrary(), big);
+    // Worst of the superset can only grow.
+    EXPECT_GE(rb.worstUs, rs.worstUs);
+    EXPECT_EQ(rs.nominalPeriodUs, rb.nominalPeriodUs);
 }
 
 } // anonymous namespace

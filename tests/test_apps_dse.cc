@@ -9,9 +9,11 @@
 
 #include "apps/applications.hh"
 #include "apps/battery.hh"
+#include "common/parallel.hh"
 #include "dse/sweep.hh"
 #include "dse/system_eval.hh"
 #include "legacy/cores.hh"
+#include "synth/cache.hh"
 
 namespace printed
 {
@@ -101,6 +103,131 @@ TEST(Dse, SweepHasTwentyFourPoints)
 {
     const auto points = sweepDesignSpace();
     EXPECT_EQ(points.size(), 24u);
+    EXPECT_EQ(figure7Configs().size(), 24u);
+}
+
+/** Exact equality of two characterizations, field by field. */
+void
+expectSameCharacterization(const Characterization &a,
+                           const Characterization &b)
+{
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.tech, b.tech);
+    EXPECT_EQ(a.stats.totalGates, b.stats.totalGates);
+    EXPECT_EQ(a.stats.seqGates, b.stats.seqGates);
+    EXPECT_EQ(a.area.total_mm2, b.area.total_mm2);
+    EXPECT_EQ(a.area.comb_mm2, b.area.comb_mm2);
+    EXPECT_EQ(a.area.seq_mm2, b.area.seq_mm2);
+    EXPECT_EQ(a.timing.fmaxHz, b.timing.fmaxHz);
+    EXPECT_EQ(a.timing.periodUs, b.timing.periodUs);
+    EXPECT_EQ(a.powerAtFmax.total_mW, b.powerAtFmax.total_mW);
+    EXPECT_EQ(a.powerAtFmax.comb_mW, b.powerAtFmax.comb_mW);
+    EXPECT_EQ(a.powerAtFmax.seq_mW, b.powerAtFmax.seq_mW);
+}
+
+TEST(Dse, SweepBitIdenticalAcrossThreadCounts)
+{
+    SweepOptions serialOpts;
+    serialOpts.threads = 1;
+    const auto serial = sweepDesignSpace(serialOpts);
+
+    for (unsigned threads : {4u, 8u}) {
+        SweepOptions opts;
+        opts.threads = threads;
+        const auto parallel = sweepDesignSpace(opts);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(serial[i].config.label(),
+                      parallel[i].config.label());
+            expectSameCharacterization(serial[i].egfet,
+                                       parallel[i].egfet);
+            expectSameCharacterization(serial[i].cnt,
+                                       parallel[i].cnt);
+        }
+    }
+}
+
+TEST(Dse, SecondSweepIsServedFromSynthCache)
+{
+    SynthCache &cache = SynthCache::global();
+    cache.clear();
+
+    SweepOptions opts;
+    opts.threads = 4;
+    const auto first = sweepDesignSpace(opts);
+    const SynthCacheStats cold = cache.stats();
+    // 24 configs, each characterized in two technologies: 24
+    // netlist builds (the second tech hits the netlist entry) and
+    // 48 characterizations.
+    EXPECT_EQ(cold.netlistMisses, 24u);
+    EXPECT_EQ(cold.netlistHits, 24u);
+    EXPECT_EQ(cold.charMisses, 48u);
+    EXPECT_EQ(cold.charHits, 0u);
+
+    const auto second = sweepDesignSpace(opts);
+    const SynthCacheStats warm = cache.stats();
+    // The re-sweep must not synthesize or characterize anything.
+    EXPECT_EQ(warm.netlistMisses, cold.netlistMisses);
+    EXPECT_EQ(warm.charMisses, cold.charMisses);
+    EXPECT_EQ(warm.charHits, cold.charHits + 48u);
+
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        expectSameCharacterization(first[i].egfet, second[i].egfet);
+        expectSameCharacterization(first[i].cnt, second[i].cnt);
+    }
+}
+
+TEST(Dse, CacheKeySeparatesDistinctConfigs)
+{
+    const CoreConfig a = CoreConfig::standard(1, 8, 2);
+    CoreConfig b = a;
+    b.tristateResultMux = false;
+    CoreConfig c = a;
+    c.opcodeMask &= ~1u;
+    EXPECT_EQ(coreConfigKey(a), coreConfigKey(a));
+    EXPECT_NE(coreConfigKey(a), coreConfigKey(b));
+    EXPECT_NE(coreConfigKey(a), coreConfigKey(c));
+    EXPECT_NE(coreConfigHash(a), coreConfigHash(b));
+    EXPECT_NE(coreConfigHash(a), coreConfigHash(c));
+
+    // Cached netlists for distinct keys are distinct objects;
+    // repeated lookups of one key share one object.
+    SynthCache cache;
+    const auto na1 = cache.core(a);
+    const auto na2 = cache.core(a);
+    const auto nb = cache.core(b);
+    EXPECT_EQ(na1.get(), na2.get());
+    EXPECT_NE(na1.get(), nb.get());
+    EXPECT_EQ(cache.stats().netlistMisses, 2u);
+    EXPECT_EQ(cache.stats().netlistHits, 1u);
+
+    cache.clear();
+    EXPECT_EQ(cache.stats().netlistMisses, 0u);
+    const auto na3 = cache.core(a);
+    EXPECT_NE(na3, nullptr);
+    EXPECT_EQ(cache.stats().netlistMisses, 1u);
+}
+
+TEST(Dse, CacheIsThreadSafeUnderConcurrentLookups)
+{
+    SynthCache cache;
+    const auto configs = figure7Configs();
+    // Hammer the same small key set from many threads; every
+    // returned characterization must be the one shared object per
+    // (config, tech) and the miss counters must match the key
+    // count exactly (each key synthesized once).
+    std::vector<std::shared_ptr<const Characterization>> results(64);
+    parallelFor(8, results.size(), [&](std::size_t i) {
+        const CoreConfig &cfg = configs[i % 8];
+        const TechKind tech =
+            (i / 8) % 2 ? TechKind::CNT_TFT : TechKind::EGFET;
+        results[i] = cache.characterization(cfg, tech);
+    });
+    EXPECT_EQ(cache.stats().charMisses, 16u);
+    EXPECT_EQ(cache.stats().netlistMisses, 8u);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i].get(), results[i % 16].get());
 }
 
 TEST(Dse, SingleStageDominates)

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the bench JSON helpers (bench/bench_util.hh):
+ * RFC 8259 string escaping, scalar rendering (including non-finite
+ * doubles), the JsonReport document shape, and argv parsing. The
+ * --json reports these helpers produce are consumed by CI and the
+ * golden-snapshot tooling, so their output format is a contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "bench_util.hh"
+
+namespace printed
+{
+namespace
+{
+
+using bench::JsonReport;
+using bench::JsonValue;
+using bench::jsonEscape;
+using bench::jsonQuote;
+using bench::uintFromArgs;
+
+TEST(JsonEscape, PassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape(""), "");
+    EXPECT_EQ(jsonEscape("mult_8x8"), "mult_8x8");
+    EXPECT_EQ(jsonEscape("a b c 123 .,;!?"), "a b c 123 .,;!?");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes)
+{
+    EXPECT_EQ(jsonEscape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(jsonEscape("C:\\path\\file"), "C:\\\\path\\\\file");
+    EXPECT_EQ(jsonEscape("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscape, ControlCharactersBecomeU00xx)
+{
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\u000ab");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\u0009b");
+    EXPECT_EQ(jsonEscape("a\rb"), "a\\u000db");
+    EXPECT_EQ(jsonEscape(std::string(1, '\0')), "\\u0000");
+    EXPECT_EQ(jsonEscape("\x1f"), "\\u001f");
+}
+
+TEST(JsonEscape, LeavesHighBytesVerbatim)
+{
+    // DEL and multi-byte UTF-8 are legal unescaped in JSON strings;
+    // the escaper must not mangle them (and must not sign-extend
+    // high bytes into bogus control-character escapes).
+    EXPECT_EQ(jsonEscape("\x7f"), "\x7f");
+    const std::string utf8 = "\xc2\xb5m"; // µm
+    EXPECT_EQ(jsonEscape(utf8), utf8);
+}
+
+TEST(JsonValue, RendersScalars)
+{
+    EXPECT_EQ(JsonValue("s").text(), "\"s\"");
+    EXPECT_EQ(JsonValue(std::string("a\"b")).text(), "\"a\\\"b\"");
+    EXPECT_EQ(JsonValue(true).text(), "true");
+    EXPECT_EQ(JsonValue(false).text(), "false");
+    EXPECT_EQ(JsonValue(42).text(), "42");
+    EXPECT_EQ(JsonValue(-7).text(), "-7");
+    EXPECT_EQ(JsonValue(std::uint64_t(1) << 40).text(),
+              "1099511627776");
+    EXPECT_EQ(JsonValue(1.5).text(), "1.5");
+}
+
+TEST(JsonValue, NonFiniteDoublesBecomeNull)
+{
+    EXPECT_EQ(
+        JsonValue(std::numeric_limits<double>::infinity()).text(),
+        "null");
+    EXPECT_EQ(
+        JsonValue(-std::numeric_limits<double>::infinity()).text(),
+        "null");
+    EXPECT_EQ(
+        JsonValue(std::numeric_limits<double>::quiet_NaN()).text(),
+        "null");
+}
+
+TEST(JsonReport, WritesWellFormedDocument)
+{
+    JsonReport jr("unit_test");
+    jr.meta("threads", 4);
+    jr.meta("label", "a\"b");
+    jr.add("rows", {{"k", 1}, {"v", 2.5}});
+    jr.add("rows", {{"k", 2}, {"v", true}});
+    jr.add("other", {{"name", "x"}});
+
+    std::ostringstream os;
+    jr.write(os);
+    const std::string doc = os.str();
+
+    EXPECT_EQ(doc,
+              "{\n"
+              "  \"bench\": \"unit_test\",\n"
+              "  \"threads\": 4,\n"
+              "  \"label\": \"a\\\"b\",\n"
+              "  \"rows\": [\n"
+              "    {\"k\": 1, \"v\": 2.5},\n"
+              "    {\"k\": 2, \"v\": true}\n"
+              "  ],\n"
+              "  \"other\": [\n"
+              "    {\"name\": \"x\"}\n"
+              "  ]\n"
+              "}\n");
+}
+
+TEST(JsonReport, EmptyReportIsStillValid)
+{
+    JsonReport jr("empty");
+    std::ostringstream os;
+    jr.write(os);
+    EXPECT_EQ(os.str(), "{\n  \"bench\": \"empty\"\n}\n");
+}
+
+TEST(BenchArgs, UintFromArgsParsesAndDefaults)
+{
+    const char *argv[] = {"prog", "--trials", "123", "--json",
+                          "out.json"};
+    char **av = const_cast<char **>(argv);
+    EXPECT_EQ(uintFromArgs(5, av, "trials", 7), 123u);
+    EXPECT_EQ(uintFromArgs(5, av, "samples", 7), 7u);
+    // A flag in the last slot has no value and falls back.
+    EXPECT_EQ(uintFromArgs(2, av, "trials", 9), 9u);
+    EXPECT_EQ(bench::jsonPathFromArgs(5, av), "out.json");
+}
+
+TEST(WallTimer, ElapsedIsMonotonic)
+{
+    bench::WallTimer t;
+    const double a = t.elapsedMs();
+    const double b = t.elapsedMs();
+    EXPECT_GE(a, 0.0);
+    EXPECT_GE(b, a);
+}
+
+} // anonymous namespace
+} // namespace printed

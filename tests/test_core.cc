@@ -300,6 +300,63 @@ TEST(CoreCosimTest, TwoStageSetbarAndRotates)
     expectEquivalence(p, 8, CoreConfig::standard(2, 8, 2));
 }
 
+TEST(CoreCosimTest, ThreeStagePipelineExecutesPrograms)
+{
+    // The 3-stage core (fetch | decode/address | execute) redirects
+    // two fetches behind a taken branch; the loop exercises flush,
+    // refetch, and the flag path across the extra stage.
+    const IsaConfig isa;
+    const Program p = assemble(R"(
+        STORE [0], #0
+        STORE [1], #7
+        STORE [2], #6
+        STORE [3], #1
+        loop:
+            ADD [0], [1]
+            SUB [2], [3]
+            BRN loop, Z
+        halt: BRN halt, #0
+    )", isa, "p3_loop");
+    expectEquivalence(p, 4, CoreConfig::standard(3, 8, 2));
+}
+
+TEST(CoreCosimTest, ThreeStageMemoryRawHazardStalls)
+{
+    // Back-to-back read-after-write on the same word: the stage-3
+    // write must be visible to the stage-2 operand read of the next
+    // instruction (the interlock stalls fetch, holds the PC, and
+    // replays the read).
+    const IsaConfig isa;
+    const Program p = assemble(R"(
+        STORE [2], #7
+        ADD [2], [2]
+        ADD [2], [2]
+        ADD [3], [2]
+        SUB [3], [2]
+        halt: BRN halt, #0
+    )", isa, "p3_raw");
+    expectEquivalence(p, 8, CoreConfig::standard(3, 8, 2));
+}
+
+TEST(CoreCosimTest, ThreeStageSetbarPointerChain)
+{
+    // SET-BAR reads its pointer word in stage 2 immediately after
+    // the STORE that produced it retires from stage 3 (stall), and
+    // the following instruction addresses through the just-written
+    // BAR (no hazard: BARs commit a stage ahead of execute).
+    const IsaConfig isa;
+    const Program p = assemble(R"(
+        STORE [4], #9
+        SETBAR [4], #1
+        STORE [b1+0], #3
+        STORE [4], #12
+        SETBAR [4], #1
+        ADD [b1+0], [9]
+        halt: BRN halt, #0
+    )", isa, "p3_bars");
+    expectEquivalence(p, 16, CoreConfig::standard(3, 8, 2));
+}
+
 TEST(CoreCosimTest, MeasuredActivityIsPlausible)
 {
     const IsaConfig isa;

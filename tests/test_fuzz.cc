@@ -2,12 +2,24 @@
  * @file
  * Differential fuzzing: randomly generated TP-ISA programs run on
  * the instruction-set simulator and on synthesized gate-level
- * cores (1- and 2-stage), and the complete data-memory images must
- * match. Programs use every instruction class; control flow is
+ * cores (1-, 2-, and 3-stage), and the complete data-memory images
+ * must match. Programs use every instruction class; control flow is
  * restricted to forward branches so every program terminates.
+ *
+ * Two program distributions are fuzzed per pipeline depth: the
+ * balanced mix, and a BAR-heavy mix on the 4-BAR ISA that leans on
+ * SET-BAR and BAR-relative addressing (the pointer idiom the
+ * looping kernels use, and the logic program-specific cores prune
+ * — historically the least-covered decode path).
+ *
+ * The per-test trial count defaults to 30 and can be raised for CI
+ * nightlies via the PRINTED_FUZZ_TRIALS environment variable.
  */
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
 
 #include "arch/machine.hh"
 #include "common/rng.hh"
@@ -24,22 +36,50 @@ namespace
 // is in range by construction, so random pointer mutation is safe.
 constexpr std::size_t fuzzDmemWords = 256;
 
+/** Trial count: PRINTED_FUZZ_TRIALS env var, default 30. */
+int
+fuzzTrials()
+{
+    if (const char *env = std::getenv("PRINTED_FUZZ_TRIALS")) {
+        try {
+            const int n = std::stoi(env);
+            if (n > 0)
+                return n;
+        } catch (const std::exception &) {
+            // fall through to the default
+        }
+    }
+    return 30;
+}
+
+/** Knobs of the random program distribution. */
+struct FuzzProfile
+{
+    unsigned barCount = 2;  ///< ISA BAR registers
+    unsigned barBias = 4;   ///< 1-in-N operands address via a BAR
+    bool barHeavy = false;  ///< extra SET-BARs in the opcode mix
+};
+
 /** Generate a random, terminating TP-ISA program. */
 Program
-randomProgram(Rng &rng, const IsaConfig &isa, std::size_t length)
+randomProgram(Rng &rng, const IsaConfig &isa, std::size_t length,
+              const FuzzProfile &profile)
 {
     Program p;
     p.name = "fuzz";
     p.isa = isa;
 
     auto rand_operand = [&] {
-        // Address within the small data memory; occasionally via
-        // BAR1 (whose value stays within range: SETBAR sources are
-        // memory words we keep small below).
+        // Address within the small data memory; occasionally via a
+        // random writable BAR (whose value may be any byte: the
+        // 8-bit effective address always lands inside the 256-word
+        // memory).
         const bool use_bar =
-            isa.barCount > 1 && rng.below(4) == 0;
+            isa.barCount > 1 && rng.below(profile.barBias) == 0;
+        const unsigned bar =
+            use_bar ? 1 + unsigned(rng.below(isa.barCount - 1)) : 0;
         const unsigned off = unsigned(rng.below(32));
-        return makeOperand(use_bar ? 1 : 0, off, isa);
+        return makeOperand(bar, off, isa);
     };
 
     static const Mnemonic pool[] = {
@@ -49,10 +89,18 @@ randomProgram(Rng &rng, const IsaConfig &isa, std::size_t length)
         Mnemonic::RR, Mnemonic::RRC, Mnemonic::RRA, Mnemonic::STORE,
         Mnemonic::STORE, Mnemonic::SETBAR, Mnemonic::BR,
         Mnemonic::BRN};
+    static const Mnemonic barPool[] = {
+        Mnemonic::SETBAR, Mnemonic::SETBAR, Mnemonic::SETBAR,
+        Mnemonic::ADD,    Mnemonic::SUB,    Mnemonic::XOR,
+        Mnemonic::STORE,  Mnemonic::STORE,  Mnemonic::RL,
+        Mnemonic::BR,     Mnemonic::BRN};
 
     for (std::size_t pc = 0; pc < length; ++pc) {
         Instruction inst;
-        inst.mnemonic = pool[rng.below(std::size(pool))];
+        inst.mnemonic =
+            profile.barHeavy
+                ? barPool[rng.below(std::size(barPool))]
+                : pool[rng.below(std::size(pool))];
         if (isBranch(inst.mnemonic)) {
             if (pc + 2 >= length) {
                 inst.mnemonic = Mnemonic::TEST; // no room forward
@@ -69,7 +117,9 @@ randomProgram(Rng &rng, const IsaConfig &isa, std::size_t length)
             inst.op2 = std::uint8_t(rng.below(256));
         } else if (inst.mnemonic == Mnemonic::SETBAR) {
             inst.op1 = rand_operand();
-            inst.op2 = 1;
+            inst.op2 = std::uint8_t(
+                1 + rng.below(isa.barCount > 1 ? isa.barCount - 1
+                                               : 1));
         } else {
             inst.op1 = rand_operand();
             inst.op2 = rand_operand();
@@ -80,21 +130,22 @@ randomProgram(Rng &rng, const IsaConfig &isa, std::size_t length)
     return p;
 }
 
-class FuzzTest : public ::testing::TestWithParam<unsigned>
-{};
-
-TEST_P(FuzzTest, IssMatchesGatesAcrossRandomPrograms)
+void
+fuzzPipeline(unsigned stages, const FuzzProfile &profile,
+             std::uint64_t seed)
 {
-    const unsigned stages = GetParam();
-    Rng rng(0xF00D + stages);
-    const IsaConfig isa; // 8-bit, 2 BARs
+    Rng rng(seed);
+    IsaConfig isa;
+    isa.barCount = profile.barCount;
 
     // Build the core once; run many programs through it.
-    const CoreConfig cfg = CoreConfig::standard(stages, 8, 2);
+    const CoreConfig cfg =
+        CoreConfig::standard(stages, 8, profile.barCount);
     const Netlist nl = buildCore(cfg);
 
-    for (int trial = 0; trial < 30; ++trial) {
-        Program p = randomProgram(rng, isa, 24);
+    const int trials = fuzzTrials();
+    for (int trial = 0; trial < trials; ++trial) {
+        Program p = randomProgram(rng, isa, 24, profile);
 
         TpIsaMachine iss(p, fuzzDmemWords);
         iss.run(10'000);
@@ -111,8 +162,27 @@ TEST_P(FuzzTest, IssMatchesGatesAcrossRandomPrograms)
     }
 }
 
+class FuzzTest : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(FuzzTest, IssMatchesGatesAcrossRandomPrograms)
+{
+    const unsigned stages = GetParam();
+    fuzzPipeline(stages, FuzzProfile{}, 0xF00D + stages);
+}
+
+TEST_P(FuzzTest, IssMatchesGatesOnBarHeavyPrograms)
+{
+    const unsigned stages = GetParam();
+    FuzzProfile profile;
+    profile.barCount = 4;
+    profile.barBias = 2; // half of all operands go through a BAR
+    profile.barHeavy = true;
+    fuzzPipeline(stages, profile, 0xBA55 + stages);
+}
+
 INSTANTIATE_TEST_SUITE_P(Pipelines, FuzzTest,
-                         ::testing::Values(1u, 2u),
+                         ::testing::Values(1u, 2u, 3u),
                          [](const auto &info) {
                              return "p" +
                                     std::to_string(info.param);
