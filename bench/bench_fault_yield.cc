@@ -40,6 +40,7 @@ struct DesignResult
     std::string name;
     std::size_t gates = 0;
     std::size_t devices = 0; ///< total, all replicas
+    double wallMs = 0;       ///< Monte-Carlo wall clock
     FunctionalYieldReport r;
 };
 
@@ -50,7 +51,9 @@ runDesign(const std::string &name, const Netlist &nl,
     DesignResult d;
     d.name = name;
     d.gates = nl.gateCount() * mc.replicas;
+    const bench::WallTimer timer;
     d.r = measureFunctionalYield(nl, cfg, mc);
+    d.wallMs = timer.elapsedMs();
     d.devices = d.r.devicesPerReplica * d.r.replicas;
     return d;
 }
@@ -143,6 +146,24 @@ main(int argc, char **argv)
             std::chrono::steady_clock::now() - t0)
             .count();
 
+    // --- Scalar-engine cross-check -------------------------------
+    // Re-run the first design on the scalar golden-reference engine:
+    // the report must be bit-identical (same seeds, same trial
+    // classification), and the wall-clock ratio is the measured
+    // speedup of the 64-lane batch engine.
+    mc.kernels = {Kernel::Mult, Kernel::THold};
+    mc.engine = SimEngine::Scalar;
+    const DesignResult scalarRef =
+        runDesign(results[0].name, p1nl, p1, mc);
+    mc.engine = SimEngine::Batch;
+    const bool enginesAgree =
+        scalarRef.r.fatalTrials == results[0].r.fatalTrials &&
+        scalarRef.r.maskedTrials == results[0].r.maskedTrials &&
+        scalarRef.r.benignTrials == results[0].r.benignTrials &&
+        scalarRef.r.defectFreeTrials ==
+            results[0].r.defectFreeTrials;
+    const double speedup = scalarRef.wallMs / results[0].wallMs;
+
     // --- Report --------------------------------------------------
     TableWriter t({"Design", "Gates", "Devices", "analytic yield",
                    "MC defect-free", "functional yield", "masked",
@@ -167,7 +188,15 @@ main(int argc, char **argv)
               << fullRep.votersInserted << " voters)\n";
     std::cout << "Monte-Carlo wall time: "
               << TableWriter::fixed(elapsed, 1) << " s ("
-              << results.size() << " designs)\n";
+              << results.size() << " designs, batch engine)\n";
+    std::cout << "Engine check (" << results[0].name
+              << "): scalar "
+              << TableWriter::fixed(scalarRef.wallMs, 0)
+              << " ms vs batch "
+              << TableWriter::fixed(results[0].wallMs, 0)
+              << " ms -> " << TableWriter::fixed(speedup, 1)
+              << "x speedup, reports "
+              << (enginesAgree ? "bit-identical" : "DIFFER") << "\n";
 
     // --- Invariant checks (the point of the experiment) ----------
     bool ok = true;
@@ -192,6 +221,11 @@ main(int argc, char **argv)
                   << " does not beat the unhardened core\n";
         ok = false;
     }
+    if (!enginesAgree) {
+        std::cout << "FAIL: batch and scalar engines disagree on "
+                  << results[0].name << "\n";
+        ok = false;
+    }
 
     std::cout
         << "\nTakeaway: at " << 100 * deviceYield
@@ -210,12 +244,18 @@ main(int argc, char **argv)
         jr.meta("device_yield", deviceYield);
         jr.meta("seed", seed);
         jr.meta("wall_time_s", elapsed);
+        jr.meta("engine", "batch");
+        jr.meta("scalar_check_wall_ms", scalarRef.wallMs);
+        jr.meta("batch_check_wall_ms", results[0].wallMs);
+        jr.meta("speedup_vs_scalar", speedup);
+        jr.meta("engines_agree", enginesAgree);
         for (const DesignResult &d : results) {
             jr.add("designs",
                    {{"name", d.name},
                     {"gates", d.gates},
                     {"devices", d.devices},
                     {"replicas", d.r.replicas},
+                    {"wall_ms", d.wallMs},
                     {"analytic_yield", d.r.analyticYield},
                     {"defect_free_rate", d.r.defectFreeRate()},
                     {"functional_yield", d.r.functionalYield()},

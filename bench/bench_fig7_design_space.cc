@@ -7,8 +7,14 @@
  * and register (R) shares, as in the figure's stacked bars.
  *
  * Options:
- *   --threads N   parallel sweep workers (0 = hardware concurrency;
- *                 results are bit-identical for every N)
+ *   --threads N        parallel sweep workers (0 = hardware
+ *                      concurrency; results are bit-identical for
+ *                      every N)
+ *   --yield-trials N   when > 0, also run the functional-yield
+ *                      Monte Carlo (N trials, 64-lane batch engine)
+ *                      on every configuration, cross-check the
+ *                      first one against the scalar reference
+ *                      engine, and report the measured speedup
  *   --json PATH   machine-readable report with per-point results,
  *                 wall-clock timing, and synthesis-cache statistics
  */
@@ -27,6 +33,8 @@ main(int argc, char **argv)
     const std::string jsonPath = bench::jsonPathFromArgs(argc, argv);
     const unsigned threads =
         unsigned(bench::uintFromArgs(argc, argv, "threads", 1));
+    const auto yieldTrials = unsigned(
+        bench::uintFromArgs(argc, argv, "yield-trials", 0));
     bench::JsonReport jr("bench_fig7_design_space");
 
     bench::banner("Figure 7",
@@ -91,6 +99,87 @@ main(int argc, char **argv)
               << " cm^2 vs smallest legacy core (light8080) "
               << l8080.areaCm2
               << " cm^2 -> every TP-ISA core is smaller.\n";
+
+    // --- Optional yield leg (--yield-trials N) -------------------
+    // Runs the functional-yield Monte Carlo over the whole Figure 7
+    // grid on the 64-lane batch engine, then re-runs the first
+    // configuration on the scalar golden reference: the two reports
+    // must be bit-identical, and their wall-clock ratio is the
+    // batch engine's measured speedup at equal thread count.
+    if (yieldTrials > 0) {
+        FunctionalYieldConfig mc;
+        mc.trials = yieldTrials;
+        mc.threads = threads;
+        mc.kernels = {Kernel::Mult};
+
+        const bench::WallTimer ytimer;
+        const auto ypoints =
+            sweepFunctionalYield(figure7Configs(), mc);
+        const double yieldMs = ytimer.elapsedMs();
+
+        TableWriter yt({"Core", "analytic yield",
+                        "functional yield", "fatal", "masked",
+                        "benign"});
+        for (const YieldPoint &p : ypoints) {
+            yt.addRow({p.config.label(),
+                       TableWriter::num(p.report.analyticYield, 4),
+                       TableWriter::num(
+                           p.report.functionalYield(), 4),
+                       std::to_string(p.report.fatalTrials),
+                       std::to_string(p.report.maskedTrials),
+                       std::to_string(p.report.benignTrials)});
+            jr.add("yield",
+                   {{"core", p.config.label()},
+                    {"analytic_yield", p.report.analyticYield},
+                    {"functional_yield",
+                     p.report.functionalYield()},
+                    {"fatal_trials", p.report.fatalTrials},
+                    {"masked_trials", p.report.maskedTrials},
+                    {"benign_trials", p.report.benignTrials},
+                    {"defect_free_trials",
+                     p.report.defectFreeTrials}});
+        }
+        std::cout << "\nFunctional yield (" << yieldTrials
+                  << " trials/config, batch engine):\n";
+        yt.print(std::cout);
+
+        const CoreConfig first = figure7Configs().front();
+        const auto core = SynthCache::global().core(first);
+        const bench::WallTimer btimer;
+        const FunctionalYieldReport batchRep =
+            measureFunctionalYield(*core, first, mc);
+        const double batchMs = btimer.elapsedMs();
+        mc.engine = SimEngine::Scalar;
+        const bench::WallTimer stimer;
+        const FunctionalYieldReport scalarRep =
+            measureFunctionalYield(*core, first, mc);
+        const double scalarMs = stimer.elapsedMs();
+        const bool agree =
+            scalarRep.fatalTrials == batchRep.fatalTrials &&
+            scalarRep.maskedTrials == batchRep.maskedTrials &&
+            scalarRep.benignTrials == batchRep.benignTrials &&
+            scalarRep.defectFreeTrials == batchRep.defectFreeTrials;
+        std::cout << "Engine check (" << first.label()
+                  << "): scalar "
+                  << TableWriter::fixed(scalarMs, 0)
+                  << " ms vs batch "
+                  << TableWriter::fixed(batchMs, 0) << " ms -> "
+                  << TableWriter::fixed(scalarMs / batchMs, 1)
+                  << "x speedup, reports "
+                  << (agree ? "bit-identical" : "DIFFER") << "\n";
+        jr.meta("yield_trials", yieldTrials);
+        jr.meta("yield_wall_ms", yieldMs);
+        jr.meta("yield_scalar_check_wall_ms", scalarMs);
+        jr.meta("yield_batch_check_wall_ms", batchMs);
+        jr.meta("yield_speedup_vs_scalar", scalarMs / batchMs);
+        jr.meta("yield_engines_agree", agree);
+        if (!agree) {
+            std::cout << "FAIL: batch and scalar engines disagree\n";
+            if (!jsonPath.empty())
+                jr.writeTo(jsonPath);
+            return 1;
+        }
+    }
 
     const SynthCacheStats cs = SynthCache::global().stats();
     std::cout << "\nSweep wall clock: "

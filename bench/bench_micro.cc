@@ -12,20 +12,31 @@
  * google-benchmark parses the remaining flags). Machine-readable
  * timing comes from google-benchmark itself, e.g.
  * --benchmark_format=json or --benchmark_out=BENCH_micro.json.
+ *
+ * --json PATH switches to a standalone scalar-vs-batch simulator
+ * comparison (no google-benchmark): raw gate-level settle
+ * throughput and Monte-Carlo fault-trial throughput of both
+ * engines on the p1_8_2 core, with a hard agreement check on the
+ * yield numbers (exit 1 on mismatch). CI smoke-runs this as
+ * BENCH_sim.json.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 
 #include "analysis/characterize.hh"
+#include "analysis/fault.hh"
 #include "analysis/variation.hh"
 #include "arch/machine.hh"
+#include "bench_util.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "core/generator.hh"
 #include "dse/sweep.hh"
 #include "isa/assembler.hh"
+#include "sim/batch_simulator.hh"
 #include "sim/simulator.hh"
 #include "synth/cache.hh"
 #include "workloads/kernels.hh"
@@ -82,6 +93,20 @@ BM_GateSimCycle(benchmark::State &state)
     state.SetItemsProcessed(std::int64_t(state.iterations()));
 }
 BENCHMARK(BM_GateSimCycle);
+
+void
+BM_BatchGateSimCycle(benchmark::State &state)
+{
+    // One batch cycle advances 64 independent trials; items = lane
+    // cycles, so items/s is directly comparable to BM_GateSimCycle.
+    const Netlist nl = buildCore(CoreConfig::standard(1, 8, 2));
+    BatchGateSimulator sim(nl);
+    for (auto _ : state)
+        sim.cycle();
+    state.SetItemsProcessed(std::int64_t(
+        state.iterations() * BatchGateSimulator::laneCount));
+}
+BENCHMARK(BM_BatchGateSimCycle);
 
 void
 BM_Assembler(benchmark::State &state)
@@ -189,11 +214,131 @@ BM_VariationMc(benchmark::State &state)
 }
 BENCHMARK(BM_VariationMc)->Unit(benchmark::kMillisecond);
 
+/**
+ * The --json mode: time the scalar and 64-lane batch engines on the
+ * same work — raw settle throughput (gate·cycles/s) and the
+ * functional-yield Monte Carlo (trials/s) on the paper's p1_8_2
+ * core at one thread each — and assert that both engines report
+ * identical yield numbers.
+ * @return 0 when the engines agree, 1 otherwise
+ */
+int
+runSimComparison(const std::string &json_path)
+{
+    using bench::JsonReport;
+    using bench::WallTimer;
+
+    const CoreConfig cfg = CoreConfig::standard(1, 8, 2);
+    const Netlist nl = buildCore(cfg);
+    const double gates = double(nl.gateCount());
+
+    // Raw settle throughput. The batch engine advances 64 trials
+    // per pass, so its gate·cycles/s carry a 64x lane factor.
+    const unsigned simCycles = 2000;
+    GateSimulator ssim(nl);
+    WallTimer st;
+    for (unsigned i = 0; i < simCycles; ++i)
+        ssim.cycle();
+    const double scalarSimMs = st.elapsedMs();
+    BatchGateSimulator bsim(nl);
+    WallTimer bt;
+    for (unsigned i = 0; i < simCycles; ++i)
+        bsim.cycle();
+    const double batchSimMs = bt.elapsedMs();
+    const double scalarGcps =
+        gates * simCycles / (scalarSimMs / 1e3);
+    const double batchGcps = gates * simCycles *
+                             BatchGateSimulator::laneCount /
+                             (batchSimMs / 1e3);
+
+    // Monte-Carlo fault-trial throughput at equal thread count.
+    FunctionalYieldConfig mc;
+    mc.fault.deviceYield = 0.999; // nearly every trial defective
+    mc.fault.seed = 3;
+    mc.trials = 256;
+    mc.threads = 1;
+    mc.kernels = {Kernel::Mult};
+
+    mc.engine = SimEngine::Scalar;
+    WallTimer smc;
+    const FunctionalYieldReport scalarRep =
+        measureFunctionalYield(nl, cfg, mc);
+    const double scalarMcMs = smc.elapsedMs();
+
+    mc.engine = SimEngine::Batch;
+    WallTimer bmc;
+    const FunctionalYieldReport batchRep =
+        measureFunctionalYield(nl, cfg, mc);
+    const double batchMcMs = bmc.elapsedMs();
+
+    const bool agree =
+        scalarRep.fatalTrials == batchRep.fatalTrials &&
+        scalarRep.maskedTrials == batchRep.maskedTrials &&
+        scalarRep.benignTrials == batchRep.benignTrials &&
+        scalarRep.defectFreeTrials == batchRep.defectFreeTrials;
+    const double mcSpeedup = scalarMcMs / batchMcMs;
+
+    std::printf("sim engines on p1_8_2 (%u gates):\n",
+                unsigned(nl.gateCount()));
+    std::printf("  settle  scalar %.2f Mgc/s   batch %.2f Mgc/s "
+                "(%.1fx)\n",
+                scalarGcps / 1e6, batchGcps / 1e6,
+                batchGcps / scalarGcps);
+    std::printf("  MC      scalar %.1f trials/s   batch %.1f "
+                "trials/s (%.1fx)\n",
+                mc.trials / (scalarMcMs / 1e3),
+                mc.trials / (batchMcMs / 1e3), mcSpeedup);
+    std::printf("  engines_agree: %s (functional yield %.4f vs "
+                "%.4f)\n",
+                agree ? "yes" : "NO",
+                scalarRep.functionalYield(),
+                batchRep.functionalYield());
+
+    JsonReport report("sim_engines");
+    report.meta("design", "p1_8_2");
+    report.meta("gates", std::uint64_t(nl.gateCount()));
+    report.meta("sim_cycles", simCycles);
+    report.meta("mc_trials", mc.trials);
+    report.meta("mc_threads", mc.threads);
+    report.meta("sim_speedup_vs_scalar", batchGcps / scalarGcps);
+    report.meta("mc_speedup_vs_scalar", mcSpeedup);
+    report.meta("engines_agree", agree);
+    report.add("engines",
+               {{"engine", "scalar"},
+                {"gate_cycles_per_s", scalarGcps},
+                {"mc_trials_per_s",
+                 mc.trials / (scalarMcMs / 1e3)},
+                {"functional_yield",
+                 scalarRep.functionalYield()},
+                {"fatal_trials", scalarRep.fatalTrials},
+                {"masked_trials", scalarRep.maskedTrials},
+                {"benign_trials", scalarRep.benignTrials},
+                {"defect_free_trials",
+                 scalarRep.defectFreeTrials}});
+    report.add("engines",
+               {{"engine", "batch"},
+                {"gate_cycles_per_s", batchGcps},
+                {"mc_trials_per_s", mc.trials / (batchMcMs / 1e3)},
+                {"functional_yield", batchRep.functionalYield()},
+                {"fatal_trials", batchRep.fatalTrials},
+                {"masked_trials", batchRep.maskedTrials},
+                {"benign_trials", batchRep.benignTrials},
+                {"defect_free_trials",
+                 batchRep.defectFreeTrials}});
+    report.writeTo(json_path);
+    return agree ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // --json PATH: standalone engine comparison, no google-benchmark.
+    const std::string json = bench::jsonPathFromArgs(argc, argv);
+    if (!json.empty())
+        return runSimComparison(json);
+
     // Strip "--threads N" before google-benchmark rejects it as an
     // unrecognized flag.
     int out = 1;

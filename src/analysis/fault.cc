@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 #include <memory>
 
@@ -9,6 +10,7 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "core/batch_cosim.hh"
 #include "core/cosim.hh"
 #include "workloads/kernels.hh"
 
@@ -104,6 +106,133 @@ enum class TrialClass : std::uint8_t
     Fatal,
 };
 
+/** Per-worker 64-lane harnesses (one batch cosim per kernel). */
+std::vector<std::unique_ptr<BatchCoreCosim>>
+buildBatchCosims(const Netlist &core, const CoreConfig &config,
+                 const std::vector<KernelHarness> &kernels)
+{
+    std::vector<std::unique_ptr<BatchCoreCosim>> sims;
+    sims.reserve(kernels.size());
+    for (const KernelHarness &k : kernels) {
+        sims.push_back(std::make_unique<BatchCoreCosim>(
+            core, config, k.wl.program, k.wl.dmemWords));
+        if (k.wl.streamAddr >= 0)
+            sims.back()->setStreamPort(
+                std::size_t(k.wl.streamAddr),
+                k.wl.streamInputs(k.inputs));
+    }
+    return sims;
+}
+
+/** Reusable per-worker state of the batch engine. */
+struct BatchWorker
+{
+    std::vector<std::unique_ptr<BatchCoreCosim>> sims;
+    /** One defect-map scratch per lane (capacity reused). */
+    std::array<DefectMap, BatchGateSimulator::laneCount> maps;
+};
+
+/**
+ * Run one block of up to 64 trials on the batch engine and classify
+ * each into its outcome slot. Lane L carries trial firstTrial + L;
+ * per-trial seeds depend only on the trial index, never the lane
+ * (the determinism contract), so the classification is identical to
+ * running each trial through runDefectMap() on the scalar engine:
+ *
+ *   - a lane whose map is empty for every replica is DefectFree;
+ *   - a lane is Fatal the moment a kernel run kills it (illegal
+ *     electrical state, wild RAM write — where the scalar engine
+ *     throws), fails to halt in budget, or computes wrong results;
+ *     fatal lanes skip the remaining kernels and replicas exactly
+ *     as the scalar loops break early;
+ *   - otherwise Masked if any fault activation was observed in any
+ *     (replica, kernel) run, else Benign.
+ */
+void
+runTrialBlock(BatchWorker &w,
+              const std::vector<KernelHarness> &kernels,
+              const Netlist &core,
+              const FunctionalYieldConfig &cfg,
+              std::size_t firstTrial, unsigned nLanes,
+              std::vector<TrialClass> &outcome)
+{
+    constexpr unsigned L = BatchGateSimulator::laneCount;
+    const LaneMask inRange =
+        nLanes == L ? BatchGateSimulator::allLanes
+                    : (LaneMask(1) << nLanes) - 1;
+    LaneMask fatal = 0, everActivated = 0, anyDefect = 0;
+    for (unsigned r = 0; r < cfg.replicas; ++r) {
+        const LaneMask alive = inRange & ~fatal;
+        if (!alive)
+            break;
+        LaneMask participating = 0;
+        for (LaneMask m = alive; m; m &= m - 1) {
+            const unsigned lane = unsigned(std::countr_zero(m));
+            drawDefectsInto(core, cfg.fault,
+                            faultTrialSeed(cfg.fault.seed,
+                                           firstTrial + lane, r),
+                            w.maps[lane]);
+            if (!w.maps[lane].empty())
+                participating |= LaneMask(1) << lane;
+        }
+        anyDefect |= participating;
+        if (!participating)
+            continue;
+        for (std::size_t i = 0; i < kernels.size(); ++i) {
+            const LaneMask part = participating & ~fatal;
+            if (!part)
+                break;
+            BatchCoreCosim &cs = *w.sims[i];
+            BatchGateSimulator &sim = cs.simulator();
+            const KernelHarness &k = kernels[i];
+            sim.clearFaults();
+            for (LaneMask m = part; m; m &= m - 1) {
+                const unsigned lane =
+                    unsigned(std::countr_zero(m));
+                sim.setLaneFaults(lane, w.maps[lane].faults);
+            }
+            cs.reset();
+            sim.retireLanes(~part);
+            k.wl.load([&](std::size_t a, std::uint64_t v) {
+                cs.setMemAll(a, v);
+            }, k.inputs);
+            cs.run(k.cycleBudget);
+            // Killed (illegal state / wild write) or still running
+            // at the budget (lost halt): fatal, as the scalar
+            // engine's catch blocks classify the same trials.
+            LaneMask fatalNow =
+                part & (cs.killedLanes() | ~cs.haltedLanes());
+            for (LaneMask m = part & ~fatalNow; m; m &= m - 1) {
+                const unsigned lane =
+                    unsigned(std::countr_zero(m));
+                const auto got = k.wl.read([&](std::size_t a) {
+                    return cs.mem(lane, a);
+                });
+                if (got != k.golden)
+                    fatalNow |= LaneMask(1) << lane;
+            }
+            fatal |= fatalNow;
+            for (LaneMask m = part; m; m &= m - 1) {
+                const unsigned lane =
+                    unsigned(std::countr_zero(m));
+                if (sim.faultActivations(lane))
+                    everActivated |= LaneMask(1) << lane;
+            }
+        }
+    }
+    for (unsigned lane = 0; lane < nLanes; ++lane) {
+        const LaneMask bit = LaneMask(1) << lane;
+        TrialClass c = TrialClass::Benign;
+        if (!(anyDefect & bit))
+            c = TrialClass::DefectFree;
+        else if (fatal & bit)
+            c = TrialClass::Fatal;
+        else if (everActivated & bit)
+            c = TrialClass::Masked;
+        outcome[firstTrial + lane] = c;
+    }
+}
+
 } // anonymous namespace
 
 std::uint64_t
@@ -113,9 +242,9 @@ faultTrialSeed(std::uint64_t seed, std::uint64_t trial,
     return mixSeed(mixSeed(seed, trial), replica);
 }
 
-DefectMap
-drawDefects(const Netlist &netlist, const FaultModel &model,
-            std::uint64_t trialSeed)
+void
+drawDefectsInto(const Netlist &netlist, const FaultModel &model,
+                std::uint64_t trialSeed, DefectMap &out)
 {
     fatalIf(model.deviceYield < 0 || model.deviceYield > 1,
             "drawDefects: device yield must be in [0, 1]");
@@ -130,8 +259,8 @@ drawDefects(const Netlist &netlist, const FaultModel &model,
                                      double(cellDeviceCount(
                                          static_cast<CellKind>(k))));
 
-    DefectMap map;
-    map.seed = trialSeed;
+    out.seed = trialSeed;
+    out.faults.clear();
     Rng rng(trialSeed);
     for (GateId gi = 0; gi < netlist.gateCount(); ++gi) {
         const Gate &g = netlist.gate(gi);
@@ -150,8 +279,16 @@ drawDefects(const Netlist &netlist, const FaultModel &model,
             f.kind = rng.flip() ? FaultKind::StuckAt1
                                 : FaultKind::StuckAt0;
         }
-        map.faults.push_back(f);
+        out.faults.push_back(f);
     }
+}
+
+DefectMap
+drawDefects(const Netlist &netlist, const FaultModel &model,
+            std::uint64_t trialSeed)
+{
+    DefectMap map;
+    drawDefectsInto(netlist, model, trialSeed, map);
     return map;
 }
 
@@ -199,52 +336,79 @@ measureFunctionalYield(const Netlist &core, const CoreConfig &config,
 
     unsigned threads = cfg.threads ? cfg.threads
                                    : ThreadPool::defaultThreadCount();
-    threads = std::min(threads, cfg.trials);
 
     // Each trial is fully determined by (seed, trial, replica) and
     // classified into its own slot of `outcome`, so the report is
     // bit-identical for any thread count and schedule (the
     // determinism contract of common/parallel.hh). The gate-level
     // cosims are expensive to construct, so each pool worker lazily
-    // builds one set and reuses it across the trials it claims —
-    // sims carry no state between trials (faults are cleared, the
-    // core reset), so which worker runs a trial cannot matter.
-    ThreadPool pool(threads);
-    std::vector<std::vector<std::unique_ptr<CoreCosim>>> workerSims(
-        pool.threadCount());
+    // builds one set and reuses it across the work it claims — sims
+    // carry no state between trials (faults are cleared, the core
+    // reset), so which worker runs a trial cannot matter.
     std::vector<TrialClass> outcome(cfg.trials);
-    pool.parallelForWorkers(
-        cfg.trials, [&](std::size_t t, unsigned worker) {
-            auto &sims = workerSims[worker];
-            if (sims.empty())
-                sims = buildCosims(core, config, kernels);
-            TrialOutcome out = TrialOutcome::FullyBenign;
-            bool anyDefect = false;
-            for (unsigned r = 0; r < cfg.replicas; ++r) {
-                const DefectMap map = drawDefects(
-                    core, cfg.fault,
-                    faultTrialSeed(cfg.fault.seed, t, r));
-                if (map.empty())
-                    continue;
-                anyDefect = true;
-                const TrialOutcome o =
-                    runDefectMap(sims, kernels, map);
-                if (o == TrialOutcome::Fatal) {
-                    out = TrialOutcome::Fatal;
-                    break;
+    if (cfg.engine == SimEngine::Batch) {
+        // Workers claim trials in blocks of 64: lane L of block b
+        // carries trial 64*b + L, so the trial -> seed mapping (and
+        // with it every defect map) is byte-for-byte the scalar
+        // engine's.
+        constexpr unsigned L = BatchGateSimulator::laneCount;
+        const std::size_t nBlocks = (cfg.trials + L - 1) / L;
+        threads = unsigned(
+            std::min<std::size_t>(threads, nBlocks));
+        ThreadPool pool(threads);
+        std::vector<BatchWorker> workers(pool.threadCount());
+        pool.parallelForWorkers(
+            nBlocks, [&](std::size_t b, unsigned worker) {
+                BatchWorker &w = workers[worker];
+                if (w.sims.empty())
+                    w.sims =
+                        buildBatchCosims(core, config, kernels);
+                const unsigned nLanes =
+                    unsigned(std::min<std::size_t>(
+                        L, cfg.trials - b * L));
+                runTrialBlock(w, kernels, core, cfg, b * L,
+                              nLanes, outcome);
+            });
+    } else {
+        threads = std::min(threads, cfg.trials);
+        ThreadPool pool(threads);
+        std::vector<std::vector<std::unique_ptr<CoreCosim>>>
+            workerSims(pool.threadCount());
+        std::vector<DefectMap> workerMap(pool.threadCount());
+        pool.parallelForWorkers(
+            cfg.trials, [&](std::size_t t, unsigned worker) {
+                auto &sims = workerSims[worker];
+                if (sims.empty())
+                    sims = buildCosims(core, config, kernels);
+                DefectMap &map = workerMap[worker];
+                TrialOutcome out = TrialOutcome::FullyBenign;
+                bool anyDefect = false;
+                for (unsigned r = 0; r < cfg.replicas; ++r) {
+                    drawDefectsInto(
+                        core, cfg.fault,
+                        faultTrialSeed(cfg.fault.seed, t, r), map);
+                    if (map.empty())
+                        continue;
+                    anyDefect = true;
+                    const TrialOutcome o =
+                        runDefectMap(sims, kernels, map);
+                    if (o == TrialOutcome::Fatal) {
+                        out = TrialOutcome::Fatal;
+                        break;
+                    }
+                    if (o == TrialOutcome::WorkloadMasked)
+                        out = TrialOutcome::WorkloadMasked;
                 }
-                if (o == TrialOutcome::WorkloadMasked)
-                    out = TrialOutcome::WorkloadMasked;
-            }
-            if (!anyDefect)
-                outcome[t] = TrialClass::DefectFree;
-            else if (out == TrialOutcome::Fatal)
-                outcome[t] = TrialClass::Fatal;
-            else if (out == TrialOutcome::WorkloadMasked)
-                outcome[t] = TrialClass::Masked;
-            else
-                outcome[t] = TrialClass::Benign;
-        });
+                if (!anyDefect)
+                    outcome[t] = TrialClass::DefectFree;
+                else if (out == TrialOutcome::Fatal)
+                    outcome[t] = TrialClass::Fatal;
+                else if (out == TrialOutcome::WorkloadMasked)
+                    outcome[t] = TrialClass::Masked;
+                else
+                    outcome[t] = TrialClass::Benign;
+            });
+    }
 
     FunctionalYieldReport report;
     report.trials = cfg.trials;

@@ -86,6 +86,15 @@ std::uint64_t faultTrialSeed(std::uint64_t seed, std::uint64_t trial,
 DefectMap drawDefects(const Netlist &netlist, const FaultModel &model,
                       std::uint64_t trialSeed);
 
+/**
+ * Draw a defect map into a caller-owned buffer (cleared first, the
+ * fault vector's capacity is reused). The Monte-Carlo loops draw one
+ * map per (trial, replica); reusing one buffer per worker keeps the
+ * hot loop allocation-free.
+ */
+void drawDefectsInto(const Netlist &netlist, const FaultModel &model,
+                     std::uint64_t trialSeed, DefectMap &out);
+
 /** Classification of one defect map against the workloads. */
 enum class TrialOutcome
 {
@@ -94,10 +103,28 @@ enum class TrialOutcome
     Fatal,          ///< wrong results, illegal state, or no halt
 };
 
+/** Gate-level engine running the Monte-Carlo trials. */
+enum class SimEngine : std::uint8_t
+{
+    /**
+     * 64-lane bit-parallel engine (sim/batch_simulator.hh): trials
+     * are claimed in blocks of 64 per worker and advance together
+     * through one shared netlist pass. Bit-identical to Scalar for
+     * the same seed (tests/test_fault.cc), ~an order of magnitude
+     * faster.
+     */
+    Batch,
+    /** One GateSimulator trial at a time: the golden reference. */
+    Scalar,
+};
+
 /** Functional-yield Monte-Carlo configuration. */
 struct FunctionalYieldConfig
 {
     FaultModel fault;
+
+    /** Gate-level engine (results do not depend on the choice). */
+    SimEngine engine = SimEngine::Batch;
 
     /** Monte-Carlo trials (each one full defect draw + run). */
     unsigned trials = 1000;

@@ -33,13 +33,18 @@ struct Arrival
     double worst() const { return std::max(rise, fall); }
 };
 
-/** One STA pass with per-gate delay multipliers. */
+/**
+ * One STA pass with per-gate delay multipliers. `arrival` is a
+ * caller-owned scratch buffer (resized and cleared here) so the
+ * Monte-Carlo loop below stays allocation-free per sample.
+ */
 double
 samplePeriod(const Netlist &nl, const CellLibrary &lib,
              const std::vector<GateId> &order,
-             const std::vector<double> &mult)
+             const std::vector<double> &mult,
+             std::vector<Arrival> &arrival)
 {
-    std::vector<Arrival> arrival(nl.netCount());
+    arrival.assign(nl.netCount(), Arrival{});
     for (GateId gi = 0; gi < nl.gateCount(); ++gi) {
         const Gate &g = nl.gate(gi);
         if (!cellIsSequential(g.kind))
@@ -120,20 +125,48 @@ analyzeVariation(const Netlist &netlist, const CellLibrary &lib,
     VariationReport report;
     {
         const std::vector<double> unit(netlist.gateCount(), 1.0);
+        std::vector<Arrival> arrival;
         report.nominalPeriodUs =
-            samplePeriod(netlist, lib, order, unit);
+            samplePeriod(netlist, lib, order, unit, arrival);
     }
 
     // Each sample owns an RNG stream seeded from its index, so the
     // period vector — and everything reduced from it below, in
-    // index order — is bit-identical for any thread count.
-    std::vector<double> periods = parallelMap(
-        model.threads, model.samples, [&](std::size_t s) {
-            Rng rng(mixSeed(model.seed, s));
-            std::vector<double> mult(netlist.gateCount());
-            for (double &m : mult)
-                m = std::exp(model.lnSigma * gaussian(rng));
-            return samplePeriod(netlist, lib, order, mult);
+    // index order — is bit-identical for any thread count. Workers
+    // claim samples in blocks of 64 (matching the fault MC's lane
+    // blocks) and reuse one multiplier and one arrival buffer each,
+    // so the hot loop never allocates; per-sample seeds depend only
+    // on the sample index, so the block shape cannot change results.
+    constexpr std::size_t blockSamples = 64;
+    const std::size_t nBlocks =
+        (model.samples + blockSamples - 1) / blockSamples;
+    unsigned threads = model.threads
+                           ? model.threads
+                           : ThreadPool::defaultThreadCount();
+    threads = unsigned(std::min<std::size_t>(threads, nBlocks));
+    ThreadPool pool(threads);
+
+    struct WorkerScratch
+    {
+        std::vector<double> mult;
+        std::vector<Arrival> arrival;
+    };
+    std::vector<WorkerScratch> scratch(pool.threadCount());
+    std::vector<double> periods(model.samples);
+    pool.parallelForWorkers(
+        nBlocks, [&](std::size_t b, unsigned worker) {
+            WorkerScratch &ws = scratch[worker];
+            ws.mult.resize(netlist.gateCount());
+            const std::size_t begin = b * blockSamples;
+            const std::size_t end = std::min<std::size_t>(
+                begin + blockSamples, model.samples);
+            for (std::size_t s = begin; s < end; ++s) {
+                Rng rng(mixSeed(model.seed, s));
+                for (double &m : ws.mult)
+                    m = std::exp(model.lnSigma * gaussian(rng));
+                periods[s] = samplePeriod(netlist, lib, order,
+                                          ws.mult, ws.arrival);
+            }
         });
 
     double sum = 0, sum_sq = 0;

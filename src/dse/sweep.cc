@@ -45,4 +45,21 @@ sweepDesignSpace(const SweepOptions &opts)
     return sweepConfigs(figure7Configs(), opts);
 }
 
+std::vector<YieldPoint>
+sweepFunctionalYield(const std::vector<CoreConfig> &configs,
+                     const FunctionalYieldConfig &mc)
+{
+    SynthCache &cache = SynthCache::global();
+    std::vector<YieldPoint> points;
+    points.reserve(configs.size());
+    for (const CoreConfig &config : configs) {
+        YieldPoint p;
+        p.config = config;
+        p.report = measureFunctionalYield(*cache.core(config),
+                                          config, mc);
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
 } // namespace printed

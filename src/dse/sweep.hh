@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "analysis/characterize.hh"
+#include "analysis/fault.hh"
 #include "core/config.hh"
 
 namespace printed
@@ -64,6 +65,27 @@ sweepConfigs(const std::vector<CoreConfig> &configs,
  * global SynthCache).
  */
 DesignPoint evaluateDesignPoint(const CoreConfig &config);
+
+/** One configuration's functional-yield Monte Carlo. */
+struct YieldPoint
+{
+    CoreConfig config;
+    FunctionalYieldReport report;
+};
+
+/**
+ * The yield leg of the Figure 7 sweep: run the functional-yield
+ * Monte Carlo on every configuration (cores served by the global
+ * SynthCache). Configurations are evaluated sequentially — the
+ * Monte Carlo parallelizes internally over mc.threads trial blocks
+ * (nesting two thread pools would oversubscribe) — and every
+ * trial's defects depend only on (mc.fault.seed, trial, replica),
+ * so the result vector is bit-identical across runs, thread counts,
+ * and engines (SimEngine::Batch vs Scalar).
+ */
+std::vector<YieldPoint>
+sweepFunctionalYield(const std::vector<CoreConfig> &configs,
+                     const FunctionalYieldConfig &mc);
 
 } // namespace printed
 

@@ -1,0 +1,414 @@
+#include "batch_simulator.hh"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace printed
+{
+
+BatchGateSimulator::BatchGateSimulator(const Netlist &netlist)
+    : netlist_(netlist)
+{
+    netlist_.validate();
+    order_ = netlist_.levelize();
+    for (GateId gi = 0; gi < netlist_.gateCount(); ++gi) {
+        const Gate &g = netlist_.gate(gi);
+        if (cellIsSequential(g.kind))
+            seqGates_.push_back(gi);
+        if (g.kind == CellKind::DFFNRX1)
+            hasAsyncClear_ = true;
+        if (g.kind == CellKind::TSBUFX1)
+            busNets_.push_back(g.out);
+    }
+    std::sort(busNets_.begin(), busNets_.end());
+    busNets_.erase(std::unique(busNets_.begin(), busNets_.end()),
+                   busNets_.end());
+
+    values_.assign(netlist_.netCount(), 0);
+    seqState_.assign(netlist_.gateCount(), 0);
+    busDriven_.assign(netlist_.netCount(), 0);
+    toggles_.assign(netlist_.gateCount(), 0);
+    reset();
+}
+
+void
+BatchGateSimulator::reset()
+{
+    std::fill(seqState_.begin(), seqState_.end(), 0);
+    std::fill(toggles_.begin(), toggles_.end(), 0);
+    std::fill(values_.begin(), values_.end(), 0);
+    cycles_ = 0;
+    for (NetId n = 0; n < netlist_.netCount(); ++n)
+        if (netlist_.net(n).source == NetSource::Const1)
+            values_[n] = allLanes;
+    observed_ = allLanes;
+    killed_ = 0;
+    killReason_.fill(KillReason::None);
+    killGate_.fill(invalidGate);
+}
+
+// ----------------------------------------------------------------
+// Fault overlay
+// ----------------------------------------------------------------
+
+void
+BatchGateSimulator::setLaneFaults(
+    unsigned lane, const std::vector<InjectedFault> &faults)
+{
+    panicIf(lane >= laneCount, "setLaneFaults: bad lane");
+    if (faults.empty())
+        return;
+    if (faultAny_.empty()) {
+        faultAny_.assign(netlist_.gateCount(), 0);
+        faultM0_.assign(netlist_.gateCount(), 0);
+        faultM1_.assign(netlist_.gateCount(), 0);
+        faultBridge_.resize(netlist_.gateCount());
+    }
+    const LaneMask bit = LaneMask(1) << lane;
+    for (const InjectedFault &f : faults) {
+        panicIf(f.gate >= netlist_.gateCount(),
+                "setLaneFaults: bad gate id");
+        panicIf(f.kind == FaultKind::BridgeInput &&
+                    f.bridge >= netlist_.netCount(),
+                "setLaneFaults: bad bridge net");
+        if (f.kind == FaultKind::None)
+            continue;
+        if (!faultAny_[f.gate])
+            faultedGates_.push_back(f.gate);
+        // Last fault wins per (gate, lane), as the scalar engine's
+        // setFaults overwrites the per-gate overlay slot.
+        faultAny_[f.gate] |= bit;
+        faultM0_[f.gate] &= ~bit;
+        faultM1_[f.gate] &= ~bit;
+        for (BridgeLanes &b : faultBridge_[f.gate])
+            b.lanes &= ~bit;
+        switch (f.kind) {
+          case FaultKind::StuckAt0:
+            faultM0_[f.gate] |= bit;
+            break;
+          case FaultKind::StuckAt1:
+            faultM1_[f.gate] |= bit;
+            break;
+          case FaultKind::BridgeInput: {
+            auto &bridges = faultBridge_[f.gate];
+            bool merged = false;
+            for (BridgeLanes &b : bridges) {
+                if (b.net == f.bridge) {
+                    b.lanes |= bit;
+                    merged = true;
+                    break;
+                }
+            }
+            if (!merged)
+                bridges.push_back({bit, f.bridge});
+            break;
+          }
+          case FaultKind::None:
+            break;
+        }
+    }
+    anyFaults_ = !faultedGates_.empty();
+}
+
+void
+BatchGateSimulator::clearFaults()
+{
+    for (GateId gi : faultedGates_) {
+        faultAny_[gi] = 0;
+        faultM0_[gi] = 0;
+        faultM1_[gi] = 0;
+        faultBridge_[gi].clear();
+    }
+    faultedGates_.clear();
+    anyFaults_ = false;
+    activations_.fill(0);
+}
+
+LaneMask
+BatchGateSimulator::applyFault(GateId gi, LaneMask out,
+                               LaneMask countMask)
+{
+    LaneMask forced = out;
+    forced &= ~faultM0_[gi];
+    forced |= faultM1_[gi];
+    // Wired-AND with the bridged trace (dominant-low short) on the
+    // bridged lanes only.
+    for (const BridgeLanes &b : faultBridge_[gi])
+        forced &= ~b.lanes | values_[b.net];
+    LaneMask d = (forced ^ out) & countMask;
+    while (d) {
+        ++activations_[unsigned(std::countr_zero(d))];
+        d &= d - 1;
+    }
+    return forced;
+}
+
+// ----------------------------------------------------------------
+// Inputs
+// ----------------------------------------------------------------
+
+void
+BatchGateSimulator::setInput(NetId net, LaneMask laneWord)
+{
+    panicIf(netlist_.net(net).source != NetSource::Input,
+            "setInput: net is not a primary input");
+    values_[net] = laneWord;
+}
+
+void
+BatchGateSimulator::setInputAll(NetId net, bool value)
+{
+    setInput(net, value ? allLanes : 0);
+}
+
+void
+BatchGateSimulator::setInputAll(const std::string &name, bool value)
+{
+    setInputAll(netlist_.inputNet(name), value);
+}
+
+void
+BatchGateSimulator::setBusAll(const Bus &bus, std::uint64_t value)
+{
+    for (std::size_t i = 0; i < bus.size(); ++i)
+        setInputAll(bus[i], (value >> i) & 1);
+}
+
+void
+BatchGateSimulator::setBusLane(const Bus &bus, unsigned lane,
+                               std::uint64_t value)
+{
+    panicIf(lane >= laneCount, "setBusLane: bad lane");
+    const LaneMask bit = LaneMask(1) << lane;
+    for (std::size_t i = 0; i < bus.size(); ++i) {
+        panicIf(netlist_.net(bus[i]).source != NetSource::Input,
+                "setBusLane: net is not a primary input");
+        if ((value >> i) & 1)
+            values_[bus[i]] |= bit;
+        else
+            values_[bus[i]] &= ~bit;
+    }
+}
+
+// ----------------------------------------------------------------
+// Evaluation
+// ----------------------------------------------------------------
+
+void
+BatchGateSimulator::kill(LaneMask lanes, KillReason reason,
+                         GateId gate)
+{
+    lanes &= observed_;
+    if (!lanes)
+        return;
+    killed_ |= lanes;
+    observed_ &= ~lanes;
+    while (lanes) {
+        const unsigned lane = unsigned(std::countr_zero(lanes));
+        killReason_[lane] = reason;
+        killGate_[lane] = gate;
+        lanes &= lanes - 1;
+    }
+}
+
+void
+BatchGateSimulator::killLanes(LaneMask lanes, KillReason reason,
+                              GateId gate)
+{
+    kill(lanes, reason, gate);
+}
+
+void
+BatchGateSimulator::evaluateGate(GateId gi)
+{
+    const Gate &g = netlist_.gate(gi);
+    const LaneMask a = values_[g.in0];
+    const LaneMask b =
+        g.in1 != invalidNet ? values_[g.in1] : LaneMask(0);
+    LaneMask out = 0;
+    switch (g.kind) {
+      case CellKind::INVX1:   out = ~a; break;
+      case CellKind::NAND2X1: out = ~(a & b); break;
+      case CellKind::NOR2X1:  out = ~(a | b); break;
+      case CellKind::AND2X1:  out = a & b; break;
+      case CellKind::OR2X1:   out = a | b; break;
+      case CellKind::XOR2X1:  out = a ^ b; break;
+      case CellKind::XNOR2X1: out = ~(a ^ b); break;
+      case CellKind::TSBUFX1: {
+        // in0 = A, in1 = EN. Per lane: disabled buffers contribute
+        // nothing and the bus keeps its old value when nothing
+        // drives it. Lanes where a second enabled driver disagrees
+        // are killed (the scalar engine's bus-conflict throw).
+        const LaneMask en = b;
+        LaneMask driven = a;
+        if (anyFaults_ && faultAny_[gi])
+            driven = applyFault(gi, a, en & countMask_ & observed_);
+        const LaneMask conflict = busDriven_[g.out] & en &
+                                  (values_[g.out] ^ driven) &
+                                  observed_;
+        if (conflict)
+            kill(conflict, KillReason::BusConflict, gi);
+        const LaneMask drive = en & ~busDriven_[g.out];
+        const LaneMask neww =
+            (values_[g.out] & ~drive) | (driven & drive);
+        const LaneMask d = (values_[g.out] ^ neww) & observed_;
+        if (d)
+            toggles_[gi] += std::uint64_t(std::popcount(d));
+        values_[g.out] = neww;
+        busDriven_[g.out] |= en;
+        return;
+      }
+      default:
+        panic("BatchGateSimulator: sequential cell in comb. order");
+    }
+    if (anyFaults_ && faultAny_[gi])
+        out = applyFault(gi, out, countMask_ & observed_);
+    const LaneMask d = (values_[g.out] ^ out) & observed_;
+    if (d)
+        toggles_[gi] += std::uint64_t(std::popcount(d));
+    values_[g.out] = out;
+}
+
+void
+BatchGateSimulator::combPass(LaneMask countLanes)
+{
+    // Activation counting is restricted to countLanes: the async-
+    // clear second settle re-walks the order for every lane, but
+    // the scalar engine re-walks only the sims whose async clear
+    // actually changed something — counting again for unchanged
+    // lanes would diverge from the per-lane scalar counts. (Toggle
+    // counts need no mask: unchanged lanes recompute identical
+    // values, so their change masks are zero in the second pass.)
+    countMask_ = countLanes;
+    for (NetId n : busNets_)
+        busDriven_[n] = 0;
+    for (GateId gi : order_)
+        evaluateGate(gi);
+    countMask_ = allLanes;
+}
+
+void
+BatchGateSimulator::evaluate()
+{
+    // Publish sequential state onto Q nets, honouring the
+    // asynchronous clear of DFFNRX1 (Q forced low while RN is 0).
+    // A defective Q trace overrides even the async clear.
+    for (GateId gi : seqGates_) {
+        const Gate &g = netlist_.gate(gi);
+        LaneMask q = seqState_[gi];
+        if (g.kind == CellKind::DFFNRX1)
+            q &= values_[g.in1];
+        if (anyFaults_ && faultAny_[gi])
+            q = applyFault(gi, q, observed_);
+        values_[g.out] = q;
+    }
+    combPass();
+    if (!hasAsyncClear_)
+        return;
+    // The async clear can depend on combinational logic (rare but
+    // legal); settle once more so RN computed above is honoured.
+    LaneMask changed = 0;
+    for (GateId gi : seqGates_) {
+        const Gate &g = netlist_.gate(gi);
+        if (g.kind != CellKind::DFFNRX1)
+            continue;
+        const LaneMask m = ~values_[g.in1] & values_[g.out];
+        if (!m)
+            continue;
+        LaneMask q = 0;
+        if (anyFaults_ && faultAny_[gi])
+            q = applyFault(gi, 0, m & observed_);
+        changed |= (values_[g.out] ^ q) & m;
+        values_[g.out] = (values_[g.out] & ~m) | (q & m);
+    }
+    if (changed)
+        combPass(changed);
+}
+
+void
+BatchGateSimulator::step()
+{
+    for (GateId gi : seqGates_) {
+        const Gate &g = netlist_.gate(gi);
+        LaneMask next = 0;
+        switch (g.kind) {
+          case CellKind::DFFX1:
+            next = values_[g.in0];
+            break;
+          case CellKind::DFFNRX1:
+            next = values_[g.in0] & values_[g.in1];
+            break;
+          case CellKind::LATCHX1: {
+            // in0 = S, in1 = R. Lanes with S = R = 1 are killed
+            // (the scalar engine's illegal-input throw).
+            const LaneMask s = values_[g.in0];
+            const LaneMask r = values_[g.in1];
+            const LaneMask bad = s & r & observed_;
+            if (bad)
+                kill(bad, KillReason::LatchSetReset, gi);
+            next = s | (~r & seqState_[gi]);
+            break;
+          }
+          default:
+            panic("BatchGateSimulator: non-sequential cell in seq "
+                  "list");
+        }
+        if (anyFaults_ && faultAny_[gi])
+            next = applyFault(gi, next, observed_);
+        const LaneMask d = (seqState_[gi] ^ next) & observed_;
+        if (d)
+            toggles_[gi] += std::uint64_t(std::popcount(d));
+        seqState_[gi] = next;
+    }
+    ++cycles_;
+}
+
+void
+BatchGateSimulator::cycle()
+{
+    evaluate();
+    step();
+    evaluate();
+}
+
+// ----------------------------------------------------------------
+// Reading
+// ----------------------------------------------------------------
+
+std::uint64_t
+BatchGateSimulator::readBusLane(const Bus &bus, unsigned lane) const
+{
+    panicIf(lane >= laneCount, "readBusLane: bad lane");
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < bus.size(); ++i)
+        v |= ((values_[bus[i]] >> lane) & 1) << i;
+    return v;
+}
+
+LaneMask
+BatchGateSimulator::outputWord(const std::string &name) const
+{
+    return values_[netlist_.outputNet(name)];
+}
+
+std::uint64_t
+BatchGateSimulator::totalToggles() const
+{
+    return std::accumulate(toggles_.begin(), toggles_.end(),
+                           std::uint64_t(0));
+}
+
+double
+BatchGateSimulator::activityFactor() const
+{
+    if (cycles_ == 0 || netlist_.gateCount() == 0)
+        return 0.0;
+    return double(totalToggles()) /
+           (double(cycles_) * double(netlist_.gateCount()) *
+            double(laneCount));
+}
+
+} // namespace printed

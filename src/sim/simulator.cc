@@ -12,9 +12,15 @@ GateSimulator::GateSimulator(const Netlist &netlist)
 {
     netlist_.validate();
     order_ = netlist_.levelize();
-    for (GateId gi = 0; gi < netlist_.gateCount(); ++gi)
-        if (cellIsSequential(netlist_.gate(gi).kind))
+    for (GateId gi = 0; gi < netlist_.gateCount(); ++gi) {
+        const CellKind kind = netlist_.gate(gi).kind;
+        if (cellIsSequential(kind))
             seqGates_.push_back(gi);
+        if (kind == CellKind::DFFNRX1)
+            hasAsyncClear_ = true;
+        if (kind == CellKind::TSBUFX1)
+            hasTristate_ = true;
+    }
 
     values_.assign(netlist_.netCount(), 0);
     seqState_.assign(netlist_.gateCount(), 0);
@@ -173,7 +179,8 @@ GateSimulator::evaluate()
     // Publish sequential state onto Q nets, honouring the
     // asynchronous clear of DFFNRX1 (Q forced low while RN is 0).
     // A defective Q trace overrides even the async clear.
-    std::fill(busResolved_.begin(), busResolved_.end(), 0);
+    if (hasTristate_)
+        std::fill(busResolved_.begin(), busResolved_.end(), 0);
     for (GateId gi : seqGates_) {
         const Gate &g = netlist_.gate(gi);
         std::uint8_t q = seqState_[gi];
@@ -187,6 +194,10 @@ GateSimulator::evaluate()
         evaluateGate(gi);
     // The async clear can depend on combinational logic (rare but
     // legal); settle once more so RN computed above is honoured.
+    // Netlists without a DFFNRX1 cannot need the second settle, so
+    // skip both the re-clear and the re-walk entirely.
+    if (!hasAsyncClear_)
+        return;
     bool changed = false;
     for (GateId gi : seqGates_) {
         const Gate &g = netlist_.gate(gi);
@@ -202,7 +213,8 @@ GateSimulator::evaluate()
         }
     }
     if (changed) {
-        std::fill(busResolved_.begin(), busResolved_.end(), 0);
+        if (hasTristate_)
+            std::fill(busResolved_.begin(), busResolved_.end(), 0);
         for (GateId gi : order_)
             evaluateGate(gi);
     }

@@ -197,6 +197,8 @@ class GateSimulator
     const Netlist &netlist_;
     std::vector<GateId> order_;        ///< levelized comb. gates
     std::vector<GateId> seqGates_;     ///< sequential cell instances
+    bool hasAsyncClear_ = false;       ///< any DFFNRX1 instance
+    bool hasTristate_ = false;         ///< any TSBUFX1 instance
     std::vector<std::uint8_t> values_; ///< per-net settled value
     std::vector<std::uint8_t> seqState_;   ///< per-seq-gate Q
     std::vector<std::uint8_t> busResolved_;///< per-net: TSBUF drove it

@@ -379,5 +379,52 @@ TEST(FunctionalYield, PerfectDeviceYieldIsAllDefectFree)
     EXPECT_DOUBLE_EQ(r.analyticYield, 1.0);
 }
 
+TEST(FunctionalYield, BatchEngineMatchesScalarBitExactly)
+{
+    // The 64-lane engine must classify every trial exactly as the
+    // scalar golden reference: same (seed, trial, replica) -> same
+    // defect maps -> same fatal/masked/benign/defect-free buckets.
+    // 70 trials spans two lane blocks (and a partial one); the
+    // replicated run exercises the per-replica early-exit paths.
+    const CoreConfig cfg = CoreConfig::standard(1, 8, 2);
+    const Netlist core = buildCore(cfg);
+
+    struct Case
+    {
+        unsigned trials;
+        unsigned replicas;
+    };
+    for (const Case c : {Case{70, 1}, Case{40, 2}}) {
+        FunctionalYieldConfig mc;
+        mc.fault.deviceYield = 0.999; // frequent defects
+        mc.fault.seed = 7;
+        mc.trials = c.trials;
+        mc.threads = 2;
+        mc.replicas = c.replicas;
+        mc.kernels = {Kernel::Mult, Kernel::THold};
+
+        mc.engine = SimEngine::Scalar;
+        const FunctionalYieldReport scalar =
+            measureFunctionalYield(core, cfg, mc);
+        mc.engine = SimEngine::Batch;
+        const FunctionalYieldReport batch =
+            measureFunctionalYield(core, cfg, mc);
+
+        EXPECT_EQ(scalar.fatalTrials, batch.fatalTrials)
+            << "trials " << c.trials << " replicas " << c.replicas;
+        EXPECT_EQ(scalar.maskedTrials, batch.maskedTrials);
+        EXPECT_EQ(scalar.benignTrials, batch.benignTrials);
+        EXPECT_EQ(scalar.defectFreeTrials, batch.defectFreeTrials);
+        EXPECT_EQ(scalar.trials, batch.trials);
+        EXPECT_DOUBLE_EQ(scalar.analyticYield, batch.analyticYield);
+
+        // At this defect rate the buckets must not be degenerate,
+        // or the equivalence check would prove nothing.
+        EXPECT_GT(batch.fatalTrials + batch.maskedTrials +
+                      batch.benignTrials,
+                  0u);
+    }
+}
+
 } // anonymous namespace
 } // namespace printed
