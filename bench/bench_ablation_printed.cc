@@ -28,8 +28,9 @@
 #include "mem/rom.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     using namespace printed;
 
     // ---------- A. Result-mux topology ---------------------------

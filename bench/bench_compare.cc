@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Compare two BENCH_*.json reports and gate on throughput
+ * regressions.
+ *
+ *   bench_compare BASELINE.json FRESH.json
+ *                 [--threshold F] [--key SUBSTRING]...
+ *
+ * Both documents are flattened to dotted numeric paths
+ * (json_min.hh); every path whose name contains one of the key
+ * substrings (default: "_per_s", i.e. higher-is-better throughput
+ * numbers) and appears in both reports is compared. A key whose
+ * fresh value fell more than `threshold` (default 0.25 = 25%)
+ * relative to the baseline is a regression.
+ *
+ * Exit codes: 0 all compared keys within threshold, 1 at least one
+ * regression, 2 usage/parse error or no comparable keys (a silent
+ * pass on disjoint reports would make the CI gate vacuous).
+ */
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_min.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage: bench_compare BASELINE.json FRESH.json"
+           " [--threshold F] [--key SUBSTRING]...\n"
+           "  --threshold F   max allowed relative drop"
+           " (default 0.25)\n"
+           "  --key SUBSTR    compare keys containing SUBSTR"
+           " (default _per_s; repeatable)\n";
+    return 2;
+}
+
+/** Whole file as a string; empty optional-style flag via ok. */
+std::string
+slurp(const std::string &path, bool &ok)
+{
+    std::ifstream is(path);
+    if (!is) {
+        ok = false;
+        return "";
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    ok = true;
+    return ss.str();
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using printed::bench::json::ParseError;
+    using printed::bench::json::flattenNumbers;
+    using printed::bench::json::parse;
+
+    std::vector<std::string> files;
+    std::vector<std::string> keys;
+    double threshold = 0.25;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threshold") {
+            if (++i >= argc)
+                return usage();
+            try {
+                threshold = std::stod(argv[i]);
+            } catch (const std::exception &) {
+                return usage();
+            }
+        } else if (arg == "--key") {
+            if (++i >= argc)
+                return usage();
+            keys.push_back(argv[i]);
+        } else if (arg.rfind("--", 0) == 0) {
+            return usage();
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 2 || threshold < 0)
+        return usage();
+    if (keys.empty())
+        keys.push_back("_per_s");
+
+    std::map<std::string, double> flat[2];
+    for (int f = 0; f < 2; ++f) {
+        bool ok = false;
+        const std::string text = slurp(files[f], ok);
+        if (!ok) {
+            std::cerr << "bench_compare: cannot read " << files[f]
+                      << "\n";
+            return 2;
+        }
+        try {
+            flat[f] = flattenNumbers(parse(text));
+        } catch (const ParseError &e) {
+            std::cerr << "bench_compare: " << files[f] << ": "
+                      << e.what() << "\n";
+            return 2;
+        }
+    }
+
+    auto matches = [&](const std::string &name) {
+        for (const std::string &k : keys)
+            if (name.find(k) != std::string::npos)
+                return true;
+        return false;
+    };
+
+    std::cout << std::fixed << std::setprecision(1);
+    std::size_t compared = 0, regressions = 0;
+    for (const auto &[name, base] : flat[0]) {
+        if (!matches(name))
+            continue;
+        const auto it = flat[1].find(name);
+        if (it == flat[1].end()) {
+            std::cout << "  MISSING " << name
+                      << " (in baseline only)\n";
+            continue;
+        }
+        ++compared;
+        const double fresh = it->second;
+        if (base <= 0) {
+            // No meaningful relative drop from a non-positive
+            // baseline; report but never gate on it.
+            std::cout << "  SKIP    " << name << " baseline " << base
+                      << "\n";
+            continue;
+        }
+        const double rel = (fresh - base) / base;
+        const bool bad = rel < -threshold;
+        std::cout << "  " << (bad ? "FAIL   " : "ok     ") << " "
+                  << name << "  baseline " << base << "  fresh "
+                  << fresh << "  (" << std::showpos << rel * 100
+                  << std::noshowpos << "%)\n";
+        if (bad)
+            ++regressions;
+    }
+
+    if (compared == 0) {
+        std::cerr << "bench_compare: no comparable keys (patterns:";
+        for (const std::string &k : keys)
+            std::cerr << " " << k;
+        std::cerr << ")\n";
+        return 2;
+    }
+    std::cout << "bench_compare: " << compared << " keys, "
+              << regressions << " regression"
+              << (regressions == 1 ? "" : "s") << " beyond "
+              << threshold * 100 << "%\n";
+    return regressions ? 1 : 0;
+}

@@ -63,6 +63,7 @@ runDesign(const std::string &name, const Netlist &nl,
 int
 main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     const auto trials =
         unsigned(bench::uintFromArgs(argc, argv, "trials", 1000));
     const auto threads =

@@ -11,8 +11,9 @@
 #include "legacy/cores.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     using namespace printed;
     using namespace printed::legacy;
     bench::banner("Figure 4",

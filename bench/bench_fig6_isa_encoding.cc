@@ -13,8 +13,9 @@
 #include "isa/isa.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     using namespace printed;
     bench::banner("Figure 6",
                   "TP-ISA instruction encodings: 24-bit standard "

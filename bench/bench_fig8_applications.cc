@@ -45,8 +45,9 @@ printRow(TableWriter &t, const std::string &core,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     using namespace printed;
     bench::banner("Figure 8",
                   "Benchmark-level EGFET systems. Area cm^2 "

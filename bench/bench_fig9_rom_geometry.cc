@@ -13,8 +13,9 @@
 #include "mem/rom.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     using namespace printed;
     bench::banner("Figure 9",
                   "Crosspoint ROM geometry (EGFET), including the "

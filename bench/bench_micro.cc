@@ -334,17 +334,28 @@ runSimComparison(const std::string &json_path)
 int
 main(int argc, char **argv)
 {
-    // --json PATH: standalone engine comparison, no google-benchmark.
-    const std::string json = bench::jsonPathFromArgs(argc, argv);
+    printed::bench::initObservability(argc, argv);
+
+    // --json [PATH]: standalone engine comparison, no
+    // google-benchmark. A bare --json (e.g. "--json --trace-out
+    // trace.json") writes the default report name.
+    const std::string json =
+        bench::jsonPathFromArgs(argc, argv, "BENCH_sim.json");
     if (!json.empty())
         return runSimComparison(json);
 
-    // Strip "--threads N" before google-benchmark rejects it as an
-    // unrecognized flag.
+    // Strip "--threads N" and "--trace-out PATH" (already consumed
+    // by initObservability) before google-benchmark rejects them as
+    // unrecognized flags.
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
             gThreads = unsigned(std::strtoul(argv[i + 1], nullptr, 10));
+            ++i;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--trace-out") == 0 &&
+            i + 1 < argc) {
             ++i;
             continue;
         }

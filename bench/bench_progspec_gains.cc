@@ -16,8 +16,9 @@
 #include "progspec/analyze.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     using namespace printed;
     bench::banner("Headline: program-specific ISA",
                   "Core power/area and benchmark energy gains of "

@@ -12,8 +12,9 @@
 #include "mem/compare.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     using namespace printed;
     bench::banner("Headline: ROM vs RAM",
                   "Crosspoint instruction ROM vs RAM-based design "

@@ -67,8 +67,9 @@ evalLegacy(LegacyCore core, Kernel kind, unsigned width)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     bench::banner("Section 8 (legacy cores)",
                   "Benchmark run time and energy of pre-existing "
                   "EGFET cores (ISS cycle counts at Table 4 "

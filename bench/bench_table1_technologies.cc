@@ -11,8 +11,9 @@
 #include "tech/technology.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     using namespace printed;
     bench::banner("Table 1",
                   "Printed/flexible technologies: operating voltage "

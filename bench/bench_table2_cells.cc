@@ -10,8 +10,9 @@
 #include "tech/library.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     using namespace printed;
     bench::banner("Table 2",
                   "Standard cell characteristics (EGFET @ 1 V, "

@@ -13,8 +13,9 @@
 #include "dse/sweep.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     using namespace printed;
     bench::banner("Table 3",
                   "Example applications and their performance / "

@@ -22,6 +22,7 @@
 int
 main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     using namespace printed;
     using namespace printed::legacy;
     const std::string jsonPath = bench::jsonPathFromArgs(argc, argv);

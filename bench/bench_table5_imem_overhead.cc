@@ -17,8 +17,9 @@
 #include "mem/ram.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     using namespace printed;
     using namespace printed::legacy;
     bench::banner("Table 5",

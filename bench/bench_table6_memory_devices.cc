@@ -11,8 +11,9 @@
 #include "mem/devices.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     using namespace printed;
     bench::banner("Table 6",
                   "Characteristics of EGFET memory devices");

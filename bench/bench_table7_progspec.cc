@@ -13,8 +13,9 @@
 #include "workloads/kernels.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     using namespace printed;
     bench::banner("Table 7",
                   "Architectural state of program-specific TP-ISA "

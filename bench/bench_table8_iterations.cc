@@ -12,8 +12,9 @@
 #include "dse/system_eval.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     using namespace printed;
     bench::banner("Table 8",
                   "Iterations on a 30 mAh / 1 V battery: standard "

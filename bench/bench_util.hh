@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/table.hh"
+#include "common/trace.hh"
 
 namespace printed::bench
 {
@@ -161,6 +163,13 @@ class JsonReport
         arrays_.push_back({array, {std::move(record)}});
     }
 
+    /**
+     * Whether write() appends the uniform "metrics" block (a
+     * snapshot of the process metrics registry). On by default;
+     * tests that compare exact document text turn it off.
+     */
+    void enableMetrics(bool on) { metricsBlock_ = on; }
+
     void
     write(std::ostream &os) const
     {
@@ -182,6 +191,8 @@ class JsonReport
             }
             os << "  ]";
         }
+        if (metricsBlock_)
+            writeMetrics(os);
         os << "\n}\n";
     }
 
@@ -196,10 +207,44 @@ class JsonReport
     }
 
   private:
+    /**
+     * The uniform "metrics" block: a snapshot of every registered
+     * counter, gauge, and distribution summary, in registry (name)
+     * order. Same vocabulary in every bench report.
+     */
+    void
+    writeMetrics(std::ostream &os) const
+    {
+        const metrics::Snapshot snap =
+            metrics::Registry::global().snapshot();
+        os << ",\n  \"metrics\": {\n    \"counters\": {";
+        for (std::size_t i = 0; i < snap.counters.size(); ++i)
+            os << (i ? ", " : "")
+               << JsonValue(snap.counters[i].first).text() << ": "
+               << snap.counters[i].second;
+        os << "},\n    \"gauges\": {";
+        for (std::size_t i = 0; i < snap.gauges.size(); ++i)
+            os << (i ? ", " : "")
+               << JsonValue(snap.gauges[i].first).text() << ": "
+               << JsonValue(snap.gauges[i].second).text();
+        os << "},\n    \"distributions\": {";
+        for (std::size_t i = 0; i < snap.distributions.size(); ++i) {
+            const auto &[name, s] = snap.distributions[i];
+            os << (i ? ", " : "") << JsonValue(name).text()
+               << ": {\"count\": " << s.count
+               << ", \"mean\": " << JsonValue(s.mean).text()
+               << ", \"p50\": " << JsonValue(s.p50).text()
+               << ", \"p95\": " << JsonValue(s.p95).text()
+               << ", \"max\": " << JsonValue(s.max).text() << "}";
+        }
+        os << "}\n  }";
+    }
+
     std::string bench_;
     JsonRecord meta_;
     std::vector<std::pair<std::string, std::vector<JsonRecord>>>
         arrays_;
+    bool metricsBlock_ = true;
 };
 
 /**
@@ -224,14 +269,43 @@ class WallTimer
     std::chrono::steady_clock::time_point start_;
 };
 
-/** Value of "--json <path>" in argv, or "" when absent. */
+/**
+ * Value of "--json <path>" in argv, or "" when absent. A bare
+ * "--json" (last argument, or followed by another "--flag") uses
+ * `flagOnlyFallback` when one is provided, so invocations like
+ * "--json --trace-out t.json" don't swallow the next flag as the
+ * report path.
+ */
 inline std::string
-jsonPathFromArgs(int argc, char **argv)
+jsonPathFromArgs(int argc, char **argv,
+                 const std::string &flagOnlyFallback = "")
 {
-    for (int i = 1; i + 1 < argc; ++i)
-        if (std::string(argv[i]) == "--json")
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) != "--json")
+            continue;
+        if (i + 1 < argc &&
+            std::string(argv[i + 1]).rfind("--", 0) != 0)
             return argv[i + 1];
+        return flagOnlyFallback;
+    }
     return "";
+}
+
+/**
+ * Set up tracing for a bench main(): honours the PRINTED_TRACE
+ * environment variable (via trace::initFromEnv) and a
+ * "--trace-out <path>" argument (which wins when both are given),
+ * and names the calling thread for the trace viewer. Call it first
+ * thing in main().
+ */
+inline void
+initObservability(int argc, char **argv)
+{
+    trace::initFromEnv();
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--trace-out")
+            trace::enable(argv[i + 1]);
+    trace::setThreadName("main");
 }
 
 /** Value of "--<name> <integer>" in argv, or fallback when absent. */

@@ -32,6 +32,7 @@
 int
 main(int argc, char **argv)
 {
+    printed::bench::initObservability(argc, argv);
     using namespace printed;
     const std::string jsonPath = bench::jsonPathFromArgs(argc, argv);
     const unsigned threads =

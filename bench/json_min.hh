@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON reader for the bench tooling.
+ *
+ * Just enough of RFC 8259 to load the BENCH_*.json reports this
+ * repo's benches emit (bench_util.hh): objects, arrays, strings
+ * with the escapes jsonEscape() produces, numbers, true/false/null.
+ * Used by bench_compare (regression gating between two reports) and
+ * by the tests that round-trip JsonReport output. Not a validator:
+ * it accepts some malformed documents, but never mis-parses a
+ * well-formed one.
+ */
+
+#ifndef PRINTED_BENCH_JSON_MIN_HH
+#define PRINTED_BENCH_JSON_MIN_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace printed::bench::json
+{
+
+/** Parse failure, with a byte offset into the input. */
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(const std::string &what, std::size_t offset)
+        : std::runtime_error(what + " at byte " +
+                             std::to_string(offset)),
+          offset_(offset)
+    {}
+
+    std::size_t offset() const { return offset_; }
+
+  private:
+    std::size_t offset_;
+};
+
+/** One parsed JSON value (a tagged tree). */
+struct Value
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    /** Insertion-ordered object members. */
+    std::vector<std::pair<std::string, Value>> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const Value *
+    find(const std::string &key) const
+    {
+        for (const auto &m : object)
+            if (m.first == key)
+                return &m.second;
+        return nullptr;
+    }
+};
+
+namespace detail
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value
+    parseDocument()
+    {
+        Value v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            throw ParseError("trailing content", pos_);
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        throw ParseError(what, pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeWord(const char *w)
+    {
+        std::size_t n = 0;
+        while (w[n])
+            ++n;
+        if (text_.compare(pos_, n, w) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Value
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"': {
+            Value v;
+            v.kind = Value::Kind::String;
+            v.string = parseString();
+            return v;
+          }
+          case 't':
+            if (!consumeWord("true"))
+                fail("bad literal");
+            return makeBool(true);
+          case 'f':
+            if (!consumeWord("false"))
+                fail("bad literal");
+            return makeBool(false);
+          case 'n':
+            if (!consumeWord("null"))
+                fail("bad literal");
+            return Value{};
+          default:
+            return parseNumber();
+        }
+    }
+
+    static Value
+    makeBool(bool b)
+    {
+        Value v;
+        v.kind = Value::Kind::Bool;
+        v.boolean = b;
+        return v;
+    }
+
+    Value
+    parseObject()
+    {
+        Value v;
+        v.kind = Value::Kind::Object;
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            v.object.emplace_back(std::move(key), parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value
+    parseArray()
+    {
+        Value v;
+        v.kind = Value::Kind::Array;
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.array.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':  out += '"';  break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/';  break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= unsigned(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                // The writer only escapes control characters, so a
+                // one-byte mapping covers everything it emits;
+                // other code points get a UTF-8 encoding.
+                if (cp < 0x80) {
+                    out += char(cp);
+                } else if (cp < 0x800) {
+                    out += char(0xC0 | (cp >> 6));
+                    out += char(0x80 | (cp & 0x3F));
+                } else {
+                    out += char(0xE0 | (cp >> 12));
+                    out += char(0x80 | ((cp >> 6) & 0x3F));
+                    out += char(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    Value
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string tok = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            throw ParseError("bad number '" + tok + "'", start);
+        Value out;
+        out.kind = Value::Kind::Number;
+        out.number = v;
+        return out;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace detail
+
+/** Parse one JSON document; throws ParseError on malformed input. */
+inline Value
+parse(const std::string &text)
+{
+    return detail::Parser(text).parseDocument();
+}
+
+namespace detail
+{
+
+/** Human-meaningful identity of an array element, if it has one. */
+inline std::string
+elementKey(const Value &v)
+{
+    if (!v.isObject())
+        return "";
+    for (const char *field :
+         {"engine", "name", "label", "kernel", "design", "config"}) {
+        const Value *f = v.find(field);
+        if (f && f->isString() && !f->string.empty())
+            return f->string;
+    }
+    return "";
+}
+
+inline void
+flattenInto(const Value &v, const std::string &prefix,
+            std::map<std::string, double> &out)
+{
+    switch (v.kind) {
+      case Value::Kind::Number:
+        out[prefix.empty() ? "value" : prefix] = v.number;
+        break;
+      case Value::Kind::Object:
+        for (const auto &m : v.object)
+            flattenInto(m.second,
+                        prefix.empty() ? m.first
+                                       : prefix + "." + m.first,
+                        out);
+        break;
+      case Value::Kind::Array:
+        for (std::size_t i = 0; i < v.array.size(); ++i) {
+            std::string key = elementKey(v.array[i]);
+            if (key.empty())
+                key = std::to_string(i);
+            flattenInto(v.array[i], prefix + "." + key, out);
+        }
+        break;
+      default:
+        break; // strings/bools/nulls are not comparable metrics
+    }
+}
+
+} // namespace detail
+
+/**
+ * Flatten every numeric leaf of a document into "a.b.c" -> value.
+ * Array elements are keyed by their "engine"/"name"/"label"/...
+ * string field when present (stable across runs even if the array
+ * order changes), by index otherwise.
+ */
+inline std::map<std::string, double>
+flattenNumbers(const Value &v)
+{
+    std::map<std::string, double> out;
+    detail::flattenInto(v, "", out);
+    return out;
+}
+
+} // namespace printed::bench::json
+
+#endif // PRINTED_BENCH_JSON_MIN_HH

@@ -1,5 +1,8 @@
 #include "characterize.hh"
 
+#include "common/metrics.hh"
+#include "common/trace.hh"
+
 namespace printed
 {
 
@@ -7,6 +10,8 @@ Characterization
 characterize(const Netlist &netlist, const CellLibrary &lib,
              double activity)
 {
+    trace::Span span("analysis.characterize", netlist.name());
+    metrics::counter("analysis.characterizations").add(1);
     netlist.validate();
 
     Characterization ch;

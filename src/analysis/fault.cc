@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <memory>
 
 #include "analysis/yield.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/trace.hh"
 #include "core/batch_cosim.hh"
 #include "core/cosim.hh"
 #include "workloads/kernels.hh"
@@ -302,6 +305,8 @@ measureFunctionalYield(const Netlist &core, const CoreConfig &config,
     fatalIf(cfg.kernels.empty(),
             "measureFunctionalYield: need at least one kernel");
 
+    trace::Span span("fault.measureFunctionalYield", config.label());
+
     // Instantiate the kernels at the core's native width and verify
     // them on the fault-free netlist; the clean cycle counts set
     // the per-trial budget (a fault that quadruples the runtime has
@@ -316,6 +321,7 @@ measureFunctionalYield(const Netlist &core, const CoreConfig &config,
         kernels.push_back(std::move(k));
     }
     {
+        trace::Span gv("fault.golden_verify");
         auto sims = buildCosims(core, config, kernels);
         for (std::size_t i = 0; i < kernels.size(); ++i) {
             KernelHarness &k = kernels[i];
@@ -346,6 +352,9 @@ measureFunctionalYield(const Netlist &core, const CoreConfig &config,
     // carry no state between trials (faults are cleared, the core
     // reset), so which worker runs a trial cannot matter.
     std::vector<TrialClass> outcome(cfg.trials);
+    trace::Span mcSpan("fault.mc",
+                       std::to_string(cfg.trials) + " trials");
+    const auto mcStart = std::chrono::steady_clock::now();
     if (cfg.engine == SimEngine::Batch) {
         // Workers claim trials in blocks of 64: lane L of block b
         // carries trial 64*b + L, so the trial -> seed mapping (and
@@ -410,6 +419,11 @@ measureFunctionalYield(const Netlist &core, const CoreConfig &config,
             });
     }
 
+    const double mcSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - mcStart)
+            .count();
+
     FunctionalYieldReport report;
     report.trials = cfg.trials;
     for (TrialClass c : outcome) {
@@ -421,6 +435,19 @@ measureFunctionalYield(const Netlist &core, const CoreConfig &config,
             break;
         }
     }
+
+    // Trial/outcome counters are deterministic across thread
+    // counts; the trials/s gauge is wall-clock (excluded from the
+    // determinism comparisons).
+    metrics::counter("fault.trials").add(report.trials);
+    metrics::counter("fault.trials_fatal").add(report.fatalTrials);
+    metrics::counter("fault.trials_masked").add(report.maskedTrials);
+    metrics::counter("fault.trials_benign").add(report.benignTrials);
+    metrics::counter("fault.trials_defect_free")
+        .add(report.defectFreeTrials);
+    if (mcSeconds > 0)
+        metrics::gauge("fault.mc.trials_per_s")
+            .set(double(cfg.trials) / mcSeconds);
     report.devicesPerReplica = deviceCount(core);
     report.replicas = cfg.replicas;
     report.analyticYield =

@@ -1,11 +1,14 @@
 #include "variation.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/trace.hh"
 
 namespace printed
 {
@@ -120,6 +123,8 @@ analyzeVariation(const Netlist &netlist, const CellLibrary &lib,
     fatalIf(model.samples == 0, "analyzeVariation: need samples");
     fatalIf(model.lnSigma < 0, "analyzeVariation: negative sigma");
     netlist.validate();
+    trace::Span span("variation.analyze", netlist.name());
+    const auto mcStart = std::chrono::steady_clock::now();
     const auto order = netlist.levelize();
 
     VariationReport report;
@@ -185,6 +190,15 @@ analyzeVariation(const Netlist &netlist, const CellLibrary &lib,
     report.p95Us = percentile(periods, 0.95);
     report.p99Us = percentile(periods, 0.99);
     report.worstUs = periods.back();
+
+    metrics::counter("variation.samples").add(model.samples);
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - mcStart)
+            .count();
+    if (seconds > 0)
+        metrics::gauge("variation.samples_per_s")
+            .set(double(model.samples) / seconds);
     return report;
 }
 

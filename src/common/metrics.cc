@@ -1,0 +1,126 @@
+#include "metrics.hh"
+
+#include <algorithm>
+
+namespace printed::metrics
+{
+
+void
+Distribution::record(double sample)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0) {
+        min_ = sample;
+        max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    ++count_;
+    sum_ += sample;
+    if (samples_.size() < sampleCap)
+        samples_.push_back(sample);
+}
+
+Distribution::Summary
+Distribution::summary() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Summary s;
+    s.count = count_;
+    if (count_ == 0)
+        return s;
+    s.mean = sum_ / double(count_);
+    s.min = min_;
+    s.max = max_;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    // Same index rule as analysis/variation.cc percentile().
+    auto pct = [&](double p) {
+        const std::size_t idx = std::min(
+            sorted.size() - 1, std::size_t(p * double(sorted.size())));
+        return sorted[idx];
+    };
+    s.p50 = pct(0.50);
+    s.p95 = pct(0.95);
+    return s;
+}
+
+void
+Distribution::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.clear();
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
+
+Registry &
+Registry::global()
+{
+    static Registry registry;
+    return registry;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Distribution &
+Registry::distribution(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = distributions_[name];
+    if (!slot)
+        slot = std::make_unique<Distribution>();
+    return *slot;
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        snap.counters.emplace_back(name, c->value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        snap.gauges.emplace_back(name, g->value());
+    snap.distributions.reserve(distributions_.size());
+    for (const auto &[name, d] : distributions_)
+        snap.distributions.emplace_back(name, d->summary());
+    return snap;
+}
+
+void
+Registry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, c] : counters_)
+        c->reset();
+    for (const auto &[name, g] : gauges_)
+        g->reset();
+    for (const auto &[name, d] : distributions_)
+        d->reset();
+}
+
+} // namespace printed::metrics

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Process-wide, thread-safe metrics registry.
+ *
+ * The hot layers of the flow (synthesis, the SynthCache, the
+ * parallel pool, both gate-level simulators, the Monte Carlos)
+ * publish named counters, gauges, and timing distributions here;
+ * every bench embeds a snapshot as the uniform "metrics" block of
+ * its --json report, so one vocabulary covers where time and cache
+ * hits go across the whole flow.
+ *
+ * Three instrument kinds:
+ *
+ *   Counter       monotonic uint64, lock-free relaxed adds. Used
+ *                 for event counts (cache hits, MC trials, settle
+ *                 iterations). Counter *sums* are deterministic for
+ *                 any thread count when the counted events are
+ *                 (the per-trial work is; see DESIGN.md).
+ *   Gauge         last-write-wins double (e.g. trials/s of the most
+ *                 recent MC phase). Wall-clock derived, so not
+ *                 deterministic across runs.
+ *   Distribution  sampled doubles with count/mean/p50/p95/max
+ *                 summaries (e.g. per-worker busy milliseconds).
+ *                 Wall-clock derived, not deterministic.
+ *
+ * Determinism rule (DESIGN.md "Observability"): metrics are
+ * *observational only*. No simulated result, RNG seed, or control
+ * flow may ever read a metric; enabling or disabling observability
+ * must not change a single result bit.
+ *
+ * Handles returned by the registry are valid for the process
+ * lifetime: entries are never removed (resetAll() zeroes values but
+ * keeps the objects), so hot paths may cache `static Counter &`
+ * references and pay one map lookup per process.
+ */
+
+#ifndef PRINTED_COMMON_METRICS_HH
+#define PRINTED_COMMON_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace printed::metrics
+{
+
+/** Monotonic event counter; add() is lock-free. */
+class Counter
+{
+  public:
+    Counter() = default;
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    void
+    add(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        value_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins double value. */
+class Gauge
+{
+  public:
+    Gauge() = default;
+    Gauge(const Gauge &) = delete;
+    Gauge &operator=(const Gauge &) = delete;
+
+    void
+    set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { set(0.0); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Sampled distribution with p50/p95/max summaries. record() takes a
+ * mutex, so use it for coarse events (per job, per phase), never
+ * per gate. At most `sampleCap` samples are kept for the
+ * percentiles; count/sum/min/max stay exact beyond that.
+ */
+class Distribution
+{
+  public:
+    /** Summary statistics of the recorded samples. */
+    struct Summary
+    {
+        std::uint64_t count = 0;
+        double mean = 0;
+        double min = 0;
+        double p50 = 0;
+        double p95 = 0;
+        double max = 0;
+    };
+
+    static constexpr std::size_t sampleCap = 65536;
+
+    Distribution() = default;
+    Distribution(const Distribution &) = delete;
+    Distribution &operator=(const Distribution &) = delete;
+
+    void record(double sample);
+
+    Summary summary() const;
+
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<double> samples_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+/** Point-in-time copy of every registered instrument. */
+struct Snapshot
+{
+    /** Name -> value, sorted by name (std::map iteration order). */
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Distribution::Summary>>
+        distributions;
+};
+
+/**
+ * Name -> instrument registry. Instruments are created on first
+ * use and live for the process lifetime (stable references).
+ */
+class Registry
+{
+  public:
+    /** The process-wide registry. */
+    static Registry &global();
+
+    /** The counter with this name (created on first use). */
+    Counter &counter(const std::string &name);
+
+    /** The gauge with this name (created on first use). */
+    Gauge &gauge(const std::string &name);
+
+    /** The distribution with this name (created on first use). */
+    Distribution &distribution(const std::string &name);
+
+    /** Copy of all instruments' current values, sorted by name. */
+    Snapshot snapshot() const;
+
+    /**
+     * Zero every instrument. Entries (and references to them)
+     * survive; used by benches and tests to scope a measurement.
+     */
+    void resetAll();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Distribution>>
+        distributions_;
+};
+
+/** Shorthand for Registry::global().counter(name). */
+inline Counter &
+counter(const std::string &name)
+{
+    return Registry::global().counter(name);
+}
+
+/** Shorthand for Registry::global().gauge(name). */
+inline Gauge &
+gauge(const std::string &name)
+{
+    return Registry::global().gauge(name);
+}
+
+/** Shorthand for Registry::global().distribution(name). */
+inline Distribution &
+distribution(const std::string &name)
+{
+    return Registry::global().distribution(name);
+}
+
+} // namespace printed::metrics
+
+#endif // PRINTED_COMMON_METRICS_HH

@@ -1,9 +1,28 @@
 #include "parallel.hh"
 
+#include <chrono>
 #include <memory>
+#include <string>
+
+#include "common/metrics.hh"
+#include "common/trace.hh"
 
 namespace printed
 {
+
+namespace
+{
+
+/** Milliseconds between two steady_clock points. */
+double
+elapsedMs(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // anonymous namespace
 
 /**
  * State of one parallelFor job. Heap-allocated and shared between
@@ -51,6 +70,12 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::runJob(Job &job, unsigned slot)
 {
+    // Observability: one busy span + one busy-time sample per
+    // (job, worker) — coarse enough that the clock reads and the
+    // distribution mutex never sit on the per-item path.
+    trace::Span span("pool.worker_busy");
+    const auto busyStart = std::chrono::steady_clock::now();
+
     // Claim indices until the space is exhausted. Every claimed
     // index < n bumps `completed` exactly once — also when the item
     // threw or was skipped after an abort — so the dispatcher's
@@ -78,11 +103,15 @@ ThreadPool::runJob(Job &job, unsigned slot)
             done_.notify_all();
         }
     }
+    static metrics::Distribution &busy =
+        metrics::distribution("parallel.worker_busy_ms");
+    busy.record(elapsedMs(busyStart));
 }
 
 void
 ThreadPool::workerLoop(unsigned slot)
 {
+    trace::setThreadName("pool-worker-" + std::to_string(slot));
     std::uint64_t seen = 0;
     for (;;) {
         std::shared_ptr<Job> job;
@@ -106,6 +135,24 @@ ThreadPool::parallelForWorkers(
 {
     if (n == 0)
         return;
+
+    // Job/item counters cover the inline path too, so the counts
+    // are identical for every thread count (the determinism tests
+    // rely on this). The per-job span records the fan-out width.
+    static metrics::Counter &jobs = metrics::counter("parallel.jobs");
+    static metrics::Counter &items =
+        metrics::counter("parallel.items");
+    static metrics::Distribution &jobItems =
+        metrics::distribution("parallel.job_items");
+    jobs.add(1);
+    items.add(n);
+    jobItems.record(double(n));
+    trace::Span span("pool.parallelFor",
+                     trace::enabled()
+                         ? std::to_string(n) + " items / " +
+                               std::to_string(threads_) + " workers"
+                         : std::string());
+
     if (threads_ <= 1 || n == 1) {
         // Inline fast path; exceptions propagate naturally.
         for (std::size_t i = 0; i < n; ++i)

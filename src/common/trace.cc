@@ -1,0 +1,225 @@
+#include "trace.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace printed::trace
+{
+
+namespace detail
+{
+std::atomic<bool> gEnabled{false};
+} // namespace detail
+
+namespace
+{
+
+struct Event
+{
+    std::string name;
+    std::string detail;
+    std::uint32_t tid = 0;
+    std::uint64_t tsUs = 0;
+    std::uint64_t durUs = 0;
+};
+
+/**
+ * All tracer state behind one magic static, constructed on first
+ * use — i.e. before the atexit hook that enable() registers, so
+ * the hook runs while the state is still alive.
+ */
+struct Tracer
+{
+    std::mutex mutex;
+    std::vector<Event> events;
+    std::map<std::uint32_t, std::string> threadNames;
+    std::string path;
+    bool atexitRegistered = false;
+    std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+
+    static Tracer &
+    instance()
+    {
+        static Tracer tracer;
+        return tracer;
+    }
+};
+
+/** Sequential tid per thread, assigned on first use (main == 1). */
+std::uint32_t
+currentTid()
+{
+    static std::atomic<std::uint32_t> next{1};
+    thread_local std::uint32_t tid =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+/** Escape a string for a JSON literal (quotes/backslash/control). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    static const char *hex = "0123456789abcdef";
+    for (char c : s) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (u < 0x20) {
+            out += "\\u00";
+            out += hex[u >> 4];
+            out += hex[u & 0xF];
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+namespace detail
+{
+
+std::uint64_t
+nowUs()
+{
+    return std::uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() -
+            Tracer::instance().epoch)
+            .count());
+}
+
+void
+recordSpan(const char *name, std::uint64_t startUs,
+           std::uint64_t durationUs, const std::string &detail)
+{
+    // Re-check under no lock: a span that started while tracing was
+    // on still records after disable(); harmless and simpler than
+    // dropping it.
+    Event ev;
+    ev.name = name;
+    ev.detail = detail;
+    ev.tid = currentTid();
+    ev.tsUs = startUs;
+    ev.durUs = durationUs;
+    Tracer &t = Tracer::instance();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    t.events.push_back(std::move(ev));
+}
+
+} // namespace detail
+
+void
+enable(const std::string &path)
+{
+    Tracer &t = Tracer::instance();
+    {
+        std::lock_guard<std::mutex> lock(t.mutex);
+        if (!path.empty())
+            t.path = path;
+        if (!t.path.empty() && !t.atexitRegistered) {
+            t.atexitRegistered = true;
+            std::atexit([] { flush(); });
+        }
+    }
+    detail::gEnabled.store(true, std::memory_order_relaxed);
+}
+
+void
+disable()
+{
+    detail::gEnabled.store(false, std::memory_order_relaxed);
+}
+
+void
+initFromEnv()
+{
+    const char *env = std::getenv("PRINTED_TRACE");
+    if (env && *env)
+        enable(env);
+}
+
+void
+clear()
+{
+    Tracer &t = Tracer::instance();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    t.events.clear();
+}
+
+std::size_t
+eventCount()
+{
+    Tracer &t = Tracer::instance();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    return t.events.size();
+}
+
+void
+setThreadName(const std::string &name)
+{
+    Tracer &t = Tracer::instance();
+    const std::uint32_t tid = currentTid();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    t.threadNames[tid] = name;
+}
+
+void
+write(std::ostream &os)
+{
+    Tracer &t = Tracer::instance();
+    std::lock_guard<std::mutex> lock(t.mutex);
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    auto sep = [&] {
+        os << (first ? "\n" : ",\n");
+        first = false;
+    };
+    for (const auto &[tid, name] : t.threadNames) {
+        sep();
+        os << "  {\"name\": \"thread_name\", \"ph\": \"M\", "
+              "\"pid\": 1, \"tid\": "
+           << tid << ", \"args\": {\"name\": \""
+           << jsonEscape(name) << "\"}}";
+    }
+    for (const Event &ev : t.events) {
+        sep();
+        os << "  {\"name\": \"" << jsonEscape(ev.name)
+           << "\", \"cat\": \"printed\", \"ph\": \"X\", "
+              "\"pid\": 1, \"tid\": "
+           << ev.tid << ", \"ts\": " << ev.tsUs
+           << ", \"dur\": " << ev.durUs;
+        if (!ev.detail.empty())
+            os << ", \"args\": {\"detail\": \""
+               << jsonEscape(ev.detail) << "\"}";
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+void
+flush()
+{
+    std::string path;
+    {
+        Tracer &t = Tracer::instance();
+        std::lock_guard<std::mutex> lock(t.mutex);
+        path = t.path;
+    }
+    if (path.empty())
+        return;
+    std::ofstream os(path);
+    if (os)
+        write(os);
+}
+
+} // namespace printed::trace

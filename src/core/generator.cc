@@ -2,6 +2,8 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
 #include "synth/blocks.hh"
 #include "synth/opt.hh"
 
@@ -197,11 +199,24 @@ Netlist
 buildCore(const CoreConfig &cfg)
 {
     cfg.check();
+    trace::Span span("synth.buildCore", cfg.label());
     const IsaConfig &isa = cfg.isa;
     const unsigned width = isa.datawidth;
     const unsigned iw_bits = isa.instructionBits();
 
     Netlist nl(cfg.label());
+
+    // Per-block gate accounting: record the gates each major block
+    // of the core contributes (pre-optimization) into
+    // "synth.block.<name>.gates". Deterministic counters — pure
+    // functions of the configs synthesized.
+    std::size_t blockMark = 0;
+    auto countBlock = [&](const char *block) {
+        metrics::counter(std::string("synth.block.") + block +
+                         ".gates")
+            .add(nl.gateCount() - blockMark);
+        blockMark = nl.gateCount();
+    };
 
     // ------------------------------------------------------------
     // Ports
@@ -373,6 +388,8 @@ buildCore(const CoreConfig &cfg)
         // stalled instruction.
     }
 
+    countBlock("fetch_decode");
+
     // Execute-stage effective addresses / write-back address.
     Bus waddr;
     if (cfg.stages == 3)
@@ -397,6 +414,7 @@ buildCore(const CoreConfig &cfg)
     }
     const AluOut alu =
         buildAlu(nl, dec, ex_rdata1, ex_rdata2, flag_c_use, cfg);
+    countBlock("alu");
 
     // ------------------------------------------------------------
     // Flags
@@ -446,6 +464,8 @@ buildCore(const CoreConfig &cfg)
             break;
         }
     }
+
+    countBlock("flags");
 
     // ------------------------------------------------------------
     // Branch resolution
@@ -501,9 +521,13 @@ buildCore(const CoreConfig &cfg)
     busOutputs(nl, "waddr", waddr);
     busOutputs(nl, "wdata", alu.result);
     nl.addOutput("wen", wen);
+    countBlock("branch_pc");
 
+    metrics::counter("synth.core.gates_pre_opt").add(nl.gateCount());
     synth::optimize(nl);
     nl.validate();
+    metrics::counter("synth.cores_built").add(1);
+    metrics::counter("synth.core.gates").add(nl.gateCount());
     return nl;
 }
 

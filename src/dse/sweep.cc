@@ -1,6 +1,10 @@
 #include "sweep.hh"
 
+#include <string>
+
+#include "common/metrics.hh"
 #include "common/parallel.hh"
+#include "common/trace.hh"
 #include "synth/cache.hh"
 
 namespace printed
@@ -9,6 +13,8 @@ namespace printed
 DesignPoint
 evaluateDesignPoint(const CoreConfig &config)
 {
+    trace::Span span("dse.point", config.label());
+    metrics::counter("dse.points").add(1);
     SynthCache &cache = SynthCache::global();
     DesignPoint point;
     point.config = config;
@@ -33,6 +39,8 @@ std::vector<DesignPoint>
 sweepConfigs(const std::vector<CoreConfig> &configs,
              const SweepOptions &opts)
 {
+    trace::Span span("dse.sweep",
+                     std::to_string(configs.size()) + " configs");
     return parallelMap(opts.threads, configs.size(),
                        [&](std::size_t i) {
                            return evaluateDesignPoint(configs[i]);

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 
 namespace printed
 {
@@ -34,13 +35,39 @@ BatchGateSimulator::BatchGateSimulator(const Netlist &netlist)
     reset();
 }
 
+BatchGateSimulator::~BatchGateSimulator()
+{
+    flushMetrics();
+}
+
+void
+BatchGateSimulator::flushMetrics() const
+{
+    if (cycles_ == 0 && settles_ == 0 && killed_ == 0)
+        return;
+    static metrics::Counter &cycles =
+        metrics::counter("sim.batch.cycles");
+    static metrics::Counter &settles =
+        metrics::counter("sim.batch.settles");
+    static metrics::Counter &toggles =
+        metrics::counter("sim.batch.toggles");
+    static metrics::Counter &kills =
+        metrics::counter("sim.batch.kills");
+    cycles.add(cycles_);
+    settles.add(settles_);
+    toggles.add(totalToggles());
+    kills.add(std::popcount(killed_));
+}
+
 void
 BatchGateSimulator::reset()
 {
+    flushMetrics();
     std::fill(seqState_.begin(), seqState_.end(), 0);
     std::fill(toggles_.begin(), toggles_.end(), 0);
     std::fill(values_.begin(), values_.end(), 0);
     cycles_ = 0;
+    settles_ = 0;
     for (NetId n = 0; n < netlist_.netCount(); ++n)
         if (netlist_.net(n).source == NetSource::Const1)
             values_[n] = allLanes;
@@ -288,6 +315,7 @@ BatchGateSimulator::combPass(LaneMask countLanes)
     for (GateId gi : order_)
         evaluateGate(gi);
     countMask_ = allLanes;
+    ++settles_;
 }
 
 void

@@ -87,6 +87,14 @@ class BatchGateSimulator
     explicit BatchGateSimulator(const Netlist &netlist);
 
     /**
+     * Flushes accumulated cycle/settle/toggle/kill counts into the
+     * process metrics registry ("sim.batch.*"); reset() does the
+     * same before zeroing, so the lane-word hot loops never touch
+     * an atomic.
+     */
+    ~BatchGateSimulator();
+
+    /**
      * Clear sequential state, activity counters, and lane records:
      * all 64 lanes return to observation. The fault overlay is kept
      * (mirroring GateSimulator::reset()).
@@ -228,6 +236,13 @@ class BatchGateSimulator
     std::uint64_t cycles() const { return cycles_; }
 
     /**
+     * Combinational settle walks since reset(): one per evaluate(),
+     * plus one per async-clear second settle. Batch analogue of
+     * GateSimulator::settles().
+     */
+    std::uint64_t settles() const { return settles_; }
+
+    /**
      * Average switching activity per gate per cycle *per lane*
      * (toggle popcounts spread over all 64 lanes), comparable to
      * GateSimulator::activityFactor() when all lanes stay observed.
@@ -257,6 +272,9 @@ class BatchGateSimulator
 
     void kill(LaneMask lanes, KillReason reason, GateId gate);
 
+    /** Add the counts since the last reset() to "sim.batch.*". */
+    void flushMetrics() const;
+
     const Netlist &netlist_;
     std::vector<GateId> order_;    ///< levelized comb. gates
     std::vector<GateId> seqGates_; ///< sequential cell instances
@@ -267,6 +285,7 @@ class BatchGateSimulator
     std::vector<LaneMask> busDriven_;  ///< per-net: TSBUF drove lanes
     std::vector<std::uint64_t> toggles_; ///< per-gate toggle popcounts
     std::uint64_t cycles_ = 0;
+    std::uint64_t settles_ = 0;
 
     LaneMask observed_ = allLanes;
     LaneMask countMask_ = allLanes; ///< activation-count restriction

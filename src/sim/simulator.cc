@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 
 namespace printed
 {
@@ -29,13 +30,36 @@ GateSimulator::GateSimulator(const Netlist &netlist)
     reset();
 }
 
+GateSimulator::~GateSimulator()
+{
+    flushMetrics();
+}
+
+void
+GateSimulator::flushMetrics() const
+{
+    if (cycles_ == 0 && settles_ == 0)
+        return;
+    static metrics::Counter &cycles =
+        metrics::counter("sim.scalar.cycles");
+    static metrics::Counter &settles =
+        metrics::counter("sim.scalar.settles");
+    static metrics::Counter &toggles =
+        metrics::counter("sim.scalar.toggles");
+    cycles.add(cycles_);
+    settles.add(settles_);
+    toggles.add(totalToggles());
+}
+
 void
 GateSimulator::reset()
 {
+    flushMetrics();
     std::fill(seqState_.begin(), seqState_.end(), 0);
     std::fill(toggles_.begin(), toggles_.end(), 0);
     std::fill(values_.begin(), values_.end(), 0);
     cycles_ = 0;
+    settles_ = 0;
     for (NetId n = 0; n < netlist_.netCount(); ++n)
         if (netlist_.net(n).source == NetSource::Const1)
             values_[n] = 1;
@@ -192,6 +216,7 @@ GateSimulator::evaluate()
     }
     for (GateId gi : order_)
         evaluateGate(gi);
+    ++settles_;
     // The async clear can depend on combinational logic (rare but
     // legal); settle once more so RN computed above is honoured.
     // Netlists without a DFFNRX1 cannot need the second settle, so
@@ -217,6 +242,7 @@ GateSimulator::evaluate()
             std::fill(busResolved_.begin(), busResolved_.end(), 0);
         for (GateId gi : order_)
             evaluateGate(gi);
+        ++settles_;
     }
 }
 

@@ -113,6 +113,14 @@ class GateSimulator
   public:
     explicit GateSimulator(const Netlist &netlist);
 
+    /**
+     * Flushes the accumulated cycle/settle/toggle counts into the
+     * process metrics registry ("sim.scalar.*"); reset() does the
+     * same before zeroing, so per-gate hot loops never touch an
+     * atomic.
+     */
+    ~GateSimulator();
+
     /** Clear all sequential state and activity counters. */
     void reset();
 
@@ -182,6 +190,14 @@ class GateSimulator
     std::uint64_t cycles() const { return cycles_; }
 
     /**
+     * Combinational settle walks since reset(): one per evaluate(),
+     * plus one for each second settle forced by an asynchronous
+     * clear. The fault MC uses the registry mirror of this to report
+     * simulation effort per trial.
+     */
+    std::uint64_t settles() const { return settles_; }
+
+    /**
      * Average switching activity: output toggles per gate per cycle.
      * Comparable to the Design Compiler activity factor the paper
      * quotes (0.88).
@@ -194,6 +210,9 @@ class GateSimulator
     /** Apply the fault overlay to a fault-free output value. */
     std::uint8_t faultValue(GateId gi, std::uint8_t out);
 
+    /** Add the counts since the last reset() to "sim.scalar.*". */
+    void flushMetrics() const;
+
     const Netlist &netlist_;
     std::vector<GateId> order_;        ///< levelized comb. gates
     std::vector<GateId> seqGates_;     ///< sequential cell instances
@@ -204,6 +223,7 @@ class GateSimulator
     std::vector<std::uint8_t> busResolved_;///< per-net: TSBUF drove it
     std::vector<std::uint64_t> toggles_;   ///< per-gate output toggles
     std::uint64_t cycles_ = 0;
+    std::uint64_t settles_ = 0;
 
     bool anyFaults_ = false;             ///< overlay non-empty
     std::vector<FaultKind> faultKind_;   ///< per-gate overlay (lazy)

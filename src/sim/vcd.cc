@@ -15,7 +15,10 @@ VcdWriter::VcdWriter(std::ostream &os, const Netlist &netlist,
 std::string
 VcdWriter::nextId()
 {
-    // Printable VCD identifier codes: ! .. ~ in base 94.
+    // Printable VCD identifier codes: ! .. ~ in base 94. The
+    // little-endian digit encoding is injective (every count maps
+    // to a distinct string), so designs with more than 94 signals
+    // simply get multi-character codes.
     unsigned v = idCounter_++;
     std::string id;
     do {
@@ -25,11 +28,42 @@ VcdWriter::nextId()
     return id;
 }
 
+std::string
+VcdWriter::registerName(const std::string &raw)
+{
+    // `$var wire <width> <id> <name> $end` is whitespace-tokenized
+    // and `$` introduces keywords, so a name containing either would
+    // corrupt the header. Map everything outside a conservative
+    // safe set to '_', then uniquify: duplicate display names are
+    // legal VCD but viewers silently merge them.
+    std::string name;
+    name.reserve(raw.size());
+    for (const char c : raw) {
+        const bool safe =
+            (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+            c == '[' || c == ']' || c == ':';
+        name.push_back(safe ? c : '_');
+    }
+    if (name.empty())
+        name = "net";
+    auto [it, inserted] = nameUse_.emplace(name, 1u);
+    if (inserted)
+        return name;
+    std::string unique;
+    do {
+        ++it->second;
+        unique = name + "_" + std::to_string(it->second);
+    } while (nameUse_.count(unique));
+    nameUse_.emplace(unique, 1u);
+    return unique;
+}
+
 void
 VcdWriter::addSignal(const std::string &name, NetId net)
 {
     panicIf(headerWritten_, "VcdWriter: header already written");
-    signals_.push_back({name, nextId(), {net}, {}});
+    signals_.push_back({registerName(name), nextId(), {net}, {}});
 }
 
 void
@@ -37,7 +71,7 @@ VcdWriter::addBus(const std::string &name, const Bus &bus)
 {
     panicIf(headerWritten_, "VcdWriter: header already written");
     panicIf(bus.empty(), "VcdWriter: empty bus");
-    signals_.push_back({name, nextId(), bus, {}});
+    signals_.push_back({registerName(name), nextId(), bus, {}});
 }
 
 void

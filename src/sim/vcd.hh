@@ -10,6 +10,7 @@
 #ifndef PRINTED_SIM_VCD_HH
 #define PRINTED_SIM_VCD_HH
 
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -32,10 +33,18 @@ class VcdWriter
     VcdWriter(std::ostream &os, const Netlist &netlist,
               std::string module = "top");
 
-    /** Trace one net under the given display name. */
+    /**
+     * Trace one net under the given display name. The name is
+     * sanitized for the `$var` declaration (whitespace, `$`, and
+     * other unsafe characters become `_` — a space or a keyword
+     * sigil would break the `$var wire N id name $end` tokenization
+     * in VCD readers) and uniquified with a numeric suffix if an
+     * earlier signal already claimed it.
+     */
     void addSignal(const std::string &name, NetId net);
 
-    /** Trace a bus as a single multi-bit VCD variable. */
+    /** Trace a bus as a single multi-bit VCD variable (name rules
+     *  as addSignal). */
     void addBus(const std::string &name, const Bus &bus);
 
     /** Trace every named port of the netlist. */
@@ -60,6 +69,10 @@ class VcdWriter
     };
 
     std::string nextId();
+
+    /** Sanitized, collision-free display name for a new signal. */
+    std::string registerName(const std::string &raw);
+
     static std::string valueOf(const GateSimulator &sim,
                                const Bus &nets);
 
@@ -67,6 +80,7 @@ class VcdWriter
     const Netlist &netlist_;
     std::string module_;
     std::vector<Signal> signals_;
+    std::map<std::string, unsigned> nameUse_; ///< for uniquifying
     unsigned idCounter_ = 0;
     bool headerWritten_ = false;
 };

@@ -1,12 +1,44 @@
 #include "cache.hh"
 
 #include <bit>
+#include <chrono>
 
 #include "common/rng.hh"
+#include "common/trace.hh"
 #include "core/generator.hh"
 
 namespace printed
 {
+
+namespace
+{
+
+/** Milliseconds between a steady_clock point and now. */
+double
+elapsedMs(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // anonymous namespace
+
+SynthCache::SynthCache(bool publishMetrics)
+{
+    if (publishMetrics) {
+        netlistHits_ = &metrics::counter("synth.cache.netlist_hits");
+        netlistMisses_ =
+            &metrics::counter("synth.cache.netlist_misses");
+        charHits_ = &metrics::counter("synth.cache.char_hits");
+        charMisses_ = &metrics::counter("synth.cache.char_misses");
+    } else {
+        netlistHits_ = &ownCounters_[0];
+        netlistMisses_ = &ownCounters_[1];
+        charHits_ = &ownCounters_[2];
+        charMisses_ = &ownCounters_[3];
+    }
+}
 
 CoreConfigKey
 coreConfigKey(const CoreConfig &config)
@@ -56,27 +88,39 @@ SynthCache::core(const CoreConfig &config)
             builder = true;
             future = promise.get_future().share();
             cores_.emplace(key, future);
-            ++stats_.netlistMisses;
+            netlistMisses_->add();
         } else {
             future = it->second;
-            ++stats_.netlistHits;
+            netlistHits_->add();
         }
     }
     if (builder) {
+        trace::Span span("cache.build_core", config.label());
         try {
             promise.set_value(
                 std::make_shared<const Netlist>(buildCore(config)));
         } catch (...) {
-            // Don't cache failures: drop the entry so a later call
-            // re-attempts (and re-reports) the error.
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                cores_.erase(key);
-            }
+            // Don't cache failures — but satisfy the promise with
+            // the exception *before* dropping the entry: concurrent
+            // waiters hold the shared_future, and erasing first
+            // risks destroying an unsatisfied promise path where
+            // they would see std::future_error (broken_promise)
+            // instead of the original FatalError. A later call
+            // re-attempts (and re-reports) the build.
             promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(mutex_);
+            cores_.erase(key);
         }
+        return future.get();
     }
-    return future.get();
+    // Hit path: record how long this caller stalled on a build in
+    // flight (near zero for a settled future).
+    const auto waitStart = std::chrono::steady_clock::now();
+    const std::shared_ptr<const Netlist> result = future.get();
+    static metrics::Distribution &wait =
+        metrics::distribution("synth.cache.build_wait_ms");
+    wait.record(elapsedMs(waitStart));
+    return result;
 }
 
 std::shared_ptr<const Characterization>
@@ -98,23 +142,24 @@ SynthCache::characterization(const CoreConfig &config, TechKind tech,
             builder = true;
             future = promise.get_future().share();
             chars_.emplace(key, future);
-            ++stats_.charMisses;
+            charMisses_->add();
         } else {
             future = it->second;
-            ++stats_.charHits;
+            charHits_->add();
         }
     }
     if (builder) {
+        trace::Span span("cache.characterize", config.label());
         try {
             const std::shared_ptr<const Netlist> nl = core(config);
             promise.set_value(std::make_shared<const Characterization>(
                 characterize(*nl, libraryFor(tech), activity)));
         } catch (...) {
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                chars_.erase(key);
-            }
+            // Same ordering rule as core(): satisfy the promise
+            // first so waiters get the real error, then un-cache.
             promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(mutex_);
+            chars_.erase(key);
         }
     }
     return future.get();
@@ -123,8 +168,12 @@ SynthCache::characterization(const CoreConfig &config, TechKind tech,
 SynthCacheStats
 SynthCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    SynthCacheStats s;
+    s.netlistHits = netlistHits_->value();
+    s.netlistMisses = netlistMisses_->value();
+    s.charHits = charHits_->value();
+    s.charMisses = charMisses_->value();
+    return s;
 }
 
 void
@@ -133,13 +182,16 @@ SynthCache::clear()
     std::lock_guard<std::mutex> lock(mutex_);
     cores_.clear();
     chars_.clear();
-    stats_ = SynthCacheStats{};
+    netlistHits_->reset();
+    netlistMisses_->reset();
+    charHits_->reset();
+    charMisses_->reset();
 }
 
 SynthCache &
 SynthCache::global()
 {
-    static SynthCache cache;
+    static SynthCache cache(/*publishMetrics=*/true);
     return cache;
 }
 

@@ -27,8 +27,16 @@
  * shared_future before building so concurrent requests for the same
  * key synthesize once and share the result. Values are immutable
  * (shared_ptr<const T>), so sweep workers can hold them without
- * copying. Hit/miss statistics are exposed for tests and bench
- * reports.
+ * copying. If the build throws, the exception is stored in the
+ * promise *before* the map entry is dropped, so every concurrent
+ * waiter sees the original FatalError (never a broken_promise) and
+ * a later call re-attempts the build.
+ *
+ * Statistics: hit/miss counts are lock-free metrics::Counter
+ * instruments. The process-wide global() instance publishes them
+ * in the metrics registry under "synth.cache.*" (they appear in
+ * every bench's --json metrics block); locally constructed caches
+ * keep private counters so tests can assert exact counts.
  */
 
 #ifndef PRINTED_SYNTH_CACHE_HH
@@ -41,6 +49,7 @@
 #include <mutex>
 
 #include "analysis/characterize.hh"
+#include "common/metrics.hh"
 #include "core/config.hh"
 #include "netlist/netlist.hh"
 #include "tech/library.hh"
@@ -89,7 +98,13 @@ struct SynthCacheStats
 class SynthCache
 {
   public:
-    SynthCache() = default;
+    /**
+     * @param publishMetrics back the hit/miss counters by the
+     *        process-wide metrics registry ("synth.cache.*") —
+     *        used by global(); local instances keep private
+     *        counters.
+     */
+    explicit SynthCache(bool publishMetrics = false);
 
     /**
      * The netlist of buildCore(config), synthesized at most once
@@ -132,7 +147,14 @@ class SynthCache
     std::map<CharKey,
              std::shared_future<std::shared_ptr<const Characterization>>>
         chars_;
-    SynthCacheStats stats_;
+
+    /** Private counter storage for non-published instances. */
+    metrics::Counter ownCounters_[4];
+    /** Hit/miss counters (own or registry-backed, see ctor). */
+    metrics::Counter *netlistHits_;
+    metrics::Counter *netlistMisses_;
+    metrics::Counter *charHits_;
+    metrics::Counter *charMisses_;
 };
 
 } // namespace printed

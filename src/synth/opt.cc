@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
 
 namespace printed::synth
 {
@@ -262,16 +264,30 @@ sweepDead(Netlist &nl)
 OptStats
 optimize(Netlist &nl)
 {
+    trace::Span span("synth.optimize", nl.name());
     OptStats stats;
     stats.gatesBefore = nl.gateCount();
 
     bool progress = true;
     while (progress && stats.iterations < 32) {
         ++stats.iterations;
-        const std::size_t folded = foldConstants(nl);
-        const std::size_t pairs = collapseInvPairs(nl);
-        const std::size_t shared = shareDuplicates(nl);
-        const std::size_t dead = sweepDead(nl);
+        std::size_t folded, pairs, shared, dead;
+        {
+            trace::Span s("opt.fold_constants");
+            folded = foldConstants(nl);
+        }
+        {
+            trace::Span s("opt.collapse_inv_pairs");
+            pairs = collapseInvPairs(nl);
+        }
+        {
+            trace::Span s("opt.share_duplicates");
+            shared = shareDuplicates(nl);
+        }
+        {
+            trace::Span s("opt.sweep_dead");
+            dead = sweepDead(nl);
+        }
         stats.constFolded += folded;
         stats.invPairs += pairs;
         stats.shared += shared;
@@ -281,6 +297,26 @@ optimize(Netlist &nl)
 
     nl.validate();
     stats.gatesAfter = nl.gateCount();
+
+    static metrics::Counter &runs = metrics::counter("synth.opt.runs");
+    static metrics::Counter &folded =
+        metrics::counter("synth.opt.const_folded");
+    static metrics::Counter &pairs =
+        metrics::counter("synth.opt.inv_pairs");
+    static metrics::Counter &shared =
+        metrics::counter("synth.opt.shared");
+    static metrics::Counter &dead =
+        metrics::counter("synth.opt.dead_removed");
+    static metrics::Counter &removed =
+        metrics::counter("synth.opt.gates_removed");
+    runs.add(1);
+    folded.add(stats.constFolded);
+    pairs.add(stats.invPairs);
+    shared.add(stats.shared);
+    dead.add(stats.deadRemoved);
+    removed.add(stats.gatesAfter <= stats.gatesBefore
+                    ? stats.gatesBefore - stats.gatesAfter
+                    : 0);
     return stats;
 }
 

@@ -7,9 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
+
+#include "analysis/fault.hh"
 #include "apps/applications.hh"
 #include "apps/battery.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/parallel.hh"
+#include "common/trace.hh"
 #include "dse/sweep.hh"
 #include "dse/system_eval.hh"
 #include "legacy/cores.hh"
@@ -228,6 +235,148 @@ TEST(Dse, CacheIsThreadSafeUnderConcurrentLookups)
     EXPECT_EQ(cache.stats().netlistMisses, 8u);
     for (std::size_t i = 0; i < results.size(); ++i)
         EXPECT_EQ(results[i].get(), results[i % 16].get());
+}
+
+TEST(Dse, CacheExceptionPropagatesToAllWaiters)
+{
+    // Regression test for the failure path: when the builder
+    // throws, it must store the exception in the shared promise
+    // *before* dropping the map entry. Waiters that grabbed the
+    // shared_future must see the original FatalError — never a
+    // std::future_error (broken_promise) from a destroyed,
+    // unsatisfied promise. Many threads x many fresh caches widen
+    // the race window; any future_error is a hard failure.
+    CoreConfig bad = CoreConfig::standard(1, 8, 2);
+    bad.stages = 7; // rejected by CoreConfig::check() in buildCore
+    for (int iter = 0; iter < 16; ++iter) {
+        SynthCache cache;
+        std::atomic<unsigned> fatals{0};
+        parallelFor(8, 8, [&](std::size_t) {
+            try {
+                cache.core(bad);
+                ADD_FAILURE() << "bad config produced a netlist";
+            } catch (const FatalError &) {
+                fatals.fetch_add(1);
+            } catch (const std::future_error &e) {
+                ADD_FAILURE()
+                    << "waiter saw future_error instead of the "
+                       "builder's FatalError: " << e.what();
+            }
+        });
+        EXPECT_EQ(fatals.load(), 8u);
+    }
+
+    // Failures are not cached: every retry re-attempts (and counts
+    // a fresh miss), and the same cache still builds good configs.
+    SynthCache cache;
+    EXPECT_THROW(cache.core(bad), FatalError);
+    EXPECT_THROW(cache.core(bad), FatalError);
+    EXPECT_EQ(cache.stats().netlistMisses, 2u);
+    EXPECT_THROW(
+        cache.characterization(bad, TechKind::EGFET), FatalError);
+    EXPECT_NE(cache.core(CoreConfig::standard(1, 8, 2)), nullptr);
+}
+
+/**
+ * Counter part of one metrics snapshot, restricted to the
+ * deterministic namespaces (wall-clock gauges/distributions and the
+ * sim.* totals — which include per-worker harness-construction
+ * settles — are schedule-dependent by design; see DESIGN.md).
+ */
+std::vector<std::pair<std::string, std::uint64_t>>
+deterministicCounters()
+{
+    static const char *prefixes[] = {"synth.", "parallel.", "fault.",
+                                     "dse.", "analysis."};
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (const auto &entry :
+         metrics::Registry::global().snapshot().counters)
+        for (const char *p : prefixes)
+            if (entry.first.rfind(p, 0) == 0) {
+                out.push_back(entry);
+                break;
+            }
+    return out;
+}
+
+/** Fig 7 slice + small fault MC at one thread count. */
+std::vector<std::pair<std::string, std::uint64_t>>
+countersForThreadCount(unsigned threads)
+{
+    SynthCache::global().clear();
+    metrics::Registry::global().resetAll();
+
+    std::vector<CoreConfig> configs = figure7Configs();
+    configs.resize(4);
+    SweepOptions opts;
+    opts.threads = threads;
+    sweepConfigs(configs, opts);
+
+    FunctionalYieldConfig mc;
+    mc.trials = 96;
+    mc.threads = threads;
+    mc.fault.seed = 11;
+    const auto nl = SynthCache::global().core(configs[0]);
+    measureFunctionalYield(*nl, configs[0], mc);
+    return deterministicCounters();
+}
+
+TEST(Dse, MetricsCountersAreThreadCountInvariant)
+{
+    // The observability determinism rule: counter sums (cache
+    // hits/misses, MC trial outcomes, per-block gate counts, ...)
+    // must be identical for any --threads value, because the
+    // counted events are per-item deterministic work.
+    const auto t1 = countersForThreadCount(1);
+    const auto t4 = countersForThreadCount(4);
+    const auto t16 = countersForThreadCount(16);
+    ASSERT_FALSE(t1.empty());
+    EXPECT_TRUE(t1 == t4);
+    EXPECT_TRUE(t1 == t16);
+    if (t1 != t4 || t1 != t16)
+        for (std::size_t i = 0;
+             i < t1.size() && i < t4.size() && i < t16.size(); ++i)
+            EXPECT_TRUE(t1[i] == t4[i] && t1[i] == t16[i])
+                << t1[i].first << ": t1=" << t1[i].second
+                << " t4=" << t4[i].second
+                << " t16=" << t16[i].second;
+
+    // Sanity: the slice actually exercised the layers under test.
+    auto value = [&](const std::string &name) -> std::uint64_t {
+        for (const auto &[n, v] : t1)
+            if (n == name)
+                return v;
+        return 0;
+    };
+    EXPECT_EQ(value("fault.trials"), 96u);
+    EXPECT_EQ(value("dse.points"), 4u);
+    EXPECT_GT(value("synth.cache.netlist_misses"), 0u);
+}
+
+TEST(Dse, TracingDoesNotChangeResults)
+{
+    // Observability must be observational: enabling the tracer (and
+    // buffering thousands of spans) cannot change one result bit.
+    SynthCache::global().clear();
+    trace::clear();
+    trace::enable(); // buffer-only, no output file
+    const auto traced = countersForThreadCount(4);
+    const auto pointTraced =
+        evaluateDesignPoint(CoreConfig::standard(1, 8, 2));
+    trace::disable();
+    EXPECT_GT(trace::eventCount(), 0u);
+    trace::clear();
+
+    const auto plain = countersForThreadCount(4);
+    const auto pointPlain =
+        evaluateDesignPoint(CoreConfig::standard(1, 8, 2));
+    EXPECT_TRUE(traced == plain);
+    EXPECT_DOUBLE_EQ(pointTraced.egfet.fmaxHz(),
+                     pointPlain.egfet.fmaxHz());
+    EXPECT_DOUBLE_EQ(pointTraced.egfet.powerMw(),
+                     pointPlain.egfet.powerMw());
+    EXPECT_EQ(pointTraced.egfet.gateCount(),
+              pointPlain.egfet.gateCount());
 }
 
 TEST(Dse, SingleStageDominates)

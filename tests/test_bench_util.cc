@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "bench_util.hh"
+#include "json_min.hh"
 
 namespace printed
 {
@@ -24,6 +25,7 @@ using bench::JsonValue;
 using bench::jsonEscape;
 using bench::jsonQuote;
 using bench::uintFromArgs;
+namespace json = bench::json;
 
 TEST(JsonEscape, PassesPlainTextThrough)
 {
@@ -87,6 +89,7 @@ TEST(JsonValue, NonFiniteDoublesBecomeNull)
 TEST(JsonReport, WritesWellFormedDocument)
 {
     JsonReport jr("unit_test");
+    jr.enableMetrics(false); // exact-text comparison below
     jr.meta("threads", 4);
     jr.meta("label", "a\"b");
     jr.add("rows", {{"k", 1}, {"v", 2.5}});
@@ -115,9 +118,102 @@ TEST(JsonReport, WritesWellFormedDocument)
 TEST(JsonReport, EmptyReportIsStillValid)
 {
     JsonReport jr("empty");
+    jr.enableMetrics(false); // exact-text comparison below
     std::ostringstream os;
     jr.write(os);
     EXPECT_EQ(os.str(), "{\n  \"bench\": \"empty\"\n}\n");
+}
+
+TEST(JsonReport, MetricsBlockParsesAndCarriesRegistryValues)
+{
+    metrics::counter("test.bench_util.counter").add(41);
+    metrics::gauge("test.bench_util.gauge").set(2.5);
+    metrics::distribution("test.bench_util.dist").record(3.0);
+
+    JsonReport jr("with_metrics");
+    jr.meta("threads", 2);
+    jr.add("rows", {{"k", 1}});
+    std::ostringstream os;
+    jr.write(os);
+
+    const json::Value doc = json::parse(os.str());
+    const json::Value *m = doc.find("metrics");
+    ASSERT_NE(m, nullptr);
+    const json::Value *counters = m->find("counters");
+    const json::Value *gauges = m->find("gauges");
+    const json::Value *dists = m->find("distributions");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_NE(gauges, nullptr);
+    ASSERT_NE(dists, nullptr);
+
+    const json::Value *c =
+        counters->find("test.bench_util.counter");
+    ASSERT_NE(c, nullptr);
+    EXPECT_GE(c->number, 41.0);
+    const json::Value *g = gauges->find("test.bench_util.gauge");
+    ASSERT_NE(g, nullptr);
+    EXPECT_DOUBLE_EQ(g->number, 2.5);
+    const json::Value *d = dists->find("test.bench_util.dist");
+    ASSERT_NE(d, nullptr);
+    ASSERT_NE(d->find("count"), nullptr);
+    EXPECT_GE(d->find("count")->number, 1.0);
+    ASSERT_NE(d->find("p95"), nullptr);
+}
+
+TEST(JsonReport, NonFiniteValuesRoundTripAsNull)
+{
+    // The writer has no inf/nan to offer a JSON reader; both must
+    // come back as null, never as a token that breaks the parse.
+    JsonReport jr("nonfinite");
+    jr.enableMetrics(false);
+    jr.meta("inf", std::numeric_limits<double>::infinity());
+    jr.add("rows",
+           {{"nan", std::numeric_limits<double>::quiet_NaN()},
+            {"ninf", -std::numeric_limits<double>::infinity()},
+            {"ok", 1.25}});
+    std::ostringstream os;
+    jr.write(os);
+
+    const json::Value doc = json::parse(os.str());
+    ASSERT_NE(doc.find("inf"), nullptr);
+    EXPECT_TRUE(doc.find("inf")->isNull());
+    const json::Value *rows = doc.find("rows");
+    ASSERT_NE(rows, nullptr);
+    ASSERT_EQ(rows->array.size(), 1u);
+    EXPECT_TRUE(rows->array[0].find("nan")->isNull());
+    EXPECT_TRUE(rows->array[0].find("ninf")->isNull());
+    EXPECT_DOUBLE_EQ(rows->array[0].find("ok")->number, 1.25);
+
+    // Flattening skips the nulls instead of inventing zeros.
+    const auto flat = json::flattenNumbers(doc);
+    EXPECT_EQ(flat.count("rows.0.nan"), 0u);
+    EXPECT_EQ(flat.count("rows.0.ok"), 1u);
+}
+
+TEST(JsonMin, ParsesEscapesAndRejectsGarbage)
+{
+    const json::Value v =
+        json::parse("{\"a\": \"x\\n\\u0041\", \"b\": [1, 2.5e1]}");
+    ASSERT_NE(v.find("a"), nullptr);
+    EXPECT_EQ(v.find("a")->string, "x\nA");
+    ASSERT_NE(v.find("b"), nullptr);
+    EXPECT_DOUBLE_EQ(v.find("b")->array[1].number, 25.0);
+    EXPECT_THROW(json::parse("{\"a\": }"), json::ParseError);
+    EXPECT_THROW(json::parse("{} trailing"), json::ParseError);
+    EXPECT_THROW(json::parse("[1, 2"), json::ParseError);
+}
+
+TEST(JsonMin, FlattenKeysArraysByNameField)
+{
+    const json::Value v = json::parse(
+        "{\"engines\": ["
+        "{\"engine\": \"scalar\", \"mc_trials_per_s\": 10},"
+        "{\"engine\": \"batch\", \"mc_trials_per_s\": 90}]}");
+    const auto flat = json::flattenNumbers(v);
+    ASSERT_EQ(flat.count("engines.scalar.mc_trials_per_s"), 1u);
+    ASSERT_EQ(flat.count("engines.batch.mc_trials_per_s"), 1u);
+    EXPECT_DOUBLE_EQ(flat.at("engines.batch.mc_trials_per_s"),
+                     90.0);
 }
 
 TEST(BenchArgs, UintFromArgsParsesAndDefaults)
@@ -130,6 +226,23 @@ TEST(BenchArgs, UintFromArgsParsesAndDefaults)
     // A flag in the last slot has no value and falls back.
     EXPECT_EQ(uintFromArgs(2, av, "trials", 9), 9u);
     EXPECT_EQ(bench::jsonPathFromArgs(5, av), "out.json");
+}
+
+TEST(BenchArgs, JsonPathFallsBackWhenValueIsAFlag)
+{
+    const char *argv[] = {"prog", "--json", "--trace-out", "t.json"};
+    char **av = const_cast<char **>(argv);
+    // "--trace-out" must not be swallowed as the report path.
+    EXPECT_EQ(bench::jsonPathFromArgs(4, av, "BENCH_sim.json"),
+              "BENCH_sim.json");
+    EXPECT_EQ(bench::jsonPathFromArgs(4, av), "");
+    const char *argv2[] = {"prog", "--json"};
+    char **av2 = const_cast<char **>(argv2);
+    EXPECT_EQ(bench::jsonPathFromArgs(2, av2, "fallback.json"),
+              "fallback.json");
+    const char *argv3[] = {"prog"};
+    char **av3 = const_cast<char **>(argv3);
+    EXPECT_EQ(bench::jsonPathFromArgs(1, av3, "fallback.json"), "");
 }
 
 TEST(WallTimer, ElapsedIsMonotonic)

@@ -268,6 +268,84 @@ TEST(Vcd, BusGroupingFromPorts)
     EXPECT_NE(out.find("b1010"), std::string::npos); // y = ~5
 }
 
+TEST(Vcd, WideNetlistIdsAndHostileNamesStayWellFormed)
+{
+    // Two historical hazards in one dump: (1) more than 94 signals
+    // forces multi-character identifier codes — every id must stay
+    // unique and printable; (2) display names with spaces, '$', or
+    // duplicates would corrupt the whitespace-tokenized
+    // "$var wire N id name $end" declarations unless sanitized and
+    // uniquified.
+    constexpr unsigned N = 300;
+    Netlist nl("wide");
+    std::vector<NetId> ins;
+    for (unsigned i = 0; i < N; ++i)
+        ins.push_back(nl.addInput("in" + std::to_string(i)));
+    nl.addOutput("y", nl.addGate(CellKind::INVX1, ins[0]));
+
+    GateSimulator sim(nl);
+    std::ostringstream os;
+    VcdWriter vcd(os, nl);
+    for (unsigned i = 0; i < N; ++i) {
+        std::string name;
+        switch (i % 4) {
+          case 0: name = "sig " + std::to_string(i); break; // space
+          case 1: name = "$bad$" + std::to_string(i); break; // '$'
+          case 2: name = "dup"; break;                // duplicates
+          default: name = "ok_" + std::to_string(i); break;
+        }
+        vcd.addSignal(name, ins[i]);
+    }
+    vcd.writeHeader();
+    for (unsigned i = 0; i < N; ++i)
+        sim.setInput(ins[i], (i % 3) == 0);
+    sim.evaluate();
+    vcd.sample(sim, 0);
+
+    // Strict line-level checker for the parts of the VCD grammar
+    // this dump exercises.
+    std::istringstream is(os.str());
+    std::set<std::string> ids, names;
+    std::size_t valueLines = 0;
+    bool inDefs = true;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.rfind("$var ", 0) == 0) {
+            ASSERT_TRUE(inDefs) << "late declaration: " << line;
+            std::istringstream ls(line);
+            std::string var, wire, width, id, name, end, extra;
+            ls >> var >> wire >> width >> id >> name >> end;
+            EXPECT_EQ(wire, "wire") << line;
+            EXPECT_EQ(end, "$end")
+                << "name split into tokens: " << line;
+            EXPECT_FALSE(ls >> extra) << "trailing junk: " << line;
+            EXPECT_EQ(width, "1") << line;
+            for (char c : id)
+                EXPECT_TRUE(c >= '!' && c <= '~') << line;
+            EXPECT_TRUE(ids.insert(id).second)
+                << "duplicate id: " << line;
+            EXPECT_EQ(name.find('$'), std::string::npos) << line;
+            EXPECT_TRUE(names.insert(name).second)
+                << "duplicate display name: " << line;
+        } else if (line == "$enddefinitions $end") {
+            inDefs = false;
+        } else if (!inDefs && !line.empty() &&
+                   (line[0] == '0' || line[0] == '1')) {
+            // Scalar value change: value immediately followed by an
+            // id that must have been declared.
+            EXPECT_TRUE(ids.count(line.substr(1)))
+                << "undeclared id referenced: " << line;
+            ++valueLines;
+        }
+    }
+    EXPECT_EQ(ids.size(), N);
+    EXPECT_GT(ids.size(), 94u); // multi-char id territory
+    // All N signals changed at t=0 relative to the empty baseline
+    // ("1" for the driven-high third, "0" never matches the empty
+    // last-value string, so every signal emits).
+    EXPECT_EQ(valueLines, std::size_t(N));
+}
+
 TEST(Vcd, OnlyChangesEmitted)
 {
     Netlist nl("stable");
