@@ -192,6 +192,8 @@ main(int argc, char **argv)
     if (!jsonPath.empty()) {
         jr.meta("threads", threads);
         jr.meta("wall_ms", sweepMs);
+        jr.meta("sweep_points_per_s",
+                double(points.size()) / (sweepMs / 1000.0));
         jr.meta("cache_netlist_hits", cs.netlistHits);
         jr.meta("cache_netlist_misses", cs.netlistMisses);
         jr.meta("cache_char_hits", cs.charHits);

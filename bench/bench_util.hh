@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/json_min.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "common/table.hh"
@@ -29,6 +30,12 @@
 
 namespace printed::bench
 {
+
+// The escaping helpers moved to common/json_min.hh when the JSON
+// layer was promoted for the evaluation service; these aliases keep
+// the bench-side spelling working.
+using json::jsonEscape;
+using json::jsonQuote;
 
 /** Print the standard banner for one reproduced artifact. */
 inline void
@@ -56,44 +63,6 @@ compare(const std::string &what, double paper, double measured,
 // ----------------------------------------------------------------
 // JSON reporting
 // ----------------------------------------------------------------
-
-/**
- * Escape a string for embedding in a JSON document (RFC 8259):
- * backslash and double quote get a backslash prefix, control
- * characters (U+0000..U+001F) become \u00XX escapes, everything
- * else — including DEL and multi-byte UTF-8 — passes through
- * verbatim. Returns the escaped body *without* surrounding quotes.
- */
-inline std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\') {
-            out += '\\';
-            out += c;
-            continue;
-        }
-        if (static_cast<unsigned char>(c) < 0x20) {
-            std::ostringstream esc;
-            esc << "\\u" << std::hex << std::setw(4)
-                << std::setfill('0')
-                << int(static_cast<unsigned char>(c));
-            out += esc.str();
-            continue;
-        }
-        out += c;
-    }
-    return out;
-}
-
-/** Escape and quote a JSON string literal. */
-inline std::string
-jsonQuote(const std::string &s)
-{
-    return "\"" + jsonEscape(s) + "\"";
-}
 
 /** One pre-rendered JSON scalar (string, number, or bool). */
 class JsonValue

@@ -1,6 +1,7 @@
 #include "fault.hh"
 
 #include <algorithm>
+#include <optional>
 #include <array>
 #include <bit>
 #include <chrono>
@@ -364,7 +365,10 @@ measureFunctionalYield(const Netlist &core, const CoreConfig &config,
         const std::size_t nBlocks = (cfg.trials + L - 1) / L;
         threads = unsigned(
             std::min<std::size_t>(threads, nBlocks));
-        ThreadPool pool(threads);
+        std::optional<ThreadPool> owned;
+        if (!cfg.pool)
+            owned.emplace(threads);
+        ThreadPool &pool = cfg.pool ? *cfg.pool : *owned;
         std::vector<BatchWorker> workers(pool.threadCount());
         pool.parallelForWorkers(
             nBlocks, [&](std::size_t b, unsigned worker) {
@@ -380,7 +384,10 @@ measureFunctionalYield(const Netlist &core, const CoreConfig &config,
             });
     } else {
         threads = std::min(threads, cfg.trials);
-        ThreadPool pool(threads);
+        std::optional<ThreadPool> owned;
+        if (!cfg.pool)
+            owned.emplace(threads);
+        ThreadPool &pool = cfg.pool ? *cfg.pool : *owned;
         std::vector<std::vector<std::unique_ptr<CoreCosim>>>
             workerSims(pool.threadCount());
         std::vector<DefectMap> workerMap(pool.threadCount());

@@ -41,6 +41,8 @@
 namespace printed
 {
 
+class ThreadPool;
+
 /** Defect-draw parameters. */
 struct FaultModel
 {
@@ -131,6 +133,15 @@ struct FunctionalYieldConfig
 
     /** Worker threads; 0 = hardware concurrency. */
     unsigned threads = 0;
+
+    /**
+     * When set, trials run on this caller-owned pool instead of a
+     * transient one (`threads` is ignored). Long-running callers —
+     * the printedd server — share one pool across requests so the
+     * process never oversubscribes. Results are identical either
+     * way (the determinism contract is per-trial, not per-pool).
+     */
+    ThreadPool *pool = nullptr;
 
     /**
      * Independent copies of the core per trial. Models a larger

@@ -1,30 +1,88 @@
 /**
  * @file
- * Minimal recursive-descent JSON reader for the bench tooling.
+ * Minimal recursive-descent JSON reader (and string escaper) shared
+ * by the bench tooling and the evaluation service.
  *
- * Just enough of RFC 8259 to load the BENCH_*.json reports this
- * repo's benches emit (bench_util.hh): objects, arrays, strings
- * with the escapes jsonEscape() produces, numbers, true/false/null.
- * Used by bench_compare (regression gating between two reports) and
- * by the tests that round-trip JsonReport output. Not a validator:
- * it accepts some malformed documents, but never mis-parses a
+ * Originally lived under bench/ and parsed only this repo's own
+ * BENCH_*.json reports; the printedd daemon (src/service/) now
+ * parses *untrusted network input* with it, so the reader is
+ * hardened accordingly:
+ *
+ *   - a nesting-depth limit (maxDepth) bounds parser recursion, so
+ *     a hostile "[[[[..." line cannot overflow the stack;
+ *   - \uXXXX escapes handle UTF-16 surrogate pairs (4-byte UTF-8
+ *     output) and reject unpaired surrogates;
+ *   - trailing garbage after the document is rejected;
+ *   - numbers whose magnitude overflows double parse as +/-infinity
+ *     (strtod semantics) rather than failing — callers that cannot
+ *     tolerate non-finite values must range-check, as JSON writers
+ *     in this repo never emit them (non-finite renders as null).
+ *
+ * Covers enough of RFC 8259 for both uses: objects, arrays, strings
+ * with escapes, numbers, true/false/null. Not a validator: it
+ * accepts some malformed documents, but never mis-parses a
  * well-formed one.
  */
 
-#ifndef PRINTED_BENCH_JSON_MIN_HH
-#define PRINTED_BENCH_JSON_MIN_HH
+#ifndef PRINTED_COMMON_JSON_MIN_HH
+#define PRINTED_COMMON_JSON_MIN_HH
 
 #include <cctype>
 #include <cstdlib>
+#include <iomanip>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
-namespace printed::bench::json
+namespace printed::json
 {
+
+/**
+ * Escape a string for embedding in a JSON document (RFC 8259):
+ * backslash and double quote get a backslash prefix, control
+ * characters (U+0000..U+001F) become \u00XX escapes, everything
+ * else — including DEL and multi-byte UTF-8 — passes through
+ * verbatim. Returns the escaped body *without* surrounding quotes.
+ */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+            continue;
+        }
+        if (static_cast<unsigned char>(c) < 0x20) {
+            std::ostringstream esc;
+            esc << "\\u" << std::hex << std::setw(4)
+                << std::setfill('0')
+                << int(static_cast<unsigned char>(c));
+            out += esc.str();
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+/** Escape and quote a JSON string literal. */
+inline std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    out += jsonEscape(s);
+    out += '"';
+    return out;
+}
 
 /** Parse failure, with a byte offset into the input. */
 class ParseError : public std::runtime_error
@@ -41,6 +99,13 @@ class ParseError : public std::runtime_error
   private:
     std::size_t offset_;
 };
+
+/**
+ * Maximum object/array nesting the parser accepts. Every real
+ * document in this repo is < 10 deep; the limit only exists to
+ * bound recursion on hostile input.
+ */
+inline constexpr std::size_t maxDepth = 128;
 
 /** One parsed JSON value (a tagged tree). */
 struct Value
@@ -64,6 +129,7 @@ struct Value
     std::vector<std::pair<std::string, Value>> object;
 
     bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
     bool isNumber() const { return kind == Kind::Number; }
     bool isObject() const { return kind == Kind::Object; }
     bool isArray() const { return kind == Kind::Array; }
@@ -183,9 +249,22 @@ class Parser
         return v;
     }
 
+    /** RAII depth guard for the recursive containers. */
+    struct DepthGuard
+    {
+        explicit DepthGuard(Parser &p) : parser(p)
+        {
+            if (++parser.depth_ > maxDepth)
+                parser.fail("nesting too deep");
+        }
+        ~DepthGuard() { --parser.depth_; }
+        Parser &parser;
+    };
+
     Value
     parseObject()
     {
+        DepthGuard guard(*this);
         Value v;
         v.kind = Value::Kind::Object;
         expect('{');
@@ -213,6 +292,7 @@ class Parser
     Value
     parseArray()
     {
+        DepthGuard guard(*this);
         Value v;
         v.kind = Value::Kind::Array;
         expect('[');
@@ -230,6 +310,48 @@ class Parser
             }
             expect(']');
             return v;
+        }
+    }
+
+    /** Four hex digits of a \uXXXX escape (the \u is consumed). */
+    unsigned
+    parseHex4()
+    {
+        if (pos_ + 4 > text_.size())
+            fail("truncated \\u escape");
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9')
+                cp |= unsigned(h - '0');
+            else if (h >= 'a' && h <= 'f')
+                cp |= unsigned(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+                cp |= unsigned(h - 'A' + 10);
+            else
+                fail("bad \\u escape");
+        }
+        return cp;
+    }
+
+    void
+    appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += char(cp);
+        } else if (cp < 0x800) {
+            out += char(0xC0 | (cp >> 6));
+            out += char(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += char(0xE0 | (cp >> 12));
+            out += char(0x80 | ((cp >> 6) & 0x3F));
+            out += char(0x80 | (cp & 0x3F));
+        } else {
+            out += char(0xF0 | (cp >> 18));
+            out += char(0x80 | ((cp >> 12) & 0x3F));
+            out += char(0x80 | ((cp >> 6) & 0x3F));
+            out += char(0x80 | (cp & 0x3F));
         }
     }
 
@@ -261,34 +383,24 @@ class Parser
               case 'r':  out += '\r'; break;
               case 't':  out += '\t'; break;
               case 'u': {
-                if (pos_ + 4 > text_.size())
-                    fail("truncated \\u escape");
-                unsigned cp = 0;
-                for (int i = 0; i < 4; ++i) {
-                    const char h = text_[pos_++];
-                    cp <<= 4;
-                    if (h >= '0' && h <= '9')
-                        cp |= unsigned(h - '0');
-                    else if (h >= 'a' && h <= 'f')
-                        cp |= unsigned(h - 'a' + 10);
-                    else if (h >= 'A' && h <= 'F')
-                        cp |= unsigned(h - 'A' + 10);
-                    else
-                        fail("bad \\u escape");
+                unsigned cp = parseHex4();
+                if (cp >= 0xDC00 && cp <= 0xDFFF)
+                    fail("unpaired low surrogate");
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // High surrogate: a \uDC00..\uDFFF escape must
+                    // follow, and the pair maps to one code point
+                    // above U+FFFF (RFC 8259 section 7).
+                    if (pos_ + 2 > text_.size() ||
+                        text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
+                        fail("unpaired high surrogate");
+                    pos_ += 2;
+                    const unsigned lo = parseHex4();
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        fail("unpaired high surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) +
+                         (lo - 0xDC00);
                 }
-                // The writer only escapes control characters, so a
-                // one-byte mapping covers everything it emits;
-                // other code points get a UTF-8 encoding.
-                if (cp < 0x80) {
-                    out += char(cp);
-                } else if (cp < 0x800) {
-                    out += char(0xC0 | (cp >> 6));
-                    out += char(0x80 | (cp & 0x3F));
-                } else {
-                    out += char(0xE0 | (cp >> 12));
-                    out += char(0x80 | ((cp >> 6) & 0x3F));
-                    out += char(0x80 | (cp & 0x3F));
-                }
+                appendUtf8(out, cp);
                 break;
               }
               default:
@@ -312,6 +424,8 @@ class Parser
             fail("expected a value");
         const std::string tok = text_.substr(start, pos_ - start);
         char *end = nullptr;
+        // Overflowing magnitudes saturate to +/-HUGE_VAL (infinity)
+        // per strtod; see the header comment.
         const double v = std::strtod(tok.c_str(), &end);
         if (end != tok.c_str() + tok.size())
             throw ParseError("bad number '" + tok + "'", start);
@@ -323,6 +437,7 @@ class Parser
 
     const std::string &text_;
     std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
 };
 
 } // namespace detail
@@ -344,7 +459,8 @@ elementKey(const Value &v)
     if (!v.isObject())
         return "";
     for (const char *field :
-         {"engine", "name", "label", "kernel", "design", "config"}) {
+         {"engine", "name", "label", "kernel", "design", "config",
+          "core"}) {
         const Value *f = v.find(field);
         if (f && f->isString() && !f->string.empty())
             return f->string;
@@ -396,6 +512,6 @@ flattenNumbers(const Value &v)
     return out;
 }
 
-} // namespace printed::bench::json
+} // namespace printed::json
 
-#endif // PRINTED_BENCH_JSON_MIN_HH
+#endif // PRINTED_COMMON_JSON_MIN_HH

@@ -41,10 +41,12 @@ sweepConfigs(const std::vector<CoreConfig> &configs,
 {
     trace::Span span("dse.sweep",
                      std::to_string(configs.size()) + " configs");
-    return parallelMap(opts.threads, configs.size(),
-                       [&](std::size_t i) {
-                           return evaluateDesignPoint(configs[i]);
-                       });
+    auto eval = [&](std::size_t i) {
+        return evaluateDesignPoint(configs[i]);
+    };
+    if (opts.pool)
+        return opts.pool->parallelMap(configs.size(), eval);
+    return parallelMap(opts.threads, configs.size(), eval);
 }
 
 std::vector<DesignPoint>

@@ -34,11 +34,20 @@ struct DesignPoint
     Characterization cnt;
 };
 
+class ThreadPool;
+
 /** Options of a design-space sweep. */
 struct SweepOptions
 {
     /** Worker threads; 0 = hardware concurrency, 1 = serial. */
     unsigned threads = 1;
+
+    /**
+     * When set, points are evaluated on this caller-owned pool
+     * instead of a transient one (`threads` is ignored). Used by
+     * the printedd server so every request shares one pool.
+     */
+    ThreadPool *pool = nullptr;
 };
 
 /** The 24 Figure 7 configurations, in canonical order. */

@@ -1,0 +1,148 @@
+#include "client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/json_min.hh"
+#include "common/logging.hh"
+
+namespace printed::service
+{
+
+Reply
+parseReply(const std::string &line)
+{
+    const json::Value root = json::parse(line);
+    fatalIf(!root.isObject(), "reply must be a JSON object");
+    Reply reply;
+    reply.raw = line;
+    if (const json::Value *id = root.find("id");
+        id && id->isString())
+        reply.id = id->string;
+    const json::Value *ok = root.find("ok");
+    fatalIf(!ok || !ok->isBool(),
+            "reply needs a boolean 'ok' field");
+    reply.ok = ok->boolean;
+    if (!reply.ok) {
+        if (const json::Value *e = root.find("error");
+            e && e->isString())
+            reply.error = e->string;
+        if (const json::Value *m = root.find("message");
+            m && m->isString())
+            reply.message = m->string;
+    }
+    return reply;
+}
+
+Client::Client(const std::string &host, std::uint16_t port)
+{
+    connect(host, port);
+}
+
+Client::~Client()
+{
+    close();
+}
+
+Client::Client(Client &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_))
+{
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        buffer_ = std::move(other.buffer_);
+    }
+    return *this;
+}
+
+void
+Client::connect(const std::string &host, std::uint16_t port)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatalIf(fd_ < 0,
+            std::string("socket(): ") + std::strerror(errno));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    fatalIf(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1,
+            "bad server address '" + host + "'");
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string err = std::strerror(errno);
+        close();
+        fatal("connect(" + host + ":" + std::to_string(port) +
+              "): " + err);
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void
+Client::send(const std::string &line)
+{
+    fatalIf(fd_ < 0, "client is not connected");
+    std::string framed = line;
+    framed += '\n';
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n =
+            ::send(fd_, framed.data() + sent,
+                   framed.size() - sent, MSG_NOSIGNAL);
+        fatalIf(n <= 0, std::string("send(): ") +
+                            std::strerror(errno));
+        sent += std::size_t(n);
+    }
+}
+
+std::string
+Client::readLine()
+{
+    fatalIf(fd_ < 0, "client is not connected");
+    for (;;) {
+        const std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return line;
+        }
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        fatalIf(n <= 0,
+                "server closed the connection mid-reply");
+        buffer_.append(chunk, std::size_t(n));
+    }
+}
+
+std::string
+Client::call(const std::string &line)
+{
+    send(line);
+    return readLine();
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+} // namespace printed::service

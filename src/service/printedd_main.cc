@@ -1,0 +1,152 @@
+/**
+ * @file
+ * printedd: the evaluation daemon. Binds, prints the listen
+ * address on stdout (scripts parse that line to find the ephemeral
+ * port), and serves until a "shutdown" request or SIGINT/SIGTERM,
+ * then drains admitted requests and exits 0.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+#include "service/server.hh"
+
+namespace
+{
+
+int gSignalPipe[2] = {-1, -1};
+
+void
+onSignal(int)
+{
+    const char byte = 1;
+    // Best effort; the pipe is only ever written once meaningfully.
+    (void)!::write(gSignalPipe[1], &byte, 1);
+}
+
+unsigned long
+numberArg(int argc, char **argv, int &i, const char *flag)
+{
+    printed::fatalIf(i + 1 >= argc,
+                     std::string(flag) + " needs a value");
+    return std::strtoul(argv[++i], nullptr, 10);
+}
+
+void
+usage()
+{
+    std::fputs(
+        "usage: printedd [options]\n"
+        "  --host ADDR       listen address (default 127.0.0.1)\n"
+        "  --port N          listen port (default 0 = ephemeral)\n"
+        "  --executors N     request executor threads (default 2)\n"
+        "  --pool-threads N  shared compute pool size (default\n"
+        "                    0 = hardware concurrency)\n"
+        "  --max-queue N     admission queue capacity (default 64)\n"
+        "  --cache-cap N     SynthCache entry cap, 0 = unbounded\n"
+        "                    (default 256)\n"
+        "  --trace-out PATH  write a Chrome trace on exit\n",
+        stderr);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using printed::service::Server;
+    using printed::service::ServerOptions;
+
+    ServerOptions opts;
+    opts.cacheCapacity = 256;
+    std::string traceOut;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        try {
+            if (arg == "--host") {
+                printed::fatalIf(i + 1 >= argc,
+                                 "--host needs a value");
+                opts.host = argv[++i];
+            } else if (arg == "--port") {
+                opts.port = std::uint16_t(
+                    numberArg(argc, argv, i, "--port"));
+            } else if (arg == "--executors") {
+                opts.executors = unsigned(
+                    numberArg(argc, argv, i, "--executors"));
+            } else if (arg == "--pool-threads") {
+                opts.poolThreads = unsigned(
+                    numberArg(argc, argv, i, "--pool-threads"));
+            } else if (arg == "--max-queue") {
+                opts.maxQueue =
+                    numberArg(argc, argv, i, "--max-queue");
+            } else if (arg == "--cache-cap") {
+                opts.cacheCapacity =
+                    numberArg(argc, argv, i, "--cache-cap");
+            } else if (arg == "--trace-out") {
+                printed::fatalIf(i + 1 >= argc,
+                                 "--trace-out needs a value");
+                traceOut = argv[++i];
+            } else if (arg == "--help" || arg == "-h") {
+                usage();
+                return 0;
+            } else {
+                std::fprintf(stderr, "unknown option '%s'\n",
+                             arg.c_str());
+                usage();
+                return 2;
+            }
+        } catch (const printed::FatalError &e) {
+            std::fprintf(stderr, "printedd: %s\n", e.what());
+            return 2;
+        }
+    }
+
+    if (!traceOut.empty())
+        printed::trace::enable(traceOut);
+    printed::trace::setThreadName("main");
+
+    try {
+        Server server(opts);
+        server.start();
+
+        // Signal -> self-pipe -> watcher thread -> beginShutdown.
+        // (beginShutdown takes locks, so it can't run in the
+        // handler itself.)
+        printed::fatalIf(::pipe(gSignalPipe) != 0,
+                         "pipe() failed");
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        std::thread watcher([&server] {
+            char byte;
+            if (::read(gSignalPipe[0], &byte, 1) > 0)
+                server.beginShutdown();
+        });
+
+        std::printf("printedd listening on %s:%u\n",
+                    opts.host.c_str(), unsigned(server.port()));
+        std::fflush(stdout);
+
+        server.wait();
+
+        // Unblock the watcher if shutdown came over the wire.
+        onSignal(0);
+        watcher.join();
+        ::close(gSignalPipe[0]);
+        ::close(gSignalPipe[1]);
+    } catch (const printed::FatalError &e) {
+        std::fprintf(stderr, "printedd: %s\n", e.what());
+        return 1;
+    }
+
+    if (!traceOut.empty())
+        printed::trace::flush();
+    return 0;
+}

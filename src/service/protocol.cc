@@ -1,0 +1,441 @@
+#include "protocol.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/json_min.hh"
+#include "common/logging.hh"
+
+namespace printed::service
+{
+
+namespace
+{
+
+using json::Value;
+using json::jsonQuote;
+
+/** Integral field of `obj`, range-checked; fallback when absent. */
+std::uint64_t
+uintField(const Value &obj, const char *name, std::uint64_t fallback,
+          std::uint64_t lo, std::uint64_t hi)
+{
+    const Value *f = obj.find(name);
+    if (!f)
+        return fallback;
+    fatalIf(!f->isNumber() || f->number < 0 ||
+                f->number != std::floor(f->number),
+            std::string("request field '") + name +
+                "' must be a non-negative integer");
+    const double v = f->number;
+    fatalIf(v < double(lo) || v > double(hi),
+            std::string("request field '") + name + "' out of range [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "]");
+    return std::uint64_t(v);
+}
+
+/** Finite double field of `obj`; fallback when absent. */
+double
+doubleField(const Value &obj, const char *name, double fallback,
+            double lo, double hi)
+{
+    const Value *f = obj.find(name);
+    if (!f)
+        return fallback;
+    fatalIf(!f->isNumber() || !std::isfinite(f->number),
+            std::string("request field '") + name +
+                "' must be a finite number");
+    fatalIf(f->number < lo || f->number > hi,
+            std::string("request field '") + name + "' out of range");
+    return f->number;
+}
+
+/** Array-of-small-integers field ("stages":[1,2]); empty if absent. */
+std::vector<unsigned>
+axisField(const Value &obj, const char *name,
+          std::initializer_list<unsigned> allowed)
+{
+    std::vector<unsigned> out;
+    const Value *f = obj.find(name);
+    if (!f)
+        return out;
+    fatalIf(!f->isArray(), std::string("request field '") + name +
+                               "' must be an array");
+    for (const Value &e : f->array) {
+        fatalIf(!e.isNumber() || e.number != std::floor(e.number),
+                std::string("request field '") + name +
+                    "' must hold integers");
+        const unsigned v = unsigned(e.number);
+        bool ok = false;
+        for (unsigned a : allowed)
+            ok = ok || a == v;
+        fatalIf(!ok, std::string("request field '") + name +
+                         "' holds unsupported value " +
+                         std::to_string(v));
+        // Deduplicate, preserving canonical order below.
+        bool dup = false;
+        for (unsigned seen : out)
+            dup = dup || seen == v;
+        if (!dup)
+            out.push_back(v);
+    }
+    return out;
+}
+
+/** The CoreConfig of a request's "config" member (or defaults). */
+CoreConfig
+configField(const Value &root)
+{
+    CoreConfig cfg;
+    const Value *c = root.find("config");
+    if (c) {
+        fatalIf(!c->isObject(),
+                "request field 'config' must be an object");
+        cfg.stages = unsigned(uintField(*c, "stages", 1, 1, 3));
+        cfg.isa.datawidth =
+            unsigned(uintField(*c, "width", 8, 1, 64));
+        cfg.isa.barCount = unsigned(uintField(*c, "bars", 2, 1, 8));
+        cfg.opcodeMask = unsigned(
+            uintField(*c, "opcode_mask", cfg.opcodeMask, 1, 0x3FF));
+        const Value *t = c->find("tristate");
+        if (t) {
+            fatalIf(!t->isBool(),
+                    "request field 'tristate' must be a boolean");
+            cfg.tristateResultMux = t->boolean;
+        }
+    }
+    // Full structural validation (width/bars membership, ...):
+    // throws FatalError on nonsense, which the server maps to a
+    // bad_request reply.
+    cfg.check();
+    return cfg;
+}
+
+/** Canonical identity text of a config (every netlist-key field). */
+std::string
+configKeyText(const CoreConfig &c)
+{
+    std::string out = c.label();
+    out += "/f" + std::to_string(c.flagMask);
+    out += "b" + std::to_string(c.barBits);
+    out += "o" + std::to_string(c.opcodeMask);
+    out += "a" + std::to_string(c.addrBits);
+    out += c.tristateResultMux ? "t" : "m";
+    out += "p" + std::to_string(c.isa.pcBits);
+    out += "w" + std::to_string(c.isa.operandBits);
+    out += "g" + std::to_string(c.isa.flagCount);
+    return out;
+}
+
+/** {"fmax_hz":..,"area_cm2":..,"power_mw":..} of one tech. */
+std::string
+techBody(const Characterization &ch)
+{
+    std::string out = "{\"fmax_hz\": ";
+    out += formatDouble(ch.fmaxHz());
+    out += ", \"area_cm2\": ";
+    out += formatDouble(ch.areaCm2());
+    out += ", \"power_mw\": ";
+    out += formatDouble(ch.powerMw());
+    out += "}";
+    return out;
+}
+
+std::string
+joinAxis(const std::vector<unsigned> &v)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            out += ',';
+        out += std::to_string(v[i]);
+    }
+    return out + "]";
+}
+
+} // anonymous namespace
+
+const char *
+requestTypeName(RequestType type)
+{
+    switch (type) {
+      case RequestType::Synth:    return "synth";
+      case RequestType::Yield:    return "yield";
+      case RequestType::Sweep:    return "sweep";
+      case RequestType::Metrics:  return "metrics";
+      case RequestType::Health:   return "health";
+      case RequestType::Shutdown: return "shutdown";
+    }
+    return "?";
+}
+
+std::vector<CoreConfig>
+SweepSpec::configs() const
+{
+    std::vector<CoreConfig> out;
+    for (unsigned s : stages)
+        for (unsigned w : widths)
+            for (unsigned b : bars)
+                out.push_back(CoreConfig::standard(s, w, b));
+    return out;
+}
+
+std::string
+formatDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no inf/nan
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+Request
+parseRequest(const std::string &line)
+{
+    const Value root = json::parse(line);
+    fatalIf(!root.isObject(), "request must be a JSON object");
+
+    Request req;
+    if (const Value *id = root.find("id")) {
+        fatalIf(!id->isString(),
+                "request field 'id' must be a string");
+        req.id = id->string;
+    }
+
+    const Value *type = root.find("type");
+    fatalIf(!type || !type->isString(),
+            "request needs a string 'type' field");
+    if (type->string == "synth")
+        req.type = RequestType::Synth;
+    else if (type->string == "yield")
+        req.type = RequestType::Yield;
+    else if (type->string == "sweep")
+        req.type = RequestType::Sweep;
+    else if (type->string == "metrics")
+        req.type = RequestType::Metrics;
+    else if (type->string == "health")
+        req.type = RequestType::Health;
+    else if (type->string == "shutdown")
+        req.type = RequestType::Shutdown;
+    else
+        fatal("unknown request type '" + type->string + "'");
+
+    req.deadlineMs =
+        doubleField(root, "deadline_ms", 0, 0, 86400e3);
+
+    switch (req.type) {
+      case RequestType::Synth:
+        req.config = configField(root);
+        break;
+      case RequestType::Yield:
+        req.config = configField(root);
+        req.trials =
+            unsigned(uintField(root, "trials", 256, 1, 100000));
+        req.replicas =
+            unsigned(uintField(root, "replicas", 1, 1, 64));
+        req.seed = uintField(root, "seed", 1, 0,
+                             std::uint64_t(-1));
+        req.deviceYield = doubleField(root, "device_yield", 0.9999,
+                                      0.5, 1.0);
+        break;
+      case RequestType::Sweep:
+        req.sweep.stages = axisField(root, "stages", {1, 2, 3});
+        req.sweep.widths =
+            axisField(root, "widths", {4, 8, 16, 32});
+        req.sweep.bars = axisField(root, "bars", {2, 4});
+        if (req.sweep.stages.empty())
+            req.sweep.stages = {1, 2, 3};
+        if (req.sweep.widths.empty())
+            req.sweep.widths = {4, 8, 16, 32};
+        if (req.sweep.bars.empty())
+            req.sweep.bars = {2, 4};
+        break;
+      case RequestType::Metrics:
+      case RequestType::Health:
+      case RequestType::Shutdown:
+        break;
+    }
+    return req;
+}
+
+std::string
+coalesceKey(const Request &req)
+{
+    std::string key = requestTypeName(req.type);
+    key += "|";
+    switch (req.type) {
+      case RequestType::Synth:
+        key += configKeyText(req.config);
+        break;
+      case RequestType::Yield:
+        key += configKeyText(req.config);
+        key += "|t" + std::to_string(req.trials);
+        key += "r" + std::to_string(req.replicas);
+        key += "s" + std::to_string(req.seed);
+        key += "y" + formatDouble(req.deviceYield);
+        break;
+      case RequestType::Sweep:
+        key += joinAxis(req.sweep.stages);
+        key += joinAxis(req.sweep.widths);
+        key += joinAxis(req.sweep.bars);
+        break;
+      default:
+        break; // admin requests are never coalesced
+    }
+    return key;
+}
+
+std::string
+synthBody(const DesignPoint &point)
+{
+    std::string out = "{\"core\": ";
+    out += jsonQuote(point.config.label());
+    out += ", \"gates\": " + std::to_string(point.egfet.gateCount());
+    out += ", \"flops\": " +
+           std::to_string(point.egfet.stats.seqGates);
+    out += ", \"egfet\": " + techBody(point.egfet);
+    out += ", \"cnt\": " + techBody(point.cnt);
+    out += "}";
+    return out;
+}
+
+std::string
+yieldBody(const CoreConfig &config,
+          const FunctionalYieldReport &report)
+{
+    std::string out = "{\"core\": ";
+    out += jsonQuote(config.label());
+    out += ", \"trials\": " + std::to_string(report.trials);
+    out += ", \"fatal_trials\": " +
+           std::to_string(report.fatalTrials);
+    out += ", \"masked_trials\": " +
+           std::to_string(report.maskedTrials);
+    out += ", \"benign_trials\": " +
+           std::to_string(report.benignTrials);
+    out += ", \"defect_free_trials\": " +
+           std::to_string(report.defectFreeTrials);
+    out += ", \"functional_yield\": " +
+           formatDouble(report.functionalYield());
+    out += ", \"analytic_yield\": " +
+           formatDouble(report.analyticYield);
+    out += ", \"devices\": " +
+           std::to_string(report.devicesPerReplica);
+    out += ", \"replicas\": " + std::to_string(report.replicas);
+    out += "}";
+    return out;
+}
+
+std::string
+sweepBody(const std::vector<DesignPoint> &points)
+{
+    std::string out = "{\"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += synthBody(points[i]);
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+okReply(const std::string &id, RequestType type,
+        const std::string &resultBody)
+{
+    std::string out = "{\"id\": ";
+    out += jsonQuote(id);
+    out += ", \"ok\": true, \"type\": ";
+    out += jsonQuote(requestTypeName(type));
+    out += ", \"result\": " + resultBody + "}";
+    return out;
+}
+
+std::string
+errorReply(const std::string &id, const char *code,
+           const std::string &message)
+{
+    std::string out = "{\"id\": ";
+    out += jsonQuote(id);
+    out += ", \"ok\": false, \"error\": ";
+    out += jsonQuote(code);
+    out += ", \"message\": " + jsonQuote(message) + "}";
+    return out;
+}
+
+namespace
+{
+
+/** Common head of a compute request: id, type, deadline, config. */
+std::string
+requestHead(const std::string &id, const char *type,
+            double deadlineMs)
+{
+    std::string out = "{\"id\": ";
+    out += jsonQuote(id);
+    out += ", \"type\": \"";
+    out += type;
+    out += "\"";
+    if (deadlineMs > 0)
+        out += ", \"deadline_ms\": " + formatDouble(deadlineMs);
+    return out;
+}
+
+std::string
+configBody(const CoreConfig &c)
+{
+    std::string out = "{\"stages\": " + std::to_string(c.stages);
+    out += ", \"width\": " + std::to_string(c.isa.datawidth);
+    out += ", \"bars\": " + std::to_string(c.isa.barCount);
+    if (c.opcodeMask != CoreConfig{}.opcodeMask)
+        out += ", \"opcode_mask\": " + std::to_string(c.opcodeMask);
+    if (!c.tristateResultMux)
+        out += ", \"tristate\": false";
+    out += "}";
+    return out;
+}
+
+} // anonymous namespace
+
+std::string
+synthRequest(const std::string &id, const CoreConfig &config,
+             double deadlineMs)
+{
+    return requestHead(id, "synth", deadlineMs) +
+           ", \"config\": " + configBody(config) + "}";
+}
+
+std::string
+yieldRequest(const std::string &id, const CoreConfig &config,
+             unsigned trials, std::uint64_t seed, unsigned replicas,
+             double deadlineMs)
+{
+    std::string out = requestHead(id, "yield", deadlineMs);
+    out += ", \"config\": " + configBody(config);
+    out += ", \"trials\": " + std::to_string(trials);
+    out += ", \"seed\": " + std::to_string(seed);
+    out += ", \"replicas\": " + std::to_string(replicas);
+    out += "}";
+    return out;
+}
+
+std::string
+sweepRequest(const std::string &id, const SweepSpec &spec,
+             double deadlineMs)
+{
+    std::string out = requestHead(id, "sweep", deadlineMs);
+    out += ", \"stages\": " + joinAxis(spec.stages);
+    out += ", \"widths\": " + joinAxis(spec.widths);
+    out += ", \"bars\": " + joinAxis(spec.bars);
+    out += "}";
+    return out;
+}
+
+std::string
+adminRequest(const std::string &id, RequestType type)
+{
+    return requestHead(id, requestTypeName(type), 0) + "}";
+}
+
+} // namespace printed::service

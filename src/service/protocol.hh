@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Wire protocol of the printedd evaluation service.
+ *
+ * Newline-delimited JSON over TCP: every request is one JSON object
+ * on one line, every reply is one JSON object on one line. Request
+ * types:
+ *
+ *   {"id":"r1","type":"synth","config":{"stages":1,"width":8,
+ *    "bars":2}}
+ *       Synthesize + characterize one CoreConfig (through the
+ *       process-wide SynthCache) and return gates/area/power/delay
+ *       in both technologies.
+ *
+ *   {"id":"r2","type":"yield","config":{...},"trials":256,
+ *    "seed":1,"replicas":1,"device_yield":0.9999}
+ *       Functional-yield Monte Carlo (batch engine) on the config.
+ *
+ *   {"id":"r3","type":"sweep","stages":[1,2],"widths":[4,8],
+ *    "bars":[2,4]}
+ *       Bounded Figure-7 sub-sweep: the cross product of the three
+ *       axes (each restricted to the paper's values), at most the
+ *       full 24-point grid per request.
+ *
+ *   {"id":"r4","type":"metrics"} / {"id":"r5","type":"health"} /
+ *   {"id":"r6","type":"shutdown"}
+ *       Introspection and admin.
+ *
+ * Optional request fields: "deadline_ms" (relative per-request
+ * deadline; expired requests are answered with a
+ * "deadline_exceeded" error instead of results), and inside
+ * "config": "tristate" (bool) and "opcode_mask" (the Section 7
+ * pruning knob) — useful for generating many distinct synthesis
+ * keys under load.
+ *
+ * Replies: {"id":...,"ok":true,"type":...,"result":{...}} or
+ * {"id":...,"ok":false,"error":CODE,"message":TEXT}.
+ *
+ * Determinism rule (DESIGN.md "Serving"): the reply to a compute
+ * request (synth/yield/sweep) is a pure function of the request
+ * line — same request, same bytes, regardless of concurrency,
+ * coalescing, cache state, or which worker served it. Doubles are
+ * rendered in shortest round-trip form (std::to_chars) to make
+ * that byte-exact. Introspection replies (metrics/health) and
+ * load-dependent errors (queue_full, deadline_exceeded) are
+ * exempt by nature.
+ */
+
+#ifndef PRINTED_SERVICE_PROTOCOL_HH
+#define PRINTED_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/fault.hh"
+#include "core/config.hh"
+#include "dse/sweep.hh"
+
+namespace printed::service
+{
+
+/** Error codes of "ok":false replies. */
+namespace errc
+{
+inline constexpr const char *parseError = "parse_error";
+inline constexpr const char *badRequest = "bad_request";
+inline constexpr const char *queueFull = "queue_full";
+inline constexpr const char *deadlineExceeded = "deadline_exceeded";
+inline constexpr const char *shuttingDown = "shutting_down";
+inline constexpr const char *internalError = "internal_error";
+} // namespace errc
+
+enum class RequestType
+{
+    Synth,
+    Yield,
+    Sweep,
+    Metrics,
+    Health,
+    Shutdown,
+};
+
+/** Protocol name of a request type ("synth", "yield", ...). */
+const char *requestTypeName(RequestType type);
+
+/** Axes of a bounded Figure-7 sub-sweep request. */
+struct SweepSpec
+{
+    std::vector<unsigned> stages; ///< subset of {1,2,3}
+    std::vector<unsigned> widths; ///< subset of {4,8,16,32}
+    std::vector<unsigned> bars;   ///< subset of {2,4}
+
+    /** The cross product, in canonical (stages,width,bars) order. */
+    std::vector<CoreConfig> configs() const;
+};
+
+/** One parsed, validated request. */
+struct Request
+{
+    std::string id;
+    RequestType type = RequestType::Health;
+
+    /** Synth/Yield target. */
+    CoreConfig config;
+
+    /** Yield parameters. */
+    unsigned trials = 256;
+    unsigned replicas = 1;
+    std::uint64_t seed = 1;
+    double deviceYield = 0.9999;
+
+    /** Sweep axes. */
+    SweepSpec sweep;
+
+    /** Relative deadline in ms; 0 = none. */
+    double deadlineMs = 0;
+};
+
+/**
+ * Parse + validate one request line. Throws json::ParseError on
+ * malformed JSON and FatalError on structurally valid JSON that is
+ * not a valid request (unknown type, out-of-range parameters,
+ * inconsistent CoreConfig).
+ */
+Request parseRequest(const std::string &line);
+
+/**
+ * Coalescing identity of a compute request: the request type and
+ * every result-determining parameter — not the id, not the
+ * deadline. Two requests with equal keys get byte-identical result
+ * bodies, so in-flight duplicates can share one execution.
+ */
+std::string coalesceKey(const Request &req);
+
+/** Shortest round-trip decimal rendering of a double. */
+std::string formatDouble(double v);
+
+// ---------------------------------------------------------------
+// Reply rendering. Bodies are the deterministic "result" objects;
+// okReply/errorReply wrap them with the echoed id.
+// ---------------------------------------------------------------
+
+/** "result" body of a synth reply. */
+std::string synthBody(const DesignPoint &point);
+
+/** "result" body of a yield reply. */
+std::string yieldBody(const CoreConfig &config,
+                      const FunctionalYieldReport &report);
+
+/** "result" body of a sweep reply. */
+std::string sweepBody(const std::vector<DesignPoint> &points);
+
+/** Full success reply line (no trailing newline). */
+std::string okReply(const std::string &id, RequestType type,
+                    const std::string &resultBody);
+
+/** Full error reply line (no trailing newline). */
+std::string errorReply(const std::string &id, const char *code,
+                       const std::string &message);
+
+// ---------------------------------------------------------------
+// Request building (the client side of the wire format).
+// ---------------------------------------------------------------
+
+/** Render a synth request line for a config. */
+std::string synthRequest(const std::string &id,
+                         const CoreConfig &config,
+                         double deadlineMs = 0);
+
+/** Render a yield request line. */
+std::string yieldRequest(const std::string &id,
+                         const CoreConfig &config, unsigned trials,
+                         std::uint64_t seed = 1,
+                         unsigned replicas = 1,
+                         double deadlineMs = 0);
+
+/** Render a sweep request line. */
+std::string sweepRequest(const std::string &id,
+                         const SweepSpec &spec,
+                         double deadlineMs = 0);
+
+/** Render a metrics / health / shutdown request line. */
+std::string adminRequest(const std::string &id, RequestType type);
+
+} // namespace printed::service
+
+#endif // PRINTED_SERVICE_PROTOCOL_HH

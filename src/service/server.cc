@@ -1,0 +1,573 @@
+#include "server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/json_min.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/trace.hh"
+#include "dse/sweep.hh"
+#include "synth/cache.hh"
+
+namespace printed::service
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Internal: a request's deadline expired mid-execution. */
+struct DeadlineError : std::runtime_error
+{
+    DeadlineError() : std::runtime_error("deadline exceeded") {}
+};
+
+double
+millisSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     t0)
+        .count();
+}
+
+} // anonymous namespace
+
+/** One client connection: socket, reader thread, write lock. */
+struct Server::Connection
+{
+    int fd = -1;
+    std::mutex writeMutex;
+    std::thread reader;
+    std::atomic<bool> open{true};
+};
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)),
+      pool_(opts_.poolThreads)
+{
+}
+
+Server::~Server()
+{
+    beginShutdown();
+    wait();
+}
+
+void
+Server::start()
+{
+    started_ = Clock::now();
+    if (opts_.cacheCapacity)
+        SynthCache::global().setCapacity(opts_.cacheCapacity);
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    fatalIf(listenFd_ < 0, std::string("socket(): ") +
+                               std::strerror(errno));
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(opts_.port);
+    fatalIf(::inet_pton(AF_INET, opts_.host.c_str(),
+                        &addr.sin_addr) != 1,
+            "bad listen address '" + opts_.host + "'");
+    fatalIf(::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0,
+            std::string("bind(): ") + std::strerror(errno));
+    fatalIf(::listen(listenFd_, 64) != 0,
+            std::string("listen(): ") + std::strerror(errno));
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&bound),
+                  &len);
+    port_ = ntohs(bound.sin_port);
+
+    acceptThread_ = std::thread([this] {
+        trace::setThreadName("service-accept");
+        acceptLoop();
+    });
+    const unsigned executors = opts_.executors ? opts_.executors : 1;
+    for (unsigned i = 0; i < executors; ++i)
+        executors_.emplace_back([this, i] {
+            trace::setThreadName("service-exec-" +
+                                 std::to_string(i));
+            executorLoop(i);
+        });
+}
+
+void
+Server::beginShutdown()
+{
+    {
+        std::lock_guard lk(queueMutex_);
+        finishing_ = true;
+    }
+    queueCv_.notify_all();
+    {
+        std::lock_guard lk(stopMutex_);
+        stopRequested_ = true;
+    }
+    stopCv_.notify_all();
+}
+
+void
+Server::wait()
+{
+    {
+        std::unique_lock lk(stopMutex_);
+        stopCv_.wait(lk, [&] { return stopRequested_; });
+        if (joined_)
+            return;
+        joined_ = true;
+    }
+    joinEverything();
+}
+
+void
+Server::joinEverything()
+{
+    // 1. Stop accepting connections. shutdown() unblocks the
+    //    accept(2) in acceptLoop.
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+
+    // 2. Drain: executors finish every admitted request (finishing_
+    //    is already set, so they exit once the queue is empty).
+    queueCv_.notify_all();
+    for (std::thread &t : executors_)
+        if (t.joinable())
+            t.join();
+
+    // 3. Hang up: readers see EOF and exit; then close sockets.
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+        std::lock_guard lk(connMutex_);
+        conns.swap(conns_);
+    }
+    for (const auto &c : conns)
+        ::shutdown(c->fd, SHUT_RD);
+    for (const auto &c : conns) {
+        if (c->reader.joinable())
+            c->reader.join();
+        ::close(c->fd);
+    }
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // listen socket shut down
+        }
+        {
+            std::lock_guard lk(queueMutex_);
+            if (finishing_) {
+                ::close(fd);
+                continue;
+            }
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+        metrics::counter("service.connections").add(1);
+
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        {
+            std::lock_guard lk(connMutex_);
+            conns_.push_back(conn);
+        }
+        conn->reader = std::thread([this, conn] {
+            trace::setThreadName("service-reader");
+            readerLoop(conn);
+        });
+    }
+}
+
+void
+Server::readerLoop(std::shared_ptr<Connection> conn)
+{
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n =
+            ::recv(conn->fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break; // EOF, error, or shutdown(SHUT_RD)
+        buffer.append(chunk, std::size_t(n));
+        std::size_t start = 0;
+        for (;;) {
+            const std::size_t nl = buffer.find('\n', start);
+            if (nl == std::string::npos)
+                break;
+            std::string line =
+                buffer.substr(start, nl - start);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            start = nl + 1;
+            if (!line.empty())
+                handleLine(conn, line);
+        }
+        buffer.erase(0, start);
+        if (buffer.size() > opts_.maxRequestBytes) {
+            sendLine(conn,
+                     errorReply("", errc::parseError,
+                                "request line too long"));
+            break;
+        }
+    }
+    conn->open.store(false);
+}
+
+void
+Server::handleLine(const std::shared_ptr<Connection> &conn,
+                   const std::string &line)
+{
+    metrics::counter("service.requests").add(1);
+
+    Request req;
+    try {
+        req = parseRequest(line);
+    } catch (const json::ParseError &e) {
+        metrics::counter("service.parse_errors").add(1);
+        sendLine(conn, errorReply("", errc::parseError, e.what()));
+        return;
+    } catch (const FatalError &e) {
+        metrics::counter("service.parse_errors").add(1);
+        sendLine(conn, errorReply("", errc::badRequest, e.what()));
+        return;
+    }
+
+    switch (req.type) {
+      case RequestType::Metrics:
+        metrics::counter("service.requests_admin").add(1);
+        sendLine(conn, okReply(req.id, req.type, metricsBody()));
+        return;
+      case RequestType::Health:
+        metrics::counter("service.requests_admin").add(1);
+        sendLine(conn, okReply(req.id, req.type, healthBody()));
+        return;
+      case RequestType::Shutdown:
+        metrics::counter("service.requests_admin").add(1);
+        sendLine(conn, okReply(req.id, req.type,
+                               "{\"draining\": true}"));
+        beginShutdown();
+        return;
+      case RequestType::Synth:
+        metrics::counter("service.requests_synth").add(1);
+        break;
+      case RequestType::Yield:
+        metrics::counter("service.requests_yield").add(1);
+        break;
+      case RequestType::Sweep:
+        metrics::counter("service.requests_sweep").add(1);
+        break;
+    }
+
+    Task task;
+    task.req = std::move(req);
+    task.conn = conn;
+    task.admitted = Clock::now();
+    if (task.req.deadlineMs > 0) {
+        task.hasDeadline = true;
+        task.deadline =
+            task.admitted +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    task.req.deadlineMs));
+    }
+
+    const std::string id = task.req.id;
+    switch (admit(std::move(task))) {
+      case Admit::Ok:
+        return;
+      case Admit::QueueFull:
+        metrics::counter("service.rejected").add(1);
+        sendLine(conn, errorReply(id, errc::queueFull,
+                                  "admission queue is full"));
+        return;
+      case Admit::ShuttingDown:
+        sendLine(conn, errorReply(id, errc::shuttingDown,
+                                  "server is draining"));
+        return;
+    }
+}
+
+Server::Admit
+Server::admit(Task task)
+{
+    {
+        std::lock_guard lk(queueMutex_);
+        if (finishing_)
+            return Admit::ShuttingDown;
+        if (queue_.size() >= opts_.maxQueue)
+            return Admit::QueueFull;
+        queue_.push_back(std::move(task));
+    }
+    queueCv_.notify_one();
+    return Admit::Ok;
+}
+
+void
+Server::executorLoop(unsigned)
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock lk(queueMutex_);
+            queueCv_.wait(lk, [&] {
+                return !queue_.empty() || finishing_;
+            });
+            if (queue_.empty())
+                return; // finishing_ && drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        execute(task);
+    }
+}
+
+void
+Server::execute(Task &task)
+{
+    trace::Span span("service.request",
+                     requestTypeName(task.req.type));
+    metrics::distribution("service.queue_wait_ms")
+        .record(millisSince(task.admitted));
+
+    const Clock::time_point execStart = Clock::now();
+    std::string reply;
+    try {
+        if (task.hasDeadline && Clock::now() > task.deadline)
+            throw DeadlineError();
+        reply = okReply(task.req.id, task.req.type,
+                        coalesced(task));
+        metrics::counter("service.replies_ok").add(1);
+    } catch (const DeadlineError &) {
+        metrics::counter("service.deadline_exceeded").add(1);
+        metrics::counter("service.replies_error").add(1);
+        reply = errorReply(task.req.id, errc::deadlineExceeded,
+                           "deadline of " +
+                               formatDouble(task.req.deadlineMs) +
+                               " ms expired");
+    } catch (const std::exception &e) {
+        metrics::counter("service.replies_error").add(1);
+        reply =
+            errorReply(task.req.id, errc::internalError, e.what());
+    }
+    metrics::distribution("service.exec_ms")
+        .record(millisSince(execStart));
+    sendLine(task.conn, reply);
+}
+
+std::string
+Server::coalesced(const Task &task)
+{
+    const std::string key = coalesceKey(task.req);
+    for (;;) {
+        std::shared_future<std::string> future;
+        std::uint64_t id = 0;
+        bool leader = false;
+        std::promise<std::string> promise;
+        {
+            std::lock_guard lk(coalesceMutex_);
+            auto it = inflight_.find(key);
+            if (it != inflight_.end()) {
+                future = it->second.future;
+                metrics::counter("service.coalesce_hits").add(1);
+            } else {
+                leader = true;
+                future = promise.get_future().share();
+                id = ++nextInflightId_;
+                inflight_[key] = Inflight{future, id};
+            }
+        }
+
+        if (leader) {
+            std::string body;
+            try {
+                body = computeBody(task);
+            } catch (...) {
+                // Same semantics as the SynthCache: store the
+                // exception first, then drop the entry (only if it
+                // is still ours), so every coalesced waiter sees
+                // the original error and later requests retry.
+                promise.set_exception(std::current_exception());
+                std::lock_guard lk(coalesceMutex_);
+                auto it = inflight_.find(key);
+                if (it != inflight_.end() && it->second.id == id)
+                    inflight_.erase(it);
+                throw;
+            }
+            promise.set_value(body);
+            std::lock_guard lk(coalesceMutex_);
+            auto it = inflight_.find(key);
+            if (it != inflight_.end() && it->second.id == id)
+                inflight_.erase(it);
+            return body;
+        }
+
+        try {
+            return future.get();
+        } catch (const DeadlineError &) {
+            // The *leader's* deadline expired, not necessarily
+            // ours. Retry as leader if we still have room.
+            if (task.hasDeadline && Clock::now() > task.deadline)
+                throw;
+        }
+    }
+}
+
+std::string
+Server::computeBody(const Task &task)
+{
+    const Request &req = task.req;
+    switch (req.type) {
+      case RequestType::Synth:
+        return synthBody(evaluateDesignPoint(req.config));
+
+      case RequestType::Yield: {
+        FunctionalYieldConfig mc;
+        mc.fault.deviceYield = req.deviceYield;
+        mc.fault.seed = req.seed;
+        mc.trials = req.trials;
+        mc.replicas = req.replicas;
+        mc.pool = &pool_;
+        auto core = SynthCache::global().core(req.config);
+        std::lock_guard lk(poolMutex_);
+        return yieldBody(
+            req.config,
+            measureFunctionalYield(*core, req.config, mc));
+      }
+
+      case RequestType::Sweep: {
+        const std::vector<CoreConfig> configs =
+            req.sweep.configs();
+        if (task.hasDeadline) {
+            // Sequential, deadline-checked between points. Point
+            // results are identical to the pool path (evaluation
+            // is deterministic), so the reply bytes don't depend
+            // on which path ran.
+            std::vector<DesignPoint> points;
+            points.reserve(configs.size());
+            for (const CoreConfig &config : configs) {
+                if (Clock::now() > task.deadline)
+                    throw DeadlineError();
+                points.push_back(evaluateDesignPoint(config));
+            }
+            return sweepBody(points);
+        }
+        SweepOptions opts;
+        opts.pool = &pool_;
+        std::lock_guard lk(poolMutex_);
+        return sweepBody(sweepConfigs(configs, opts));
+      }
+
+      default:
+        panic("computeBody() on a non-compute request");
+    }
+}
+
+std::string
+Server::metricsBody() const
+{
+    const metrics::Snapshot snap =
+        metrics::Registry::global().snapshot();
+    std::string out = "{\"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : snap.counters) {
+        out += first ? "" : ", ";
+        out += json::jsonQuote(name) + ": " +
+               std::to_string(value);
+        first = false;
+    }
+    out += "}, \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : snap.gauges) {
+        out += first ? "" : ", ";
+        out += json::jsonQuote(name) + ": " + formatDouble(value);
+        first = false;
+    }
+    out += "}, \"distributions\": {";
+    first = true;
+    for (const auto &[name, s] : snap.distributions) {
+        out += first ? "" : ", ";
+        out += json::jsonQuote(name);
+        out += ": {\"count\": " + std::to_string(s.count);
+        out += ", \"mean\": " + formatDouble(s.mean);
+        out += ", \"p50\": " + formatDouble(s.p50);
+        out += ", \"p95\": " + formatDouble(s.p95);
+        out += ", \"max\": " + formatDouble(s.max);
+        out += "}";
+        first = false;
+    }
+    out += "}}";
+    return out;
+}
+
+std::string
+Server::healthBody()
+{
+    std::size_t depth;
+    bool draining;
+    {
+        std::lock_guard lk(queueMutex_);
+        depth = queue_.size();
+        draining = finishing_;
+    }
+    std::string out = "{\"status\": \"ok\"";
+    out += ", \"uptime_ms\": " +
+           formatDouble(millisSince(started_));
+    out += ", \"queue_depth\": " + std::to_string(depth);
+    out += ", \"queue_capacity\": " +
+           std::to_string(opts_.maxQueue);
+    out += ", \"pool_threads\": " +
+           std::to_string(pool_.threadCount());
+    out += ", \"draining\": ";
+    out += draining ? "true" : "false";
+    out += "}";
+    return out;
+}
+
+void
+Server::sendLine(const std::shared_ptr<Connection> &conn,
+                 const std::string &line)
+{
+    std::lock_guard lk(conn->writeMutex);
+    std::string framed = line;
+    framed += '\n';
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n =
+            ::send(conn->fd, framed.data() + sent,
+                   framed.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            conn->open.store(false);
+            return; // client went away; drop the reply
+        }
+        sent += std::size_t(n);
+    }
+}
+
+} // namespace printed::service

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * printedd: the long-running evaluation service.
+ *
+ * Serves the protocol of protocol.hh over loopback TCP. The server
+ * is structured as
+ *
+ *   accept thread -> one reader thread per connection
+ *                 -> bounded request queue (admission control)
+ *                 -> executor threads  -> shared compute ThreadPool
+ *
+ * Admission: compute requests (synth/yield/sweep) enter a bounded
+ * FIFO queue; when it is full the request is answered immediately
+ * with a "queue_full" error instead of being buffered without
+ * limit. Introspection (metrics/health) and admin (shutdown) are
+ * answered inline by the reader thread and never queue.
+ *
+ * Deadlines: a request's optional "deadline_ms" is relative to
+ * admission. It is checked when an executor dequeues the request
+ * and between sweep points, so a deadline shorter than the queue
+ * wait or a sweep's remaining work yields a "deadline_exceeded"
+ * error without burning further compute.
+ *
+ * Coalescing: identical in-flight compute requests (equal
+ * coalesceKey) share one execution via a promise/shared_future map
+ * — the same idiom as the SynthCache, and the same failure
+ * semantics (exception stored before the entry is dropped). A
+ * follower woken by a *leader's* deadline abort retries as leader
+ * if its own deadline still has room.
+ *
+ * Drain: shutdown (the request type, Server::~Server, or a signal
+ * via beginShutdown()) stops admission — new compute requests get
+ * "shutting_down" — then lets the executors finish every admitted
+ * request before the sockets close, so no accepted request is ever
+ * silently dropped.
+ *
+ * Determinism: compute replies are byte-identical functions of the
+ * request line (protocol.hh); the executor/coalescing machinery
+ * only decides *when* and *by whom* a reply is computed, never its
+ * bytes. Everything else the server touches (metrics, traces) is
+ * observational only.
+ */
+
+#ifndef PRINTED_SERVICE_SERVER_HH
+#define PRINTED_SERVICE_SERVER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "service/protocol.hh"
+
+namespace printed::service
+{
+
+/** Configuration of a Server. */
+struct ServerOptions
+{
+    /** Listen address (loopback by default — printedd is local). */
+    std::string host = "127.0.0.1";
+
+    /** Listen port; 0 = ephemeral (read back via Server::port()). */
+    std::uint16_t port = 0;
+
+    /** Executor threads draining the request queue. */
+    unsigned executors = 2;
+
+    /**
+     * Threads of the shared compute pool (yield trials, sweep
+     * points); 0 = hardware concurrency.
+     */
+    unsigned poolThreads = 0;
+
+    /** Admission-queue capacity; beyond it requests are rejected. */
+    std::size_t maxQueue = 64;
+
+    /** Largest accepted request line; longer closes the client. */
+    std::size_t maxRequestBytes = 1 << 20;
+
+    /**
+     * SynthCache::global() entry cap installed at start(); 0 leaves
+     * the cache unbounded (the bench/test default).
+     */
+    std::size_t cacheCapacity = 0;
+};
+
+/** The printedd TCP server. */
+class Server
+{
+  public:
+    explicit Server(ServerOptions opts = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen, and spawn the service threads. */
+    void start();
+
+    /** The bound port (valid after start()). */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Request shutdown: stop admitting compute requests and wake
+     * wait(). Safe from any thread, including reader threads (the
+     * "shutdown" request type calls this); returns immediately.
+     */
+    void beginShutdown();
+
+    /**
+     * Block until shutdown is requested, then drain: finish every
+     * admitted request, join all threads, close all sockets.
+     */
+    void wait();
+
+  private:
+    struct Connection;
+
+    /** Admission verdicts. */
+    enum class Admit
+    {
+        Ok,
+        QueueFull,
+        ShuttingDown
+    };
+
+    /** One admitted compute request. */
+    struct Task
+    {
+        Request req;
+        std::shared_ptr<Connection> conn;
+        std::chrono::steady_clock::time_point admitted;
+        bool hasDeadline = false;
+        std::chrono::steady_clock::time_point deadline;
+    };
+
+    void acceptLoop();
+    void readerLoop(std::shared_ptr<Connection> conn);
+    void executorLoop(unsigned slot);
+
+    /** Handle one request line from a connection. */
+    void handleLine(const std::shared_ptr<Connection> &conn,
+                    const std::string &line);
+
+    Admit admit(Task task);
+    void execute(Task &task);
+
+    /**
+     * Result body of a compute request, deduped against identical
+     * in-flight requests. Throws DeadlineError (internal) when the
+     * deadline expires mid-execution.
+     */
+    std::string coalesced(const Task &task);
+
+    /** Compute the result body of a task (no coalescing). */
+    std::string computeBody(const Task &task);
+
+    std::string metricsBody() const;
+    std::string healthBody();
+
+    /** Send one reply line on a connection (serialized per-conn). */
+    void sendLine(const std::shared_ptr<Connection> &conn,
+                  const std::string &line);
+
+    void joinEverything();
+
+    ServerOptions opts_;
+    std::uint16_t port_ = 0;
+    int listenFd_ = -1;
+    std::chrono::steady_clock::time_point started_;
+
+    ThreadPool pool_;
+    std::mutex poolMutex_; ///< the pool runs one job at a time
+
+    std::thread acceptThread_;
+    std::vector<std::thread> executors_;
+
+    std::mutex connMutex_;
+    std::vector<std::shared_ptr<Connection>> conns_;
+
+    std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::deque<Task> queue_;
+    bool finishing_ = false; ///< shutdown requested; drain mode
+
+    std::mutex stopMutex_;
+    std::condition_variable stopCv_;
+    bool stopRequested_ = false;
+    bool joined_ = false;
+
+    /** In-flight compute executions, by coalesceKey. */
+    struct Inflight
+    {
+        std::shared_future<std::string> future;
+        std::uint64_t id = 0;
+    };
+    std::mutex coalesceMutex_;
+    std::map<std::string, Inflight> inflight_;
+    std::uint64_t nextInflightId_ = 0;
+};
+
+} // namespace printed::service
+
+#endif // PRINTED_SERVICE_SERVER_HH

@@ -22,6 +22,15 @@ elapsedMs(std::chrono::steady_clock::time_point start)
         .count();
 }
 
+/** Has this shared_future been satisfied (value or exception)? */
+template <typename Future>
+bool
+settled(const Future &f)
+{
+    return f.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+}
+
 } // anonymous namespace
 
 SynthCache::SynthCache(bool publishMetrics)
@@ -32,11 +41,17 @@ SynthCache::SynthCache(bool publishMetrics)
             &metrics::counter("synth.cache.netlist_misses");
         charHits_ = &metrics::counter("synth.cache.char_hits");
         charMisses_ = &metrics::counter("synth.cache.char_misses");
+        netlistEvictions_ =
+            &metrics::counter("synth.cache.netlist_evictions");
+        charEvictions_ =
+            &metrics::counter("synth.cache.char_evictions");
     } else {
         netlistHits_ = &ownCounters_[0];
         netlistMisses_ = &ownCounters_[1];
         charHits_ = &ownCounters_[2];
         charMisses_ = &ownCounters_[3];
+        netlistEvictions_ = &ownCounters_[4];
+        charEvictions_ = &ownCounters_[5];
     }
 }
 
@@ -74,6 +89,29 @@ coreConfigHash(const CoreConfig &config)
     return h;
 }
 
+template <typename Map>
+void
+SynthCache::enforceCap(Map &map, metrics::Counter &evictions)
+{
+    // Caller holds mutex_. Only settled entries are candidates:
+    // in-flight builds have live waiters and a builder that still
+    // needs to find (or id-miss) its own entry.
+    while (capacity_ != 0 && map.size() > capacity_) {
+        auto victim = map.end();
+        for (auto it = map.begin(); it != map.end(); ++it) {
+            if (!settled(it->second.future))
+                continue;
+            if (victim == map.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (victim == map.end())
+            return; // everything in flight; cap exceeded briefly
+        map.erase(victim);
+        evictions.add();
+    }
+}
+
 std::shared_ptr<const Netlist>
 SynthCache::core(const CoreConfig &config)
 {
@@ -81,16 +119,21 @@ SynthCache::core(const CoreConfig &config)
     std::promise<std::shared_ptr<const Netlist>> promise;
     std::shared_future<std::shared_ptr<const Netlist>> future;
     bool builder = false;
+    std::uint64_t entryId = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = cores_.find(key);
         if (it == cores_.end()) {
             builder = true;
             future = promise.get_future().share();
-            cores_.emplace(key, future);
+            entryId = ++nextId_;
+            cores_.emplace(key,
+                           Entry<Netlist>{future, ++tick_, entryId});
             netlistMisses_->add();
+            enforceCap(cores_, *netlistEvictions_);
         } else {
-            future = it->second;
+            it->second.lastUse = ++tick_;
+            future = it->second.future;
             netlistHits_->add();
         }
     }
@@ -99,6 +142,15 @@ SynthCache::core(const CoreConfig &config)
         try {
             promise.set_value(
                 std::make_shared<const Netlist>(buildCore(config)));
+            // The entry was exempt from eviction while in flight;
+            // now that it settled, stamp it fresh and re-enforce
+            // the cap (inserts that raced with the build skipped
+            // it as unevictable).
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = cores_.find(key);
+            if (it != cores_.end() && it->second.id == entryId)
+                it->second.lastUse = ++tick_;
+            enforceCap(cores_, *netlistEvictions_);
         } catch (...) {
             // Don't cache failures — but satisfy the promise with
             // the exception *before* dropping the entry: concurrent
@@ -106,10 +158,14 @@ SynthCache::core(const CoreConfig &config)
             // risks destroying an unsatisfied promise path where
             // they would see std::future_error (broken_promise)
             // instead of the original FatalError. A later call
-            // re-attempts (and re-reports) the build.
+            // re-attempts (and re-reports) the build. The id check
+            // keeps a concurrent evict-then-reinstall of the same
+            // key from losing an innocent entry.
             promise.set_exception(std::current_exception());
             std::lock_guard<std::mutex> lock(mutex_);
-            cores_.erase(key);
+            auto it = cores_.find(key);
+            if (it != cores_.end() && it->second.id == entryId)
+                cores_.erase(it);
         }
         return future.get();
     }
@@ -135,16 +191,21 @@ SynthCache::characterization(const CoreConfig &config, TechKind tech,
     std::promise<std::shared_ptr<const Characterization>> promise;
     std::shared_future<std::shared_ptr<const Characterization>> future;
     bool builder = false;
+    std::uint64_t entryId = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = chars_.find(key);
         if (it == chars_.end()) {
             builder = true;
             future = promise.get_future().share();
-            chars_.emplace(key, future);
+            entryId = ++nextId_;
+            chars_.emplace(key, Entry<Characterization>{
+                                    future, ++tick_, entryId});
             charMisses_->add();
+            enforceCap(chars_, *charEvictions_);
         } else {
-            future = it->second;
+            it->second.lastUse = ++tick_;
+            future = it->second.future;
             charHits_->add();
         }
     }
@@ -154,12 +215,22 @@ SynthCache::characterization(const CoreConfig &config, TechKind tech,
             const std::shared_ptr<const Netlist> nl = core(config);
             promise.set_value(std::make_shared<const Characterization>(
                 characterize(*nl, libraryFor(tech), activity)));
+            // Same post-settle refresh + cap re-enforcement as
+            // core().
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = chars_.find(key);
+            if (it != chars_.end() && it->second.id == entryId)
+                it->second.lastUse = ++tick_;
+            enforceCap(chars_, *charEvictions_);
         } catch (...) {
             // Same ordering rule as core(): satisfy the promise
-            // first so waiters get the real error, then un-cache.
+            // first so waiters get the real error, then un-cache
+            // (own entry only, see core()).
             promise.set_exception(std::current_exception());
             std::lock_guard<std::mutex> lock(mutex_);
-            chars_.erase(key);
+            auto it = chars_.find(key);
+            if (it != chars_.end() && it->second.id == entryId)
+                chars_.erase(it);
         }
     }
     return future.get();
@@ -173,6 +244,11 @@ SynthCache::stats() const
     s.netlistMisses = netlistMisses_->value();
     s.charHits = charHits_->value();
     s.charMisses = charMisses_->value();
+    s.netlistEvictions = netlistEvictions_->value();
+    s.charEvictions = charEvictions_->value();
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.netlistEntries = cores_.size();
+    s.charEntries = chars_.size();
     return s;
 }
 
@@ -186,6 +262,24 @@ SynthCache::clear()
     netlistMisses_->reset();
     charHits_->reset();
     charMisses_->reset();
+    netlistEvictions_->reset();
+    charEvictions_->reset();
+}
+
+void
+SynthCache::setCapacity(std::size_t maxEntries)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = maxEntries;
+    enforceCap(cores_, *netlistEvictions_);
+    enforceCap(chars_, *charEvictions_);
+}
+
+std::size_t
+SynthCache::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
 }
 
 SynthCache &

@@ -32,6 +32,17 @@
  * waiter sees the original FatalError (never a broken_promise) and
  * a later call re-attempts the build.
  *
+ * Bounding: setCapacity(n) caps each map (netlists and
+ * characterizations separately) at n entries with least-recently-
+ * used eviction — off by default (0 = unbounded, the bench/test
+ * behavior), switched on by the long-running printedd server so
+ * resident memory stays bounded under an unbounded request stream.
+ * Only *settled* entries are evicted: an in-flight build is never
+ * dropped out from under its waiters, which preserves the
+ * set-exception-before-erase failure semantics. Eviction removes
+ * the map entry only; callers holding the shared_ptr keep a valid
+ * object, and a later lookup of the same key rebuilds (a miss).
+ *
  * Statistics: hit/miss counts are lock-free metrics::Counter
  * instruments. The process-wide global() instance publishes them
  * in the metrics registry under "synth.cache.*" (they appear in
@@ -92,6 +103,11 @@ struct SynthCacheStats
     std::uint64_t netlistMisses = 0;
     std::uint64_t charHits = 0;
     std::uint64_t charMisses = 0;
+    std::uint64_t netlistEvictions = 0;
+    std::uint64_t charEvictions = 0;
+    /** Entries currently resident (not monotonic). */
+    std::size_t netlistEntries = 0;
+    std::size_t charEntries = 0;
 };
 
 /** Memoizing synthesis + characterization cache. */
@@ -127,6 +143,16 @@ class SynthCache
     /** Drop all entries and reset the counters. */
     void clear();
 
+    /**
+     * Cap each map (netlists, characterizations) at `maxEntries`
+     * with LRU eviction of settled entries; 0 restores the default
+     * unbounded behavior. Lowering the cap evicts immediately.
+     */
+    void setCapacity(std::size_t maxEntries);
+
+    /** Current per-map entry cap (0 = unbounded). */
+    std::size_t capacity() const;
+
     /** The process-wide cache used by sweeps and benches. */
     static SynthCache &global();
 
@@ -140,21 +166,40 @@ class SynthCache
         auto operator<=>(const CharKey &) const = default;
     };
 
+    /**
+     * One cached build: the shared future plus the LRU bookkeeping.
+     * `id` identifies this *installation* of the key, so a failed
+     * builder erases only its own entry (the entry could have been
+     * evicted and re-installed by another miss in the meantime).
+     */
+    template <typename T>
+    struct Entry
+    {
+        std::shared_future<std::shared_ptr<const T>> future;
+        std::uint64_t lastUse = 0;
+        std::uint64_t id = 0;
+    };
+
+    /** Evict settled LRU entries until `map` fits the cap. */
+    template <typename Map>
+    void enforceCap(Map &map, metrics::Counter &evictions);
+
     mutable std::mutex mutex_;
-    std::map<CoreConfigKey,
-             std::shared_future<std::shared_ptr<const Netlist>>>
-        cores_;
-    std::map<CharKey,
-             std::shared_future<std::shared_ptr<const Characterization>>>
-        chars_;
+    std::map<CoreConfigKey, Entry<Netlist>> cores_;
+    std::map<CharKey, Entry<Characterization>> chars_;
+    std::size_t capacity_ = 0; ///< per-map entry cap; 0 = unbounded
+    std::uint64_t tick_ = 0;   ///< LRU clock (bumped per access)
+    std::uint64_t nextId_ = 0; ///< entry installation ids
 
     /** Private counter storage for non-published instances. */
-    metrics::Counter ownCounters_[4];
+    metrics::Counter ownCounters_[6];
     /** Hit/miss counters (own or registry-backed, see ctor). */
     metrics::Counter *netlistHits_;
     metrics::Counter *netlistMisses_;
     metrics::Counter *charHits_;
     metrics::Counter *charMisses_;
+    metrics::Counter *netlistEvictions_;
+    metrics::Counter *charEvictions_;
 };
 
 } // namespace printed

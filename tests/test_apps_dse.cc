@@ -277,6 +277,89 @@ TEST(Dse, CacheExceptionPropagatesToAllWaiters)
     EXPECT_NE(cache.core(CoreConfig::standard(1, 8, 2)), nullptr);
 }
 
+TEST(Dse, CacheCapacityEvictsLeastRecentlyUsed)
+{
+    // The bounded mode printedd runs with: each map holds at most
+    // `capacity` settled entries, the LRU one leaves first, and an
+    // evicted key simply misses (and rebuilds) on its next lookup.
+    SynthCache cache;
+    cache.setCapacity(2);
+    EXPECT_EQ(cache.capacity(), 2u);
+
+    const CoreConfig a = CoreConfig::standard(1, 4, 2);
+    const CoreConfig b = CoreConfig::standard(1, 8, 2);
+    const CoreConfig c = CoreConfig::standard(2, 4, 2);
+
+    const auto na = cache.core(a);
+    cache.core(b);
+    cache.core(a);     // refresh a: b is now the LRU entry
+    cache.core(c);     // evicts b
+    SynthCacheStats s = cache.stats();
+    EXPECT_EQ(s.netlistEntries, 2u);
+    EXPECT_EQ(s.netlistEvictions, 1u);
+    EXPECT_EQ(s.netlistMisses, 3u);
+
+    // a survived the eviction (it was refreshed)...
+    cache.core(a);
+    EXPECT_EQ(cache.stats().netlistMisses, 3u);
+    // ...b did not: same key misses again and rebuilds.
+    cache.core(b);
+    EXPECT_EQ(cache.stats().netlistMisses, 4u);
+
+    // Objects held across an eviction stay valid (shared_ptr).
+    EXPECT_GT(na->gateCount(), 0u);
+
+    // Raising the cap stops eviction; 0 = unbounded again.
+    cache.setCapacity(0);
+    cache.core(c);
+    cache.core(a);
+    EXPECT_EQ(cache.stats().netlistEntries, 3u);
+
+    // Lowering the cap evicts immediately, down to the cap.
+    cache.setCapacity(1);
+    EXPECT_EQ(cache.stats().netlistEntries, 1u);
+}
+
+TEST(Dse, CacheCapStressUnderConcurrentLookups)
+{
+    // Hammer a tiny cap from many threads over a wider key set than
+    // fits: the map must never exceed cap + in-flight builds, every
+    // returned object must be usable, evictions must be counted,
+    // and the set-exception-before-erase failure semantics must
+    // survive eviction pressure (bad keys interleaved throughout).
+    SynthCache cache;
+    cache.setCapacity(2);
+
+    const auto configs = figure7Configs(); // 24 distinct keys
+    CoreConfig bad = CoreConfig::standard(1, 8, 2);
+    bad.stages = 7; // rejected by CoreConfig::check()
+
+    std::atomic<unsigned> fatals{0};
+    parallelFor(8, 96, [&](std::size_t i) {
+        if (i % 12 == 7) {
+            try {
+                cache.core(bad);
+                ADD_FAILURE() << "bad config produced a netlist";
+            } catch (const FatalError &) {
+                fatals.fetch_add(1);
+            }
+            return;
+        }
+        const auto nl = cache.core(configs[i % 8]);
+        ASSERT_NE(nl, nullptr);
+        EXPECT_GT(nl->gateCount(), 0u);
+    });
+    EXPECT_EQ(fatals.load(), 8u);
+
+    const SynthCacheStats s = cache.stats();
+    EXPECT_LE(s.netlistEntries, 2u);
+    EXPECT_GT(s.netlistEvictions, 0u);
+    // 88 good lookups over 8 keys with cap 2: rebuilds happened,
+    // but every lookup was served one way or the other.
+    EXPECT_EQ(s.netlistHits + s.netlistMisses, 96u);
+    EXPECT_GE(s.netlistMisses, 8u);
+}
+
 /**
  * Counter part of one metrics snapshot, restricted to the
  * deterministic namespaces (wall-clock gauges/distributions and the

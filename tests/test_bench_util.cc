@@ -13,7 +13,7 @@
 #include <sstream>
 
 #include "bench_util.hh"
-#include "json_min.hh"
+#include "common/json_min.hh"
 
 namespace printed
 {
@@ -25,7 +25,7 @@ using bench::JsonValue;
 using bench::jsonEscape;
 using bench::jsonQuote;
 using bench::uintFromArgs;
-namespace json = bench::json;
+namespace json = printed::json;
 
 TEST(JsonEscape, PassesPlainTextThrough)
 {

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Edge-case tests of the shared JSON reader (common/json_min.hh).
+ *
+ * The reader started life parsing this repo's own BENCH_*.json
+ * reports; since it now also parses untrusted network input for the
+ * printedd evaluation service, these tests pin down the hardening
+ * behavior: recursion is depth-limited, \u escapes handle (and
+ * police) UTF-16 surrogate pairs, trailing garbage is rejected, and
+ * overflowing numbers saturate to infinity instead of mis-parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/json_min.hh"
+
+namespace printed
+{
+namespace
+{
+
+TEST(JsonDepth, NestingWithinTheLimitParses)
+{
+    std::string doc;
+    // Well under json::maxDepth on purpose: documents this repo
+    // emits are < 10 deep.
+    const std::size_t depth = 32;
+    for (std::size_t i = 0; i < depth; ++i)
+        doc += "[";
+    doc += "1";
+    for (std::size_t i = 0; i < depth; ++i)
+        doc += "]";
+    const json::Value v = json::parse(doc);
+    EXPECT_TRUE(v.isArray());
+}
+
+TEST(JsonDepth, HostileNestingIsRejectedNotACrash)
+{
+    // A megabyte of "[" must throw ParseError, not overflow the
+    // parser's stack.
+    std::string doc(1u << 20, '[');
+    EXPECT_THROW(json::parse(doc), json::ParseError);
+
+    // Exactly at the limit parses; one past it does not.
+    auto nested = [](std::size_t depth) {
+        std::string d(depth, '[');
+        d += "0";
+        d.append(depth, ']');
+        return d;
+    };
+    EXPECT_NO_THROW(json::parse(nested(json::maxDepth)));
+    EXPECT_THROW(json::parse(nested(json::maxDepth + 1)),
+                 json::ParseError);
+
+    // Mixed object/array nesting counts against the same limit.
+    std::string mixed;
+    for (std::size_t i = 0; i < json::maxDepth; ++i)
+        mixed += "{\"k\":[";
+    EXPECT_THROW(json::parse(mixed), json::ParseError);
+}
+
+TEST(JsonStrings, SurrogatePairsDecodeToUtf8)
+{
+    // U+1F600 (😀) as a \uD83D\uDE00 pair -> 4-byte UTF-8.
+    const json::Value v = json::parse("\"\\uD83D\\uDE00\"");
+    EXPECT_EQ(v.string, "\xF0\x9F\x98\x80");
+
+    // BMP escapes still produce the 1/2/3-byte encodings.
+    EXPECT_EQ(json::parse("\"\\u0041\"").string, "A");
+    EXPECT_EQ(json::parse("\"\\u00E9\"").string, "\xC3\xA9");
+    EXPECT_EQ(json::parse("\"\\u20AC\"").string, "\xE2\x82\xAC");
+}
+
+TEST(JsonStrings, UnpairedSurrogatesAreRejected)
+{
+    // High surrogate at end of string.
+    EXPECT_THROW(json::parse("\"\\uD83D\""), json::ParseError);
+    // High surrogate followed by a non-escape.
+    EXPECT_THROW(json::parse("\"\\uD83Dx\""), json::ParseError);
+    // High surrogate followed by a non-surrogate escape.
+    EXPECT_THROW(json::parse("\"\\uD83D\\u0041\""),
+                 json::ParseError);
+    // Lone low surrogate.
+    EXPECT_THROW(json::parse("\"\\uDE00\""), json::ParseError);
+    // Truncated hex digits.
+    EXPECT_THROW(json::parse("\"\\uD8\""), json::ParseError);
+}
+
+TEST(JsonTrailing, GarbageAfterTheDocumentIsRejected)
+{
+    EXPECT_THROW(json::parse("{} x"), json::ParseError);
+    EXPECT_THROW(json::parse("1 2"), json::ParseError);
+    EXPECT_THROW(json::parse("[1] ]"), json::ParseError);
+    EXPECT_THROW(json::parse("null{}"), json::ParseError);
+    // ...but trailing whitespace is fine.
+    EXPECT_NO_THROW(json::parse("{\"a\": 1}  \n\t "));
+}
+
+TEST(JsonNumbers, HugeMagnitudesSaturateToInfinity)
+{
+    // Magnitudes beyond double's range parse (strtod semantics)
+    // as +/-inf rather than erroring or silently wrapping; the
+    // offset into the parse is preserved for real malformations.
+    EXPECT_TRUE(std::isinf(json::parse("1e999").number));
+    EXPECT_GT(json::parse("1e999").number, 0);
+    EXPECT_LT(json::parse("-1e999").number, 0);
+    const double big = json::parse("1e308").number;
+    EXPECT_TRUE(std::isfinite(big));
+    EXPECT_EQ(big, 1e308);
+    // Underflow flushes toward zero, still a number.
+    EXPECT_NEAR(json::parse("1e-999").number, 0.0, 1e-300);
+    // A huge digit string is fine too (no fixed-width accumulator).
+    EXPECT_TRUE(std::isinf(
+        json::parse(std::string(400, '9')).number));
+}
+
+TEST(JsonNumbers, MalformedNumbersStillFail)
+{
+    EXPECT_THROW(json::parse("1e"), json::ParseError);
+    EXPECT_THROW(json::parse("--1"), json::ParseError);
+    EXPECT_THROW(json::parse("1.2.3"), json::ParseError);
+    EXPECT_THROW(json::parse("+-"), json::ParseError);
+    EXPECT_THROW(json::parse("nan"), json::ParseError);
+    EXPECT_THROW(json::parse("inf"), json::ParseError);
+}
+
+TEST(JsonErrors, OffsetsPointAtTheFailure)
+{
+    try {
+        json::parse("{\"a\": ]");
+        FAIL() << "expected ParseError";
+    } catch (const json::ParseError &e) {
+        EXPECT_EQ(e.offset(), 6u);
+    }
+    try {
+        json::parse("[1, 2] garbage");
+        FAIL() << "expected ParseError";
+    } catch (const json::ParseError &e) {
+        EXPECT_EQ(e.offset(), 7u);
+    }
+}
+
+TEST(JsonEscapeShared, RoundTripsThroughTheParser)
+{
+    // The writer-side helpers moved here with the promotion; a
+    // string full of specials must survive escape -> parse.
+    const std::string nasty =
+        "a\"b\\c\nd\te\x01f/\xF0\x9F\x98\x80";
+    const json::Value v =
+        json::parse(json::jsonQuote(nasty));
+    EXPECT_EQ(v.string, nasty);
+}
+
+} // anonymous namespace
+} // namespace printed

@@ -19,14 +19,14 @@
 #include "common/metrics.hh"
 #include "common/parallel.hh"
 #include "common/trace.hh"
-#include "json_min.hh"
+#include "common/json_min.hh"
 
 namespace printed
 {
 namespace
 {
 
-namespace json = bench::json;
+namespace json = printed::json;
 
 TEST(Counter, AddValueReset)
 {

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * printedd service tests: protocol round-trips, end-to-end TCP
+ * request/reply, admission control, deadlines, drain, and the
+ * serving determinism rule (concurrent replies byte-identical to
+ * serial ones).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/json_min.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "service/client.hh"
+#include "service/protocol.hh"
+#include "service/server.hh"
+
+namespace
+{
+
+using namespace printed;
+using namespace printed::service;
+
+CoreConfig
+smallConfig()
+{
+    return CoreConfig::standard(1, 4, 2);
+}
+
+// ---------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------
+
+TEST(ServiceProtocol, SynthRequestRoundTrip)
+{
+    CoreConfig cfg = CoreConfig::standard(2, 16, 4);
+    cfg.opcodeMask = 0x1FF;
+    cfg.tristateResultMux = false;
+
+    const Request req =
+        parseRequest(synthRequest("r42", cfg, 125.5));
+    EXPECT_EQ(req.id, "r42");
+    EXPECT_EQ(req.type, RequestType::Synth);
+    EXPECT_EQ(req.config.stages, 2u);
+    EXPECT_EQ(req.config.isa.datawidth, 16u);
+    EXPECT_EQ(req.config.isa.barCount, 4u);
+    EXPECT_EQ(req.config.opcodeMask, 0x1FFu);
+    EXPECT_FALSE(req.config.tristateResultMux);
+    EXPECT_DOUBLE_EQ(req.deadlineMs, 125.5);
+}
+
+TEST(ServiceProtocol, YieldRequestRoundTrip)
+{
+    const Request req = parseRequest(
+        yieldRequest("y1", smallConfig(), 512, 99, 3));
+    EXPECT_EQ(req.type, RequestType::Yield);
+    EXPECT_EQ(req.trials, 512u);
+    EXPECT_EQ(req.seed, 99u);
+    EXPECT_EQ(req.replicas, 3u);
+    EXPECT_DOUBLE_EQ(req.deviceYield, 0.9999);
+}
+
+TEST(ServiceProtocol, SweepRequestRoundTrip)
+{
+    SweepSpec spec;
+    spec.stages = {1, 3};
+    spec.widths = {8};
+    spec.bars = {2, 4};
+    const Request req =
+        parseRequest(sweepRequest("w1", spec));
+    EXPECT_EQ(req.type, RequestType::Sweep);
+    EXPECT_EQ(req.sweep.stages, spec.stages);
+    EXPECT_EQ(req.sweep.widths, spec.widths);
+    EXPECT_EQ(req.sweep.bars, spec.bars);
+    EXPECT_EQ(req.sweep.configs().size(), 4u);
+}
+
+TEST(ServiceProtocol, SweepDefaultsToFullGrid)
+{
+    const Request req =
+        parseRequest("{\"id\":\"w\",\"type\":\"sweep\"}");
+    EXPECT_EQ(req.sweep.configs().size(), 24u);
+}
+
+TEST(ServiceProtocol, RejectsInvalidRequests)
+{
+    EXPECT_THROW(parseRequest("{\"type\":\"nope\"}"), FatalError);
+    EXPECT_THROW(parseRequest("{}"), FatalError);
+    EXPECT_THROW(parseRequest("[1,2]"), FatalError);
+    EXPECT_THROW(parseRequest("{\"type\":\"synth\","
+                              "\"config\":{\"stages\":7}}"),
+                 FatalError);
+    EXPECT_THROW(parseRequest("{\"type\":\"sweep\","
+                              "\"widths\":[13]}"),
+                 FatalError);
+    EXPECT_THROW(parseRequest("not json"), json::ParseError);
+}
+
+TEST(ServiceProtocol, CoalesceKeyIgnoresIdAndDeadline)
+{
+    const CoreConfig cfg = smallConfig();
+    const Request a = parseRequest(synthRequest("a", cfg, 0));
+    const Request b = parseRequest(synthRequest("b", cfg, 500));
+    EXPECT_EQ(coalesceKey(a), coalesceKey(b));
+
+    const Request c = parseRequest(
+        synthRequest("c", CoreConfig::standard(1, 8, 2)));
+    EXPECT_NE(coalesceKey(a), coalesceKey(c));
+
+    // Different yield seeds are different computations.
+    const Request y1 =
+        parseRequest(yieldRequest("y", cfg, 64, 1));
+    const Request y2 =
+        parseRequest(yieldRequest("y", cfg, 64, 2));
+    EXPECT_NE(coalesceKey(y1), coalesceKey(y2));
+}
+
+TEST(ServiceProtocol, FormatDoubleRoundTrips)
+{
+    for (double v : {0.0, 1.0, 0.1, 1.0 / 3.0, 22.830007762202637,
+                     1e-300, -123456.789}) {
+        const std::string text = formatDouble(v);
+        EXPECT_EQ(std::stod(text), v) << text;
+    }
+    EXPECT_EQ(formatDouble(1.0 / 0.0), "null");
+}
+
+TEST(ServiceProtocol, ReplyParsing)
+{
+    const Reply ok = parseReply(okReply(
+        "r1", RequestType::Synth, "{\"gates\": 454}"));
+    EXPECT_TRUE(ok.ok);
+    EXPECT_EQ(ok.id, "r1");
+
+    const Reply err = parseReply(
+        errorReply("r2", errc::queueFull, "full"));
+    EXPECT_FALSE(err.ok);
+    EXPECT_EQ(err.id, "r2");
+    EXPECT_EQ(err.error, "queue_full");
+    EXPECT_EQ(err.message, "full");
+}
+
+// ---------------------------------------------------------------
+// End to end
+// ---------------------------------------------------------------
+
+TEST(ServiceServer, SynthOverTcp)
+{
+    Server server;
+    server.start();
+    Client client("127.0.0.1", server.port());
+
+    const std::string raw =
+        client.call(synthRequest("s1", smallConfig()));
+    const Reply reply = parseReply(raw);
+    ASSERT_TRUE(reply.ok) << raw;
+
+    const json::Value root = json::parse(raw);
+    const json::Value *result = root.find("result");
+    ASSERT_NE(result, nullptr);
+    const json::Value *core = result->find("core");
+    ASSERT_NE(core, nullptr);
+    EXPECT_EQ(core->string, "p1_4_2");
+    EXPECT_GT(result->find("gates")->number, 100);
+
+    // The reply is a pure function of the request line.
+    EXPECT_EQ(client.call(synthRequest("s1", smallConfig())), raw);
+}
+
+TEST(ServiceServer, YieldAndSweepOverTcp)
+{
+    Server server;
+    server.start();
+    Client client("127.0.0.1", server.port());
+
+    const Reply yield = parseReply(client.call(
+        yieldRequest("y1", smallConfig(), 32, 5)));
+    ASSERT_TRUE(yield.ok) << yield.raw;
+    const json::Value yroot = json::parse(yield.raw);
+    EXPECT_EQ(
+        yroot.find("result")->find("trials")->number, 32);
+
+    SweepSpec spec;
+    spec.stages = {1};
+    spec.widths = {4, 8};
+    spec.bars = {2};
+    const Reply sweep =
+        parseReply(client.call(sweepRequest("w1", spec)));
+    ASSERT_TRUE(sweep.ok) << sweep.raw;
+    const json::Value wroot = json::parse(sweep.raw);
+    EXPECT_EQ(
+        wroot.find("result")->find("points")->array.size(), 2u);
+}
+
+TEST(ServiceServer, MalformedAndInvalidRequests)
+{
+    Server server;
+    server.start();
+    Client client("127.0.0.1", server.port());
+
+    const Reply parse = parseReply(client.call("{{{"));
+    EXPECT_FALSE(parse.ok);
+    EXPECT_EQ(parse.error, "parse_error");
+
+    const Reply bad = parseReply(client.call(
+        "{\"id\":\"b\",\"type\":\"synth\","
+        "\"config\":{\"width\":5}}"));
+    EXPECT_FALSE(bad.ok);
+    EXPECT_EQ(bad.error, "bad_request");
+
+    // The connection survives both errors.
+    EXPECT_TRUE(parseReply(client.call(
+                    adminRequest("h", RequestType::Health)))
+                    .ok);
+}
+
+TEST(ServiceServer, DeadlineExceededAtAdmission)
+{
+    Server server;
+    server.start();
+    Client client("127.0.0.1", server.port());
+
+    // A sub-microsecond deadline is always expired by dequeue
+    // time.
+    const Reply reply = parseReply(client.call(synthRequest(
+        "d1", CoreConfig::standard(3, 32, 4), 1e-4)));
+    EXPECT_FALSE(reply.ok);
+    EXPECT_EQ(reply.error, "deadline_exceeded");
+}
+
+TEST(ServiceServer, QueueFullRejection)
+{
+    ServerOptions opts;
+    opts.maxQueue = 0; // reject every compute admission
+    Server server(opts);
+    server.start();
+    Client client("127.0.0.1", server.port());
+
+    const Reply reply = parseReply(
+        client.call(synthRequest("q1", smallConfig())));
+    EXPECT_FALSE(reply.ok);
+    EXPECT_EQ(reply.error, "queue_full");
+
+    // Admin requests bypass the queue entirely.
+    EXPECT_TRUE(parseReply(client.call(
+                    adminRequest("h", RequestType::Health)))
+                    .ok);
+}
+
+TEST(ServiceServer, MetricsAndHealthIntrospection)
+{
+    Server server;
+    server.start();
+    Client client("127.0.0.1", server.port());
+
+    client.call(synthRequest("s", smallConfig()));
+
+    const std::string health =
+        client.call(adminRequest("h", RequestType::Health));
+    const json::Value hroot = json::parse(health);
+    EXPECT_EQ(hroot.find("result")->find("status")->string, "ok");
+
+    const std::string metrics =
+        client.call(adminRequest("m", RequestType::Metrics));
+    const json::Value mroot = json::parse(metrics);
+    const json::Value *counters =
+        mroot.find("result")->find("counters");
+    ASSERT_NE(counters, nullptr);
+    const json::Value *served =
+        counters->find("service.requests");
+    ASSERT_NE(served, nullptr);
+    EXPECT_GE(served->number, 2);
+}
+
+TEST(ServiceServer, ShutdownDrainsAndCloses)
+{
+    Server server;
+    server.start();
+    const std::uint16_t port = server.port();
+    Client client("127.0.0.1", port);
+
+    const Reply reply = parseReply(
+        client.call(adminRequest("bye", RequestType::Shutdown)));
+    EXPECT_TRUE(reply.ok);
+
+    server.wait(); // returns because shutdown was requested
+
+    // Further compute on the old connection is refused or the
+    // socket is closed; either way no hang.
+    bool refused = false;
+    try {
+        const Reply r = parseReply(
+            client.call(synthRequest("late", smallConfig())));
+        refused = !r.ok && r.error == "shutting_down";
+    } catch (const FatalError &) {
+        refused = true; // connection closed
+    }
+    EXPECT_TRUE(refused);
+}
+
+TEST(ServiceServer, ConcurrentRepliesAreByteIdentical)
+{
+    // The determinism rule: the same requests, issued serially on
+    // one connection and concurrently from several, produce
+    // byte-identical reply lines (matched by id).
+    ServerOptions opts;
+    opts.executors = 4;
+    Server server(opts);
+    server.start();
+
+    std::vector<std::string> requests;
+    for (unsigned width : {4u, 8u, 16u})
+        requests.push_back(synthRequest(
+            "s" + std::to_string(width),
+            CoreConfig::standard(1, width, 2)));
+    requests.push_back(
+        yieldRequest("y", smallConfig(), 48, 11));
+    SweepSpec spec;
+    spec.stages = {1, 2};
+    spec.widths = {4};
+    spec.bars = {2};
+    requests.push_back(sweepRequest("w", spec));
+
+    std::map<std::string, std::string> serial;
+    {
+        Client client("127.0.0.1", server.port());
+        for (const std::string &req : requests) {
+            const std::string raw = client.call(req);
+            serial[parseReply(raw).id] = raw;
+        }
+    }
+
+    constexpr unsigned kClients = 4;
+    std::vector<std::map<std::string, std::string>> got(kClients);
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < kClients; ++c)
+        threads.emplace_back([&, c] {
+            Client client("127.0.0.1", server.port());
+            for (const std::string &req : requests)
+                client.send(req); // pipelined
+            for (std::size_t i = 0; i < requests.size(); ++i) {
+                const std::string raw = client.readLine();
+                got[c][parseReply(raw).id] = raw;
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    for (unsigned c = 0; c < kClients; ++c) {
+        ASSERT_EQ(got[c].size(), serial.size());
+        for (const auto &[id, raw] : serial)
+            EXPECT_EQ(got[c].at(id), raw)
+                << "client " << c << " id " << id;
+    }
+}
+
+TEST(ServiceServer, CoalescesIdenticalInflightRequests)
+{
+    ServerOptions opts;
+    opts.executors = 4;
+    Server server(opts);
+    server.start();
+
+    metrics::Counter &hits =
+        metrics::counter("service.coalesce_hits");
+
+    // A fresh, expensive computation, issued from several
+    // connections at once: while the first executor computes it,
+    // the others dequeue the duplicates and join the in-flight
+    // future. Retry with increasing cost in the (unlikely) event
+    // the first burst never overlapped.
+    std::string expected;
+    for (unsigned attempt = 0; attempt < 5; ++attempt) {
+        const std::uint64_t before = hits.value();
+        const unsigned trials = 200 << attempt;
+        const std::string req = yieldRequest(
+            "c", smallConfig(), trials, 1000 + attempt);
+
+        constexpr unsigned kClients = 4;
+        std::vector<std::string> replies(kClients);
+        std::vector<std::thread> threads;
+        for (unsigned c = 0; c < kClients; ++c)
+            threads.emplace_back([&, c] {
+                Client client("127.0.0.1", server.port());
+                replies[c] = client.call(req);
+            });
+        for (std::thread &t : threads)
+            t.join();
+
+        for (unsigned c = 1; c < kClients; ++c)
+            EXPECT_EQ(replies[c], replies[0]);
+        ASSERT_TRUE(parseReply(replies[0]).ok) << replies[0];
+        if (hits.value() > before)
+            return; // coalescing observed
+    }
+    FAIL() << "no coalescing observed in any burst";
+}
+
+} // namespace
