@@ -13,6 +13,36 @@ Netlist::Netlist(std::string name)
     : name_(std::move(name))
 {}
 
+Netlist
+Netlist::restore(std::string name, std::vector<NetInfo> nets,
+                 std::vector<Gate> gates,
+                 std::vector<PortBinding> inputs,
+                 std::vector<PortBinding> outputs, NetId const0,
+                 NetId const1)
+{
+    Netlist nl(std::move(name));
+    nl.nets_ = std::move(nets);
+    nl.gates_ = std::move(gates);
+    nl.inputs_ = std::move(inputs);
+    nl.outputs_ = std::move(outputs);
+    nl.const0_ = const0;
+    nl.const1_ = const1;
+
+    // Serialized blobs carry no driver lists; rebuild them from the
+    // gates so the invariant "nets_[g.out].drivers contains g" holds
+    // before validate() checks it.
+    for (NetInfo &info : nl.nets_)
+        info.drivers.clear();
+    for (GateId g = 0; g < nl.gates_.size(); ++g) {
+        const NetId out = nl.gates_[g].out;
+        panicIf(out >= nl.nets_.size(),
+                "Netlist::restore: gate with out-of-range output");
+        nl.nets_[out].drivers.push_back(g);
+    }
+    nl.validate();
+    return nl;
+}
+
 NetId
 Netlist::addDrivenNet(NetSource source, std::string name)
 {

@@ -138,6 +138,29 @@ class Netlist
     std::size_t netCount() const { return nets_.size(); }
     std::size_t gateCount() const { return gates_.size(); }
 
+    /** All nets, indexed by NetId (serialization walks this). */
+    const std::vector<NetInfo> &netInfos() const { return nets_; }
+
+    /** The constant-0 net id, or invalidNet if never created. */
+    NetId constZeroId() const { return const0_; }
+
+    /** The constant-1 net id, or invalidNet if never created. */
+    NetId constOneId() const { return const1_; }
+
+    /**
+     * Rebuild a netlist from serialized structural state (the disk
+     * synthesis cache's load path). Driver lists are recomputed
+     * from the gates; the result is validate()d, so a corrupted
+     * blob that decodes into an inconsistent structure panics
+     * rather than entering the flow.
+     */
+    static Netlist restore(std::string name,
+                           std::vector<NetInfo> nets,
+                           std::vector<Gate> gates,
+                           std::vector<PortBinding> inputs,
+                           std::vector<PortBinding> outputs,
+                           NetId const0, NetId const1);
+
     const Gate &gate(GateId id) const { return gates_[id]; }
 
     /**

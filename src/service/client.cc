@@ -6,12 +6,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/json_min.hh"
 #include "common/logging.hh"
+#include "service/net_io.hh"
+#include "service/protocol.hh"
 
 namespace printed::service
 {
@@ -37,6 +42,9 @@ parseReply(const std::string &line)
         if (const json::Value *m = root.find("message");
             m && m->isString())
             reply.message = m->string;
+        if (const json::Value *r = root.find("retry_after_ms");
+            r && r->isNumber() && r->number >= 0)
+            reply.retryAfterMs = r->number;
     }
     return reply;
 }
@@ -81,8 +89,12 @@ Client::connect(const std::string &host, std::uint16_t port)
     addr.sin_port = htons(port);
     fatalIf(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1,
             "bad server address '" + host + "'");
-    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
+    for (;;) {
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            break;
+        if (errno == EINTR)
+            continue;
         const std::string err = std::strerror(errno);
         close();
         fatal("connect(" + host + ":" + std::to_string(port) +
@@ -98,21 +110,15 @@ Client::send(const std::string &line)
     fatalIf(fd_ < 0, "client is not connected");
     std::string framed = line;
     framed += '\n';
-    std::size_t sent = 0;
-    while (sent < framed.size()) {
-        const ssize_t n =
-            ::send(fd_, framed.data() + sent,
-                   framed.size() - sent, MSG_NOSIGNAL);
-        fatalIf(n <= 0, std::string("send(): ") +
-                            std::strerror(errno));
-        sent += std::size_t(n);
-    }
+    fatalIf(!netio::sendAll(fd_, framed.data(), framed.size()),
+            "send(): server closed the connection");
 }
 
 std::string
-Client::readLine()
+Client::readLine(double timeoutMs)
 {
     fatalIf(fd_ < 0, "client is not connected");
+    const auto start = std::chrono::steady_clock::now();
     for (;;) {
         const std::size_t nl = buffer_.find('\n');
         if (nl != std::string::npos) {
@@ -120,8 +126,21 @@ Client::readLine()
             buffer_.erase(0, nl + 1);
             return line;
         }
+        double waitMs = 0;
+        if (timeoutMs > 0) {
+            const double elapsedMs =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            waitMs = timeoutMs - elapsedMs;
+            if (waitMs <= 0 ||
+                !netio::waitReadable(fd_, waitMs))
+                throw TimeoutError(
+                    "no reply within " + std::to_string(timeoutMs) +
+                    " ms");
+        }
         char chunk[4096];
-        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        const ssize_t n = netio::recvSome(fd_, chunk, sizeof(chunk));
         fatalIf(n <= 0,
                 "server closed the connection mid-reply");
         buffer_.append(chunk, std::size_t(n));
@@ -143,6 +162,122 @@ Client::close()
         fd_ = -1;
     }
     buffer_.clear();
+}
+
+// ---------------------------------------------------------------
+// RetryingClient
+// ---------------------------------------------------------------
+
+RetryingClient::RetryingClient(std::string host, std::uint16_t port,
+                               RetryPolicy policy)
+    : host_(std::move(host)),
+      port_(port),
+      policy_(policy),
+      jitter_(policy.jitterSeed)
+{
+}
+
+void
+RetryingClient::ensureConnected()
+{
+    if (client_.connected())
+        return;
+    client_.connect(host_, port_);
+    ++stats_.reconnects;
+}
+
+double
+RetryingClient::nextBackoffMs(unsigned attempt)
+{
+    double delay = policy_.baseBackoffMs;
+    for (unsigned i = 0; i < attempt && delay < policy_.maxBackoffMs;
+         ++i)
+        delay *= 2;
+    delay = std::min(delay, policy_.maxBackoffMs);
+    // Deterministic jitter in [0.5, 1.5) * delay avoids replayed
+    // thundering herds while keeping tests reproducible.
+    const double u =
+        double(jitter_.next() >> 11) * 0x1.0p-53;
+    return delay * (0.5 + u);
+}
+
+void
+RetryingClient::backoff(unsigned attempt, double floorMs)
+{
+    const double ms = std::max(nextBackoffMs(attempt), floorMs);
+    if (ms > 0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(ms));
+}
+
+std::string
+RetryingClient::call(const std::string &line, bool idempotent)
+{
+    ++stats_.calls;
+    unsigned lossTries = 0;
+    unsigned overloadTries = 0;
+    for (;;) {
+        bool sent = false;
+        try {
+            ensureConnected();
+            client_.send(line);
+            sent = true;
+            std::string raw =
+                client_.readLine(policy_.callTimeoutMs);
+            // queue_full is a transient overload rejection, not an
+            // answer — honor the server's backoff hint and replay.
+            Reply parsed;
+            try {
+                parsed = parseReply(raw);
+            } catch (const std::exception &) {
+                return raw; // not our reply shape; caller's problem
+            }
+            if (!parsed.ok && parsed.error == errc::queueFull &&
+                idempotent) {
+                fatalIf(overloadTries >= policy_.maxOverloadRetries,
+                        "request rejected queue_full " +
+                            std::to_string(overloadTries + 1) +
+                            " times; giving up");
+                ++overloadTries;
+                ++stats_.overloadReplays;
+                backoff(overloadTries - 1, parsed.retryAfterMs);
+                continue;
+            }
+            return raw;
+        } catch (const TimeoutError &) {
+            // A late reply may still be in flight on this
+            // connection; drop it so a replay can't read a stale
+            // frame and mismatch ids.
+            client_.close();
+            if (!idempotent || lossTries >= policy_.maxLossRetries)
+                throw;
+            ++lossTries;
+            ++stats_.timeoutReplays;
+            backoff(lossTries - 1);
+        } catch (const FatalError &) {
+            client_.close();
+            // A non-idempotent request may only be replayed while
+            // we know its bytes never reached the server.
+            if ((sent && !idempotent) ||
+                lossTries >= policy_.maxLossRetries)
+                throw;
+            ++lossTries;
+            ++stats_.lossReplays;
+            backoff(lossTries - 1);
+        }
+    }
+}
+
+Reply
+RetryingClient::callParsed(const std::string &line, bool idempotent)
+{
+    return parseReply(call(line, idempotent));
+}
+
+void
+RetryingClient::close()
+{
+    client_.close();
 }
 
 } // namespace printed::service

@@ -1,13 +1,32 @@
 /**
  * @file
- * Minimal blocking client of the printedd protocol.
+ * Clients of the printedd protocol.
  *
- * A Client owns one TCP connection and a read buffer. call() is the
- * simple request/reply path; send()/readLine() expose pipelining
- * (queue many requests, then collect the replies) — the load
- * generator (bench_service) uses both. Replies can be inspected
- * raw (the exact line, for byte-identity checks) or parsed into a
- * Reply summary.
+ * Two layers:
+ *
+ *   Client          one blocking TCP connection + read buffer.
+ *                   call() is the simple request/reply path;
+ *                   send()/readLine() expose pipelining (queue many
+ *                   requests, then collect the replies). readLine()
+ *                   takes an optional poll-based timeout; all I/O
+ *                   retries EINTR and handles partial writes
+ *                   (service/net_io.hh).
+ *
+ *   RetryingClient  the production path: per-call deadlines,
+ *                   reconnect with capped exponential backoff and
+ *                   deterministic jitter, and a retry policy that
+ *                   only replays *idempotent* requests — every
+ *                   compute/introspection request is a pure
+ *                   function of its line, so it may be replayed
+ *                   when the connection is lost (before or inside
+ *                   a reply: partial frames are discarded on
+ *                   reconnect) or when the server answers
+ *                   queue_full with a retry_after_ms hint.
+ *                   Non-idempotent requests (shutdown) are never
+ *                   replayed. One successful call returns exactly
+ *                   one reply: no reply is ever lost (the call
+ *                   throws instead) and none duplicated (replays
+ *                   replace, never append).
  */
 
 #ifndef PRINTED_SERVICE_CLIENT_HH
@@ -16,8 +35,19 @@
 #include <cstdint>
 #include <string>
 
+#include "common/logging.hh"
+#include "common/rng.hh"
+
 namespace printed::service
 {
+
+/** A per-call deadline expired while waiting for the reply. */
+class TimeoutError : public FatalError
+{
+  public:
+    explicit TimeoutError(const std::string &msg) : FatalError(msg)
+    {}
+};
 
 /** Parsed summary of one reply line. */
 struct Reply
@@ -26,6 +56,7 @@ struct Reply
     bool ok = false;
     std::string error;   ///< errc code when !ok
     std::string message; ///< human text when !ok
+    double retryAfterMs = 0; ///< queue_full backoff hint (or 0)
     std::string raw;     ///< the exact reply line (no newline)
 };
 
@@ -58,9 +89,11 @@ class Client
 
     /**
      * Read the next reply line. Throws FatalError if the server
-     * hangs up before a full line arrives.
+     * hangs up before a full line arrives, TimeoutError when
+     * timeoutMs > 0 expires first (the connection is then left with
+     * a stale in-flight reply: close it before reusing).
      */
-    std::string readLine();
+    std::string readLine(double timeoutMs = 0);
 
     /** send() + readLine(): one request/reply round trip. */
     std::string call(const std::string &line);
@@ -70,6 +103,75 @@ class Client
   private:
     int fd_ = -1;
     std::string buffer_;
+};
+
+/** Knobs of RetryingClient (defaults suit loopback serving). */
+struct RetryPolicy
+{
+    /** Replay budget for lost connections / expired deadlines. */
+    unsigned maxLossRetries = 5;
+
+    /** Replay budget for queue_full overload rejections. */
+    unsigned maxOverloadRetries = 64;
+
+    /** Per-call reply deadline; 0 = wait forever. */
+    double callTimeoutMs = 30000;
+
+    /** Backoff base/cap; delay = min(base * 2^n, max) * jitter. */
+    double baseBackoffMs = 5;
+    double maxBackoffMs = 250;
+
+    /** Seed of the deterministic jitter stream. */
+    std::uint64_t jitterSeed = 1;
+};
+
+/** Monotonic counters of one RetryingClient. */
+struct RetryStats
+{
+    std::uint64_t calls = 0;
+    std::uint64_t reconnects = 0;       ///< successful (re)connects
+    std::uint64_t lossReplays = 0;      ///< replays after lost conn
+    std::uint64_t timeoutReplays = 0;   ///< replays after deadline
+    std::uint64_t overloadReplays = 0;  ///< replays after queue_full
+};
+
+/** Self-healing request/reply client (see file comment). */
+class RetryingClient
+{
+  public:
+    RetryingClient(std::string host, std::uint16_t port,
+                   RetryPolicy policy = {});
+
+    /**
+     * One request -> exactly one reply line. Transient failures
+     * (lost connection, per-call timeout, queue_full) are retried
+     * within the policy's budgets when `idempotent`; a
+     * non-idempotent call is never replayed once its bytes may have
+     * reached the server. Throws FatalError when the budgets are
+     * exhausted.
+     */
+    std::string call(const std::string &line,
+                     bool idempotent = true);
+
+    /** call() + parseReply(). */
+    Reply callParsed(const std::string &line,
+                     bool idempotent = true);
+
+    const RetryStats &stats() const { return stats_; }
+
+    void close();
+
+  private:
+    void ensureConnected();
+    double nextBackoffMs(unsigned attempt);
+    void backoff(unsigned attempt, double floorMs = 0);
+
+    std::string host_;
+    std::uint16_t port_;
+    RetryPolicy policy_;
+    Client client_;
+    Rng jitter_;
+    RetryStats stats_;
 };
 
 } // namespace printed::service

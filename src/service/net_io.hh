@@ -1,0 +1,116 @@
+/**
+ * @file
+ * EINTR-safe socket primitives shared by the printedd server and
+ * client.
+ *
+ * Every send/recv in the service layer goes through these helpers
+ * so the EINTR and partial-write rules live in exactly one place:
+ *
+ *   - send(2) can transfer fewer bytes than asked (SO_SNDBUF
+ *     pressure) — sendAll() loops until the whole frame is out.
+ *   - Both calls can fail with EINTR when a signal lands on the
+ *     thread (printedd installs SIGINT/SIGTERM handlers; test
+ *     harnesses use SIGUSR1) — interrupted calls are retried, never
+ *     surfaced as connection errors.
+ *   - waitReadable() wraps poll(2) with the same EINTR retry and a
+ *     monotonic deadline, for the client's per-call timeouts.
+ */
+
+#ifndef PRINTED_SERVICE_NET_IO_HH
+#define PRINTED_SERVICE_NET_IO_HH
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstddef>
+
+namespace printed::service::netio
+{
+
+/**
+ * Send the whole buffer, retrying EINTR and partial writes.
+ * @return false when the peer is gone (EPIPE/ECONNRESET/...).
+ */
+inline bool
+sendAll(int fd, const char *data, std::size_t len)
+{
+    std::size_t sent = 0;
+    while (sent < len) {
+        const ssize_t n =
+            ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;
+        sent += std::size_t(n);
+    }
+    return true;
+}
+
+/**
+ * recv() retrying EINTR. @return bytes read; 0 on orderly EOF (or
+ * shutdown(SHUT_RD)); negative on a real error.
+ */
+inline ssize_t
+recvSome(int fd, char *buf, std::size_t len)
+{
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, len, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        return n;
+    }
+}
+
+/**
+ * Wait until fd is readable (or hung up, so the recv can observe
+ * the EOF). @param timeoutMs <= 0 waits forever.
+ * @return false on timeout.
+ */
+inline bool
+waitReadable(int fd, double timeoutMs)
+{
+    using Clock = std::chrono::steady_clock;
+    const bool bounded = timeoutMs > 0;
+    const Clock::time_point deadline =
+        Clock::now() +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                bounded ? timeoutMs : 0));
+    for (;;) {
+        int waitMs = -1;
+        if (bounded) {
+            const auto left =
+                std::chrono::duration_cast<
+                    std::chrono::milliseconds>(deadline -
+                                               Clock::now())
+                    .count();
+            if (left <= 0)
+                return false;
+            waitMs = int(left);
+        }
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        const int r = ::poll(&pfd, 1, waitMs);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return true; // let the recv report the real error
+        }
+        if (r > 0)
+            return true;
+        if (!bounded)
+            continue;
+        // r == 0: poll timed out; loop re-checks the deadline.
+    }
+}
+
+} // namespace printed::service::netio
+
+#endif // PRINTED_SERVICE_NET_IO_HH

@@ -52,6 +52,14 @@ usage()
         "  --max-queue N     admission queue capacity (default 64)\n"
         "  --cache-cap N     SynthCache entry cap, 0 = unbounded\n"
         "                    (default 256)\n"
+        "  --disk-cache DIR  persistent synthesis cache directory\n"
+        "                    (crash-safe; survives restarts)\n"
+        "  --fault-plan SPEC seeded fault injection, e.g.\n"
+        "                    seed=42,drop=0.05,truncate=0.05,\n"
+        "                    delay=0.1:20,queue_full=0.1,corrupt=1\n"
+        "                    (env PRINTEDD_FAULT_PLAN as fallback)\n"
+        "  --watchdog-ms N   deadline-overrun watchdog period\n"
+        "                    (default 50, 0 = off)\n"
         "  --trace-out PATH  write a Chrome trace on exit\n",
         stderr);
 }
@@ -90,6 +98,18 @@ main(int argc, char **argv)
             } else if (arg == "--cache-cap") {
                 opts.cacheCapacity =
                     numberArg(argc, argv, i, "--cache-cap");
+            } else if (arg == "--disk-cache") {
+                printed::fatalIf(i + 1 >= argc,
+                                 "--disk-cache needs a value");
+                opts.diskCacheDir = argv[++i];
+            } else if (arg == "--fault-plan") {
+                printed::fatalIf(i + 1 >= argc,
+                                 "--fault-plan needs a value");
+                opts.faultPlan =
+                    printed::service::FaultPlan::parse(argv[++i]);
+            } else if (arg == "--watchdog-ms") {
+                opts.watchdogPeriodMs = double(
+                    numberArg(argc, argv, i, "--watchdog-ms"));
             } else if (arg == "--trace-out") {
                 printed::fatalIf(i + 1 >= argc,
                                  "--trace-out needs a value");
@@ -112,6 +132,22 @@ main(int argc, char **argv)
     if (!traceOut.empty())
         printed::trace::enable(traceOut);
     printed::trace::setThreadName("main");
+
+    if (!opts.faultPlan.enabled()) {
+        if (const char *env = std::getenv("PRINTEDD_FAULT_PLAN");
+            env && *env) {
+            try {
+                opts.faultPlan =
+                    printed::service::FaultPlan::parse(env);
+            } catch (const printed::FatalError &e) {
+                std::fprintf(stderr, "printedd: %s\n", e.what());
+                return 2;
+            }
+        }
+    }
+    if (opts.faultPlan.enabled())
+        std::fprintf(stderr, "printedd: fault plan %s\n",
+                     opts.faultPlan.describe().c_str());
 
     try {
         Server server(opts);

@@ -364,6 +364,19 @@ errorReply(const std::string &id, const char *code,
     return out;
 }
 
+std::string
+queueFullReply(const std::string &id, double retryAfterMs)
+{
+    std::string out = "{\"id\": ";
+    out += jsonQuote(id);
+    out += ", \"ok\": false, \"error\": ";
+    out += jsonQuote(errc::queueFull);
+    out += ", \"message\": \"admission queue is full\"";
+    out += ", \"retry_after_ms\": " + formatDouble(retryAfterMs);
+    out += "}";
+    return out;
+}
+
 namespace
 {
 

@@ -159,6 +159,15 @@ std::string okReply(const std::string &id, RequestType type,
 std::string errorReply(const std::string &id, const char *code,
                        const std::string &message);
 
+/**
+ * queue_full error reply carrying a "retry_after_ms" hint: how long
+ * the server suggests the client back off before replaying the
+ * request. Load-dependent by design (exempt from the determinism
+ * rule, like every overload error).
+ */
+std::string queueFullReply(const std::string &id,
+                           double retryAfterMs);
+
 // ---------------------------------------------------------------
 // Request building (the client side of the wire format).
 // ---------------------------------------------------------------

@@ -12,9 +12,12 @@
 #include "common/json_min.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
+#include "common/rng.hh"
 #include "common/trace.hh"
 #include "dse/sweep.hh"
+#include "service/net_io.hh"
 #include "synth/cache.hh"
+#include "synth/disk_cache.hh"
 
 namespace printed::service
 {
@@ -35,6 +38,14 @@ millisSince(Clock::time_point t0)
 {
     return std::chrono::duration<double, std::milli>(Clock::now() -
                                                      t0)
+        .count();
+}
+
+std::int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
         .count();
 }
 
@@ -68,6 +79,18 @@ Server::start()
     if (opts_.cacheCapacity)
         SynthCache::global().setCapacity(opts_.cacheCapacity);
 
+    if (!opts_.diskCacheDir.empty()) {
+        installedDisk_ = std::make_shared<DiskCache>(
+            opts_.diskCacheDir, /*publishMetrics=*/true);
+        for (unsigned i = 0; i < opts_.faultPlan.corruptDiskEntries;
+             ++i)
+            installedDisk_->corruptOneEntry(
+                mixSeed(opts_.faultPlan.seed, i));
+        SynthCache::global().setDiskTier(installedDisk_);
+    }
+    if (opts_.faultPlan.enabled())
+        fault_ = std::make_unique<FaultInjector>(opts_.faultPlan);
+
     listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     fatalIf(listenFd_ < 0, std::string("socket(): ") +
                                std::strerror(errno));
@@ -98,11 +121,18 @@ Server::start()
         acceptLoop();
     });
     const unsigned executors = opts_.executors ? opts_.executors : 1;
+    executorCount_ = executors;
+    execSlots_ = std::make_unique<ExecSlot[]>(executors);
     for (unsigned i = 0; i < executors; ++i)
         executors_.emplace_back([this, i] {
             trace::setThreadName("service-exec-" +
                                  std::to_string(i));
             executorLoop(i);
+        });
+    if (opts_.watchdogPeriodMs > 0)
+        watchdog_ = std::thread([this] {
+            trace::setThreadName("service-watchdog");
+            watchdogLoop();
         });
 }
 
@@ -150,6 +180,13 @@ Server::joinEverything()
     for (std::thread &t : executors_)
         if (t.joinable())
             t.join();
+    {
+        std::lock_guard lk(watchdogMutex_);
+        watchdogStop_ = true;
+    }
+    watchdogCv_.notify_all();
+    if (watchdog_.joinable())
+        watchdog_.join();
 
     // 3. Hang up: readers see EOF and exit; then close sockets.
     std::vector<std::shared_ptr<Connection>> conns;
@@ -167,6 +204,14 @@ Server::joinEverything()
     if (listenFd_ >= 0) {
         ::close(listenFd_);
         listenFd_ = -1;
+    }
+
+    // 4. Detach the disk tier we installed (only ours: a test may
+    //    have swapped in its own since).
+    if (installedDisk_) {
+        if (SynthCache::global().diskTier() == installedDisk_)
+            SynthCache::global().setDiskTier(nullptr);
+        installedDisk_.reset();
     }
 }
 
@@ -212,7 +257,7 @@ Server::readerLoop(std::shared_ptr<Connection> conn)
     char chunk[4096];
     for (;;) {
         const ssize_t n =
-            ::recv(conn->fd, chunk, sizeof(chunk), 0);
+            netio::recvSome(conn->fd, chunk, sizeof(chunk));
         if (n <= 0)
             break; // EOF, error, or shutdown(SHUT_RD)
         buffer.append(chunk, std::size_t(n));
@@ -299,13 +344,22 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
     }
 
     const std::string id = task.req.id;
-    switch (admit(std::move(task))) {
+
+    // Injected overload: reject an admissible compute request as if
+    // the queue were full (chaos for the client's retry path).
+    if (fault_ && fault_->forceQueueFull()) {
+        metrics::counter("service.rejected").add(1);
+        sendLine(conn, queueFullReply(id, 10));
+        return;
+    }
+
+    double retryAfterMs = 0;
+    switch (admit(std::move(task), retryAfterMs)) {
       case Admit::Ok:
         return;
       case Admit::QueueFull:
         metrics::counter("service.rejected").add(1);
-        sendLine(conn, errorReply(id, errc::queueFull,
-                                  "admission queue is full"));
+        sendLine(conn, queueFullReply(id, retryAfterMs));
         return;
       case Admit::ShuttingDown:
         sendLine(conn, errorReply(id, errc::shuttingDown,
@@ -315,14 +369,43 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
 }
 
 Server::Admit
-Server::admit(Task task)
+Server::admit(Task task, double &retryAfterMsOut)
 {
+    // Shed by class before the queue is truly full: sweeps (the
+    // heaviest requests, up to 24 synth points each) above 50%
+    // depth, yields above 75%, synths only at capacity. Cheap
+    // requests keep flowing while expensive ones are pushed back.
+    const std::size_t cap = opts_.maxQueue;
+    std::size_t limit = cap;
+    const char *shedCounter = nullptr;
+    switch (task.req.type) {
+      case RequestType::Sweep:
+        limit = std::max<std::size_t>(1, cap / 2);
+        shedCounter = "service.shed_sweep";
+        break;
+      case RequestType::Yield:
+        limit = std::max<std::size_t>(1, cap * 3 / 4);
+        shedCounter = "service.shed_yield";
+        break;
+      default:
+        break;
+    }
+    std::size_t depth;
     {
         std::lock_guard lk(queueMutex_);
         if (finishing_)
             return Admit::ShuttingDown;
-        if (queue_.size() >= opts_.maxQueue)
+        depth = queue_.size();
+        if (depth >= limit) {
+            if (shedCounter && depth < cap)
+                metrics::counter(shedCounter).add(1);
+            // Backoff hint grows with depth: 5 ms near the shed
+            // threshold up to 50 ms at a saturated queue (a zero
+            // capacity is always "saturated").
+            retryAfterMsOut =
+                cap ? 5 + 45.0 * double(depth) / double(cap) : 50;
             return Admit::QueueFull;
+        }
         queue_.push_back(std::move(task));
     }
     queueCv_.notify_one();
@@ -330,7 +413,7 @@ Server::admit(Task task)
 }
 
 void
-Server::executorLoop(unsigned)
+Server::executorLoop(unsigned slot)
 {
     for (;;) {
         Task task;
@@ -344,17 +427,61 @@ Server::executorLoop(unsigned)
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        execute(task);
+        execute(task, slot);
     }
 }
 
 void
-Server::execute(Task &task)
+Server::watchdogLoop()
+{
+    const auto period = std::chrono::duration<double, std::milli>(
+        opts_.watchdogPeriodMs);
+    for (;;) {
+        {
+            std::unique_lock lk(watchdogMutex_);
+            if (watchdogCv_.wait_for(
+                    lk, period, [&] { return watchdogStop_; }))
+                return;
+        }
+        std::size_t overrun = 0;
+        const std::int64_t now = nowNs();
+        for (unsigned i = 0; i < executorCount_; ++i) {
+            ExecSlot &slot = execSlots_[i];
+            if (slot.startNs.load(std::memory_order_acquire) == 0)
+                continue;
+            const std::int64_t deadline =
+                slot.deadlineNs.load(std::memory_order_acquire);
+            if (deadline == 0 || now <= deadline)
+                continue;
+            ++overrun;
+            // Count each overrunning task once, not once per scan.
+            if (!slot.reported.exchange(true))
+                metrics::counter("service.watchdog_overruns")
+                    .add(1);
+        }
+        metrics::gauge("service.workers_overrun")
+            .set(double(overrun));
+    }
+}
+
+void
+Server::execute(Task &task, unsigned slot)
 {
     trace::Span span("service.request",
                      requestTypeName(task.req.type));
     metrics::distribution("service.queue_wait_ms")
         .record(millisSince(task.admitted));
+
+    ExecSlot &mySlot = execSlots_[slot];
+    mySlot.reported.store(false);
+    mySlot.deadlineNs.store(
+        task.hasDeadline
+            ? std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  task.deadline.time_since_epoch())
+                  .count()
+            : 0,
+        std::memory_order_release);
+    mySlot.startNs.store(nowNs(), std::memory_order_release);
 
     const Clock::time_point execStart = Clock::now();
     std::string reply;
@@ -378,7 +505,9 @@ Server::execute(Task &task)
     }
     metrics::distribution("service.exec_ms")
         .record(millisSince(execStart));
-    sendLine(task.conn, reply);
+    mySlot.startNs.store(0, std::memory_order_release);
+    mySlot.deadlineNs.store(0, std::memory_order_release);
+    sendLine(task.conn, reply, /*faultable=*/true);
 }
 
 std::string
@@ -552,22 +681,47 @@ Server::healthBody()
 
 void
 Server::sendLine(const std::shared_ptr<Connection> &conn,
-                 const std::string &line)
+                 const std::string &line, bool faultable)
 {
-    std::lock_guard lk(conn->writeMutex);
     std::string framed = line;
     framed += '\n';
-    std::size_t sent = 0;
-    while (sent < framed.size()) {
-        const ssize_t n =
-            ::send(conn->fd, framed.data() + sent,
-                   framed.size() - sent, MSG_NOSIGNAL);
-        if (n <= 0) {
+
+    if (faultable && fault_) {
+        double delayMs = 0;
+        switch (fault_->onComputeReply(delayMs)) {
+          case FaultInjector::SendFault::None:
+            break;
+          case FaultInjector::SendFault::Drop: {
+            // The reply vanishes: hang up without sending. The
+            // client must detect the lost connection and replay.
+            std::lock_guard lk(conn->writeMutex);
             conn->open.store(false);
-            return; // client went away; drop the reply
+            ::shutdown(conn->fd, SHUT_RDWR);
+            return;
+          }
+          case FaultInjector::SendFault::Truncate: {
+            // A torn frame: half the bytes, then hang up. The
+            // client must discard the partial line, not parse it.
+            std::lock_guard lk(conn->writeMutex);
+            conn->open.store(false);
+            netio::sendAll(conn->fd, framed.data(),
+                           framed.size() / 2);
+            ::shutdown(conn->fd, SHUT_RDWR);
+            return;
+          }
+          case FaultInjector::SendFault::Delay:
+            // A slow peer: stall outside the write lock so other
+            // replies on this connection aren't held hostage.
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    delayMs));
+            break;
         }
-        sent += std::size_t(n);
     }
+
+    std::lock_guard lk(conn->writeMutex);
+    if (!netio::sendAll(conn->fd, framed.data(), framed.size()))
+        conn->open.store(false); // client went away; drop the reply
 }
 
 } // namespace printed::service

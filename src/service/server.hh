@@ -34,6 +34,29 @@
  * request before the sockets close, so no accepted request is ever
  * silently dropped.
  *
+ * Load shedding: under pressure the admission queue rejects by
+ * request *class* before it is actually full — heavy sweeps are
+ * shed first (above ~50% depth), yields next (~75%), synths only
+ * when the queue is truly full. health/metrics never queue, so the
+ * control plane stays answerable no matter the load. Every
+ * queue_full rejection carries a "retry_after_ms" backoff hint
+ * scaled to the current depth.
+ *
+ * Watchdog: a periodic thread watches the per-executor work slots
+ * and flags workers that have run past their request's deadline
+ * ("service.watchdog_overruns" counter, "service.workers_overrun"
+ * gauge) — deadline overruns become observable instead of silent.
+ *
+ * Fault injection: an optional seeded FaultPlan (fault_plan.hh)
+ * makes the server misbehave on purpose — drop/truncate/delay
+ * compute replies, force queue_full, corrupt disk-cache entries at
+ * start — for chaos tests of the client retry path.
+ *
+ * Persistence: with ServerOptions::diskCacheDir set, start()
+ * installs a crash-safe on-disk tier (synth/disk_cache.hh) under
+ * the process-wide SynthCache, so synthesis results survive
+ * restarts (including kill -9).
+ *
  * Determinism: compute replies are byte-identical functions of the
  * request line (protocol.hh); the executor/coalescing machinery
  * only decides *when* and *by whom* a reply is computed, never its
@@ -44,6 +67,7 @@
 #ifndef PRINTED_SERVICE_SERVER_HH
 #define PRINTED_SERVICE_SERVER_HH
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -57,7 +81,13 @@
 #include <vector>
 
 #include "common/parallel.hh"
+#include "service/fault_plan.hh"
 #include "service/protocol.hh"
+
+namespace printed
+{
+class DiskCache;
+}
 
 namespace printed::service
 {
@@ -91,6 +121,19 @@ struct ServerOptions
      * the cache unbounded (the bench/test default).
      */
     std::size_t cacheCapacity = 0;
+
+    /**
+     * Directory of the persistent synthesis cache; empty = no disk
+     * tier. start() installs it under SynthCache::global(),
+     * joinEverything() uninstalls it.
+     */
+    std::string diskCacheDir;
+
+    /** Injected-fault schedule; disabled by default. */
+    FaultPlan faultPlan;
+
+    /** Watchdog scan period; 0 disables the watchdog thread. */
+    double watchdogPeriodMs = 50;
 };
 
 /** The printedd TCP server. */
@@ -146,13 +189,18 @@ class Server
     void acceptLoop();
     void readerLoop(std::shared_ptr<Connection> conn);
     void executorLoop(unsigned slot);
+    void watchdogLoop();
 
     /** Handle one request line from a connection. */
     void handleLine(const std::shared_ptr<Connection> &conn,
                     const std::string &line);
 
-    Admit admit(Task task);
-    void execute(Task &task);
+    /**
+     * Class-aware admission (see file comment). On QueueFull,
+     * retryAfterMsOut carries the depth-scaled backoff hint.
+     */
+    Admit admit(Task task, double &retryAfterMsOut);
+    void execute(Task &task, unsigned slot);
 
     /**
      * Result body of a compute request, deduped against identical
@@ -167,9 +215,13 @@ class Server
     std::string metricsBody() const;
     std::string healthBody();
 
-    /** Send one reply line on a connection (serialized per-conn). */
+    /**
+     * Send one reply line on a connection (serialized per-conn).
+     * `faultable` marks compute replies, the only traffic the fault
+     * injector may drop, truncate, or delay.
+     */
     void sendLine(const std::shared_ptr<Connection> &conn,
-                  const std::string &line);
+                  const std::string &line, bool faultable = false);
 
     void joinEverything();
 
@@ -183,6 +235,23 @@ class Server
 
     std::thread acceptThread_;
     std::vector<std::thread> executors_;
+
+    /** What one executor is working on, for the watchdog. */
+    struct ExecSlot
+    {
+        std::atomic<std::int64_t> startNs{0};    ///< 0 = idle
+        std::atomic<std::int64_t> deadlineNs{0}; ///< 0 = none
+        std::atomic<bool> reported{false};
+    };
+    std::unique_ptr<ExecSlot[]> execSlots_;
+    unsigned executorCount_ = 0;
+    std::thread watchdog_;
+    std::mutex watchdogMutex_;
+    std::condition_variable watchdogCv_;
+    bool watchdogStop_ = false;
+
+    std::unique_ptr<FaultInjector> fault_;
+    std::shared_ptr<DiskCache> installedDisk_;
 
     std::mutex connMutex_;
     std::vector<std::shared_ptr<Connection>> conns_;

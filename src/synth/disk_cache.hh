@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Content-addressed on-disk synthesis cache.
+ *
+ * Persists the two products the in-memory SynthCache memoizes —
+ * synthesized netlists and characterizations — across process
+ * restarts, keyed by the same canonical CoreConfigKey (plus
+ * technology and activity bits for characterizations). A printedd
+ * restart or a fresh bench process starts warm: repeated synth
+ * traffic after a deploy hits disk instead of re-running synthesis.
+ *
+ * One entry is one file in the cache directory:
+ *
+ *   nl-<16-hex-key-hash>.psc     a netlist
+ *   ch-<16-hex-key-hash>.psc     a characterization
+ *
+ * File layout (all integers little-endian, doubles as IEEE-754 bit
+ * patterns):
+ *
+ *   magic "PSC1" | u32 format version | u64 payload bytes
+ *   | u64 FNV-1a checksum of payload | payload
+ *
+ * The payload starts with the full canonical key (not just its
+ * hash), so a hash collision can never alias two configs: a loaded
+ * entry whose key record differs from the request is counted as a
+ * key mismatch and treated as a miss.
+ *
+ * Crash safety: writes go to a "tmp-*" file in the same directory,
+ * are fsync()ed, and then atomically rename()d over the final name
+ * (the directory is fsync()ed after the rename). A kill -9 at any
+ * point leaves either the old entry, the new entry, or a stray
+ * tmp file (removed by the next constructor) — never a torn entry
+ * under the final name.
+ *
+ * Corruption handling: a bad magic, version, length, checksum, or
+ * a payload that fails structural validation is *quarantined* (the
+ * file is renamed to "<name>.corrupt-<n>" for post-mortem) and the
+ * lookup returns a miss, so one flipped bit costs one re-synthesis,
+ * never a crash or a wrong result.
+ *
+ * Failure policy: loads never throw (any error is a miss); stores
+ * are best-effort (errors are counted, the in-memory result is
+ * unaffected). The cache is safe to share between processes on one
+ * machine: writers never modify an entry in place.
+ */
+
+#ifndef PRINTED_SYNTH_DISK_CACHE_HH
+#define PRINTED_SYNTH_DISK_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "analysis/characterize.hh"
+#include "common/metrics.hh"
+#include "netlist/netlist.hh"
+#include "synth/cache.hh"
+#include "tech/library.hh"
+
+namespace printed
+{
+
+/** Monotonic counters of one DiskCache (see stats()). */
+struct DiskCacheStats
+{
+    std::uint64_t netlistHits = 0;
+    std::uint64_t netlistMisses = 0;
+    std::uint64_t charHits = 0;
+    std::uint64_t charMisses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t storeErrors = 0;
+    std::uint64_t corruptQuarantined = 0;
+    std::uint64_t versionMismatches = 0;
+    std::uint64_t keyMismatches = 0;
+};
+
+/** The persistent tier behind SynthCache (see file comment). */
+class DiskCache
+{
+  public:
+    /** Entry-format version; bumped on any layout change. */
+    static constexpr std::uint32_t formatVersion = 1;
+
+    /**
+     * Open (creating if needed) a cache directory. Stray tmp files
+     * from a crashed writer are removed. Throws FatalError when the
+     * directory cannot be created.
+     *
+     * @param publishMetrics back the counters by the process-wide
+     *        metrics registry ("synth.disk_cache.*"); local/test
+     *        instances keep private counters.
+     */
+    explicit DiskCache(std::string dir, bool publishMetrics = false);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Load a netlist entry; nullptr on miss (never throws). */
+    std::shared_ptr<const Netlist>
+    loadNetlist(const CoreConfigKey &key);
+
+    /** Persist a netlist entry (best-effort, never throws). */
+    void storeNetlist(const CoreConfigKey &key, const Netlist &nl);
+
+    /** Load a characterization entry; nullptr on miss. */
+    std::shared_ptr<const Characterization>
+    loadCharacterization(const CoreConfigKey &key, TechKind tech,
+                         double activity);
+
+    /** Persist a characterization entry (best-effort). */
+    void storeCharacterization(const CoreConfigKey &key,
+                               TechKind tech, double activity,
+                               const Characterization &ch);
+
+    /** Resident entry files (excludes quarantined/tmp files). */
+    std::size_t entryCount() const;
+
+    /**
+     * Deterministically pick one resident entry (by `seed`) and
+     * flip a byte inside its payload — the disk half of the
+     * service fault-injection harness. Returns the victim's file
+     * name, or "" when the cache is empty.
+     */
+    std::string corruptOneEntry(std::uint64_t seed);
+
+    /** Snapshot of the counters. */
+    DiskCacheStats stats() const;
+
+  private:
+    /** Read + verify one entry file; "" on any failure (counted). */
+    std::string readEntry(const std::string &path);
+
+    /** Crash-safe write of one finished entry file. */
+    bool writeEntry(const std::string &path,
+                    const std::string &payload);
+
+    /** Move a bad entry aside and count it. */
+    void quarantine(const std::string &path);
+
+    std::string dir_;
+    std::mutex writeMutex_; ///< serializes tmp-name generation
+    std::uint64_t tmpSeq_ = 0;
+
+    /** Private counter storage for non-published instances. */
+    metrics::Counter ownCounters_[9];
+    metrics::Counter *netlistHits_;
+    metrics::Counter *netlistMisses_;
+    metrics::Counter *charHits_;
+    metrics::Counter *charMisses_;
+    metrics::Counter *stores_;
+    metrics::Counter *storeErrors_;
+    metrics::Counter *corrupt_;
+    metrics::Counter *versionMismatches_;
+    metrics::Counter *keyMismatches_;
+};
+
+} // namespace printed
+
+#endif // PRINTED_SYNTH_DISK_CACHE_HH

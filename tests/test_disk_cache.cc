@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Tests of the crash-safe on-disk synthesis cache
+ * (synth/disk_cache.hh): byte-exact round trips, corruption
+ * quarantine, version/key mismatch handling, tmp-file cleanup, and
+ * the SynthCache read-through/write-through disk tier.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "analysis/characterize.hh"
+#include "core/config.hh"
+#include "core/generator.hh"
+#include "synth/cache.hh"
+#include "synth/disk_cache.hh"
+#include "tech/library.hh"
+
+namespace fs = std::filesystem;
+
+namespace printed
+{
+namespace
+{
+
+/** A fresh unique cache directory, removed on destruction. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char tmpl[] = "/tmp/printed-disk-cache-XXXXXX";
+        const char *p = ::mkdtemp(tmpl);
+        EXPECT_NE(p, nullptr);
+        path = p ? p : "";
+    }
+
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+CoreConfig
+smallConfig()
+{
+    return CoreConfig::standard(1, 4, 2);
+}
+
+/** Field-by-field netlist equality (Netlist has no operator==). */
+void
+expectSameNetlist(const Netlist &a, const Netlist &b)
+{
+    EXPECT_EQ(a.name(), b.name());
+    ASSERT_EQ(a.netCount(), b.netCount());
+    for (std::size_t i = 0; i < a.netCount(); ++i) {
+        EXPECT_EQ(a.netInfos()[i].source, b.netInfos()[i].source);
+        EXPECT_EQ(a.netInfos()[i].name, b.netInfos()[i].name);
+        EXPECT_EQ(a.netInfos()[i].drivers, b.netInfos()[i].drivers);
+    }
+    ASSERT_EQ(a.gateCount(), b.gateCount());
+    for (std::size_t i = 0; i < a.gateCount(); ++i) {
+        EXPECT_EQ(a.gates()[i].kind, b.gates()[i].kind);
+        EXPECT_EQ(a.gates()[i].in0, b.gates()[i].in0);
+        EXPECT_EQ(a.gates()[i].in1, b.gates()[i].in1);
+        EXPECT_EQ(a.gates()[i].out, b.gates()[i].out);
+    }
+    ASSERT_EQ(a.inputs().size(), b.inputs().size());
+    for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+        EXPECT_EQ(a.inputs()[i].name, b.inputs()[i].name);
+        EXPECT_EQ(a.inputs()[i].net, b.inputs()[i].net);
+    }
+    ASSERT_EQ(a.outputs().size(), b.outputs().size());
+    for (std::size_t i = 0; i < a.outputs().size(); ++i) {
+        EXPECT_EQ(a.outputs()[i].name, b.outputs()[i].name);
+        EXPECT_EQ(a.outputs()[i].net, b.outputs()[i].net);
+    }
+    EXPECT_EQ(a.constZeroId(), b.constZeroId());
+    EXPECT_EQ(a.constOneId(), b.constOneId());
+}
+
+TEST(DiskCache, EmptyCacheMisses)
+{
+    TempDir dir;
+    DiskCache cache(dir.path);
+    EXPECT_EQ(cache.loadNetlist(coreConfigKey(smallConfig())),
+              nullptr);
+    EXPECT_EQ(cache.entryCount(), 0u);
+    EXPECT_EQ(cache.stats().netlistMisses, 1u);
+    EXPECT_EQ(cache.stats().corruptQuarantined, 0u);
+}
+
+TEST(DiskCache, NetlistRoundTripIsExact)
+{
+    TempDir dir;
+    DiskCache cache(dir.path);
+    const CoreConfig cfg = smallConfig();
+    const CoreConfigKey key = coreConfigKey(cfg);
+    const Netlist built = buildCore(cfg);
+
+    cache.storeNetlist(key, built);
+    EXPECT_EQ(cache.stats().stores, 1u);
+    EXPECT_EQ(cache.entryCount(), 1u);
+
+    const auto loaded = cache.loadNetlist(key);
+    ASSERT_NE(loaded, nullptr);
+    expectSameNetlist(built, *loaded);
+    EXPECT_EQ(cache.stats().netlistHits, 1u);
+
+    // A second DiskCache on the same directory sees the entry: the
+    // cache is a plain directory, not process state.
+    DiskCache reopened(dir.path);
+    ASSERT_NE(reopened.loadNetlist(key), nullptr);
+}
+
+TEST(DiskCache, CharacterizationRoundTripIsBitExact)
+{
+    TempDir dir;
+    DiskCache cache(dir.path);
+    const CoreConfig cfg = smallConfig();
+    const CoreConfigKey key = coreConfigKey(cfg);
+    const Netlist built = buildCore(cfg);
+    const Characterization ch =
+        characterize(built, egfetLibrary());
+
+    cache.storeCharacterization(key, TechKind::EGFET,
+                                paperActivityFactor, ch);
+    const auto loaded = cache.loadCharacterization(
+        key, TechKind::EGFET, paperActivityFactor);
+    ASSERT_NE(loaded, nullptr);
+
+    // Doubles are stored as IEEE-754 bit patterns, so equality is
+    // exact, not approximate.
+    EXPECT_EQ(loaded->label, ch.label);
+    EXPECT_EQ(loaded->tech, ch.tech);
+    EXPECT_EQ(loaded->stats.totalGates, ch.stats.totalGates);
+    EXPECT_EQ(loaded->stats.histogram, ch.stats.histogram);
+    EXPECT_EQ(loaded->stats.logicDepth, ch.stats.logicDepth);
+    EXPECT_EQ(loaded->area.total_mm2, ch.area.total_mm2);
+    EXPECT_EQ(loaded->area.perCell_mm2, ch.area.perCell_mm2);
+    EXPECT_EQ(loaded->timing.fmaxHz, ch.timing.fmaxHz);
+    EXPECT_EQ(loaded->timing.criticalPathUs,
+              ch.timing.criticalPathUs);
+    EXPECT_EQ(loaded->powerAtFmax.total_mW,
+              ch.powerAtFmax.total_mW);
+    EXPECT_EQ(loaded->powerAtFmax.energyPerCycle_nJ,
+              ch.powerAtFmax.energyPerCycle_nJ);
+
+    // A different tech or activity is a different entry.
+    EXPECT_EQ(cache.loadCharacterization(key, TechKind::CNT_TFT,
+                                         paperActivityFactor),
+              nullptr);
+    EXPECT_EQ(cache.loadCharacterization(key, TechKind::EGFET,
+                                         0.5),
+              nullptr);
+}
+
+TEST(DiskCache, CorruptEntryIsQuarantinedAndRecovers)
+{
+    TempDir dir;
+    DiskCache cache(dir.path);
+    const CoreConfig cfg = smallConfig();
+    const CoreConfigKey key = coreConfigKey(cfg);
+    const Netlist built = buildCore(cfg);
+    cache.storeNetlist(key, built);
+
+    const std::string victim = cache.corruptOneEntry(42);
+    ASSERT_FALSE(victim.empty());
+
+    // The flipped byte fails the checksum: miss, quarantined.
+    EXPECT_EQ(cache.loadNetlist(key), nullptr);
+    EXPECT_EQ(cache.stats().corruptQuarantined, 1u);
+    EXPECT_EQ(cache.entryCount(), 0u);
+
+    // The quarantined file is kept for post-mortem...
+    bool sawQuarantine = false;
+    for (const auto &e : fs::directory_iterator(dir.path))
+        if (e.path().filename().string().find(".corrupt-") !=
+            std::string::npos)
+            sawQuarantine = true;
+    EXPECT_TRUE(sawQuarantine);
+
+    // ...and a re-store + load works as if nothing happened.
+    cache.storeNetlist(key, built);
+    ASSERT_NE(cache.loadNetlist(key), nullptr);
+}
+
+TEST(DiskCache, VersionMismatchIsDetected)
+{
+    TempDir dir;
+    DiskCache cache(dir.path);
+    const CoreConfigKey key = coreConfigKey(smallConfig());
+    cache.storeNetlist(key, buildCore(smallConfig()));
+
+    // Patch the format-version field (bytes 4..7, after the magic).
+    std::string path;
+    for (const auto &e : fs::directory_iterator(dir.path))
+        if (e.path().extension() == ".psc")
+            path = e.path().string();
+    ASSERT_FALSE(path.empty());
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 4, SEEK_SET);
+    const unsigned char bumped = DiskCache::formatVersion + 1;
+    std::fputc(bumped, f);
+    std::fclose(f);
+
+    EXPECT_EQ(cache.loadNetlist(key), nullptr);
+    EXPECT_EQ(cache.stats().versionMismatches, 1u);
+    EXPECT_EQ(cache.entryCount(), 0u); // quarantined
+}
+
+TEST(DiskCache, KeyMismatchIsAMissNotCorruption)
+{
+    TempDir dir;
+    DiskCache cache(dir.path);
+    const CoreConfig cfgA = CoreConfig::standard(1, 4, 2);
+    const CoreConfig cfgB = CoreConfig::standard(1, 8, 2);
+    const CoreConfigKey keyA = coreConfigKey(cfgA);
+    const CoreConfigKey keyB = coreConfigKey(cfgB);
+    cache.storeNetlist(keyA, buildCore(cfgA));
+
+    // Simulate a (in practice impossible) file-name hash collision:
+    // keyB's locator points at a valid entry that stores keyA.
+    std::string pathA, pathB;
+    for (const auto &e : fs::directory_iterator(dir.path))
+        if (e.path().extension() == ".psc")
+            pathA = e.path().string();
+    ASSERT_FALSE(pathA.empty());
+    cache.storeNetlist(keyB, buildCore(cfgB));
+    for (const auto &e : fs::directory_iterator(dir.path)) {
+        const std::string p = e.path().string();
+        if (e.path().extension() == ".psc" && p != pathA)
+            pathB = p;
+    }
+    ASSERT_FALSE(pathB.empty());
+    fs::remove(pathB);
+    fs::copy_file(pathA, pathB);
+
+    // The full key stored in the payload catches the alias: a miss,
+    // and the (valid) entry is left alone.
+    EXPECT_EQ(cache.loadNetlist(keyB), nullptr);
+    EXPECT_EQ(cache.stats().keyMismatches, 1u);
+    EXPECT_EQ(cache.stats().corruptQuarantined, 0u);
+    EXPECT_TRUE(fs::exists(pathB));
+}
+
+TEST(DiskCache, StrayTmpFilesAreRemovedAtOpen)
+{
+    TempDir dir;
+    {
+        std::FILE *f = std::fopen(
+            (dir.path + "/tmp-9999-1").c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("half-written", f);
+        std::fclose(f);
+    }
+    DiskCache cache(dir.path);
+    EXPECT_FALSE(fs::exists(dir.path + "/tmp-9999-1"));
+    EXPECT_EQ(cache.entryCount(), 0u);
+}
+
+TEST(DiskCache, SynthCacheWritesThroughAndReadsThrough)
+{
+    TempDir dir;
+    auto disk = std::make_shared<DiskCache>(dir.path);
+    const CoreConfig cfg = smallConfig();
+
+    // First process: a cold memory cache persists what it builds.
+    {
+        SynthCache mem;
+        mem.setDiskTier(disk);
+        EXPECT_EQ(mem.diskTier(), disk);
+        auto core = mem.core(cfg);
+        auto ch = mem.characterization(cfg, TechKind::EGFET);
+        ASSERT_NE(core, nullptr);
+        ASSERT_NE(ch, nullptr);
+        EXPECT_EQ(disk->stats().stores, 2u);
+        // Memory hit on repeat: the disk is not consulted again.
+        mem.core(cfg);
+        EXPECT_EQ(disk->stats().netlistMisses, 1u);
+    }
+
+    // Second process (fresh memory cache, same directory): served
+    // from disk, bit-identical to a fresh build.
+    {
+        SynthCache mem;
+        mem.setDiskTier(disk);
+        auto core = mem.core(cfg);
+        ASSERT_NE(core, nullptr);
+        EXPECT_EQ(disk->stats().netlistHits, 1u);
+        expectSameNetlist(buildCore(cfg), *core);
+
+        auto ch = mem.characterization(cfg, TechKind::EGFET);
+        ASSERT_NE(ch, nullptr);
+        EXPECT_EQ(disk->stats().charHits, 1u);
+        const Characterization fresh =
+            characterize(buildCore(cfg), egfetLibrary());
+        EXPECT_EQ(ch->timing.fmaxHz, fresh.timing.fmaxHz);
+        EXPECT_EQ(ch->powerAtFmax.total_mW,
+                  fresh.powerAtFmax.total_mW);
+        EXPECT_EQ(ch->area.total_mm2, fresh.area.total_mm2);
+    }
+
+    // Detaching the tier restores pure in-memory behavior.
+    SynthCache mem;
+    mem.setDiskTier(disk);
+    mem.setDiskTier(nullptr);
+    EXPECT_EQ(mem.diskTier(), nullptr);
+    const auto before = disk->stats();
+    mem.core(cfg);
+    EXPECT_EQ(disk->stats().netlistHits, before.netlistHits);
+    EXPECT_EQ(disk->stats().netlistMisses, before.netlistMisses);
+}
+
+TEST(DiskCache, CorruptDiskEntryDegradesToRebuild)
+{
+    TempDir dir;
+    auto disk = std::make_shared<DiskCache>(dir.path);
+    const CoreConfig cfg = smallConfig();
+    {
+        SynthCache mem;
+        mem.setDiskTier(disk);
+        mem.core(cfg);
+    }
+    ASSERT_FALSE(disk->corruptOneEntry(7).empty());
+
+    // The corrupt entry is a miss; the rebuild repopulates disk.
+    SynthCache mem;
+    mem.setDiskTier(disk);
+    auto core = mem.core(cfg);
+    ASSERT_NE(core, nullptr);
+    expectSameNetlist(buildCore(cfg), *core);
+    EXPECT_EQ(disk->stats().corruptQuarantined, 1u);
+    EXPECT_GE(disk->stats().stores, 2u);
+
+    // And the repaired entry serves the next cold cache.
+    SynthCache mem2;
+    mem2.setDiskTier(disk);
+    const auto before = disk->stats().netlistHits;
+    ASSERT_NE(mem2.core(cfg), nullptr);
+    EXPECT_EQ(disk->stats().netlistHits, before + 1);
+}
+
+} // anonymous namespace
+} // namespace printed

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <string>
 
 #include "common/json_min.hh"
@@ -152,6 +153,81 @@ TEST(JsonEscapeShared, RoundTripsThroughTheParser)
     const json::Value v =
         json::parse(json::jsonQuote(nasty));
     EXPECT_EQ(v.string, nasty);
+}
+
+TEST(JsonFuzz, TruncatedFramesNeverCrash)
+{
+    // Every prefix of a frame with all the tricky constructs must
+    // either parse (the full frame) or throw ParseError — never
+    // crash, hang, or return a mangled document.
+    const std::string frame =
+        "{\"id\":\"r1\",\"s\":\"\\uD83D\\uDE00\\n\\\"\",\"n\":"
+        "[-1.5e-3,1e308,0.0],\"o\":{\"deep\":[[[{\"x\":null}]]],"
+        "\"b\":[true,false]}}";
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+        EXPECT_THROW(json::parse(frame.substr(0, cut)),
+                     json::ParseError)
+            << "prefix length " << cut;
+    }
+    EXPECT_NO_THROW(json::parse(frame));
+}
+
+TEST(JsonFuzz, MutatedFramesEitherParseOrThrow)
+{
+    const std::string frame =
+        "{\"id\":\"r1\",\"type\":\"yield\",\"config\":"
+        "{\"stages\":1,\"width\":8,\"bars\":2},\"trials\":256,"
+        "\"seed\":1,\"device_yield\":0.9999}";
+    std::uint64_t state = 0x243F6A8885A308D3ULL;
+    auto next = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    unsigned parsed = 0;
+    unsigned rejected = 0;
+    for (unsigned round = 0; round < 2000; ++round) {
+        std::string mutated = frame;
+        const std::size_t at =
+            std::size_t(next() % mutated.size());
+        mutated[at] = char(next() & 0xFF);
+        try {
+            (void)json::parse(mutated);
+            ++parsed;
+        } catch (const json::ParseError &) {
+            ++rejected;
+        }
+    }
+    // Both outcomes must occur (the corpus is neither trivially
+    // valid nor trivially broken), and nothing else may happen.
+    EXPECT_GT(parsed, 0u);
+    EXPECT_GT(rejected, 0u);
+}
+
+TEST(JsonFuzz, OversizedAndPathologicalInputs)
+{
+    // A huge flat document parses fine (size is not nesting)...
+    std::string flat = "[0";
+    for (int i = 1; i < 20000; ++i)
+        flat += "," + std::to_string(i);
+    flat += "]";
+    EXPECT_EQ(json::parse(flat).array.size(), 20000u);
+
+    // ...while hostile nesting and unterminated strings throw.
+    EXPECT_THROW(json::parse(std::string(1 << 16, '[')),
+                 json::ParseError);
+    EXPECT_THROW(json::parse("\"" + std::string(1 << 16, 'a')),
+                 json::ParseError);
+    EXPECT_THROW(json::parse(std::string(1 << 16, ' ')),
+                 json::ParseError);
+
+    // Invalid \u escapes in otherwise valid frames.
+    for (const char *bad :
+         {"{\"k\":\"\\u12\"}", "{\"k\":\"\\uZZZZ\"}",
+          "{\"k\":\"\\uD800x\"}", "{\"k\":\"\\uDC00\"}",
+          "{\"k\":\"\\uD800\\u0041\"}"})
+        EXPECT_THROW(json::parse(bad), json::ParseError) << bad;
 }
 
 } // anonymous namespace
