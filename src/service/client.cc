@@ -46,6 +46,9 @@ parseReply(const std::string &line)
             r && r->isNumber() && r->number >= 0)
             reply.retryAfterMs = r->number;
     }
+    if (const json::Value *d = root.find("degraded");
+        d && d->isBool())
+        reply.degraded = d->boolean;
     return reply;
 }
 
@@ -232,7 +235,12 @@ RetryingClient::call(const std::string &line, bool idempotent)
             } catch (const std::exception &) {
                 return raw; // not our reply shape; caller's problem
             }
-            if (!parsed.ok && parsed.error == errc::queueFull &&
+            // "unavailable" (the balancer's every-shard-down
+            // verdict) is overload-shaped: transient, safe to
+            // replay, worth backing off on.
+            if (!parsed.ok &&
+                (parsed.error == errc::queueFull ||
+                 parsed.error == errc::unavailable) &&
                 idempotent) {
                 fatalIf(overloadTries >= policy_.maxOverloadRetries,
                         "request rejected queue_full " +
@@ -272,6 +280,146 @@ Reply
 RetryingClient::callParsed(const std::string &line, bool idempotent)
 {
     return parseReply(call(line, idempotent));
+}
+
+StreamResult
+RetryingClient::streamCall(
+    const std::string &id, RequestType type,
+    const std::function<std::string(std::uint64_t)> &lineAt,
+    const PointCallback &onPoint)
+{
+    ++stats_.calls;
+    StreamResult out;
+    unsigned lossTries = 0;
+    unsigned overloadTries = 0;
+    for (;;) {
+        try {
+            ensureConnected();
+            // Replays ask only for what is missing: every point
+            // already in hand stays in hand, so the callback fires
+            // exactly once per index no matter how many resumes it
+            // takes.
+            client_.send(lineAt(out.points.size()));
+            for (;;) {
+                const std::string raw =
+                    client_.readLine(policy_.callTimeoutMs);
+                StreamFrame frame;
+                try {
+                    frame = classifyFrame(raw);
+                } catch (const std::exception &) {
+                    out.reply.raw = raw;
+                    return out; // not our reply shape
+                }
+                fatalIf(!frame.id.empty() && frame.id != id,
+                        "stream frame for id '" + frame.id +
+                            "' while waiting on '" + id + "'");
+
+                if (frame.kind == StreamFrame::Kind::Partial) {
+                    fatalIf(frame.index != out.points.size(),
+                            "stream point " +
+                                std::to_string(frame.index) +
+                                " arrived with " +
+                                std::to_string(out.points.size()) +
+                                " points in hand");
+                    out.points.push_back(frame.pointBody);
+                    ++out.partials;
+                    out.streamed = true;
+                    if (onPoint)
+                        onPoint(frame.index, frame.total,
+                                out.points.back());
+                    continue;
+                }
+
+                if (frame.kind == StreamFrame::Kind::Done) {
+                    fatalIf(frame.points != out.points.size(),
+                            "stream done after " +
+                                std::to_string(frame.points) +
+                                " points but " +
+                                std::to_string(out.points.size()) +
+                                " are in hand");
+                    out.streamed = true;
+                    out.reply = parseReply(
+                        assembleStreamedReply(id, type, out.points));
+                    return out;
+                }
+
+                // Final frame: a monolithic reply (v1 negotiation
+                // fallback) or an error.
+                Reply parsed;
+                try {
+                    parsed = parseReply(raw);
+                } catch (const std::exception &) {
+                    out.reply.raw = raw;
+                    return out;
+                }
+                if (!parsed.ok &&
+                    (parsed.error == errc::queueFull ||
+                     parsed.error == errc::unavailable)) {
+                    fatalIf(overloadTries >=
+                                policy_.maxOverloadRetries,
+                            "stream rejected " + parsed.error + " " +
+                                std::to_string(overloadTries + 1) +
+                                " times; giving up");
+                    ++overloadTries;
+                    ++stats_.overloadReplays;
+                    backoff(overloadTries - 1, parsed.retryAfterMs);
+                    break; // resend, resuming past held points
+                }
+                out.reply = parsed;
+                return out;
+            }
+        } catch (const TimeoutError &) {
+            client_.close();
+            if (lossTries >= policy_.maxLossRetries)
+                throw;
+            ++lossTries;
+            ++stats_.timeoutReplays;
+            if (!out.points.empty())
+                ++stats_.streamResumes;
+            backoff(lossTries - 1);
+        } catch (const FatalError &) {
+            client_.close();
+            if (lossTries >= policy_.maxLossRetries)
+                throw;
+            ++lossTries;
+            ++stats_.lossReplays;
+            if (!out.points.empty())
+                ++stats_.streamResumes;
+            backoff(lossTries - 1);
+        }
+    }
+}
+
+StreamResult
+RetryingClient::streamSweep(const std::string &id,
+                            const SweepSpec &spec,
+                            const PointCallback &onPoint,
+                            double deadlineMs)
+{
+    return streamCall(
+        id, RequestType::Sweep,
+        [&](std::uint64_t resumeFrom) {
+            return sweepStreamRequest(id, spec, resumeFrom,
+                                      deadlineMs);
+        },
+        onPoint);
+}
+
+StreamResult
+RetryingClient::streamYield(const std::string &id,
+                            const CoreConfig &config, unsigned trials,
+                            std::uint64_t seed, unsigned replicas,
+                            const PointCallback &onPoint,
+                            double deadlineMs)
+{
+    return streamCall(
+        id, RequestType::Yield,
+        [&](std::uint64_t resumeFrom) {
+            return yieldStreamRequest(id, config, trials, seed,
+                                      replicas, resumeFrom,
+                                      deadlineMs);
+        },
+        onPoint);
 }
 
 void

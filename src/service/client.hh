@@ -33,10 +33,13 @@
 #define PRINTED_SERVICE_CLIENT_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "service/protocol.hh"
 
 namespace printed::service
 {
@@ -57,6 +60,7 @@ struct Reply
     std::string error;   ///< errc code when !ok
     std::string message; ///< human text when !ok
     double retryAfterMs = 0; ///< queue_full backoff hint (or 0)
+    bool degraded = false;   ///< balancer served from failover shard
     std::string raw;     ///< the exact reply line (no newline)
 };
 
@@ -133,7 +137,34 @@ struct RetryStats
     std::uint64_t lossReplays = 0;      ///< replays after lost conn
     std::uint64_t timeoutReplays = 0;   ///< replays after deadline
     std::uint64_t overloadReplays = 0;  ///< replays after queue_full
+    std::uint64_t streamResumes = 0;    ///< mid-stream resume replays
 };
+
+/**
+ * Outcome of a streamed call (protocol v2). When the server spoke
+ * v2, `points` holds every point body in index order and `reply` is
+ * the assembled monolithic equivalent — byte-identical to what a v1
+ * exchange would have returned. When the server ignored "stream"
+ * (v1 negotiation fallback), `streamed` is false, `points` is empty
+ * and `reply` is the monolithic reply as received. Error replies
+ * (deadline_exceeded, exhausted budgets surface as throws instead)
+ * land in `reply` with ok == false either way.
+ */
+struct StreamResult
+{
+    Reply reply;
+    std::vector<std::string> points; ///< point bodies, index order
+    std::uint64_t partials = 0;      ///< partial frames consumed
+    bool streamed = false;           ///< v2 frames were received
+};
+
+/**
+ * Called for each partial as it arrives: (index, total, pointBody).
+ * Replays after a mid-stream disconnect resume from the last
+ * received index, so the callback fires exactly once per point.
+ */
+using PointCallback = std::function<void(
+    std::uint64_t, std::uint64_t, const std::string &)>;
 
 /** Self-healing request/reply client (see file comment). */
 class RetryingClient
@@ -157,6 +188,27 @@ class RetryingClient
     Reply callParsed(const std::string &line,
                      bool idempotent = true);
 
+    /**
+     * Streamed sweep: partial frames invoke `onPoint` in strict
+     * index order; a lost connection or timeout mid-stream replays
+     * with "resume_from" set to the first missing index, so no
+     * point is ever duplicated or dropped. Streams are compute
+     * requests, hence idempotent, hence always replayable.
+     */
+    StreamResult streamSweep(const std::string &id,
+                             const SweepSpec &spec,
+                             const PointCallback &onPoint = {},
+                             double deadlineMs = 0);
+
+    /** Streamed yield: a one-point stream (same resume rules). */
+    StreamResult streamYield(const std::string &id,
+                             const CoreConfig &config,
+                             unsigned trials,
+                             std::uint64_t seed = 1,
+                             unsigned replicas = 1,
+                             const PointCallback &onPoint = {},
+                             double deadlineMs = 0);
+
     const RetryStats &stats() const { return stats_; }
 
     void close();
@@ -165,6 +217,16 @@ class RetryingClient
     void ensureConnected();
     double nextBackoffMs(unsigned attempt);
     void backoff(unsigned attempt, double floorMs = 0);
+
+    /**
+     * Shared streamed-call engine: `lineAt(resumeFrom)` renders the
+     * request to (re)send when `resumeFrom` points are already in
+     * hand.
+     */
+    StreamResult streamCall(
+        const std::string &id, RequestType type,
+        const std::function<std::string(std::uint64_t)> &lineAt,
+        const PointCallback &onPoint);
 
     std::string host_;
     std::uint16_t port_;

@@ -225,6 +225,18 @@ parseRequest(const std::string &line)
     req.deadlineMs =
         doubleField(root, "deadline_ms", 0, 0, 86400e3);
 
+    if (const Value *s = root.find("stream")) {
+        fatalIf(!s->isBool(),
+                "request field 'stream' must be a boolean");
+        req.stream = s->boolean;
+    }
+    req.resumeFrom = uintField(root, "resume_from", 0, 0, 1 << 20);
+    fatalIf(req.stream && req.type != RequestType::Sweep &&
+                req.type != RequestType::Yield,
+            "'stream' is only valid for sweep and yield requests");
+    fatalIf(req.resumeFrom != 0 && !req.stream,
+            "'resume_from' requires 'stream': true");
+
     switch (req.type) {
       case RequestType::Synth:
         req.config = configField(root);
@@ -258,6 +270,31 @@ parseRequest(const std::string &line)
         break;
     }
     return req;
+}
+
+std::string
+configKey(const CoreConfig &config)
+{
+    return configKeyText(config);
+}
+
+std::string
+routeKey(const Request &req)
+{
+    switch (req.type) {
+      case RequestType::Synth:
+      case RequestType::Yield:
+        // Deliberately type-blind: a synth and a yield on the same
+        // config share a shard, so one in-memory SynthCache entry
+        // serves both.
+        return "cfg|" + configKeyText(req.config);
+      case RequestType::Sweep:
+        // The coalesce key omits stream/resume_from, so a resumed
+        // stream routes to the same shard as its first attempt.
+        return coalesceKey(req);
+      default:
+        return ""; // admin requests fan out instead of routing
+    }
 }
 
 std::string
@@ -380,6 +417,128 @@ queueFullReply(const std::string &id, double retryAfterMs)
 namespace
 {
 
+/// Exact head shared by partial and done frames. Keeping the
+/// rendering in one place is what makes classifyFrame's byte-exact
+/// point extraction safe: the only unescaped `"point": ` in a
+/// partial frame is the structural one (jsonQuote backslash-escapes
+/// quotes inside the id).
+std::string
+streamFrameHead(const std::string &id, RequestType type)
+{
+    std::string out = "{\"id\": ";
+    out += jsonQuote(id);
+    out += ", \"ok\": true, \"type\": ";
+    out += jsonQuote(requestTypeName(type));
+    return out;
+}
+
+constexpr const char *kPointMarker = ", \"point\": ";
+
+} // anonymous namespace
+
+std::string
+partialFrame(const std::string &id, RequestType type,
+             std::uint64_t index, std::uint64_t total,
+             const std::string &pointBody)
+{
+    std::string out = streamFrameHead(id, type);
+    out += ", \"partial\": {\"index\": " + std::to_string(index);
+    out += ", \"total\": " + std::to_string(total);
+    out += kPointMarker + pointBody;
+    out += "}}";
+    return out;
+}
+
+std::string
+doneFrame(const std::string &id, RequestType type,
+          std::uint64_t points)
+{
+    std::string out = streamFrameHead(id, type);
+    out += ", \"done\": {\"points\": " + std::to_string(points);
+    out += "}}";
+    return out;
+}
+
+StreamFrame
+classifyFrame(const std::string &line)
+{
+    StreamFrame frame;
+    const Value root = json::parse(line);
+    if (!root.isObject())
+        return frame; // Final: the caller surfaces it as-is
+
+    if (const Value *id = root.find("id"); id && id->isString())
+        frame.id = id->string;
+
+    const Value *ok = root.find("ok");
+    if (!ok || !ok->isBool() || !ok->boolean)
+        return frame; // errors always end the exchange
+
+    if (const Value *p = root.find("partial"); p && p->isObject()) {
+        const Value *index = p->find("index");
+        const Value *total = p->find("total");
+        const std::size_t at = line.find(kPointMarker);
+        if (!index || !index->isNumber() || !total ||
+            !total->isNumber() || at == std::string::npos ||
+            line.size() < at + 14)
+            return frame; // malformed partial: treat as Final
+        frame.kind = StreamFrame::Kind::Partial;
+        frame.index = std::uint64_t(index->number);
+        frame.total = std::uint64_t(total->number);
+        // The body is everything after the marker, minus the two
+        // closing braces of the "partial" object and the frame.
+        const std::size_t start = at + 11; // strlen(kPointMarker)
+        frame.pointBody = line.substr(start, line.size() - start - 2);
+        return frame;
+    }
+
+    if (const Value *d = root.find("done"); d && d->isObject()) {
+        const Value *points = d->find("points");
+        if (!points || !points->isNumber())
+            return frame;
+        frame.kind = StreamFrame::Kind::Done;
+        frame.points = std::uint64_t(points->number);
+        return frame;
+    }
+
+    return frame;
+}
+
+std::string
+assembleStreamedReply(const std::string &id, RequestType type,
+                      const std::vector<std::string> &points)
+{
+    if (type == RequestType::Yield) {
+        fatalIf(points.size() != 1,
+                "yield stream must carry exactly one point");
+        return okReply(id, type, points.front());
+    }
+    fatalIf(type != RequestType::Sweep,
+            "only sweep and yield replies stream");
+    // Exactly sweepBody(), over pre-rendered point bodies.
+    std::string body = "{\"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (i)
+            body += ", ";
+        body += points[i];
+    }
+    body += "]}";
+    return okReply(id, type, body);
+}
+
+std::string
+markDegraded(const std::string &line)
+{
+    const std::size_t pos = line.find_last_of('}');
+    if (pos == std::string::npos)
+        return line;
+    return line.substr(0, pos) + ", \"degraded\": true" +
+           line.substr(pos);
+}
+
+namespace
+{
+
 /** Common head of a compute request: id, type, deadline, config. */
 std::string
 requestHead(const std::string &id, const char *type,
@@ -449,6 +608,74 @@ std::string
 adminRequest(const std::string &id, RequestType type)
 {
     return requestHead(id, requestTypeName(type), 0) + "}";
+}
+
+std::string
+requestLine(const Request &req)
+{
+    std::string out =
+        requestHead(req.id, requestTypeName(req.type), req.deadlineMs);
+    switch (req.type) {
+      case RequestType::Synth:
+        out += ", \"config\": " + configBody(req.config);
+        break;
+      case RequestType::Yield:
+        out += ", \"config\": " + configBody(req.config);
+        out += ", \"trials\": " + std::to_string(req.trials);
+        out += ", \"seed\": " + std::to_string(req.seed);
+        out += ", \"replicas\": " + std::to_string(req.replicas);
+        if (req.deviceYield != 0.9999)
+            out += ", \"device_yield\": " + formatDouble(req.deviceYield);
+        break;
+      case RequestType::Sweep:
+        out += ", \"stages\": " + joinAxis(req.sweep.stages);
+        out += ", \"widths\": " + joinAxis(req.sweep.widths);
+        out += ", \"bars\": " + joinAxis(req.sweep.bars);
+        break;
+      case RequestType::Metrics:
+      case RequestType::Health:
+      case RequestType::Shutdown:
+        break;
+    }
+    if (req.stream) {
+        out += ", \"stream\": true";
+        if (req.resumeFrom != 0)
+            out += ", \"resume_from\": " + std::to_string(req.resumeFrom);
+    }
+    return out + "}";
+}
+
+std::string
+sweepStreamRequest(const std::string &id, const SweepSpec &spec,
+                   std::uint64_t resumeFrom, double deadlineMs)
+{
+    Request req;
+    req.id = id;
+    req.type = RequestType::Sweep;
+    req.sweep = spec;
+    req.deadlineMs = deadlineMs;
+    req.stream = true;
+    req.resumeFrom = resumeFrom;
+    return requestLine(req);
+}
+
+std::string
+yieldStreamRequest(const std::string &id, const CoreConfig &config,
+                   unsigned trials, std::uint64_t seed,
+                   unsigned replicas, std::uint64_t resumeFrom,
+                   double deadlineMs)
+{
+    Request req;
+    req.id = id;
+    req.type = RequestType::Yield;
+    req.config = config;
+    req.trials = trials;
+    req.seed = seed;
+    req.replicas = replicas;
+    req.deadlineMs = deadlineMs;
+    req.stream = true;
+    req.resumeFrom = resumeFrom;
+    return requestLine(req);
 }
 
 } // namespace printed::service

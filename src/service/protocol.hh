@@ -36,6 +36,27 @@
  * Replies: {"id":...,"ok":true,"type":...,"result":{...}} or
  * {"id":...,"ok":false,"error":CODE,"message":TEXT}.
  *
+ * Protocol v2 — streaming (backward compatible). A sweep or yield
+ * request may carry "stream": true; a v2 server then answers with
+ * zero or more partial frames followed by one done frame:
+ *
+ *   {"id":..,"ok":true,"type":"sweep",
+ *    "partial":{"index":I,"total":N,"point":{...synth body...}}}
+ *   {"id":..,"ok":true,"type":"sweep","done":{"points":N}}
+ *
+ * Partials arrive in strict index order; concatenating the point
+ * bodies of indices 0..N-1 reproduces the monolithic "result" body
+ * byte-for-byte (assembleStreamedReply). "resume_from": K asks the
+ * server to start at point index K — the replay rule after a
+ * mid-stream disconnect. Negotiation is implicit: a v1 server
+ * ignores the unknown "stream" field and sends the monolithic
+ * reply, which clients must accept as a complete stream. Health
+ * replies carry "proto": 2 so a balancer can tell which it got.
+ *
+ * A reply relayed by the balancer from a failover shard (primary
+ * marked down) carries a trailing "degraded": true member — the
+ * bytes of "result" are unchanged, only the envelope is annotated.
+ *
  * Determinism rule (DESIGN.md "Serving"): the reply to a compute
  * request (synth/yield/sweep) is a pure function of the request
  * line — same request, same bytes, regardless of concurrency,
@@ -69,7 +90,12 @@ inline constexpr const char *queueFull = "queue_full";
 inline constexpr const char *deadlineExceeded = "deadline_exceeded";
 inline constexpr const char *shuttingDown = "shutting_down";
 inline constexpr const char *internalError = "internal_error";
+/** Balancer: every shard that could serve the key is down. */
+inline constexpr const char *unavailable = "unavailable";
 } // namespace errc
+
+/** Wire protocol version advertised in health replies. */
+inline constexpr unsigned kProtocolVersion = 2;
 
 enum class RequestType
 {
@@ -115,6 +141,12 @@ struct Request
 
     /** Relative deadline in ms; 0 = none. */
     double deadlineMs = 0;
+
+    /** v2: stream partial frames (sweep/yield only). */
+    bool stream = false;
+
+    /** v2: first point index to emit (streamed resume). */
+    std::uint64_t resumeFrom = 0;
 };
 
 /**
@@ -132,6 +164,21 @@ Request parseRequest(const std::string &line);
  * bodies, so in-flight duplicates can share one execution.
  */
 std::string coalesceKey(const Request &req);
+
+/**
+ * Canonical identity text of a CoreConfig: every field that keys a
+ * synthesis (the SynthCache/DiskCache identity). Two configs with
+ * equal keys produce byte-identical synth bodies.
+ */
+std::string configKey(const CoreConfig &config);
+
+/**
+ * The balancer's routing key: the canonical config key for synth
+ * and yield (all work on one config lands on the shard whose
+ * SynthCache holds it hot), the coalesce key for sweeps, and ""
+ * for admin requests (fanned out instead of routed).
+ */
+std::string routeKey(const Request &req);
 
 /** Shortest round-trip decimal rendering of a double. */
 std::string formatDouble(double v);
@@ -169,6 +216,67 @@ std::string queueFullReply(const std::string &id,
                            double retryAfterMs);
 
 // ---------------------------------------------------------------
+// Streaming frames (protocol v2).
+// ---------------------------------------------------------------
+
+/**
+ * One partial frame: point `index` of `total`, body `pointBody`
+ * (a synth body for sweeps, a yield body for yields).
+ */
+std::string partialFrame(const std::string &id, RequestType type,
+                         std::uint64_t index, std::uint64_t total,
+                         const std::string &pointBody);
+
+/** Stream terminator: all `points` partials have been sent. */
+std::string doneFrame(const std::string &id, RequestType type,
+                      std::uint64_t points);
+
+/** A classified reply line of a (possibly streamed) exchange. */
+struct StreamFrame
+{
+    enum class Kind
+    {
+        Partial, ///< carries one point body
+        Done,    ///< stream terminator
+        Final,   ///< monolithic reply or error — ends the exchange
+    };
+
+    Kind kind = Kind::Final;
+    std::string id;        ///< echoed request id
+    std::uint64_t index = 0;  ///< Partial: point index
+    std::uint64_t total = 0;  ///< Partial: total points in stream
+    std::uint64_t points = 0; ///< Done: partials the server sent
+    std::string pointBody; ///< Partial: exact body bytes
+};
+
+/**
+ * Classify one reply line. Partial frames get their point body
+ * extracted byte-exactly (so reassembly can't perturb rendering);
+ * anything that is neither a partial nor a done frame — monolithic
+ * replies from v1 servers, error replies — classifies as Final.
+ * Throws json::ParseError on non-JSON input.
+ */
+StreamFrame classifyFrame(const std::string &line);
+
+/**
+ * The monolithic reply equivalent to a completed stream: ordered
+ * point bodies 0..N-1 wrapped exactly as the non-streaming server
+ * path wraps them. Byte-identical to the v1 reply by construction.
+ * Yield streams carry exactly one point (the full yield body).
+ */
+std::string assembleStreamedReply(const std::string &id,
+                                  RequestType type,
+                                  const std::vector<std::string> &points);
+
+/**
+ * Annotate a reply line with ', "degraded": true' before the
+ * closing brace: the balancer served it from a failover shard. The
+ * "result" bytes are untouched; stripping the annotation restores
+ * the original line.
+ */
+std::string markDegraded(const std::string &line);
+
+// ---------------------------------------------------------------
 // Request building (the client side of the wire format).
 // ---------------------------------------------------------------
 
@@ -191,6 +299,32 @@ std::string sweepRequest(const std::string &id,
 
 /** Render a metrics / health / shutdown request line. */
 std::string adminRequest(const std::string &id, RequestType type);
+
+/**
+ * Render a streamed sweep request ("stream": true), resuming at
+ * point index `resumeFrom` (0 = the whole sweep).
+ */
+std::string sweepStreamRequest(const std::string &id,
+                               const SweepSpec &spec,
+                               std::uint64_t resumeFrom = 0,
+                               double deadlineMs = 0);
+
+/** Render a streamed yield request. */
+std::string yieldStreamRequest(const std::string &id,
+                               const CoreConfig &config,
+                               unsigned trials,
+                               std::uint64_t seed = 1,
+                               unsigned replicas = 1,
+                               std::uint64_t resumeFrom = 0,
+                               double deadlineMs = 0);
+
+/**
+ * Canonical wire rendering of a parsed request: parses back to an
+ * equal Request. The balancer uses it to rewrite "resume_from"
+ * when re-routing a partially-delivered stream to a failover
+ * shard.
+ */
+std::string requestLine(const Request &req);
 
 } // namespace printed::service
 

@@ -484,30 +484,113 @@ Server::execute(Task &task, unsigned slot)
     mySlot.startNs.store(nowNs(), std::memory_order_release);
 
     const Clock::time_point execStart = Clock::now();
-    std::string reply;
-    try {
-        if (task.hasDeadline && Clock::now() > task.deadline)
-            throw DeadlineError();
-        reply = okReply(task.req.id, task.req.type,
-                        coalesced(task));
-        metrics::counter("service.replies_ok").add(1);
-    } catch (const DeadlineError &) {
-        metrics::counter("service.deadline_exceeded").add(1);
-        metrics::counter("service.replies_error").add(1);
-        reply = errorReply(task.req.id, errc::deadlineExceeded,
-                           "deadline of " +
-                               formatDouble(task.req.deadlineMs) +
-                               " ms expired");
-    } catch (const std::exception &e) {
-        metrics::counter("service.replies_error").add(1);
-        reply =
-            errorReply(task.req.id, errc::internalError, e.what());
+    if (task.req.stream) {
+        streamTask(task);
+    } else {
+        std::string reply;
+        try {
+            if (task.hasDeadline && Clock::now() > task.deadline)
+                throw DeadlineError();
+            reply = okReply(task.req.id, task.req.type,
+                            coalesced(task));
+            metrics::counter("service.replies_ok").add(1);
+        } catch (const DeadlineError &) {
+            metrics::counter("service.deadline_exceeded").add(1);
+            metrics::counter("service.replies_error").add(1);
+            reply = errorReply(task.req.id, errc::deadlineExceeded,
+                               "deadline of " +
+                                   formatDouble(task.req.deadlineMs) +
+                                   " ms expired");
+        } catch (const std::exception &e) {
+            metrics::counter("service.replies_error").add(1);
+            reply = errorReply(task.req.id, errc::internalError,
+                               e.what());
+        }
+        sendLine(task.conn, reply, /*faultable=*/true);
     }
     metrics::distribution("service.exec_ms")
         .record(millisSince(execStart));
     mySlot.startNs.store(0, std::memory_order_release);
     mySlot.deadlineNs.store(0, std::memory_order_release);
-    sendLine(task.conn, reply, /*faultable=*/true);
+}
+
+void
+Server::streamTask(Task &task)
+{
+    metrics::counter("service.stream_requests").add(1);
+    const Request &req = task.req;
+    try {
+        if (task.hasDeadline && Clock::now() > task.deadline)
+            throw DeadlineError();
+
+        if (req.type == RequestType::Sweep) {
+            const std::vector<CoreConfig> configs =
+                req.sweep.configs();
+            const std::uint64_t total = configs.size();
+            fatalIf(req.resumeFrom > total,
+                    "resume_from " + std::to_string(req.resumeFrom) +
+                        " is past the sweep's " +
+                        std::to_string(total) + " points");
+            // Points are evaluated sequentially so the first frame
+            // reaches the client while the rest still compute. Each
+            // body is byte-identical to its entry in the monolithic
+            // sweepBody() (evaluation is deterministic), which is
+            // what makes stream reassembly byte-exact. Streams skip
+            // request-level coalescing — each point still dedupes
+            // through the SynthCache.
+            for (std::uint64_t i = req.resumeFrom; i < total; ++i) {
+                if (task.hasDeadline && Clock::now() > task.deadline)
+                    throw DeadlineError();
+                if (!task.conn->open.load())
+                    return; // client is gone: stop computing
+                const std::string body = synthBody(
+                    evaluateDesignPoint(configs[std::size_t(i)]));
+                sendLine(task.conn,
+                         partialFrame(req.id, req.type, i, total,
+                                      body),
+                         /*faultable=*/true);
+                metrics::counter("service.stream_partials").add(1);
+            }
+            sendLine(task.conn, doneFrame(req.id, req.type, total),
+                     /*faultable=*/true);
+        } else {
+            // Yield: a one-point stream carrying the full body, so
+            // the client's resume rule is uniform across streamed
+            // types. resume_from 1 means the client already holds
+            // the point — answer done without recomputing.
+            fatalIf(req.resumeFrom > 1,
+                    "resume_from is past the yield's single point");
+            if (req.resumeFrom == 0) {
+                const std::string body = coalesced(task);
+                sendLine(task.conn,
+                         partialFrame(req.id, req.type, 0, 1, body),
+                         /*faultable=*/true);
+                metrics::counter("service.stream_partials").add(1);
+            }
+            sendLine(task.conn, doneFrame(req.id, req.type, 1),
+                     /*faultable=*/true);
+        }
+        metrics::counter("service.replies_ok").add(1);
+    } catch (const DeadlineError &) {
+        metrics::counter("service.deadline_exceeded").add(1);
+        metrics::counter("service.replies_error").add(1);
+        sendLine(task.conn,
+                 errorReply(req.id, errc::deadlineExceeded,
+                            "deadline of " +
+                                formatDouble(req.deadlineMs) +
+                                " ms expired"),
+                 /*faultable=*/true);
+    } catch (const FatalError &e) {
+        metrics::counter("service.replies_error").add(1);
+        sendLine(task.conn,
+                 errorReply(req.id, errc::badRequest, e.what()),
+                 /*faultable=*/true);
+    } catch (const std::exception &e) {
+        metrics::counter("service.replies_error").add(1);
+        sendLine(task.conn,
+                 errorReply(req.id, errc::internalError, e.what()),
+                 /*faultable=*/true);
+    }
 }
 
 std::string
@@ -666,6 +749,7 @@ Server::healthBody()
         draining = finishing_;
     }
     std::string out = "{\"status\": \"ok\"";
+    out += ", \"proto\": " + std::to_string(kProtocolVersion);
     out += ", \"uptime_ms\": " +
            formatDouble(millisSince(started_));
     out += ", \"queue_depth\": " + std::to_string(depth);

@@ -203,6 +203,14 @@ class Server
     void execute(Task &task, unsigned slot);
 
     /**
+     * Serve a "stream": true request (protocol v2): partial frames
+     * in point order starting at resume_from, then a done frame.
+     * Sends its own frames; every frame is faultable like a
+     * monolithic compute reply.
+     */
+    void streamTask(Task &task);
+
+    /**
      * Result body of a compute request, deduped against identical
      * in-flight requests. Throws DeadlineError (internal) when the
      * deadline expires mid-execution.

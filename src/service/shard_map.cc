@@ -1,0 +1,120 @@
+#include "shard_map.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hh"
+
+namespace printed::service
+{
+
+namespace
+{
+
+/// SplitMix64 finalizer: spreads the FNV accumulator's entropy over
+/// all 64 bits so ring lookups don't inherit FNV's low-bit bias.
+std::uint64_t mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::uint64_t ShardMap::hashKey(const std::string &key)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+    for (unsigned char c : key)
+    {
+        h ^= c;
+        h *= 0x100000001b3ULL; // FNV-1a prime
+    }
+    return mix64(h);
+}
+
+ShardMap::ShardMap(std::vector<unsigned> shardIds, unsigned vnodes,
+                   std::uint64_t seed)
+    : ids_(std::move(shardIds))
+{
+    if (ids_.empty())
+        throw std::invalid_argument("ShardMap: no shards");
+    if (vnodes == 0)
+        throw std::invalid_argument("ShardMap: vnodes must be > 0");
+
+    {
+        auto sorted = ids_;
+        std::sort(sorted.begin(), sorted.end());
+        if (std::adjacent_find(sorted.begin(), sorted.end()) !=
+            sorted.end())
+            throw std::invalid_argument("ShardMap: duplicate shard id");
+    }
+
+    ring_.reserve(static_cast<std::size_t>(ids_.size()) * vnodes);
+    for (unsigned shard : ids_)
+    {
+        // Each vnode point depends only on (seed, shard, v) — never
+        // on the other shards — which is what makes remaps minimal:
+        // adding a shard inserts its points and moves nobody else's.
+        const std::uint64_t shardSeed =
+            mixSeed(seed, 0x1000000ULL + shard);
+        for (unsigned v = 0; v < vnodes; ++v)
+            ring_.push_back(Vnode{mixSeed(shardSeed, v), shard});
+    }
+    std::sort(ring_.begin(), ring_.end());
+}
+
+ShardMap ShardMap::forCount(unsigned count, unsigned vnodes,
+                            std::uint64_t seed)
+{
+    std::vector<unsigned> ids(count);
+    for (unsigned i = 0; i < count; ++i)
+        ids[i] = i;
+    return ShardMap(std::move(ids), vnodes, seed);
+}
+
+unsigned ShardMap::shardFor(const std::string &key) const
+{
+    const std::uint64_t h = hashKey(key);
+    auto it = std::upper_bound(
+        ring_.begin(), ring_.end(), h,
+        [](std::uint64_t lhs, const Vnode &rhs) { return lhs < rhs.point; });
+    if (it == ring_.end())
+        it = ring_.begin(); // wrap: first vnode clockwise from 2^64
+    return it->shard;
+}
+
+std::vector<unsigned> ShardMap::failoverOrder(const std::string &key) const
+{
+    const std::uint64_t h = hashKey(key);
+    auto start = std::upper_bound(
+        ring_.begin(), ring_.end(), h,
+        [](std::uint64_t lhs, const Vnode &rhs) { return lhs < rhs.point; });
+
+    std::vector<unsigned> order;
+    order.reserve(ids_.size());
+    std::vector<bool> seen(ids_.size(), false);
+
+    const std::size_t n = ring_.size();
+    const std::size_t startIdx =
+        start == ring_.end() ? 0 : static_cast<std::size_t>(start - ring_.begin());
+    for (std::size_t step = 0; step < n && order.size() < ids_.size(); ++step)
+    {
+        const unsigned shard = ring_[(startIdx + step) % n].shard;
+        // ids_ can be any distinct values; map via linear scan (N is
+        // a handful of shards, and this is not a hot path).
+        for (std::size_t i = 0; i < ids_.size(); ++i)
+        {
+            if (ids_[i] == shard && !seen[i])
+            {
+                seen[i] = true;
+                order.push_back(shard);
+                break;
+            }
+        }
+    }
+    return order;
+}
+
+} // namespace printed::service

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Consistent-hash ring mapping canonical request keys to shards.
+ *
+ * The balancer routes every keyed compute request to one printedd
+ * worker by hashing the request's canonical CoreConfig key onto a
+ * ring of virtual nodes (vnodes). Each shard owns `vnodes` points
+ * on the ring; a key belongs to the first vnode clockwise from its
+ * own hash. Properties the shard-aware test battery pins:
+ *
+ *   - Determinism across processes: the mapping is a pure function
+ *     of (shard ids, vnodes, seed, key bytes) — no pointers, no
+ *     process randomness — so a balancer, a bench, and a test in
+ *     three different processes agree on every assignment.
+ *   - Balance: with the default vnode count, the most loaded of N
+ *     shards holds at most ~(1/N + epsilon) of a large key
+ *     population.
+ *   - Minimal remap: adding a shard moves only the ~K/(N+1) keys
+ *     that the new shard captures (every moved key moves TO the new
+ *     shard); removing a shard moves only the removed shard's keys
+ *     (survivors keep every key they had).
+ *
+ * failoverOrder() walks the ring clockwise from the key's position
+ * and returns each distinct shard once, in capture order: the
+ * balancer's mark-down re-route serves a dead shard's keys from the
+ * next live shard on the ring, which is exactly the shard that
+ * would inherit those keys if the dead one were removed.
+ */
+
+#ifndef PRINTED_SERVICE_SHARD_MAP_HH
+#define PRINTED_SERVICE_SHARD_MAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace printed::service
+{
+
+/** Consistent-hash ring over a fixed shard id set. */
+class ShardMap
+{
+  public:
+    /** Default virtual nodes per shard (balance vs. ring size). */
+    static constexpr unsigned kDefaultVnodes = 128;
+
+    /** Default ring seed (all parties must agree on it). */
+    static constexpr std::uint64_t kDefaultSeed =
+        0x70726e7464726e67ULL; // "prntdrng"
+
+    /**
+     * Build the ring. @param shardIds distinct shard identifiers
+     * (typically 0..N-1, but any set works — ids survive
+     * add/remove without renumbering, which is what makes the
+     * minimal-remap property meaningful).
+     */
+    explicit ShardMap(std::vector<unsigned> shardIds,
+                      unsigned vnodes = kDefaultVnodes,
+                      std::uint64_t seed = kDefaultSeed);
+
+    /** Convenience: shards 0..count-1. */
+    static ShardMap forCount(unsigned count,
+                             unsigned vnodes = kDefaultVnodes,
+                             std::uint64_t seed = kDefaultSeed);
+
+    /** The shard owning a key. */
+    unsigned shardFor(const std::string &key) const;
+
+    /**
+     * Every shard exactly once, in ring-capture order from the
+     * key's position: element 0 is shardFor(key), element 1 is the
+     * shard that inherits the key if element 0 dies, and so on.
+     */
+    std::vector<unsigned> failoverOrder(const std::string &key) const;
+
+    /** The shard ids this ring was built over (as given). */
+    const std::vector<unsigned> &shardIds() const { return ids_; }
+
+    std::size_t shardCount() const { return ids_.size(); }
+
+    /**
+     * Position-independent 64-bit hash of a key's bytes (FNV-1a
+     * finished with a SplitMix64 mix). Exposed so tests can pin the
+     * exact function the ring uses.
+     */
+    static std::uint64_t hashKey(const std::string &key);
+
+  private:
+    struct Vnode
+    {
+        std::uint64_t point;
+        unsigned shard;
+
+        bool operator<(const Vnode &other) const
+        {
+            // Total order even on point collisions, so the ring
+            // layout never depends on sort stability.
+            return point != other.point ? point < other.point
+                                        : shard < other.shard;
+        }
+    };
+
+    std::vector<unsigned> ids_;
+    std::vector<Vnode> ring_; ///< sorted by (point, shard)
+};
+
+} // namespace printed::service
+
+#endif // PRINTED_SERVICE_SHARD_MAP_HH

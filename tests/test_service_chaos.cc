@@ -25,10 +25,12 @@
 
 #include "common/logging.hh"
 #include "common/metrics.hh"
+#include "service/balancer.hh"
 #include "service/client.hh"
 #include "service/fault_plan.hh"
 #include "service/protocol.hh"
 #include "service/server.hh"
+#include "service/shard_map.hh"
 #include "synth/cache.hh"
 #include "synth/disk_cache.hh"
 
@@ -251,6 +253,174 @@ TEST(ServiceChaos, CorruptedDiskEntryIsRebuiltNotTrusted)
     EXPECT_EQ(client.call(req), expected);
     EXPECT_GT(metrics::counter("synth.disk_cache.corrupt").value(),
               corruptBefore);
+}
+
+/** Remove the balancer's failover annotation from a reply line. */
+std::string
+stripDegraded(std::string raw)
+{
+    const std::string tag = ", \"degraded\": true";
+    const std::size_t at = raw.rfind(tag);
+    if (at != std::string::npos)
+        raw.erase(at, tag.size());
+    return raw;
+}
+
+TEST(ServiceChaos, KillOneShardMidBurstFailsOverAndHeals)
+{
+    TempDir dir;
+    SynthCache::global().clear();
+
+    // Twelve distinct cheap synth keys, spread over three shards by
+    // the same ring every other party uses (the determinism
+    // property test_shard_map pins).
+    std::vector<std::string> requests;
+    std::vector<unsigned> homes;
+    const ShardMap ring = ShardMap::forCount(3);
+    for (unsigned i = 0; i < 12; ++i) {
+        CoreConfig c = smallConfig();
+        c.opcodeMask = 0x3FF - i;
+        requests.push_back(
+            synthRequest("k" + std::to_string(i), c));
+        homes.push_back(
+            ring.shardFor(routeKey(parseRequest(requests.back()))));
+    }
+
+    // Three workers sharing one disk-cache directory, a balancer
+    // with a fast probe cadence in front.
+    auto makeWorker = [&](std::uint16_t port) {
+        ServerOptions o;
+        o.port = port;
+        o.diskCacheDir = dir.path;
+        auto s = std::make_unique<Server>(o);
+        s->start();
+        return s;
+    };
+    std::vector<std::unique_ptr<Server>> workers;
+    for (int i = 0; i < 3; ++i)
+        workers.push_back(makeWorker(0));
+    std::vector<std::uint16_t> ports;
+    for (const auto &w : workers)
+        ports.push_back(w->port());
+
+    BalancerOptions bo;
+    for (std::uint16_t p : ports)
+        bo.workers.push_back({"127.0.0.1", p});
+    bo.probePeriodMs = 20;
+    bo.probeBackoffBaseMs = 10;
+    bo.probeBackoffMaxMs = 100;
+    Balancer balancer(bo);
+    balancer.start();
+
+    // Reference bytes, straight from a worker (every shard answers
+    // identically — the determinism rule).
+    std::map<std::string, std::string> ref;
+    {
+        Client direct("127.0.0.1", ports[0]);
+        for (const std::string &req : requests) {
+            const std::string raw = direct.call(req);
+            ASSERT_TRUE(parseReply(raw).ok) << raw;
+            ref[parseReply(raw).id] = raw;
+        }
+    }
+
+    const unsigned victim = homes[0];
+    ASSERT_TRUE(balancer.shardUp(victim));
+
+    // Burst through the balancer from several threads; mid-burst,
+    // the victim shard dies. Every reply must still arrive ok and
+    // byte-identical — directly for surviving shards, modulo the
+    // "degraded" annotation for keys served by failover.
+    std::atomic<bool> failed{false};
+    std::string failure;
+    std::mutex failureMutex;
+    std::vector<std::thread> burst;
+    for (unsigned t = 0; t < 3; ++t)
+        burst.emplace_back([&, t] {
+            try {
+                RetryPolicy policy;
+                policy.baseBackoffMs = 1;
+                policy.maxBackoffMs = 20;
+                policy.jitterSeed = 100 + t;
+                RetryingClient client("127.0.0.1",
+                                      balancer.port(), policy);
+                for (unsigned round = 0; round < 4; ++round)
+                    for (const std::string &req : requests) {
+                        const std::string raw = client.call(req);
+                        const Reply parsed = parseReply(raw);
+                        if (!parsed.ok ||
+                            stripDegraded(raw) !=
+                                ref.at(parsed.id)) {
+                            std::lock_guard lk(failureMutex);
+                            failure = "bad reply: " + raw;
+                            failed.store(true);
+                            return;
+                        }
+                    }
+            } catch (const std::exception &e) {
+                std::lock_guard lk(failureMutex);
+                failure = e.what();
+                failed.store(true);
+            }
+        });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    workers[victim].reset(); // the shard dies mid-burst
+    for (std::thread &t : burst)
+        t.join();
+    ASSERT_FALSE(failed.load()) << failure;
+
+    // The balancer noticed: victim marked down, and a serial pass
+    // confirms surviving-shard keys still answer byte-identical
+    // with no annotation while the victim's keys are degraded.
+    {
+        RetryingClient client("127.0.0.1", balancer.port());
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            const std::string raw = client.call(requests[i]);
+            const Reply parsed = parseReply(raw);
+            ASSERT_TRUE(parsed.ok) << raw;
+            if (homes[i] == victim) {
+                EXPECT_TRUE(parsed.degraded) << raw;
+                EXPECT_EQ(stripDegraded(raw), ref.at(parsed.id));
+            } else {
+                EXPECT_FALSE(parsed.degraded) << raw;
+                EXPECT_EQ(raw, ref.at(parsed.id));
+            }
+        }
+    }
+    EXPECT_FALSE(balancer.shardUp(victim));
+
+    // Restart the dead shard on its old port with a cold memory
+    // cache: its keys must heal from the shared disk cache, and
+    // the probe must mark it up again.
+    SynthCache::global().clear();
+    const auto diskHits = [] {
+        return metrics::counter("synth.disk_cache.netlist_hits")
+                   .value() +
+               metrics::counter("synth.disk_cache.char_hits")
+                   .value();
+    };
+    const std::uint64_t hitsBefore = diskHits();
+    workers[victim] = makeWorker(ports[victim]);
+
+    const auto reviveDeadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (!balancer.shardUp(victim) &&
+           std::chrono::steady_clock::now() < reviveDeadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(balancer.shardUp(victim)) << "probe never revived";
+
+    {
+        RetryingClient client("127.0.0.1", balancer.port());
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            const std::string raw = client.call(requests[i]);
+            const Reply parsed = parseReply(raw);
+            ASSERT_TRUE(parsed.ok) << raw;
+            EXPECT_FALSE(parsed.degraded) << raw;
+            EXPECT_EQ(raw, ref.at(parsed.id));
+        }
+    }
+    EXPECT_GT(diskHits(), hitsBefore); // healed from disk, not luck
 }
 
 // ---------------------------------------------------------------

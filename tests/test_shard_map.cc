@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Property tests of the consistent-hash ring (service/shard_map).
+ * These pin the three contracts the sharded topology rests on:
+ * cross-process determinism (a balancer, a bench, and a test agree
+ * on every assignment), bounded imbalance over a large key
+ * population, and minimal remap when the shard set changes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "service/protocol.hh"
+#include "service/shard_map.hh"
+
+namespace
+{
+
+using namespace printed;
+using namespace printed::service;
+
+/**
+ * ~9k distinct canonical CoreConfigKeys: every opcode-mask value of
+ * the Section 7 pruning knob across a few shapes — the exact key
+ * population the balancer routes (routeKey of synth/yield is
+ * "cfg|" + configKey).
+ */
+std::vector<std::string>
+sampledConfigKeys()
+{
+    std::vector<std::string> keys;
+    const unsigned shapes[][3] = {
+        {1, 4, 2}, {1, 8, 2}, {2, 8, 4},
+        {1, 16, 2}, {3, 8, 4}, {2, 4, 2},
+        {1, 8, 4}, {3, 16, 4}, {2, 16, 2},
+    };
+    for (const auto &shape : shapes) {
+        CoreConfig base =
+            CoreConfig::standard(shape[0], shape[1], shape[2]);
+        for (unsigned mask = 1; mask <= 0x3FF; ++mask) {
+            CoreConfig c = base;
+            c.opcodeMask = mask;
+            keys.push_back("cfg|" + configKey(c));
+        }
+    }
+    return keys;
+}
+
+TEST(ShardMap, DeterministicAcrossInstancesAndIdOrder)
+{
+    // The mapping is a pure function of (id set, vnodes, seed, key
+    // bytes): two independently built rings agree everywhere, and
+    // the order the ids were listed in is irrelevant — which is
+    // what lets a balancer, a bench, and a test in three processes
+    // route identically.
+    const ShardMap a = ShardMap::forCount(4);
+    const ShardMap b({0, 1, 2, 3});
+    const ShardMap c({3, 1, 0, 2});
+    for (const std::string &key : sampledConfigKeys()) {
+        const unsigned owner = a.shardFor(key);
+        EXPECT_EQ(b.shardFor(key), owner);
+        EXPECT_EQ(c.shardFor(key), owner);
+        EXPECT_EQ(a.hashKey(key), ShardMap::hashKey(key));
+    }
+}
+
+TEST(ShardMap, BalanceWithinEpsilonOverSampledKeys)
+{
+    const std::vector<std::string> keys = sampledConfigKeys();
+    ASSERT_GE(keys.size(), 9000u);
+    for (unsigned n : {2u, 4u, 8u}) {
+        const ShardMap ring = ShardMap::forCount(n);
+        std::map<unsigned, std::size_t> load;
+        for (const std::string &key : keys)
+            ++load[ring.shardFor(key)];
+        ASSERT_EQ(load.size(), n) << "a shard owns no keys";
+        for (const auto &[shard, count] : load) {
+            const double share =
+                double(count) / double(keys.size());
+            // Max share <= 1/N + epsilon. 128 vnodes/shard keeps
+            // the worst arc well under +10% absolute.
+            EXPECT_LE(share, 1.0 / n + 0.10)
+                << "shard " << shard << " of " << n;
+            EXPECT_GE(share, 1.0 / n - 0.10)
+                << "shard " << shard << " of " << n;
+        }
+    }
+}
+
+TEST(ShardMap, AddingAShardMovesOnlyCapturedKeys)
+{
+    const std::vector<std::string> keys = sampledConfigKeys();
+    const ShardMap before = ShardMap::forCount(4);
+    const ShardMap after = ShardMap::forCount(5);
+    std::size_t moved = 0;
+    for (const std::string &key : keys) {
+        const unsigned was = before.shardFor(key);
+        const unsigned now = after.shardFor(key);
+        if (was != now) {
+            // Every moved key moves TO the new shard: nobody else
+            // trades keys when shard 4 joins.
+            EXPECT_EQ(now, 4u) << key;
+            ++moved;
+        }
+    }
+    // ~K/(N+1) keys move: the new shard's fair share, not a full
+    // reshuffle (modulo hashing would move ~4/5 of all keys).
+    const double frac = double(moved) / double(keys.size());
+    EXPECT_GT(frac, 0.10);
+    EXPECT_LT(frac, 0.30);
+}
+
+TEST(ShardMap, RemovingAShardMovesOnlyItsKeys)
+{
+    const std::vector<std::string> keys = sampledConfigKeys();
+    const ShardMap before({0, 1, 2, 3});
+    const ShardMap after({0, 1, 2});
+    std::size_t orphaned = 0;
+    for (const std::string &key : keys) {
+        const unsigned was = before.shardFor(key);
+        const unsigned now = after.shardFor(key);
+        if (was == 3) {
+            // The dead shard's keys scatter over the survivors.
+            EXPECT_NE(now, 3u);
+            ++orphaned;
+        } else {
+            // Survivors keep every key they had.
+            EXPECT_EQ(now, was) << key;
+        }
+    }
+    EXPECT_GT(orphaned, 0u);
+}
+
+TEST(ShardMap, FailoverOrderIsThePermutationRemovalWouldProduce)
+{
+    const ShardMap ring = ShardMap::forCount(4);
+    const std::vector<std::string> keys = sampledConfigKeys();
+    for (std::size_t i = 0; i < keys.size(); i += 97) {
+        const std::string &key = keys[i];
+        const std::vector<unsigned> order = ring.failoverOrder(key);
+        ASSERT_EQ(order.size(), 4u);
+        EXPECT_EQ(order.front(), ring.shardFor(key));
+        EXPECT_EQ(std::set<unsigned>(order.begin(), order.end())
+                      .size(),
+                  4u);
+
+        // The first fallback is exactly the shard that inherits
+        // the key if the primary leaves the ring — the balancer's
+        // mark-down re-route equals the remap rule.
+        std::vector<unsigned> survivors;
+        for (unsigned id : {0u, 1u, 2u, 3u})
+            if (id != order.front())
+                survivors.push_back(id);
+        const ShardMap without(survivors);
+        EXPECT_EQ(without.shardFor(key), order[1]) << key;
+    }
+}
+
+TEST(ShardMap, StreamedAndMonolithicSweepsRouteTogether)
+{
+    // A resumed stream must land on the shard that served the
+    // first attempt: routeKey ignores stream/resume_from.
+    SweepSpec spec;
+    spec.stages = {1, 2};
+    spec.widths = {4, 8};
+    spec.bars = {2};
+    const Request mono =
+        parseRequest(sweepRequest("a", spec));
+    const Request streamed =
+        parseRequest(sweepStreamRequest("b", spec, 3));
+    EXPECT_EQ(routeKey(mono), routeKey(streamed));
+
+    // Synth and yield on one config share a shard (one hot
+    // SynthCache entry serves both).
+    const CoreConfig cfg = CoreConfig::standard(1, 8, 2);
+    const Request synth = parseRequest(synthRequest("c", cfg));
+    const Request yield =
+        parseRequest(yieldRequest("d", cfg, 64));
+    EXPECT_EQ(routeKey(synth), routeKey(yield));
+}
+
+TEST(ShardMap, RejectsDegenerateRings)
+{
+    EXPECT_THROW(ShardMap({}), std::invalid_argument);
+    EXPECT_THROW(ShardMap({1, 1}), std::invalid_argument);
+    EXPECT_THROW(ShardMap({0, 1}, 0), std::invalid_argument);
+}
+
+} // namespace
