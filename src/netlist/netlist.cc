@@ -39,8 +39,108 @@ Netlist::restore(std::string name, std::vector<NetInfo> nets,
                 "Netlist::restore: gate with out-of-range output");
         nl.nets_[out].drivers.push_back(g);
     }
+    nl.rebuildUseIndex();
     nl.validate();
     return nl;
+}
+
+// ----------------------------------------------------------------
+// Use-index maintenance
+// ----------------------------------------------------------------
+
+void
+Netlist::linkUse(NetId n, UseNode u)
+{
+    const UseNode old = useHead_[n];
+    useNext_[u] = old;
+    usePrev_[u] = useHeadFlag | n;
+    if (old != invalidUseNode)
+        usePrev_[old] = u;
+    useHead_[n] = u;
+}
+
+void
+Netlist::unlinkUse(UseNode u)
+{
+    const UseNode next = useNext_[u];
+    const UseNode prev = usePrev_[u];
+    panicIf(prev == invalidUseNode, "unlinkUse: node not linked");
+    if (prev & useHeadFlag)
+        useHead_[prev & ~useHeadFlag] = next;
+    else
+        useNext_[prev] = next;
+    if (next != invalidUseNode)
+        usePrev_[next] = prev;
+    useNext_[u] = invalidUseNode;
+    usePrev_[u] = invalidUseNode;
+}
+
+void
+Netlist::linkGateUses(GateId gi)
+{
+    useNext_.resize(gates_.size() * 2, invalidUseNode);
+    usePrev_.resize(gates_.size() * 2, invalidUseNode);
+    const Gate &g = gates_[gi];
+    if (g.in0 != invalidNet)
+        linkUse(g.in0, UseNode(gi) * 2);
+    if (g.in1 != invalidNet)
+        linkUse(g.in1, UseNode(gi) * 2 + 1);
+}
+
+void
+Netlist::rebuildUseIndex()
+{
+    useHead_.assign(nets_.size(), invalidUseNode);
+    useNext_.assign(gates_.size() * 2, invalidUseNode);
+    usePrev_.assign(gates_.size() * 2, invalidUseNode);
+    for (GateId gi = 0; gi < gates_.size(); ++gi) {
+        if (gates_[gi].in0 != invalidNet)
+            linkUse(gates_[gi].in0, UseNode(gi) * 2);
+        if (gates_[gi].in1 != invalidNet)
+            linkUse(gates_[gi].in1, UseNode(gi) * 2 + 1);
+    }
+}
+
+void
+Netlist::checkUseIndex() const
+{
+    panicIf(useHead_.size() != nets_.size() ||
+                useNext_.size() != gates_.size() * 2 ||
+                usePrev_.size() != gates_.size() * 2,
+            "use-index: array size mismatch");
+    std::size_t linked = 0;
+    for (NetId n = 0; n < nets_.size(); ++n) {
+        UseNode prev = useHeadFlag | n;
+        for (UseNode u = useHead_[n]; u != invalidUseNode;
+             u = useNext_[u]) {
+            panicIf(usePrev_[u] != prev, "use-index: bad prev link");
+            const Gate &g = gates_[u >> 1];
+            const NetId pin_net = (u & 1) ? g.in1 : g.in0;
+            panicIf(pin_net != n, "use-index: pin does not read net");
+            panicIf(++linked > 2 * gates_.size(),
+                    "use-index: list cycle");
+            prev = u;
+        }
+    }
+    std::size_t pins = 0;
+    for (const Gate &g : gates_) {
+        if (g.in0 != invalidNet)
+            ++pins;
+        if (g.in1 != invalidNet)
+            ++pins;
+    }
+    panicIf(linked != pins, "use-index: node count mismatch");
+}
+
+std::size_t
+Netlist::netUseCount(NetId n) const
+{
+    panicIf(n >= nets_.size(), "netUseCount: bad net");
+    std::size_t count = 0;
+    for (UseNode u = useHead_[n]; u != invalidUseNode;
+         u = useNext_[u])
+        ++count;
+    return count;
 }
 
 NetId
@@ -50,6 +150,7 @@ Netlist::addDrivenNet(NetSource source, std::string name)
     info.source = source;
     info.name = std::move(name);
     nets_.push_back(std::move(info));
+    useHead_.push_back(invalidUseNode);
     return NetId(nets_.size() - 1);
 }
 
@@ -110,6 +211,7 @@ Netlist::addGate(CellKind kind, NetId a, NetId b)
     g.out = out;
     gates_.push_back(g);
     nets_[out].drivers.push_back(GateId(gates_.size() - 1));
+    linkGateUses(GateId(gates_.size() - 1));
     return out;
 }
 
@@ -131,7 +233,42 @@ Netlist::addTristate(NetId a, NetId en, NetId bus)
     gates_.push_back(g);
     nets_[bus].source = NetSource::GateOutput;
     nets_[bus].drivers.push_back(GateId(gates_.size() - 1));
+    linkGateUses(GateId(gates_.size() - 1));
     return GateId(gates_.size() - 1);
+}
+
+void
+Netlist::setGate(GateId id, CellKind kind, NetId in0, NetId in1)
+{
+    panicIf(id >= gates_.size(), "setGate: bad gate");
+    Gate &g = gates_[id];
+    panicIf(kind == CellKind::TSBUFX1 ||
+                g.kind == CellKind::TSBUFX1,
+            "setGate: cannot rewrite tri-state drivers");
+    panicIf(cellIsSequential(kind) != cellIsSequential(g.kind),
+            "setGate: sequential/combinational change");
+    const unsigned wants = cellInputCount(kind);
+    panicIf(in0 >= nets_.size(), "setGate: bad input a");
+    panicIf(wants == 2 && in1 >= nets_.size(),
+            "setGate: " + cellName(kind) + " needs two inputs");
+    panicIf(wants == 1 && in1 != invalidNet,
+            "setGate: " + cellName(kind) + " takes one input");
+
+    if (g.in0 != in0) {
+        if (g.in0 != invalidNet)
+            unlinkUse(UseNode(id) * 2);
+        g.in0 = in0;
+        if (in0 != invalidNet)
+            linkUse(in0, UseNode(id) * 2);
+    }
+    if (g.in1 != in1) {
+        if (g.in1 != invalidNet)
+            unlinkUse(UseNode(id) * 2 + 1);
+        g.in1 = in1;
+        if (in1 != invalidNet)
+            linkUse(in1, UseNode(id) * 2 + 1);
+    }
+    g.kind = kind;
 }
 
 NetId
@@ -247,6 +384,8 @@ Netlist::validate() const
 
     for (const auto &p : outputs_)
         panicIf(p.net >= nets_.size(), "Netlist: bad output binding");
+
+    checkUseIndex();
 }
 
 std::vector<GateId>
@@ -333,6 +472,44 @@ Netlist::rewireUses(NetId from, NetId to)
 {
     panicIf(from >= nets_.size() || to >= nets_.size(),
             "rewireUses: bad net");
+    if (from == to)
+        return;
+
+    // Patch every reading pin (following the use list) and find the
+    // list tail, then splice the whole list onto `to`'s head. Cost:
+    // O(fanout(from)), never O(gates).
+    const UseNode head = useHead_[from];
+    UseNode tail = invalidUseNode;
+    for (UseNode u = head; u != invalidUseNode; u = useNext_[u]) {
+        Gate &g = gates_[u >> 1];
+        if (u & 1)
+            g.in1 = to;
+        else
+            g.in0 = to;
+        tail = u;
+    }
+    if (head != invalidUseNode) {
+        const UseNode old = useHead_[to];
+        useNext_[tail] = old;
+        if (old != invalidUseNode)
+            usePrev_[old] = tail;
+        usePrev_[head] = useHeadFlag | to;
+        useHead_[to] = head;
+        useHead_[from] = invalidUseNode;
+    }
+
+    for (auto &p : outputs_)
+        if (p.net == from)
+            p.net = to;
+}
+
+void
+Netlist::rewireUsesByScan(NetId from, NetId to)
+{
+    panicIf(from >= nets_.size() || to >= nets_.size(),
+            "rewireUses: bad net");
+    if (from == to)
+        return;
     for (Gate &g : gates_) {
         if (g.in0 == from)
             g.in0 = to;
@@ -342,6 +519,7 @@ Netlist::rewireUses(NetId from, NetId to)
     for (auto &p : outputs_)
         if (p.net == from)
             p.net = to;
+    rebuildUseIndex();
 }
 
 NetId
@@ -387,6 +565,7 @@ Netlist::removeGates(const std::vector<bool> &dead)
         info.source = NetSource::GateOutput;
         info.drivers.push_back(gi);
     }
+    rebuildUseIndex();
 }
 
 } // namespace printed

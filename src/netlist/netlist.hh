@@ -40,6 +40,16 @@ constexpr NetId invalidNet = std::numeric_limits<NetId>::max();
 /** Sentinel for "no gate". */
 constexpr GateId invalidGate = std::numeric_limits<GateId>::max();
 
+/**
+ * One gate input pin in the use-index: node = gate * 2 + pin.
+ * Pin 0 is in0, pin 1 is in1.
+ */
+using UseNode = std::uint32_t;
+
+/** Sentinel for "no use node". */
+constexpr UseNode invalidUseNode =
+    std::numeric_limits<UseNode>::max();
+
 /** One standard-cell instance. */
 struct Gate
 {
@@ -47,6 +57,8 @@ struct Gate
     NetId in0 = invalidNet; ///< first input (D for flops, A for TSBUF)
     NetId in1 = invalidNet; ///< second input (RN for DFFNR, EN for TSBUF)
     NetId out = invalidNet; ///< output net (Q for sequential cells)
+
+    bool operator==(const Gate &) const = default;
 };
 
 /** How a net is driven. */
@@ -164,11 +176,15 @@ class Netlist
     const Gate &gate(GateId id) const { return gates_[id]; }
 
     /**
-     * Mutable gate access for the optimizer. Callers must keep the
-     * driver lists consistent (changing `out` is not allowed; use
-     * removeGates + addGate instead).
+     * Rewrite a gate in place (the optimizer's mutation hook).
+     * The output net cannot change (use removeGates + addGate);
+     * the use-index is patched incrementally. Sequential cells may
+     * not become combinational (or vice versa), and TSBUFs cannot
+     * be created or destroyed this way.
      */
-    Gate &mutableGate(GateId id) { return gates_[id]; }
+    void setGate(GateId id, CellKind kind, NetId in0,
+                 NetId in1 = invalidNet);
+
     const NetInfo &net(NetId id) const { return nets_[id]; }
 
     const std::vector<Gate> &gates() const { return gates_; }
@@ -212,8 +228,36 @@ class Netlist
 
     // Mutation hooks for the optimizer (printed::synth).
 
-    /** Replace every reference to net `from` with `to`. */
+    /**
+     * Replace every reference to net `from` with `to`.
+     * O(fanout(from) + outputs) via the maintained use-index.
+     */
     void rewireUses(NetId from, NetId to);
+
+    /**
+     * Reference implementation of rewireUses: a full O(gates) pin
+     * scan (the pre-use-index algorithm). Kept as the test oracle
+     * for the use-index and as the bench_synth_scale comparison
+     * baseline. Produces an identical netlist.
+     */
+    void rewireUsesByScan(NetId from, NetId to);
+
+    /** Number of gate input pins reading net `n` (O(fanout)). */
+    std::size_t netUseCount(NetId n) const;
+
+    /**
+     * Visit every gate input pin reading net `n` as fn(gate, pin)
+     * with pin in {0, 1}. The iteration order is unspecified but
+     * deterministic. fn must not mutate the netlist.
+     */
+    template <typename Fn>
+    void
+    forEachUse(NetId n, Fn &&fn) const
+    {
+        for (UseNode u = useHead_[n]; u != invalidUseNode;
+             u = useNext_[u])
+            fn(GateId(u >> 1), unsigned(u & 1));
+    }
 
     /**
      * Create a forward-reference net for sequential feedback loops
@@ -238,11 +282,40 @@ class Netlist
   private:
     NetId addDrivenNet(NetSource source, std::string name = {});
 
+    // ------------------------------------------------------------
+    // Use-index: for every net, the doubly-linked list of gate
+    // input pins reading it, threaded through two flat arrays
+    // indexed by UseNode (gate*2 + pin). usePrev_ encodes either
+    // the predecessor node or, with useHeadFlag set, the owning
+    // net (the node is the list head). Maintained incrementally by
+    // every mutation so rewireUses is O(fanout), never O(gates).
+    // ------------------------------------------------------------
+
+    static constexpr UseNode useHeadFlag = 1u << 31;
+
+    /** Link pin node `u` at the head of net `n`'s use list. */
+    void linkUse(NetId n, UseNode u);
+
+    /** Unlink pin node `u` from whatever list holds it. */
+    void unlinkUse(UseNode u);
+
+    /** Append the use nodes of the newest gate (after push_back). */
+    void linkGateUses(GateId gi);
+
+    /** Rebuild the whole index from the gate pins (O(gates)). */
+    void rebuildUseIndex();
+
+    /** panic() unless the use-index matches the gate pins. */
+    void checkUseIndex() const;
+
     std::string name_;
     std::vector<NetInfo> nets_;
     std::vector<Gate> gates_;
     std::vector<PortBinding> inputs_;
     std::vector<PortBinding> outputs_;
+    std::vector<UseNode> useHead_; ///< per net: first use node
+    std::vector<UseNode> useNext_; ///< per node: next in net list
+    std::vector<UseNode> usePrev_; ///< per node: prev node or head
     NetId const0_ = invalidNet;
     NetId const1_ = invalidNet;
 };

@@ -49,7 +49,7 @@ foldConstants(Netlist &nl)
     std::size_t folded = 0;
     const auto order = nl.levelize();
     for (GateId gi : order) {
-        Gate &g = nl.mutableGate(gi);
+        const Gate g = nl.gate(gi);
         if (g.kind == CellKind::TSBUFX1)
             continue; // bus drivers are left alone
 
@@ -67,9 +67,7 @@ foldConstants(Netlist &nl)
             ++folded;
         };
         auto become_inv_of = [&](NetId n) {
-            g.kind = CellKind::INVX1;
-            g.in0 = n;
-            g.in1 = invalidNet;
+            nl.setGate(gi, CellKind::INVX1, n);
             lat[g.out] = lat[n] == Lat::Zero  ? Lat::One
                        : lat[n] == Lat::One   ? Lat::Zero
                                               : Lat::Unknown;

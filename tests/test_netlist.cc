@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "netlist/netlist.hh"
 #include "netlist/stats.hh"
 
@@ -150,6 +154,101 @@ TEST(Netlist, RemoveGatesRebuildsDrivers)
     nl.removeGates(dead);
     EXPECT_EQ(nl.gateCount(), 1u);
     EXPECT_NO_THROW(nl.levelize());
+}
+
+TEST(NetlistUseIndex, CountsFanout)
+{
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    const NetId x = nl.addGate(CellKind::INVX1, a);
+    const NetId y = nl.addGate(CellKind::AND2X1, a, b);
+    nl.addOutput("x", x);
+    nl.addOutput("y", y);
+    EXPECT_EQ(nl.netUseCount(a), 2u);
+    EXPECT_EQ(nl.netUseCount(b), 1u);
+    EXPECT_EQ(nl.netUseCount(x), 0u);
+
+    std::vector<GateId> readers;
+    nl.forEachUse(a, [&](GateId g, unsigned) {
+        readers.push_back(g);
+    });
+    std::sort(readers.begin(), readers.end());
+    EXPECT_EQ(readers, (std::vector<GateId>{0, 1}));
+}
+
+TEST(NetlistUseIndex, RewireMovesFanoutAndOutputs)
+{
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    const NetId x = nl.addGate(CellKind::INVX1, a);
+    nl.addGate(CellKind::AND2X1, a, b);
+    nl.addOutput("x", x);
+    nl.addOutput("a_alias", a);
+    EXPECT_EQ(nl.netUseCount(a), 2u);
+
+    nl.rewireUses(a, b);
+    EXPECT_EQ(nl.netUseCount(a), 0u);
+    // b now feeds the INV pin plus both AND pins.
+    EXPECT_EQ(nl.netUseCount(b), 3u);
+    EXPECT_EQ(nl.outputNet("a_alias"), b);
+    EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(NetlistUseIndex, SetGateRelinksPins)
+{
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    const NetId b = nl.addInput("b");
+    const NetId c = nl.addInput("c");
+    const NetId y = nl.addGate(CellKind::NAND2X1, a, b);
+    nl.addOutput("y", y);
+
+    nl.setGate(0, CellKind::INVX1, c);
+    EXPECT_EQ(nl.netUseCount(a), 0u);
+    EXPECT_EQ(nl.netUseCount(b), 0u);
+    EXPECT_EQ(nl.netUseCount(c), 1u);
+    EXPECT_EQ(nl.gate(0).kind, CellKind::INVX1);
+    EXPECT_EQ(nl.gate(0).in1, invalidNet);
+    EXPECT_NO_THROW(nl.validate());
+
+    // Output nets cannot change, and TSBUFs cannot appear.
+    EXPECT_THROW(nl.setGate(0, CellKind::DFFX1, c), PanicError);
+    EXPECT_THROW(nl.setGate(0, CellKind::TSBUFX1, a, b), PanicError);
+}
+
+TEST(NetlistUseIndex, RewireMatchesScanOracle)
+{
+    Rng rng(0x5eed1234);
+    for (int trial = 0; trial < 20; ++trial) {
+        Netlist a("fuzz");
+        std::vector<NetId> nets;
+        for (int i = 0; i < 6; ++i)
+            nets.push_back(a.addInput("i" + std::to_string(i)));
+        const CellKind kinds[] = {CellKind::INVX1, CellKind::NAND2X1,
+                                  CellKind::XOR2X1, CellKind::AND2X1};
+        for (int g = 0; g < 40; ++g) {
+            const CellKind k = kinds[rng.below(4)];
+            const NetId x = nets[rng.below(nets.size())];
+            const NetId y = nets[rng.below(nets.size())];
+            nets.push_back(cellInputCount(k) == 2
+                               ? a.addGate(k, x, y)
+                               : a.addGate(k, x));
+        }
+        a.addOutput("o", nets.back());
+
+        Netlist b = a;
+        for (int r = 0; r < 30; ++r) {
+            const NetId from = nets[rng.below(nets.size())];
+            const NetId to = nets[rng.below(nets.size())];
+            a.rewireUses(from, to);
+            b.rewireUsesByScan(from, to);
+            ASSERT_EQ(a.gates(), b.gates());
+            ASSERT_EQ(a.outputs()[0].net, b.outputs()[0].net);
+            ASSERT_NO_THROW(a.validate());
+        }
+    }
 }
 
 TEST(NetlistStats, DepthOfChain)
