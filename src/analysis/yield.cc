@@ -41,8 +41,8 @@ std::size_t
 deviceCount(const Netlist &netlist)
 {
     std::size_t devices = 0;
-    for (const Gate &g : netlist.gates())
-        devices += cellDeviceCount(g.kind);
+    for (GateId gi = 0; gi < netlist.gateCount(); ++gi)
+        devices += cellDeviceCount(netlist.gateKind(gi));
     return devices;
 }
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <array>
-#include <queue>
 
 #include "common/logging.hh"
 
@@ -14,34 +13,114 @@ Netlist::Netlist(std::string name)
 {}
 
 Netlist
-Netlist::restore(std::string name, std::vector<NetInfo> nets,
+Netlist::restore(std::string name, std::vector<NetSource> sources,
+                 std::vector<std::pair<NetId, std::string>> netNames,
                  std::vector<Gate> gates,
                  std::vector<PortBinding> inputs,
                  std::vector<PortBinding> outputs, NetId const0,
                  NetId const1)
 {
     Netlist nl(std::move(name));
-    nl.nets_ = std::move(nets);
-    nl.gates_ = std::move(gates);
+    nl.netSource_ = std::move(sources);
+    nl.netNameRef_.assign(nl.netSource_.size(), 0);
+    for (auto &[net, nname] : netNames) {
+        panicIf(net >= nl.netSource_.size(),
+                "Netlist::restore: named net out of range");
+        nl.netNameRef_[net] = nl.internName(nname);
+    }
+    nl.gateKind_.reserve(gates.size());
+    nl.gateIn0_.reserve(gates.size());
+    nl.gateIn1_.reserve(gates.size());
+    nl.gateOut_.reserve(gates.size());
+    for (const Gate &g : gates) {
+        panicIf(g.out >= nl.netSource_.size(),
+                "Netlist::restore: gate with out-of-range output");
+        nl.gateKind_.push_back(g.kind);
+        nl.gateIn0_.push_back(g.in0);
+        nl.gateIn1_.push_back(g.in1);
+        nl.gateOut_.push_back(g.out);
+    }
     nl.inputs_ = std::move(inputs);
     nl.outputs_ = std::move(outputs);
     nl.const0_ = const0;
     nl.const1_ = const1;
 
-    // Serialized blobs carry no driver lists; rebuild them from the
-    // gates so the invariant "nets_[g.out].drivers contains g" holds
-    // before validate() checks it.
-    for (NetInfo &info : nl.nets_)
-        info.drivers.clear();
-    for (GateId g = 0; g < nl.gates_.size(); ++g) {
-        const NetId out = nl.gates_[g].out;
-        panicIf(out >= nl.nets_.size(),
-                "Netlist::restore: gate with out-of-range output");
-        nl.nets_[out].drivers.push_back(g);
-    }
+    // Serialized blobs carry no driver lists or use-index; rebuild
+    // both from the gates before validate() checks them.
+    nl.rebuildDrivers();
     nl.rebuildUseIndex();
     nl.validate();
     return nl;
+}
+
+std::uint32_t
+Netlist::internName(const std::string &name)
+{
+    if (name.empty())
+        return 0;
+    const auto it = internMap_.find(name);
+    if (it != internMap_.end())
+        return it->second;
+    const std::uint32_t ref = std::uint32_t(namePool_.size()) + 1;
+    namePool_ += name;
+    namePool_.push_back('\0');
+    internMap_.emplace(name, ref);
+    return ref;
+}
+
+std::string
+Netlist::netName(NetId n) const
+{
+    panicIf(n >= netSource_.size(), "netName: bad net");
+    const std::uint32_t ref = netNameRef_[n];
+    if (ref == 0)
+        return {};
+    return std::string(namePool_.c_str() + (ref - 1));
+}
+
+// ----------------------------------------------------------------
+// Driver index maintenance
+// ----------------------------------------------------------------
+
+void
+Netlist::appendDriver(NetId n, GateId gi)
+{
+    if (driverHead_[n] == invalidGate)
+        driverHead_[n] = gi;
+    else
+        driverNext_[driverTail_[n]] = gi;
+    driverTail_[n] = gi;
+}
+
+void
+Netlist::rebuildDrivers()
+{
+    driverHead_.assign(netSource_.size(), invalidGate);
+    driverTail_.assign(netSource_.size(), invalidGate);
+    driverNext_.assign(gateKind_.size(), invalidGate);
+    for (GateId gi = 0; gi < gateKind_.size(); ++gi)
+        appendDriver(gateOut_[gi], gi);
+}
+
+GateId
+Netlist::netSoleDriver(NetId n) const
+{
+    panicIf(n >= netSource_.size(), "netSoleDriver: bad net");
+    const GateId head = driverHead_[n];
+    if (head == invalidGate || driverNext_[head] != invalidGate)
+        return invalidGate;
+    return head;
+}
+
+std::size_t
+Netlist::netDriverCount(NetId n) const
+{
+    panicIf(n >= netSource_.size(), "netDriverCount: bad net");
+    std::size_t count = 0;
+    for (GateId g = driverHead_[n]; g != invalidGate;
+         g = driverNext_[g])
+        ++count;
+    return count;
 }
 
 // ----------------------------------------------------------------
@@ -78,55 +157,54 @@ Netlist::unlinkUse(UseNode u)
 void
 Netlist::linkGateUses(GateId gi)
 {
-    useNext_.resize(gates_.size() * 2, invalidUseNode);
-    usePrev_.resize(gates_.size() * 2, invalidUseNode);
-    const Gate &g = gates_[gi];
-    if (g.in0 != invalidNet)
-        linkUse(g.in0, UseNode(gi) * 2);
-    if (g.in1 != invalidNet)
-        linkUse(g.in1, UseNode(gi) * 2 + 1);
+    useNext_.resize(gateKind_.size() * 2, invalidUseNode);
+    usePrev_.resize(gateKind_.size() * 2, invalidUseNode);
+    if (gateIn0_[gi] != invalidNet)
+        linkUse(gateIn0_[gi], UseNode(gi) * 2);
+    if (gateIn1_[gi] != invalidNet)
+        linkUse(gateIn1_[gi], UseNode(gi) * 2 + 1);
 }
 
 void
 Netlist::rebuildUseIndex()
 {
-    useHead_.assign(nets_.size(), invalidUseNode);
-    useNext_.assign(gates_.size() * 2, invalidUseNode);
-    usePrev_.assign(gates_.size() * 2, invalidUseNode);
-    for (GateId gi = 0; gi < gates_.size(); ++gi) {
-        if (gates_[gi].in0 != invalidNet)
-            linkUse(gates_[gi].in0, UseNode(gi) * 2);
-        if (gates_[gi].in1 != invalidNet)
-            linkUse(gates_[gi].in1, UseNode(gi) * 2 + 1);
+    useHead_.assign(netSource_.size(), invalidUseNode);
+    useNext_.assign(gateKind_.size() * 2, invalidUseNode);
+    usePrev_.assign(gateKind_.size() * 2, invalidUseNode);
+    for (GateId gi = 0; gi < gateKind_.size(); ++gi) {
+        if (gateIn0_[gi] != invalidNet)
+            linkUse(gateIn0_[gi], UseNode(gi) * 2);
+        if (gateIn1_[gi] != invalidNet)
+            linkUse(gateIn1_[gi], UseNode(gi) * 2 + 1);
     }
 }
 
 void
 Netlist::checkUseIndex() const
 {
-    panicIf(useHead_.size() != nets_.size() ||
-                useNext_.size() != gates_.size() * 2 ||
-                usePrev_.size() != gates_.size() * 2,
+    panicIf(useHead_.size() != netSource_.size() ||
+                useNext_.size() != gateKind_.size() * 2 ||
+                usePrev_.size() != gateKind_.size() * 2,
             "use-index: array size mismatch");
     std::size_t linked = 0;
-    for (NetId n = 0; n < nets_.size(); ++n) {
+    for (NetId n = 0; n < netSource_.size(); ++n) {
         UseNode prev = useHeadFlag | n;
         for (UseNode u = useHead_[n]; u != invalidUseNode;
              u = useNext_[u]) {
             panicIf(usePrev_[u] != prev, "use-index: bad prev link");
-            const Gate &g = gates_[u >> 1];
-            const NetId pin_net = (u & 1) ? g.in1 : g.in0;
+            const NetId pin_net =
+                (u & 1) ? gateIn1_[u >> 1] : gateIn0_[u >> 1];
             panicIf(pin_net != n, "use-index: pin does not read net");
-            panicIf(++linked > 2 * gates_.size(),
+            panicIf(++linked > 2 * gateKind_.size(),
                     "use-index: list cycle");
             prev = u;
         }
     }
     std::size_t pins = 0;
-    for (const Gate &g : gates_) {
-        if (g.in0 != invalidNet)
+    for (GateId gi = 0; gi < gateKind_.size(); ++gi) {
+        if (gateIn0_[gi] != invalidNet)
             ++pins;
-        if (g.in1 != invalidNet)
+        if (gateIn1_[gi] != invalidNet)
             ++pins;
     }
     panicIf(linked != pins, "use-index: node count mismatch");
@@ -135,7 +213,7 @@ Netlist::checkUseIndex() const
 std::size_t
 Netlist::netUseCount(NetId n) const
 {
-    panicIf(n >= nets_.size(), "netUseCount: bad net");
+    panicIf(n >= netSource_.size(), "netUseCount: bad net");
     std::size_t count = 0;
     for (UseNode u = useHead_[n]; u != invalidUseNode;
          u = useNext_[u])
@@ -143,15 +221,19 @@ Netlist::netUseCount(NetId n) const
     return count;
 }
 
+// ----------------------------------------------------------------
+// Construction
+// ----------------------------------------------------------------
+
 NetId
 Netlist::addDrivenNet(NetSource source, std::string name)
 {
-    NetInfo info;
-    info.source = source;
-    info.name = std::move(name);
-    nets_.push_back(std::move(info));
+    netSource_.push_back(source);
+    netNameRef_.push_back(internName(name));
+    driverHead_.push_back(invalidGate);
+    driverTail_.push_back(invalidGate);
     useHead_.push_back(invalidUseNode);
-    return NetId(nets_.size() - 1);
+    return NetId(netSource_.size() - 1);
 }
 
 NetId
@@ -171,7 +253,7 @@ Netlist::addInput(const std::string &name)
 void
 Netlist::addOutput(const std::string &name, NetId net)
 {
-    panicIf(net >= nets_.size(), "addOutput: bad net");
+    panicIf(net >= netSource_.size(), "addOutput: bad net");
     outputs_.push_back({name, net});
 }
 
@@ -191,84 +273,101 @@ Netlist::constOne()
     return const1_;
 }
 
+void
+Netlist::reserve(std::size_t nets, std::size_t gates)
+{
+    netSource_.reserve(nets);
+    netNameRef_.reserve(nets);
+    driverHead_.reserve(nets);
+    driverTail_.reserve(nets);
+    useHead_.reserve(nets);
+    gateKind_.reserve(gates);
+    gateIn0_.reserve(gates);
+    gateIn1_.reserve(gates);
+    gateOut_.reserve(gates);
+    driverNext_.reserve(gates);
+    useNext_.reserve(gates * 2);
+    usePrev_.reserve(gates * 2);
+}
+
 NetId
 Netlist::addGate(CellKind kind, NetId a, NetId b)
 {
     panicIf(kind == CellKind::TSBUFX1,
             "addGate: use addTristate for TSBUFX1");
     const unsigned wants = cellInputCount(kind);
-    panicIf(a >= nets_.size(), "addGate: bad input a");
-    panicIf(wants == 2 && b >= nets_.size(),
+    panicIf(a >= netSource_.size(), "addGate: bad input a");
+    panicIf(wants == 2 && b >= netSource_.size(),
             "addGate: " + cellName(kind) + " needs two inputs");
     panicIf(wants == 1 && b != invalidNet,
             "addGate: " + cellName(kind) + " takes one input");
 
     const NetId out = addDrivenNet(NetSource::GateOutput);
-    Gate g;
-    g.kind = kind;
-    g.in0 = a;
-    g.in1 = wants == 2 ? b : invalidNet;
-    g.out = out;
-    gates_.push_back(g);
-    nets_[out].drivers.push_back(GateId(gates_.size() - 1));
-    linkGateUses(GateId(gates_.size() - 1));
+    const GateId gi = GateId(gateKind_.size());
+    gateKind_.push_back(kind);
+    gateIn0_.push_back(a);
+    gateIn1_.push_back(wants == 2 ? b : invalidNet);
+    gateOut_.push_back(out);
+    driverNext_.push_back(invalidGate);
+    appendDriver(out, gi);
+    linkGateUses(gi);
     return out;
 }
 
 GateId
 Netlist::addTristate(NetId a, NetId en, NetId bus)
 {
-    panicIf(a >= nets_.size() || en >= nets_.size() ||
-            bus >= nets_.size(), "addTristate: bad net");
-    panicIf(nets_[bus].source == NetSource::Input ||
-            nets_[bus].source == NetSource::Const0 ||
-            nets_[bus].source == NetSource::Const1,
+    panicIf(a >= netSource_.size() || en >= netSource_.size() ||
+            bus >= netSource_.size(), "addTristate: bad net");
+    panicIf(netSource_[bus] == NetSource::Input ||
+            netSource_[bus] == NetSource::Const0 ||
+            netSource_[bus] == NetSource::Const1,
             "addTristate: bus cannot be an input or constant");
 
-    Gate g;
-    g.kind = CellKind::TSBUFX1;
-    g.in0 = a;
-    g.in1 = en;
-    g.out = bus;
-    gates_.push_back(g);
-    nets_[bus].source = NetSource::GateOutput;
-    nets_[bus].drivers.push_back(GateId(gates_.size() - 1));
-    linkGateUses(GateId(gates_.size() - 1));
-    return GateId(gates_.size() - 1);
+    const GateId gi = GateId(gateKind_.size());
+    gateKind_.push_back(CellKind::TSBUFX1);
+    gateIn0_.push_back(a);
+    gateIn1_.push_back(en);
+    gateOut_.push_back(bus);
+    driverNext_.push_back(invalidGate);
+    netSource_[bus] = NetSource::GateOutput;
+    appendDriver(bus, gi);
+    linkGateUses(gi);
+    return gi;
 }
 
 void
 Netlist::setGate(GateId id, CellKind kind, NetId in0, NetId in1)
 {
-    panicIf(id >= gates_.size(), "setGate: bad gate");
-    Gate &g = gates_[id];
+    panicIf(id >= gateKind_.size(), "setGate: bad gate");
     panicIf(kind == CellKind::TSBUFX1 ||
-                g.kind == CellKind::TSBUFX1,
+                gateKind_[id] == CellKind::TSBUFX1,
             "setGate: cannot rewrite tri-state drivers");
-    panicIf(cellIsSequential(kind) != cellIsSequential(g.kind),
+    panicIf(cellIsSequential(kind) !=
+                cellIsSequential(gateKind_[id]),
             "setGate: sequential/combinational change");
     const unsigned wants = cellInputCount(kind);
-    panicIf(in0 >= nets_.size(), "setGate: bad input a");
-    panicIf(wants == 2 && in1 >= nets_.size(),
+    panicIf(in0 >= netSource_.size(), "setGate: bad input a");
+    panicIf(wants == 2 && in1 >= netSource_.size(),
             "setGate: " + cellName(kind) + " needs two inputs");
     panicIf(wants == 1 && in1 != invalidNet,
             "setGate: " + cellName(kind) + " takes one input");
 
-    if (g.in0 != in0) {
-        if (g.in0 != invalidNet)
+    if (gateIn0_[id] != in0) {
+        if (gateIn0_[id] != invalidNet)
             unlinkUse(UseNode(id) * 2);
-        g.in0 = in0;
+        gateIn0_[id] = in0;
         if (in0 != invalidNet)
             linkUse(in0, UseNode(id) * 2);
     }
-    if (g.in1 != in1) {
-        if (g.in1 != invalidNet)
+    if (gateIn1_[id] != in1) {
+        if (gateIn1_[id] != invalidNet)
             unlinkUse(UseNode(id) * 2 + 1);
-        g.in1 = in1;
+        gateIn1_[id] = in1;
         if (in1 != invalidNet)
             linkUse(in1, UseNode(id) * 2 + 1);
     }
-    g.kind = kind;
+    gateKind_[id] = kind;
 }
 
 NetId
@@ -281,6 +380,16 @@ NetId
 Netlist::addFlopReset(NetId d, NetId rn)
 {
     return addGate(CellKind::DFFNRX1, d, rn);
+}
+
+std::vector<Gate>
+Netlist::gateArray() const
+{
+    std::vector<Gate> gates;
+    gates.reserve(gateKind_.size());
+    for (GateId gi = 0; gi < gateKind_.size(); ++gi)
+        gates.push_back(gate(gi));
+    return gates;
 }
 
 NetId
@@ -306,27 +415,26 @@ Netlist::netLabel(NetId id) const
 {
     if (id == invalidNet)
         return "<no net>";
-    if (id < nets_.size() && !nets_[id].name.empty())
-        return nets_[id].name;
+    if (id < netSource_.size() && netNameRef_[id] != 0)
+        return netName(id);
     return "net#" + std::to_string(id);
 }
 
 std::string
 Netlist::gateLabel(GateId id) const
 {
-    if (id >= gates_.size())
+    if (id >= gateKind_.size())
         return "gate#" + std::to_string(id);
-    const Gate &g = gates_[id];
-    return cellName(g.kind) + "#" + std::to_string(id) + " -> " +
-           netLabel(g.out);
+    return cellName(gateKind_[id]) + "#" + std::to_string(id) +
+           " -> " + netLabel(gateOut_[id]);
 }
 
 std::size_t
 Netlist::flopCount() const
 {
     std::size_t n = 0;
-    for (const auto &g : gates_)
-        if (cellIsSequential(g.kind))
+    for (CellKind kind : gateKind_)
+        if (cellIsSequential(kind))
             ++n;
     return n;
 }
@@ -334,56 +442,88 @@ Netlist::flopCount() const
 void
 Netlist::validate() const
 {
+    panicIf(netNameRef_.size() != netSource_.size() ||
+                driverHead_.size() != netSource_.size() ||
+                driverTail_.size() != netSource_.size() ||
+                gateIn0_.size() != gateKind_.size() ||
+                gateIn1_.size() != gateKind_.size() ||
+                gateOut_.size() != gateKind_.size() ||
+                driverNext_.size() != gateKind_.size(),
+            "Netlist: column size mismatch");
+
     // A net must be driven if anything reads it (a gate input or a
     // primary output); orphaned nets left behind by optimization are
     // tolerated.
-    std::vector<bool> read(nets_.size(), false);
-    for (const Gate &g : gates_) {
-        if (g.in0 < nets_.size())
-            read[g.in0] = true;
-        if (g.in1 != invalidNet && g.in1 < nets_.size())
-            read[g.in1] = true;
+    std::vector<bool> read(netSource_.size(), false);
+    for (GateId gi = 0; gi < gateKind_.size(); ++gi) {
+        if (gateIn0_[gi] < netSource_.size())
+            read[gateIn0_[gi]] = true;
+        if (gateIn1_[gi] != invalidNet &&
+            gateIn1_[gi] < netSource_.size())
+            read[gateIn1_[gi]] = true;
     }
     for (const auto &p : outputs_)
-        if (p.net < nets_.size())
+        if (p.net < netSource_.size())
             read[p.net] = true;
 
-    for (NetId n = 0; n < nets_.size(); ++n) {
-        const NetInfo &info = nets_[n];
-        switch (info.source) {
+    std::size_t listed_drivers = 0;
+    for (NetId n = 0; n < netSource_.size(); ++n) {
+        switch (netSource_[n]) {
           case NetSource::Undriven:
             panicIf(read[n],
-                    "Netlist '" + name_ + "': net " + std::to_string(n) +
-                    (info.name.empty() ? "" : " (" + info.name + ")") +
+                    "Netlist '" + name_ + "': net " +
+                    std::to_string(n) +
+                    (netNameRef_[n] == 0
+                         ? std::string()
+                         : " (" + netName(n) + ")") +
                     " is read but undriven");
+            panicIf(driverHead_[n] != invalidGate,
+                    "Netlist: undriven net has gate drivers");
             break;
-          case NetSource::GateOutput:
-            panicIf(info.drivers.empty(),
+          case NetSource::GateOutput: {
+            panicIf(driverHead_[n] == invalidGate,
                     "Netlist: GateOutput net with no drivers");
-            if (info.drivers.size() > 1) {
-                for (GateId g : info.drivers)
-                    panicIf(gates_[g].kind != CellKind::TSBUFX1,
+            std::size_t count = 0;
+            for (GateId g = driverHead_[n]; g != invalidGate;
+                 g = driverNext_[g]) {
+                panicIf(gateOut_[g] != n,
+                        "Netlist: driver list names non-driver");
+                ++count;
+                panicIf(count > gateKind_.size(),
+                        "Netlist: driver list cycle");
+            }
+            if (count > 1) {
+                for (GateId g = driverHead_[n]; g != invalidGate;
+                     g = driverNext_[g])
+                    panicIf(gateKind_[g] != CellKind::TSBUFX1,
                             "Netlist: only TSBUFs may share net " +
                             std::to_string(n));
             }
+            listed_drivers += count;
             break;
+          }
           default:
-            panicIf(!info.drivers.empty(),
+            panicIf(driverHead_[n] != invalidGate,
                     "Netlist: input/const net has gate drivers");
             break;
         }
     }
+    panicIf(listed_drivers != gateKind_.size(),
+            "Netlist: driver index does not cover all gates");
 
-    for (const Gate &g : gates_) {
-        panicIf(g.in0 >= nets_.size(), "Netlist: gate with bad in0");
-        if (cellInputCount(g.kind) == 2)
-            panicIf(g.in1 >= nets_.size(),
+    for (GateId gi = 0; gi < gateKind_.size(); ++gi) {
+        panicIf(gateIn0_[gi] >= netSource_.size(),
+                "Netlist: gate with bad in0");
+        if (cellInputCount(gateKind_[gi]) == 2)
+            panicIf(gateIn1_[gi] >= netSource_.size(),
                     "Netlist: gate with bad in1");
-        panicIf(g.out >= nets_.size(), "Netlist: gate with bad out");
+        panicIf(gateOut_[gi] >= netSource_.size(),
+                "Netlist: gate with bad out");
     }
 
     for (const auto &p : outputs_)
-        panicIf(p.net >= nets_.size(), "Netlist: bad output binding");
+        panicIf(p.net >= netSource_.size(),
+                "Netlist: bad output binding");
 
     checkUseIndex();
 }
@@ -395,61 +535,78 @@ Netlist::levelize() const
     // "ready" when all its (combinational) drivers have been
     // scheduled; sequential outputs, inputs, and constants are ready
     // from the start.
-    std::vector<unsigned> pending_drivers(nets_.size(), 0);
-    for (const Gate &g : gates_) {
-        if (!cellIsSequential(g.kind))
-            ++pending_drivers[g.out];
+    const std::size_t gates = gateKind_.size();
+    std::vector<unsigned> pending_drivers(netSource_.size(), 0);
+    for (GateId gi = 0; gi < gates; ++gi) {
+        if (!cellIsSequential(gateKind_[gi]))
+            ++pending_drivers[gateOut_[gi]];
     }
 
-    // fanout[n] = combinational gates reading net n
-    std::vector<std::vector<GateId>> fanout(nets_.size());
-    std::vector<unsigned> unmet(gates_.size(), 0);
-    for (GateId gi = 0; gi < gates_.size(); ++gi) {
-        const Gate &g = gates_[gi];
-        if (cellIsSequential(g.kind))
+    // CSR fanout: for each net, the combinational gates reading it
+    // while it still has pending drivers. Two passes (count, fill)
+    // replace the per-net vector<vector> of the old implementation;
+    // the fill order (ascending gate id per net) and the FIFO ready
+    // list reproduce its schedule exactly.
+    std::vector<unsigned> unmet(gates, 0);
+    std::vector<std::uint32_t> fanout_off(netSource_.size() + 1, 0);
+    for (GateId gi = 0; gi < gates; ++gi) {
+        if (cellIsSequential(gateKind_[gi]))
             continue;
-        auto watch = [&](NetId n) {
-            if (n == invalidNet)
-                return;
-            if (pending_drivers[n] > 0) {
-                fanout[n].push_back(gi);
-                ++unmet[gi];
-            }
-        };
         // For multi-driver TSBUF buses a gate's own output may be a
         // "pending" net, but it must not wait on itself; we count a
         // dependency per input net only.
-        watch(g.in0);
-        watch(g.in1);
+        for (NetId n : {gateIn0_[gi], gateIn1_[gi]}) {
+            if (n != invalidNet && pending_drivers[n] > 0) {
+                ++fanout_off[n + 1];
+                ++unmet[gi];
+            }
+        }
+    }
+    for (NetId n = 0; n < netSource_.size(); ++n)
+        fanout_off[n + 1] += fanout_off[n];
+    std::vector<GateId> fanout(fanout_off.back());
+    {
+        std::vector<std::uint32_t> cursor(
+            fanout_off.begin(), fanout_off.end() - 1);
+        for (GateId gi = 0; gi < gates; ++gi) {
+            if (cellIsSequential(gateKind_[gi]))
+                continue;
+            for (NetId n : {gateIn0_[gi], gateIn1_[gi]}) {
+                if (n != invalidNet && pending_drivers[n] > 0)
+                    fanout[cursor[n]++] = gi;
+            }
+        }
     }
 
-    std::queue<GateId> ready;
-    for (GateId gi = 0; gi < gates_.size(); ++gi)
-        if (!cellIsSequential(gates_[gi].kind) && unmet[gi] == 0)
-            ready.push(gi);
-
+    // FIFO ready list: `order` doubles as the queue; `scanned` is
+    // the consumption cursor.
     std::vector<GateId> order;
-    order.reserve(gates_.size());
-    while (!ready.empty()) {
-        const GateId gi = ready.front();
-        ready.pop();
-        order.push_back(gi);
-        const NetId out = gates_[gi].out;
+    order.reserve(gates);
+    for (GateId gi = 0; gi < gates; ++gi)
+        if (!cellIsSequential(gateKind_[gi]) && unmet[gi] == 0)
+            order.push_back(gi);
+
+    for (std::size_t scanned = 0; scanned < order.size();
+         ++scanned) {
+        const GateId gi = order[scanned];
+        const NetId out = gateOut_[gi];
         panicIf(pending_drivers[out] == 0,
                 "levelize: driver count underflow");
         if (--pending_drivers[out] == 0) {
-            for (GateId reader : fanout[out]) {
+            for (std::uint32_t f = fanout_off[out];
+                 f < fanout_off[out + 1]; ++f) {
+                const GateId reader = fanout[f];
                 panicIf(unmet[reader] == 0,
                         "levelize: dependency underflow");
                 if (--unmet[reader] == 0)
-                    ready.push(reader);
+                    order.push_back(reader);
             }
         }
     }
 
     std::size_t comb = 0;
-    for (const Gate &g : gates_)
-        if (!cellIsSequential(g.kind))
+    for (CellKind kind : gateKind_)
+        if (!cellIsSequential(kind))
             ++comb;
     fatalIf(order.size() != comb,
             "Netlist '" + name_ + "': combinational cycle detected (" +
@@ -462,15 +619,15 @@ std::array<std::size_t, numCellKinds>
 Netlist::cellHistogram() const
 {
     std::array<std::size_t, numCellKinds> histo{};
-    for (const Gate &g : gates_)
-        ++histo[static_cast<std::size_t>(g.kind)];
+    for (CellKind kind : gateKind_)
+        ++histo[static_cast<std::size_t>(kind)];
     return histo;
 }
 
 void
 Netlist::rewireUses(NetId from, NetId to)
 {
-    panicIf(from >= nets_.size() || to >= nets_.size(),
+    panicIf(from >= netSource_.size() || to >= netSource_.size(),
             "rewireUses: bad net");
     if (from == to)
         return;
@@ -481,11 +638,10 @@ Netlist::rewireUses(NetId from, NetId to)
     const UseNode head = useHead_[from];
     UseNode tail = invalidUseNode;
     for (UseNode u = head; u != invalidUseNode; u = useNext_[u]) {
-        Gate &g = gates_[u >> 1];
         if (u & 1)
-            g.in1 = to;
+            gateIn1_[u >> 1] = to;
         else
-            g.in0 = to;
+            gateIn0_[u >> 1] = to;
         tail = u;
     }
     if (head != invalidUseNode) {
@@ -506,15 +662,15 @@ Netlist::rewireUses(NetId from, NetId to)
 void
 Netlist::rewireUsesByScan(NetId from, NetId to)
 {
-    panicIf(from >= nets_.size() || to >= nets_.size(),
+    panicIf(from >= netSource_.size() || to >= netSource_.size(),
             "rewireUses: bad net");
     if (from == to)
         return;
-    for (Gate &g : gates_) {
-        if (g.in0 == from)
-            g.in0 = to;
-        if (g.in1 == from)
-            g.in1 = to;
+    for (GateId gi = 0; gi < gateKind_.size(); ++gi) {
+        if (gateIn0_[gi] == from)
+            gateIn0_[gi] = to;
+        if (gateIn1_[gi] == from)
+            gateIn1_[gi] = to;
     }
     for (auto &p : outputs_)
         if (p.net == from)
@@ -531,41 +687,111 @@ Netlist::makeFeedback()
 void
 Netlist::resolveFeedback(NetId placeholder, NetId actual)
 {
-    panicIf(placeholder >= nets_.size() || actual >= nets_.size(),
+    panicIf(placeholder >= netSource_.size() ||
+                actual >= netSource_.size(),
             "resolveFeedback: bad net");
-    panicIf(nets_[placeholder].source != NetSource::Undriven,
+    panicIf(netSource_[placeholder] != NetSource::Undriven,
             "resolveFeedback: placeholder already driven");
     rewireUses(placeholder, actual);
     // Mark the placeholder as a harmless constant so validate() does
     // not flag it; nothing references it any more.
-    nets_[placeholder].source = NetSource::Const0;
+    netSource_[placeholder] = NetSource::Const0;
 }
 
-void
+std::vector<GateId>
 Netlist::removeGates(const std::vector<bool> &dead)
 {
-    panicIf(dead.size() != gates_.size(),
+    panicIf(dead.size() != gateKind_.size(),
             "removeGates: flag vector size mismatch");
 
-    std::vector<Gate> kept;
-    kept.reserve(gates_.size());
-    for (GateId gi = 0; gi < gates_.size(); ++gi)
-        if (!dead[gi])
-            kept.push_back(gates_[gi]);
-    gates_ = std::move(kept);
+    std::vector<GateId> remap(gateKind_.size(), invalidGate);
+    GateId next = 0;
+    for (GateId gi = 0; gi < gateKind_.size(); ++gi) {
+        if (dead[gi])
+            continue;
+        remap[gi] = next;
+        if (next != gi) {
+            gateKind_[next] = gateKind_[gi];
+            gateIn0_[next] = gateIn0_[gi];
+            gateIn1_[next] = gateIn1_[gi];
+            gateOut_[next] = gateOut_[gi];
+        }
+        ++next;
+    }
+    gateKind_.resize(next);
+    gateIn0_.resize(next);
+    gateIn1_.resize(next);
+    gateOut_.resize(next);
 
-    // Rebuild net driver lists from scratch.
-    for (NetInfo &info : nets_) {
-        info.drivers.clear();
-        if (info.source == NetSource::GateOutput)
-            info.source = NetSource::Undriven;
-    }
-    for (GateId gi = 0; gi < gates_.size(); ++gi) {
-        NetInfo &info = nets_[gates_[gi].out];
-        info.source = NetSource::GateOutput;
-        info.drivers.push_back(gi);
-    }
+    // Removed gates may have been a net's only driver.
+    for (NetId n = 0; n < netSource_.size(); ++n)
+        if (netSource_[n] == NetSource::GateOutput)
+            netSource_[n] = NetSource::Undriven;
+    for (NetId out : gateOut_)
+        netSource_[out] = NetSource::GateOutput;
+
+    rebuildDrivers();
     rebuildUseIndex();
+    return remap;
+}
+
+std::vector<NetId>
+Netlist::compact()
+{
+    const std::size_t old_nets = netSource_.size();
+    std::vector<bool> keep(old_nets, false);
+    for (GateId gi = 0; gi < gateKind_.size(); ++gi) {
+        keep[gateOut_[gi]] = true;
+        keep[gateIn0_[gi]] = true;
+        if (gateIn1_[gi] != invalidNet)
+            keep[gateIn1_[gi]] = true;
+    }
+    for (const auto &p : inputs_)
+        keep[p.net] = true;
+    for (const auto &p : outputs_)
+        keep[p.net] = true;
+    if (const0_ != invalidNet)
+        keep[const0_] = true;
+    if (const1_ != invalidNet)
+        keep[const1_] = true;
+
+    std::vector<NetId> remap(old_nets, invalidNet);
+    NetId next = 0;
+    for (NetId n = 0; n < old_nets; ++n)
+        if (keep[n])
+            remap[n] = next++;
+    if (next == old_nets)
+        return remap; // nothing to drop
+
+    // Slide the kept columns down in place (stable order). The name
+    // pool keeps any dead names; refs of surviving nets stay valid.
+    for (NetId n = 0; n < old_nets; ++n) {
+        if (remap[n] == invalidNet || remap[n] == n)
+            continue;
+        netSource_[remap[n]] = netSource_[n];
+        netNameRef_[remap[n]] = netNameRef_[n];
+    }
+    netSource_.resize(next);
+    netNameRef_.resize(next);
+
+    for (GateId gi = 0; gi < gateKind_.size(); ++gi) {
+        gateOut_[gi] = remap[gateOut_[gi]];
+        gateIn0_[gi] = remap[gateIn0_[gi]];
+        if (gateIn1_[gi] != invalidNet)
+            gateIn1_[gi] = remap[gateIn1_[gi]];
+    }
+    for (auto &p : inputs_)
+        p.net = remap[p.net];
+    for (auto &p : outputs_)
+        p.net = remap[p.net];
+    if (const0_ != invalidNet)
+        const0_ = remap[const0_];
+    if (const1_ != invalidNet)
+        const1_ = remap[const1_];
+
+    rebuildDrivers();
+    rebuildUseIndex();
+    return remap;
 }
 
 } // namespace printed

@@ -9,6 +9,16 @@
  * LATCHX1) break combinational paths; tri-state buffers may share an
  * output net to form a resolved bus.
  *
+ * Storage is struct-of-arrays: gate kind/in0/in1/out live in four
+ * flat vectors, net source tags in another, and net names are
+ * interned into one shared character pool (most nets are unnamed, so
+ * a per-net std::string would waste both memory and construction
+ * time at million-gate scale). Driver sets are an intrusive per-net
+ * linked list threaded through a per-gate next array, and a
+ * maintained use-index (net -> reading pins) makes rewireUses
+ * O(fanout) instead of O(gates). The public Gate struct remains the
+ * value type handed out by gate() and consumed by serialization.
+ *
  * The same netlist object is consumed by:
  *   - printed::sim     (functional gate-level simulation + activity)
  *   - printed::analysis (area, static timing, power)
@@ -21,6 +31,8 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "tech/cell.hh"
@@ -50,7 +62,10 @@ using UseNode = std::uint32_t;
 constexpr UseNode invalidUseNode =
     std::numeric_limits<UseNode>::max();
 
-/** One standard-cell instance. */
+/**
+ * One standard-cell instance, as a value. Internally gates are
+ * stored as four parallel arrays; gate() assembles this view.
+ */
 struct Gate
 {
     CellKind kind = CellKind::INVX1;
@@ -62,21 +77,13 @@ struct Gate
 };
 
 /** How a net is driven. */
-enum class NetSource
+enum class NetSource : std::uint8_t
 {
     Undriven,   ///< error unless it is an input/constant
     Input,      ///< primary input
     Const0,     ///< constant logic 0 (tie-low)
     Const1,     ///< constant logic 1 (tie-high)
     GateOutput, ///< driven by one gate (or several TSBUFs)
-};
-
-/** Bookkeeping for one net. */
-struct NetInfo
-{
-    NetSource source = NetSource::Undriven;
-    std::string name;                 ///< optional; ports are named
-    std::vector<GateId> drivers;      ///< gates driving this net
 };
 
 /** A named primary output and the net it exposes. */
@@ -143,15 +150,46 @@ class Netlist
     /** D flip-flop with asynchronous active-low reset. */
     NetId addFlopReset(NetId d, NetId rn);
 
+    /** Pre-size the flat arrays (million-gate generators). */
+    void reserve(std::size_t nets, std::size_t gates);
+
     // ------------------------------------------------------------
     // Access
     // ------------------------------------------------------------
 
-    std::size_t netCount() const { return nets_.size(); }
-    std::size_t gateCount() const { return gates_.size(); }
+    std::size_t netCount() const { return netSource_.size(); }
+    std::size_t gateCount() const { return gateKind_.size(); }
 
-    /** All nets, indexed by NetId (serialization walks this). */
-    const std::vector<NetInfo> &netInfos() const { return nets_; }
+    /** How net `n` is driven. */
+    NetSource netSource(NetId n) const { return netSource_[n]; }
+
+    /** Net name, or "" if unnamed (cold path: materializes). */
+    std::string netName(NetId n) const;
+
+    /** True when the net was given a name. */
+    bool netHasName(NetId n) const { return netNameRef_[n] != 0; }
+
+    /** First driving gate, or invalidGate (TSBUF buses have many). */
+    GateId netFirstDriver(NetId n) const { return driverHead_[n]; }
+
+    /**
+     * The unique driving gate, or invalidGate when the net has no
+     * driver or is a multiply-driven TSBUF bus.
+     */
+    GateId netSoleDriver(NetId n) const;
+
+    /** Number of gates driving net `n` (walks the driver list). */
+    std::size_t netDriverCount(NetId n) const;
+
+    /** Visit the gates driving `n`, in gate-creation order. */
+    template <typename Fn>
+    void
+    forEachDriver(NetId n, Fn &&fn) const
+    {
+        for (GateId g = driverHead_[n]; g != invalidGate;
+             g = driverNext_[g])
+            fn(g);
+    }
 
     /** The constant-0 net id, or invalidNet if never created. */
     NetId constZeroId() const { return const0_; }
@@ -161,19 +199,37 @@ class Netlist
 
     /**
      * Rebuild a netlist from serialized structural state (the disk
-     * synthesis cache's load path). Driver lists are recomputed
-     * from the gates; the result is validate()d, so a corrupted
-     * blob that decodes into an inconsistent structure panics
-     * rather than entering the flow.
+     * synthesis cache's load path). Net names arrive sparse as
+     * (net, name) pairs; driver lists and the use-index are
+     * recomputed from the gates, and the result is validate()d, so
+     * a corrupted blob that decodes into an inconsistent structure
+     * panics rather than entering the flow.
      */
-    static Netlist restore(std::string name,
-                           std::vector<NetInfo> nets,
-                           std::vector<Gate> gates,
-                           std::vector<PortBinding> inputs,
-                           std::vector<PortBinding> outputs,
-                           NetId const0, NetId const1);
+    static Netlist
+    restore(std::string name, std::vector<NetSource> sources,
+            std::vector<std::pair<NetId, std::string>> netNames,
+            std::vector<Gate> gates,
+            std::vector<PortBinding> inputs,
+            std::vector<PortBinding> outputs, NetId const0,
+            NetId const1);
 
-    const Gate &gate(GateId id) const { return gates_[id]; }
+    /** Assembled value view of one gate. */
+    Gate
+    gate(GateId id) const
+    {
+        return {gateKind_[id], gateIn0_[id], gateIn1_[id],
+                gateOut_[id]};
+    }
+
+    // Column accessors: hot loops touching one field should use
+    // these instead of assembling a Gate.
+    CellKind gateKind(GateId id) const { return gateKind_[id]; }
+    NetId gateIn0(GateId id) const { return gateIn0_[id]; }
+    NetId gateIn1(GateId id) const { return gateIn1_[id]; }
+    NetId gateOut(GateId id) const { return gateOut_[id]; }
+
+    /** Materialize all gates as values (serialization, tests). */
+    std::vector<Gate> gateArray() const;
 
     /**
      * Rewrite a gate in place (the optimizer's mutation hook).
@@ -185,9 +241,6 @@ class Netlist
     void setGate(GateId id, CellKind kind, NetId in0,
                  NetId in1 = invalidNet);
 
-    const NetInfo &net(NetId id) const { return nets_[id]; }
-
-    const std::vector<Gate> &gates() const { return gates_; }
     const std::vector<PortBinding> &inputs() const { return inputs_; }
     const std::vector<PortBinding> &outputs() const { return outputs_; }
 
@@ -276,11 +329,34 @@ class Netlist
      * Remove gates flagged in `dead` (by GateId). Nets are left in
      * place (cheap) but become undriven; callers must not leave live
      * uses of removed outputs.
+     *
+     * @return old-to-new GateId remap (invalidGate for removed).
      */
-    void removeGates(const std::vector<bool> &dead);
+    std::vector<GateId> removeGates(const std::vector<bool> &dead);
+
+    /**
+     * Drop orphaned nets (referenced by no gate, port, or constant
+     * handle) and renumber the survivors densely, preserving
+     * creation order. Port bindings, constant handles, gate pins,
+     * and all indexes are remapped/rebuilt. Stability means a NetId
+     * is unchanged unless some lower-numbered net was dropped —
+     * e.g. primary inputs created before any logic keep their ids.
+     *
+     * @return old-to-new NetId remap (invalidNet for dropped).
+     */
+    std::vector<NetId> compact();
 
   private:
     NetId addDrivenNet(NetSource source, std::string name = {});
+
+    /** Intern a name into the pool; 0 for the empty name. */
+    std::uint32_t internName(const std::string &name);
+
+    /** Append gate `gi` (just pushed) to its output's driver list. */
+    void appendDriver(NetId n, GateId gi);
+
+    /** Rebuild every driver list from the gate array (O(gates)). */
+    void rebuildDrivers();
 
     // ------------------------------------------------------------
     // Use-index: for every net, the doubly-linked list of gate
@@ -309,8 +385,24 @@ class Netlist
     void checkUseIndex() const;
 
     std::string name_;
-    std::vector<NetInfo> nets_;
-    std::vector<Gate> gates_;
+
+    // Nets, struct-of-arrays.
+    std::vector<NetSource> netSource_;
+    std::vector<std::uint32_t> netNameRef_; ///< 0, or pool offset+1
+    std::string namePool_; ///< NUL-terminated interned names
+    std::unordered_map<std::string, std::uint32_t> internMap_;
+
+    // Gates, struct-of-arrays.
+    std::vector<CellKind> gateKind_;
+    std::vector<NetId> gateIn0_;
+    std::vector<NetId> gateIn1_;
+    std::vector<NetId> gateOut_;
+
+    // Driver index: per-net intrusive list in gate-creation order.
+    std::vector<GateId> driverHead_; ///< per net: first driver
+    std::vector<GateId> driverTail_; ///< per net: last driver
+    std::vector<GateId> driverNext_; ///< per gate: next driver
+
     std::vector<PortBinding> inputs_;
     std::vector<PortBinding> outputs_;
     std::vector<UseNode> useHead_; ///< per net: first use node

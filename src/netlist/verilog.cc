@@ -14,12 +14,10 @@ namespace
 std::string
 netName(const Netlist &nl, NetId id)
 {
-    const NetInfo &info = nl.net(id);
-    if (!info.name.empty()) {
-        std::string name = "\\" + info.name + " ";
-        return name; // escaped identifier (bus bracket syntax)
-    }
-    switch (info.source) {
+    if (nl.netHasName(id))
+        // escaped identifier (bus bracket syntax)
+        return "\\" + nl.netName(id) + " ";
+    switch (nl.netSource(id)) {
       case NetSource::Const0:
         return "1'b0";
       case NetSource::Const1:
@@ -80,8 +78,8 @@ writeVerilog(std::ostream &os, const Netlist &netlist,
 
     // Internal wires.
     for (NetId n = 0; n < netlist.netCount(); ++n) {
-        const NetInfo &info = netlist.net(n);
-        if (info.source == NetSource::GateOutput && info.name.empty())
+        if (netlist.netSource(n) == NetSource::GateOutput &&
+            !netlist.netHasName(n))
             os << "    wire n" << n << ";\n";
     }
     os << "\n";
@@ -122,9 +120,8 @@ writeVerilog(std::ostream &os, const Netlist &netlist,
 
     // Output bindings for outputs aliasing internal nets.
     for (const auto &p : netlist.outputs()) {
-        const NetInfo &info = netlist.net(p.net);
-        const bool direct =
-            !info.name.empty() && info.name == p.name;
+        const bool direct = netlist.netHasName(p.net) &&
+                            netlist.netName(p.net) == p.name;
         if (!direct)
             os << "    assign \\" << p.name << "  = "
                << netName(netlist, p.net) << ";\n";

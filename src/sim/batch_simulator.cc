@@ -69,7 +69,7 @@ BatchGateSimulator::reset()
     cycles_ = 0;
     settles_ = 0;
     for (NetId n = 0; n < netlist_.netCount(); ++n)
-        if (netlist_.net(n).source == NetSource::Const1)
+        if (netlist_.netSource(n) == NetSource::Const1)
             values_[n] = allLanes;
     observed_ = allLanes;
     killed_ = 0;
@@ -180,7 +180,7 @@ BatchGateSimulator::applyFault(GateId gi, LaneMask out,
 void
 BatchGateSimulator::setInput(NetId net, LaneMask laneWord)
 {
-    panicIf(netlist_.net(net).source != NetSource::Input,
+    panicIf(netlist_.netSource(net) != NetSource::Input,
             "setInput: net is not a primary input");
     values_[net] = laneWord;
 }
@@ -211,7 +211,7 @@ BatchGateSimulator::setBusLane(const Bus &bus, unsigned lane,
     panicIf(lane >= laneCount, "setBusLane: bad lane");
     const LaneMask bit = LaneMask(1) << lane;
     for (std::size_t i = 0; i < bus.size(); ++i) {
-        panicIf(netlist_.net(bus[i]).source != NetSource::Input,
+        panicIf(netlist_.netSource(bus[i]) != NetSource::Input,
                 "setBusLane: net is not a primary input");
         if ((value >> i) & 1)
             values_[bus[i]] |= bit;

@@ -61,7 +61,7 @@ GateSimulator::reset()
     cycles_ = 0;
     settles_ = 0;
     for (NetId n = 0; n < netlist_.netCount(); ++n)
-        if (netlist_.net(n).source == NetSource::Const1)
+        if (netlist_.netSource(n) == NetSource::Const1)
             values_[n] = 1;
 }
 
@@ -128,7 +128,7 @@ GateSimulator::faultValue(GateId gi, std::uint8_t out)
 void
 GateSimulator::setInput(NetId net, bool value)
 {
-    panicIf(netlist_.net(net).source != NetSource::Input,
+    panicIf(netlist_.netSource(net) != NetSource::Input,
             "setInput: net is not a primary input");
     values_[net] = value ? 1 : 0;
 }

@@ -215,12 +215,23 @@ encodeNetlist(const Netlist &nl)
     std::string out;
     putString(out, nl.name());
     putU32(out, std::uint32_t(nl.netCount()));
-    for (const NetInfo &info : nl.netInfos()) {
-        putU8(out, std::uint8_t(info.source));
-        putString(out, info.name);
+    for (NetId n = 0; n < nl.netCount(); ++n)
+        putU8(out, std::uint8_t(nl.netSource(n)));
+    // Names are sparse: (net, name) pairs for named nets only.
+    std::uint32_t named = 0;
+    for (NetId n = 0; n < nl.netCount(); ++n)
+        if (nl.netHasName(n))
+            ++named;
+    putU32(out, named);
+    for (NetId n = 0; n < nl.netCount(); ++n) {
+        if (nl.netHasName(n)) {
+            putU32(out, n);
+            putString(out, nl.netName(n));
+        }
     }
     putU32(out, std::uint32_t(nl.gateCount()));
-    for (const Gate &g : nl.gates()) {
+    for (GateId gi = 0; gi < nl.gateCount(); ++gi) {
+        const Gate g = nl.gate(gi);
         putU8(out, std::uint8_t(g.kind));
         putU32(out, g.in0);
         putU32(out, g.in1);
@@ -246,16 +257,21 @@ decodeNetlist(BlobReader &r)
 {
     std::string name = r.str();
     const std::uint32_t netCount = r.u32();
-    std::vector<NetInfo> nets;
-    nets.reserve(std::min<std::uint32_t>(netCount, 1u << 20));
+    std::vector<NetSource> sources;
+    sources.reserve(std::min<std::uint32_t>(netCount, 1u << 20));
     for (std::uint32_t i = 0; i < netCount; ++i) {
-        NetInfo info;
         const std::uint8_t src = r.u8();
         fatalIf(src > std::uint8_t(NetSource::GateOutput),
                 "disk cache: bad net source");
-        info.source = NetSource(src);
-        info.name = r.str();
-        nets.push_back(std::move(info));
+        sources.push_back(NetSource(src));
+    }
+    const std::uint32_t named = r.u32();
+    std::vector<std::pair<NetId, std::string>> netNames;
+    netNames.reserve(std::min<std::uint32_t>(named, 1u << 20));
+    for (std::uint32_t i = 0; i < named; ++i) {
+        const NetId n = r.u32();
+        fatalIf(n >= netCount, "disk cache: bad named net");
+        netNames.emplace_back(n, r.str());
     }
     const std::uint32_t gateCount = r.u32();
     std::vector<Gate> gates;
@@ -288,9 +304,10 @@ decodeNetlist(BlobReader &r)
     const NetId const1 = r.u32();
     // restore() rebuilds driver lists and validate()s; structural
     // nonsense panics, which the loader quarantines.
-    return Netlist::restore(std::move(name), std::move(nets),
-                            std::move(gates), std::move(inputs),
-                            std::move(outputs), const0, const1);
+    return Netlist::restore(std::move(name), std::move(sources),
+                            std::move(netNames), std::move(gates),
+                            std::move(inputs), std::move(outputs),
+                            const0, const1);
 }
 
 // ---------------------------------------------------------------

@@ -79,8 +79,14 @@ struct DiskCacheStats
 class DiskCache
 {
   public:
-    /** Entry-format version; bumped on any layout change. */
-    static constexpr std::uint32_t formatVersion = 1;
+    /**
+     * Entry-format version; bumped on any layout change.
+     * v1: per-net (source, name) records.
+     * v2: packed source bytes + sparse (net, name) pairs, matching
+     *     the struct-of-arrays netlist core. v1 entries count as
+     *     version_mismatches and are quarantined (a rebuild).
+     */
+    static constexpr std::uint32_t formatVersion = 2;
 
     /**
      * Open (creating if needed) a cache directory. Stray tmp files

@@ -14,10 +14,10 @@ namespace
 bool
 isTristateBus(const Netlist &nl, NetId n)
 {
-    const NetInfo &info = nl.net(n);
-    return info.source == NetSource::GateOutput &&
-           !info.drivers.empty() &&
-           nl.gate(info.drivers.front()).kind == CellKind::TSBUFX1;
+    const GateId first = nl.netFirstDriver(n);
+    return nl.netSource(n) == NetSource::GateOutput &&
+           first != invalidGate &&
+           nl.gateKind(first) == CellKind::TSBUFX1;
 }
 
 /**
@@ -40,7 +40,7 @@ struct CopyMap
         NetId &m = map[n];
         if (m != invalidNet)
             return m;
-        switch (src.net(n).source) {
+        switch (src.netSource(n)) {
           case NetSource::Const0:
             m = dst.constZero();
             break;

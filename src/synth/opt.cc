@@ -18,9 +18,9 @@ namespace
 enum class Lat : std::uint8_t { Unknown, Zero, One };
 
 Lat
-latOfSource(const NetInfo &info)
+latOfSource(NetSource source)
 {
-    switch (info.source) {
+    switch (source) {
       case NetSource::Const0:
         return Lat::Zero;
       case NetSource::Const1:
@@ -44,7 +44,7 @@ foldConstants(Netlist &nl)
 
     std::vector<Lat> lat(nl.netCount(), Lat::Unknown);
     for (NetId n = 0; n < nl.netCount(); ++n)
-        lat[n] = latOfSource(nl.net(n));
+        lat[n] = latOfSource(nl.netSource(n));
 
     std::size_t folded = 0;
     const auto order = nl.levelize();
@@ -161,17 +161,16 @@ collapseInvPairs(Netlist &nl)
 {
     std::size_t pairs = 0;
     for (GateId gi = 0; gi < nl.gateCount(); ++gi) {
-        const Gate &g = nl.gate(gi);
-        if (g.kind != CellKind::INVX1)
+        if (nl.gateKind(gi) != CellKind::INVX1)
             continue;
-        const NetInfo &in_info = nl.net(g.in0);
-        if (in_info.source != NetSource::GateOutput ||
-            in_info.drivers.size() != 1)
+        const NetId in = nl.gateIn0(gi);
+        if (nl.netSource(in) != NetSource::GateOutput)
             continue;
-        const Gate &drv = nl.gate(in_info.drivers[0]);
-        if (drv.kind != CellKind::INVX1)
+        const GateId drv = nl.netSoleDriver(in);
+        if (drv == invalidGate ||
+            nl.gateKind(drv) != CellKind::INVX1)
             continue;
-        nl.rewireUses(g.out, drv.in0);
+        nl.rewireUses(nl.gateOut(gi), nl.gateIn0(drv));
         ++pairs;
     }
     return pairs;
@@ -233,21 +232,20 @@ sweepDead(Netlist &nl)
     while (!work.empty()) {
         const NetId n = work.back();
         work.pop_back();
-        for (GateId gi : nl.net(n).drivers) {
-            const Gate &g = nl.gate(gi);
-            for (NetId in : {g.in0, g.in1}) {
+        nl.forEachDriver(n, [&](GateId gi) {
+            for (NetId in : {nl.gateIn0(gi), nl.gateIn1(gi)}) {
                 if (in != invalidNet && !net_live[in]) {
                     net_live[in] = true;
                     work.push_back(in);
                 }
             }
-        }
+        });
     }
 
     std::vector<bool> dead(nl.gateCount(), false);
     std::size_t removed = 0;
     for (GateId gi = 0; gi < nl.gateCount(); ++gi) {
-        if (!net_live[nl.gate(gi).out]) {
+        if (!net_live[nl.gateOut(gi)]) {
             dead[gi] = true;
             ++removed;
         }
@@ -293,6 +291,18 @@ optimize(Netlist &nl)
         progress = folded + pairs + shared + dead > 0;
     }
 
+    {
+        // Renumber nets densely: orphaned nets accumulated by the
+        // rewiring passes above would otherwise bloat every per-net
+        // array the consumers allocate (simulator values, timing
+        // arrivals). Port bindings and constant handles survive the
+        // remap by construction.
+        trace::Span s("opt.compact");
+        const std::size_t nets_before = nl.netCount();
+        nl.compact();
+        stats.netsRemoved = nets_before - nl.netCount();
+    }
+
     nl.validate();
     stats.gatesAfter = nl.gateCount();
 
@@ -307,11 +317,14 @@ optimize(Netlist &nl)
         metrics::counter("synth.opt.dead_removed");
     static metrics::Counter &removed =
         metrics::counter("synth.opt.gates_removed");
+    static metrics::Counter &nets =
+        metrics::counter("synth.opt.nets_removed");
     runs.add(1);
     folded.add(stats.constFolded);
     pairs.add(stats.invPairs);
     shared.add(stats.shared);
     dead.add(stats.deadRemoved);
+    nets.add(stats.netsRemoved);
     removed.add(stats.gatesAfter <= stats.gatesBefore
                     ? stats.gatesBefore - stats.gatesAfter
                     : 0);

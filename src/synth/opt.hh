@@ -30,6 +30,7 @@ struct OptStats
     std::size_t invPairs = 0;      ///< INV(INV(x)) collapsed
     std::size_t shared = 0;        ///< structurally duplicate gates
     std::size_t deadRemoved = 0;   ///< unreachable gates swept
+    std::size_t netsRemoved = 0;   ///< orphaned nets compacted away
     unsigned iterations = 0;       ///< fixpoint iterations
 };
 

@@ -60,18 +60,15 @@ expectSameNetlist(const Netlist &a, const Netlist &b)
 {
     EXPECT_EQ(a.name(), b.name());
     ASSERT_EQ(a.netCount(), b.netCount());
-    for (std::size_t i = 0; i < a.netCount(); ++i) {
-        EXPECT_EQ(a.netInfos()[i].source, b.netInfos()[i].source);
-        EXPECT_EQ(a.netInfos()[i].name, b.netInfos()[i].name);
-        EXPECT_EQ(a.netInfos()[i].drivers, b.netInfos()[i].drivers);
+    for (NetId n = 0; n < a.netCount(); ++n) {
+        EXPECT_EQ(a.netSource(n), b.netSource(n));
+        EXPECT_EQ(a.netName(n), b.netName(n));
+        EXPECT_EQ(a.netDriverCount(n), b.netDriverCount(n));
+        EXPECT_EQ(a.netFirstDriver(n), b.netFirstDriver(n));
     }
     ASSERT_EQ(a.gateCount(), b.gateCount());
-    for (std::size_t i = 0; i < a.gateCount(); ++i) {
-        EXPECT_EQ(a.gates()[i].kind, b.gates()[i].kind);
-        EXPECT_EQ(a.gates()[i].in0, b.gates()[i].in0);
-        EXPECT_EQ(a.gates()[i].in1, b.gates()[i].in1);
-        EXPECT_EQ(a.gates()[i].out, b.gates()[i].out);
-    }
+    for (GateId gi = 0; gi < a.gateCount(); ++gi)
+        EXPECT_EQ(a.gate(gi), b.gate(gi));
     ASSERT_EQ(a.inputs().size(), b.inputs().size());
     for (std::size_t i = 0; i < a.inputs().size(); ++i) {
         EXPECT_EQ(a.inputs()[i].name, b.inputs()[i].name);
@@ -215,6 +212,40 @@ TEST(DiskCache, VersionMismatchIsDetected)
     EXPECT_EQ(cache.loadNetlist(key), nullptr);
     EXPECT_EQ(cache.stats().versionMismatches, 1u);
     EXPECT_EQ(cache.entryCount(), 0u); // quarantined
+}
+
+TEST(DiskCache, PreBumpEntryIsVersionMismatchAndRebuilds)
+{
+    // An entry written before the struct-of-arrays layout bump
+    // (formatVersion 1) must register as a version mismatch, be
+    // quarantined, and get rebuilt by the next store.
+    TempDir dir;
+    DiskCache cache(dir.path);
+    const CoreConfigKey key = coreConfigKey(smallConfig());
+    const Netlist built = buildCore(smallConfig());
+    cache.storeNetlist(key, built);
+
+    std::string path;
+    for (const auto &e : fs::directory_iterator(dir.path))
+        if (e.path().extension() == ".psc")
+            path = e.path().string();
+    ASSERT_FALSE(path.empty());
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 4, SEEK_SET);
+    std::fputc(1, f); // the v1 (pre-bump) header version
+    std::fclose(f);
+
+    EXPECT_EQ(cache.loadNetlist(key), nullptr);
+    EXPECT_EQ(cache.stats().versionMismatches, 1u);
+    EXPECT_EQ(cache.entryCount(), 0u); // quarantined
+
+    // The rebuild path: store fresh, load, and get the netlist back.
+    cache.storeNetlist(key, built);
+    const auto reloaded = cache.loadNetlist(key);
+    ASSERT_NE(reloaded, nullptr);
+    expectSameNetlist(built, *reloaded);
+    EXPECT_EQ(cache.stats().versionMismatches, 1u);
 }
 
 TEST(DiskCache, KeyMismatchIsAMissNotCorruption)

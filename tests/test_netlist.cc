@@ -112,7 +112,12 @@ TEST(Netlist, TristateBusSharing)
     nl.addTristate(b, enb, bus);
     nl.addOutput("bus", bus);
     EXPECT_NO_THROW(nl.validate());
-    EXPECT_EQ(nl.net(bus).drivers.size(), 2u);
+    EXPECT_EQ(nl.netDriverCount(bus), 2u);
+    std::vector<GateId> drivers;
+    nl.forEachDriver(bus, [&](GateId g) {
+        drivers.push_back(g);
+    });
+    EXPECT_EQ(drivers, (std::vector<GateId>{0, 1}));
 }
 
 TEST(Netlist, NonTristateSharingRejected)
@@ -244,11 +249,63 @@ TEST(NetlistUseIndex, RewireMatchesScanOracle)
             const NetId to = nets[rng.below(nets.size())];
             a.rewireUses(from, to);
             b.rewireUsesByScan(from, to);
-            ASSERT_EQ(a.gates(), b.gates());
+            ASSERT_EQ(a.gateArray(), b.gateArray());
             ASSERT_EQ(a.outputs()[0].net, b.outputs()[0].net);
             ASSERT_NO_THROW(a.validate());
         }
     }
+}
+
+TEST(NetlistCompact, DropsOrphansKeepsPortsAndConsts)
+{
+    Netlist nl("c");
+    const NetId a = nl.addInput("a");
+    const NetId orphan1 = nl.addNet("scratch");
+    const NetId c0 = nl.constZero();
+    const NetId x = nl.addGate(CellKind::INVX1, a);
+    const NetId orphan2 = nl.addNet();
+    const NetId c1 = nl.constOne();
+    nl.addOutput("y", x);
+
+    const std::size_t before = nl.netCount();
+    const std::vector<NetId> remap = nl.compact();
+    ASSERT_EQ(remap.size(), before);
+    EXPECT_EQ(nl.netCount(), before - 2);
+    EXPECT_EQ(remap[orphan1], invalidNet);
+    EXPECT_EQ(remap[orphan2], invalidNet);
+
+    // Stability: ids only shift down past dropped nets.
+    EXPECT_EQ(remap[a], a);
+    EXPECT_EQ(nl.inputNet("a"), a);
+    EXPECT_EQ(nl.outputNet("y"), remap[x]);
+    EXPECT_EQ(nl.constZeroId(), remap[c0]);
+    EXPECT_EQ(nl.constOneId(), remap[c1]);
+    EXPECT_EQ(nl.netSource(nl.constZeroId()), NetSource::Const0);
+    EXPECT_EQ(nl.netSource(nl.constOneId()), NetSource::Const1);
+    EXPECT_EQ(nl.netName(remap[x]), "");
+    EXPECT_NO_THROW(nl.validate());
+
+    // Already-dense netlist: compact is the identity.
+    const std::vector<NetId> again = nl.compact();
+    for (NetId n = 0; n < again.size(); ++n)
+        EXPECT_EQ(again[n], n);
+}
+
+TEST(NetlistCompact, RemoveGatesReturnsRemap)
+{
+    Netlist nl;
+    const NetId a = nl.addInput("a");
+    nl.addGate(CellKind::INVX1, a);
+    const NetId y = nl.addGate(CellKind::INVX1, a);
+    nl.addOutput("y", y);
+
+    std::vector<bool> dead(nl.gateCount(), false);
+    dead[0] = true;
+    const std::vector<GateId> remap = nl.removeGates(dead);
+    ASSERT_EQ(remap.size(), 2u);
+    EXPECT_EQ(remap[0], invalidGate);
+    EXPECT_EQ(remap[1], 0u);
+    EXPECT_EQ(nl.gateOut(0), y);
 }
 
 TEST(NetlistStats, DepthOfChain)
