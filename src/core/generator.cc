@@ -196,10 +196,10 @@ buildAlu(Netlist &nl, const DecodeSignals &d, const Bus &a,
 } // anonymous namespace
 
 Netlist
-buildCore(const CoreConfig &cfg)
+elaborateCore(const CoreConfig &cfg)
 {
     cfg.check();
-    trace::Span span("synth.buildCore", cfg.label());
+    trace::Span span("synth.elaborateCore", cfg.label());
     const IsaConfig &isa = cfg.isa;
     const unsigned width = isa.datawidth;
     const unsigned iw_bits = isa.instructionBits();
@@ -522,7 +522,14 @@ buildCore(const CoreConfig &cfg)
     busOutputs(nl, "wdata", alu.result);
     nl.addOutput("wen", wen);
     countBlock("branch_pc");
+    return nl;
+}
 
+Netlist
+buildCore(const CoreConfig &cfg)
+{
+    trace::Span span("synth.buildCore", cfg.label());
+    Netlist nl = elaborateCore(cfg);
     metrics::counter("synth.core.gates_pre_opt").add(nl.gateCount());
     synth::optimize(nl);
     nl.validate();

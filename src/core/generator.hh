@@ -53,6 +53,14 @@ struct CorePorts
 };
 
 /**
+ * Elaborate a core configuration into an *unoptimized* netlist.
+ * This is the per-block input of the hierarchical flow, which runs
+ * synth::optimize on many blocks in parallel (netlist/hier.hh);
+ * flat consumers want buildCore() below.
+ */
+Netlist elaborateCore(const CoreConfig &config);
+
+/**
  * Build the gate-level netlist for a core configuration.
  * The netlist is optimized (synth::optimize) and validated.
  */

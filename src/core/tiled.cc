@@ -1,0 +1,147 @@
+#include "tiled.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+#include "synth/blocks.hh"
+#include "synth/opt.hh"
+
+namespace printed
+{
+
+using namespace synth;
+
+unsigned
+TiledConfig::memAddrBits() const
+{
+    unsigned bits = 0;
+    while ((1u << bits) < memWords)
+        ++bits;
+    return bits;
+}
+
+std::string
+TiledConfig::label() const
+{
+    return "tiled" + std::to_string(rows) + "x" +
+           std::to_string(cols) + "_" + core.label() + "_m" +
+           std::to_string(memWords);
+}
+
+void
+TiledConfig::check() const
+{
+    core.check();
+    fatalIf(rows == 0 || cols == 0, "tiled: empty grid");
+    fatalIf(memWords < 2 || (memWords & (memWords - 1)) != 0,
+            "tiled: memWords must be a power of two >= 2");
+    fatalIf(memAddrBits() > core.addrBits,
+            "tiled: scratchpad larger than the core address space");
+}
+
+Netlist
+buildTileMemory(const TiledConfig &cfg)
+{
+    cfg.check();
+    const unsigned width = cfg.core.isa.datawidth;
+    const unsigned abits = cfg.memAddrBits();
+
+    Netlist nl("tilemem_" + std::to_string(cfg.memWords) + "x" +
+               std::to_string(width));
+    const Bus waddr = busInputs(nl, "waddr", abits);
+    const Bus wdata = busInputs(nl, "wdata", width);
+    const NetId wen = nl.addInput("wen");
+    const Bus raddr1 = busInputs(nl, "raddr1", abits);
+    const Bus raddr2 = busInputs(nl, "raddr2", abits);
+    const NetId rstn = nl.addInput("rstn");
+
+    // Word array: decoded write enables into enable-registers.
+    const std::vector<NetId> wsel = binaryDecoder(nl, waddr);
+    std::vector<Bus> words;
+    words.reserve(cfg.memWords);
+    for (unsigned w = 0; w < cfg.memWords; ++w) {
+        const NetId en =
+            nl.addGate(CellKind::AND2X1, wen, wsel[w]);
+        words.push_back(registerEnable(nl, wdata, en, rstn));
+    }
+
+    // Two read ports, each a decoder driving a tri-state crossbar
+    // column (exactly-one-hot by construction).
+    const std::vector<NetId> rsel1 = binaryDecoder(nl, raddr1);
+    busOutputs(nl, "rdata1", busMuxTristate(nl, rsel1, words));
+    const std::vector<NetId> rsel2 = binaryDecoder(nl, raddr2);
+    busOutputs(nl, "rdata2", busMuxTristate(nl, rsel2, words));
+
+    nl.validate();
+    return nl;
+}
+
+hier::Design
+buildTiledDesign(const TiledConfig &cfg)
+{
+    cfg.check();
+    trace::Span span("synth.buildTiledDesign", cfg.label());
+    const unsigned width = cfg.core.isa.datawidth;
+    const unsigned abits = cfg.memAddrBits();
+
+    // Every tile is identical: elaborate each template once and
+    // stamp copies. Optimization still runs per block (that is the
+    // workload being measured), but elaboration is O(1) in tiles.
+    const Netlist coreTpl = elaborateCore(cfg.core);
+    const Netlist memTpl = buildTileMemory(cfg);
+
+    hier::Design d(cfg.label());
+    for (unsigned r = 0; r < cfg.rows; ++r) {
+        for (unsigned c = 0; c < cfg.cols; ++c) {
+            const std::string suffix =
+                std::to_string(r) + "_" + std::to_string(c);
+            const hier::BlockId core =
+                d.addBlock("core_" + suffix, coreTpl);
+            const hier::BlockId mem =
+                d.addBlock("mem_" + suffix, memTpl);
+
+            // Core store port -> scratchpad. Only the low address
+            // bits address the tile scratchpad; the upper bits
+            // would select off-tile space and stay unconnected.
+            d.connectBus(core, "waddr", mem, "waddr", abits);
+            d.connectBus(core, "addr1", mem, "raddr1", abits);
+            d.connectBus(core, "addr2", mem, "raddr2", abits);
+            d.connectBus(core, "wdata", mem, "wdata", width);
+            d.connect({core, "wen"}, {mem, "wen"});
+
+            // Scratchpad read data -> core: a block-level cycle,
+            // broken at gate level by the scratchpad's DFFs.
+            d.connectBus(mem, "rdata1", core, "rdata1", width);
+            d.connectBus(mem, "rdata2", core, "rdata2", width);
+
+            d.exposeOutputBus(core, "pc", cfg.core.isa.pcBits);
+        }
+    }
+    return d;
+}
+
+TiledConfig
+tiledConfigForGates(std::size_t targetGates,
+                    const TiledConfig &base)
+{
+    fatalIf(targetGates == 0, "tiled: zero target gate count");
+    TiledConfig cfg = base;
+
+    // Synthesize one tile to calibrate gates/tile.
+    Netlist core = elaborateCore(cfg.core);
+    synth::optimize(core);
+    Netlist mem = buildTileMemory(cfg);
+    synth::optimize(mem);
+    const std::size_t perTile =
+        core.gateCount() + mem.gateCount();
+
+    const std::size_t tiles =
+        (targetGates + perTile - 1) / perTile;
+    cfg.rows = unsigned(std::ceil(std::sqrt(double(tiles))));
+    cfg.cols = unsigned((tiles + cfg.rows - 1) / cfg.rows);
+    cfg.check();
+    return cfg;
+}
+
+} // namespace printed

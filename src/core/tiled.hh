@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tiled many-core design generator: the million-gate workload of
+ * the hierarchical synthesis flow.
+ *
+ * A tiled design is a rows x cols grid of tiles; each tile is one
+ * TP-ISA core block plus one crossbar-style scratchpad block (a
+ * DFF word array addressed through a binary decoder, read through
+ * tri-state buffers — the printed library's TSBUF idiom, built from
+ * the same blocks.hh generators as the core datapath; the paper's
+ * SRAM model in mem/ is analytical only, so the scratchpad is the
+ * gate-level memory of this repo). Core store ports drive the
+ * scratchpad; scratchpad read data feeds the core back — a
+ * block-level cycle, legal in hier::Design because the flat graph
+ * breaks it through the memory's flip-flops.
+ *
+ * The point of this generator is scale, not microarchitecture: it
+ * turns a target gate count into a design of hundreds to thousands
+ * of uniform blocks so bench_synth_scale can measure gates/s of
+ * parallel per-block optimization and deterministic flattening.
+ */
+
+#ifndef PRINTED_CORE_TILED_HH
+#define PRINTED_CORE_TILED_HH
+
+#include <cstddef>
+#include <string>
+
+#include "core/config.hh"
+#include "core/generator.hh"
+#include "netlist/hier.hh"
+
+namespace printed
+{
+
+/** Configuration of one tiled many-core design. */
+struct TiledConfig
+{
+    unsigned rows = 4;
+    unsigned cols = 4;
+
+    /** Per-tile core (the paper's smallest standard core). */
+    CoreConfig core = CoreConfig::standard(1, 8, 2);
+
+    /** Scratchpad words per tile (power of two, >= 2). */
+    unsigned memWords = 4;
+
+    std::size_t tiles() const { return std::size_t(rows) * cols; }
+
+    /** Scratchpad address width (log2 of memWords). */
+    unsigned memAddrBits() const;
+
+    /** e.g. "tiled4x4_p1_8_2_m4". */
+    std::string label() const;
+
+    /** Validate; fatal() on inconsistent settings. */
+    void check() const;
+};
+
+/**
+ * Gate-level scratchpad block of one tile: memWords x datawidth
+ * DFF array with one write port (waddr/wdata/wen) and two
+ * tri-state-muxed read ports (raddr1 -> rdata1, raddr2 -> rdata2),
+ * matching the core's memory interface. Unoptimized, validated.
+ */
+Netlist buildTileMemory(const TiledConfig &config);
+
+/**
+ * Elaborate the full grid as a hierarchical design: 2 blocks per
+ * tile, wired core -> scratchpad (store port, low address bits)
+ * and scratchpad -> core (read data), with each core's pc bus
+ * exposed as top-level outputs. All blocks arrive *unoptimized*
+ * and dirty — run Design::optimizeBlocks over a ThreadPool next;
+ * that phase is the bench_synth_scale measurement.
+ */
+hier::Design buildTiledDesign(const TiledConfig &config);
+
+/**
+ * Size a grid to reach (at least) `targetGates` optimized gates:
+ * synthesizes one tile to measure gates/tile, then picks the most
+ * square rows x cols grid covering the target.
+ */
+TiledConfig tiledConfigForGates(std::size_t targetGates,
+                                const TiledConfig &base = {});
+
+} // namespace printed
+
+#endif // PRINTED_CORE_TILED_HH

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Hierarchical module layer over the flat netlist core.
+ *
+ * A hier::Design is a set of named blocks (each an ordinary flat
+ * Netlist) plus port-to-port connections between them. It is the
+ * unit the million-gate flow works in: a tiled many-core design is
+ * elaborated block by block, each block is optimized and
+ * characterized *independently* — which makes both phases
+ * embarrassingly parallel over the existing ThreadPool — and the
+ * result is flattened into one Netlist only when a consumer
+ * genuinely needs the flat view (simulation, Verilog export).
+ *
+ * Parallelism contract (common/parallel.hh): one work item is one
+ * block, items share no mutable state, and every reduction happens
+ * serially in block order — so optimizeBlocks() and
+ * characterizeBlocks() produce bit-identical results for every
+ * thread count.
+ *
+ * Incrementality: each block carries dirty bits. addBlock and
+ * mutableBlockNetlist() mark a block dirty; optimizeBlocks /
+ * characterizeBlocks only touch dirty blocks and return how many
+ * they processed, so an edit to one tile of a thousand-tile design
+ * re-optimizes one block, not a thousand.
+ *
+ * flatten() is deliberately *serial* and deterministic: blocks are
+ * instantiated in creation order, cross-block references to blocks
+ * not yet instantiated go through the netlist's feedback
+ * placeholders and are resolved at the end (so block-level cycles —
+ * core reads memory, memory reads core — are legal as long as the
+ * flat gate-level graph is acyclic through registers). Unconnected
+ * block inputs are auto-exposed as top-level inputs named
+ * "<instance>.<port>".
+ */
+
+#ifndef PRINTED_NETLIST_HIER_HH
+#define PRINTED_NETLIST_HIER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/characterize.hh"
+#include "common/parallel.hh"
+#include "netlist/netlist.hh"
+#include "tech/library.hh"
+
+namespace printed::hier
+{
+
+/** Index of a block within its Design. */
+using BlockId = std::uint32_t;
+
+/** One side of a connection: a port on a block. */
+struct PortRef
+{
+    BlockId block = 0;
+    std::string port;
+};
+
+/**
+ * Design-level roll-up of per-block characterizations: the
+ * whole-design numbers a tiled many-core reports. fmax is the
+ * slowest block's fmax (one global clock); dynamic power of every
+ * block is rescaled from its own fmax to the design fmax before
+ * summing (static power does not scale with frequency).
+ */
+struct DesignCharacterization
+{
+    std::size_t blocks = 0;
+    std::size_t gates = 0;
+    double areaCm2 = 0;
+    double fmaxHz = 0;
+    double powerMw = 0;
+    std::vector<Characterization> perBlock;
+};
+
+/** A hierarchical design: named blocks wired port-to-port. */
+class Design
+{
+  public:
+    explicit Design(std::string name = "design");
+
+    const std::string &name() const { return name_; }
+
+    // ------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------
+
+    /**
+     * Add a block instance. Instance names must be unique; the
+     * block arrives dirty (needs optimize + characterize).
+     */
+    BlockId addBlock(std::string instance, Netlist netlist);
+
+    std::size_t blockCount() const { return blocks_.size(); }
+
+    const std::string &blockName(BlockId b) const;
+
+    const Netlist &blockNetlist(BlockId b) const;
+
+    /**
+     * Mutable access to a block's netlist; marks the block dirty
+     * for the next optimizeBlocks / characterizeBlocks.
+     */
+    Netlist &mutableBlockNetlist(BlockId b);
+
+    /**
+     * Wire an output port of one block to an input port of
+     * another. Both ports must exist; an input may be driven by at
+     * most one producer. Blocks may be connected in any order
+     * (including cyclically at the block level).
+     */
+    void connect(const PortRef &from, const PortRef &to);
+
+    /** connect() over a whole "name[0..width)" bus. */
+    void connectBus(BlockId from, const std::string &fromBus,
+                    BlockId to, const std::string &toBus,
+                    unsigned width);
+
+    /** Expose a block output as a named top-level output. */
+    void exposeOutput(const PortRef &from, std::string topName);
+
+    /** exposeOutput() over a whole "name[0..width)" bus. */
+    void exposeOutputBus(BlockId from, const std::string &bus,
+                         unsigned width);
+
+    // ------------------------------------------------------------
+    // Parallel phases
+    // ------------------------------------------------------------
+
+    /** Sum of block gate counts (no flatten needed). */
+    std::size_t gateCount() const;
+
+    /** Blocks currently needing optimization. */
+    std::size_t dirtyBlockCount() const;
+
+    /**
+     * synth::optimize every dirty block, fanned out over `pool`
+     * one block per work item. Deterministic for any thread count.
+     *
+     * @return number of blocks optimized (0 when everything was
+     *         already clean — the incremental fast path).
+     */
+    std::size_t optimizeBlocks(ThreadPool &pool);
+
+    /**
+     * Characterize every block (area / timing / power), fanning
+     * the stale ones out over `pool`; clean blocks reuse their
+     * cached result.
+     *
+     * @return per-block characterizations, in block order.
+     */
+    std::vector<Characterization>
+    characterizeBlocks(ThreadPool &pool, const CellLibrary &lib,
+                       double activity = paperActivityFactor);
+
+    /** characterizeBlocks + the design-level roll-up. */
+    DesignCharacterization
+    characterizeDesign(ThreadPool &pool, const CellLibrary &lib,
+                       double activity = paperActivityFactor);
+
+    // ------------------------------------------------------------
+    // Flatten
+    // ------------------------------------------------------------
+
+    /**
+     * Instantiate every block into one flat Netlist (serial,
+     * deterministic; see file comment). The result is compacted
+     * and validated but *not* re-optimized: per-block optimization
+     * is the hierarchical flow's whole point.
+     */
+    Netlist flatten() const;
+
+  private:
+    struct Block
+    {
+        std::string instance;
+        Netlist netlist;
+        bool needOpt = true;
+        bool needChar = true;
+        Characterization ch; ///< valid iff !needChar
+    };
+
+    const Block &checkedBlock(BlockId b) const;
+
+    /** True when `port` names an input (or output) port of `b`. */
+    bool hasInput(BlockId b, const std::string &port) const;
+    bool hasOutput(BlockId b, const std::string &port) const;
+
+    std::string name_;
+    std::vector<Block> blocks_;
+    std::unordered_map<std::string, BlockId> byInstance_;
+
+    /** Consumer input -> producer output. */
+    std::map<std::pair<BlockId, std::string>, PortRef> inputFrom_;
+
+    /** Exposed top-level outputs, in exposure order. */
+    std::vector<std::pair<PortRef, std::string>> exposed_;
+};
+
+} // namespace printed::hier
+
+#endif // PRINTED_NETLIST_HIER_HH

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Hierarchical design layer: block wiring, dirty-bit incremental
+ * optimization, deterministic flatten, and the equivalence suite —
+ * hierarchical-parallel synthesis must be bit-identical to the
+ * single-threaded run for every thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/characterize.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "core/tiled.hh"
+#include "netlist/hier.hh"
+#include "sim/simulator.hh"
+#include "synth/blocks.hh"
+#include "synth/opt.hh"
+#include "tech/library.hh"
+
+using namespace printed;
+
+namespace
+{
+
+TiledConfig
+smallGrid(unsigned rows, unsigned cols)
+{
+    TiledConfig cfg;
+    cfg.rows = rows;
+    cfg.cols = cols;
+    return cfg;
+}
+
+/** Full structural identity of two netlists. */
+void
+expectIdentical(const Netlist &a, const Netlist &b)
+{
+    ASSERT_EQ(a.netCount(), b.netCount());
+    ASSERT_EQ(a.gateCount(), b.gateCount());
+    EXPECT_EQ(a.cellHistogram(), b.cellHistogram());
+    EXPECT_EQ(a.gateArray(), b.gateArray());
+    ASSERT_EQ(a.inputs().size(), b.inputs().size());
+    for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+        EXPECT_EQ(a.inputs()[i].name, b.inputs()[i].name);
+        EXPECT_EQ(a.inputs()[i].net, b.inputs()[i].net);
+    }
+    ASSERT_EQ(a.outputs().size(), b.outputs().size());
+    for (std::size_t i = 0; i < a.outputs().size(); ++i) {
+        EXPECT_EQ(a.outputs()[i].name, b.outputs()[i].name);
+        EXPECT_EQ(a.outputs()[i].net, b.outputs()[i].net);
+    }
+    for (NetId n = 0; n < a.netCount(); ++n)
+        EXPECT_EQ(a.netSource(n), b.netSource(n));
+}
+
+// ----------------------------------------------------------------
+// The equivalence suite: hierarchical-parallel synthesis is
+// bit-identical to the single-threaded flat result across thread
+// counts 1 / 4 / 16.
+// ----------------------------------------------------------------
+
+TEST(HierEquivalence, ThreadCountBitIdentity)
+{
+    const TiledConfig cfg = smallGrid(2, 2);
+    std::vector<Netlist> flats;
+    std::vector<std::size_t> gateCounts;
+    for (unsigned threads : {1u, 4u, 16u}) {
+        hier::Design d = buildTiledDesign(cfg);
+        ThreadPool pool(threads);
+        EXPECT_EQ(d.optimizeBlocks(pool), d.blockCount());
+        gateCounts.push_back(d.gateCount());
+        flats.push_back(d.flatten());
+    }
+    EXPECT_EQ(gateCounts[0], gateCounts[1]);
+    EXPECT_EQ(gateCounts[0], gateCounts[2]);
+    expectIdentical(flats[0], flats[1]);
+    expectIdentical(flats[0], flats[2]);
+}
+
+TEST(HierEquivalence, CharacterizationThreadInvariant)
+{
+    const TiledConfig cfg = smallGrid(2, 1);
+    hier::Design d1 = buildTiledDesign(cfg);
+    hier::Design d4 = buildTiledDesign(cfg);
+    ThreadPool p1(1), p4(4);
+    d1.optimizeBlocks(p1);
+    d4.optimizeBlocks(p4);
+    const hier::DesignCharacterization a =
+        d1.characterizeDesign(p1, egfetLibrary());
+    const hier::DesignCharacterization b =
+        d4.characterizeDesign(p4, egfetLibrary());
+    EXPECT_EQ(a.blocks, b.blocks);
+    EXPECT_EQ(a.gates, b.gates);
+    EXPECT_EQ(a.areaCm2, b.areaCm2); // bit-identical, not "close"
+    EXPECT_EQ(a.fmaxHz, b.fmaxHz);
+    EXPECT_EQ(a.powerMw, b.powerMw);
+    ASSERT_EQ(a.perBlock.size(), b.perBlock.size());
+    for (std::size_t i = 0; i < a.perBlock.size(); ++i) {
+        EXPECT_EQ(a.perBlock[i].gateCount(),
+                  b.perBlock[i].gateCount());
+        EXPECT_EQ(a.perBlock[i].fmaxHz(), b.perBlock[i].fmaxHz());
+    }
+    // Roll-up invariants.
+    EXPECT_EQ(a.blocks, d1.blockCount());
+    EXPECT_EQ(a.gates, d1.gateCount());
+    double minFmax = 0;
+    for (const Characterization &c : a.perBlock)
+        if (minFmax == 0 || c.fmaxHz() < minFmax)
+            minFmax = c.fmaxHz();
+    EXPECT_EQ(a.fmaxHz, minFmax);
+    EXPECT_GT(a.areaCm2, 0);
+    EXPECT_GT(a.powerMw, 0);
+}
+
+// ----------------------------------------------------------------
+// Per-block optimization preserves function: the scratchpad block
+// behaves identically before and after synth::optimize.
+// ----------------------------------------------------------------
+
+TEST(HierEquivalence, OptimizedScratchpadMatchesElaborated)
+{
+    TiledConfig cfg;
+    cfg.memWords = 4;
+    const Netlist raw = buildTileMemory(cfg);
+    Netlist opt = raw;
+    synth::optimize(opt);
+    EXPECT_LE(opt.gateCount(), raw.gateCount());
+
+    auto busOf = [](const Netlist &nl, const std::string &name,
+                    unsigned width, bool input) {
+        Bus bus;
+        for (unsigned i = 0; i < width; ++i) {
+            const std::string n =
+                name + "[" + std::to_string(i) + "]";
+            bus.push_back(input ? nl.inputNet(n)
+                                : nl.outputNet(n));
+        }
+        return bus;
+    };
+
+    GateSimulator sa(raw), sb(opt);
+    Rng rng(0x711ed);
+    const unsigned abits = cfg.memAddrBits();
+    const unsigned width = cfg.core.isa.datawidth;
+    auto drive = [&](GateSimulator &s, const Netlist &nl,
+                     std::uint64_t wa, std::uint64_t wd, bool we,
+                     std::uint64_t ra1, std::uint64_t ra2) {
+        s.setInput(nl.inputNet("rstn"), true);
+        s.setBus(busOf(nl, "waddr", abits, true), wa);
+        s.setBus(busOf(nl, "wdata", width, true), wd);
+        s.setInput(nl.inputNet("wen"), we);
+        s.setBus(busOf(nl, "raddr1", abits, true), ra1);
+        s.setBus(busOf(nl, "raddr2", abits, true), ra2);
+        s.cycle();
+    };
+    const Bus ra = busOf(raw, "rdata1", width, false);
+    const Bus rb = busOf(opt, "rdata1", width, false);
+    const Bus ra2 = busOf(raw, "rdata2", width, false);
+    const Bus rb2 = busOf(opt, "rdata2", width, false);
+    for (int i = 0; i < 64; ++i) {
+        const std::uint64_t wa = rng.below(cfg.memWords);
+        const std::uint64_t wd = rng.bits(width);
+        const bool we = rng.below(4) != 0;
+        const std::uint64_t r1 = rng.below(cfg.memWords);
+        const std::uint64_t r2 = rng.below(cfg.memWords);
+        drive(sa, raw, wa, wd, we, r1, r2);
+        drive(sb, opt, wa, wd, we, r1, r2);
+        EXPECT_EQ(sa.readBus(ra), sb.readBus(rb)) << "cycle " << i;
+        EXPECT_EQ(sa.readBus(ra2), sb.readBus(rb2))
+            << "cycle " << i;
+    }
+}
+
+// ----------------------------------------------------------------
+// Dirty bits: only stale blocks are re-processed.
+// ----------------------------------------------------------------
+
+TEST(HierDesign, DirtyBitsSkipCleanBlocks)
+{
+    hier::Design d = buildTiledDesign(smallGrid(2, 2));
+    ThreadPool pool(4);
+    EXPECT_EQ(d.dirtyBlockCount(), 8u);
+    EXPECT_EQ(d.optimizeBlocks(pool), 8u);
+    EXPECT_EQ(d.dirtyBlockCount(), 0u);
+    EXPECT_EQ(d.optimizeBlocks(pool), 0u); // incremental fast path
+
+    const auto before = d.characterizeBlocks(pool, egfetLibrary());
+    // Touch one block: exactly one goes stale.
+    Netlist &nl = d.mutableBlockNetlist(3);
+    nl.addOutput("touch", nl.constOne());
+    EXPECT_EQ(d.dirtyBlockCount(), 1u);
+    EXPECT_EQ(d.optimizeBlocks(pool), 1u);
+    const auto after = d.characterizeBlocks(pool, egfetLibrary());
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+        if (i != 3) {
+            EXPECT_EQ(before[i].fmaxHz(), after[i].fmaxHz());
+        }
+    }
+}
+
+// ----------------------------------------------------------------
+// Flatten: forward references, block-level cycles, auto-exposed
+// inputs, and port handling.
+// ----------------------------------------------------------------
+
+TEST(HierDesign, FlattenResolvesBlockCycle)
+{
+    // a.y = INV(a.x); b.q = DFF(b.p); wired in a block-level cycle
+    // broken by b's flop. The consumer is instantiated *before* its
+    // producer, exercising the cross-block feedback path.
+    Netlist a("a");
+    {
+        const NetId x = a.addInput("x");
+        a.addOutput("y", synth::inv(a, x));
+    }
+    Netlist b("b");
+    {
+        const NetId p = b.addInput("p");
+        b.addOutput("q", b.addFlop(p));
+    }
+    hier::Design d("loop");
+    const hier::BlockId ba = d.addBlock("a", a);
+    const hier::BlockId bb = d.addBlock("b", b);
+    d.connect({bb, "q"}, {ba, "x"});
+    d.connect({ba, "y"}, {bb, "p"});
+    d.exposeOutput({ba, "y"}, "y");
+
+    const Netlist flat = d.flatten();
+    EXPECT_EQ(flat.gateCount(), 2u);
+    EXPECT_TRUE(flat.inputs().empty());
+
+    // q starts 0 -> y = 1; each cycle the flop captures y, so y
+    // toggles 1, 0, 1, 0, ...
+    GateSimulator sim(flat);
+    sim.evaluate();
+    for (int cyc = 0; cyc < 6; ++cyc) {
+        EXPECT_EQ(sim.output("y"), cyc % 2 == 0) << "cycle " << cyc;
+        sim.cycle();
+    }
+}
+
+TEST(HierDesign, FlattenAutoExposesUnconnectedInputs)
+{
+    Netlist a("a");
+    {
+        const NetId x = a.addInput("x");
+        const NetId y = a.addInput("y");
+        a.addOutput("z",
+                    a.addGate(CellKind::AND2X1, x, y));
+    }
+    hier::Design d("expose");
+    const hier::BlockId ba = d.addBlock("u0", a);
+    d.exposeOutput({ba, "z"}, "z");
+    const Netlist flat = d.flatten();
+
+    GateSimulator sim(flat);
+    sim.setInput(flat.inputNet("u0.x"), true);
+    sim.setInput(flat.inputNet("u0.y"), true);
+    sim.evaluate();
+    EXPECT_TRUE(sim.output("z"));
+    sim.setInput(flat.inputNet("u0.y"), false);
+    sim.evaluate();
+    EXPECT_FALSE(sim.output("z"));
+}
+
+TEST(HierDesign, ConnectValidatesPortsAndBlocks)
+{
+    Netlist a("a");
+    a.addOutput("z", a.constOne());
+    Netlist b("b");
+    {
+        const NetId p = b.addInput("p");
+        b.addOutput("q", synth::inv(b, p));
+    }
+    hier::Design d("bad");
+    const hier::BlockId ba = d.addBlock("a", a);
+    const hier::BlockId bb = d.addBlock("b", b);
+    EXPECT_THROW(d.addBlock("a", a), FatalError); // dup instance
+    EXPECT_THROW(d.connect({ba, "nope"}, {bb, "p"}), FatalError);
+    EXPECT_THROW(d.connect({ba, "z"}, {bb, "nope"}), FatalError);
+    EXPECT_THROW(d.exposeOutput({bb, "p"}, "p"), FatalError);
+    d.connect({ba, "z"}, {bb, "p"});
+    // Second producer on the same input is rejected.
+    EXPECT_THROW(d.connect({ba, "z"}, {bb, "p"}), FatalError);
+}
+
+// ----------------------------------------------------------------
+// Tiled generator.
+// ----------------------------------------------------------------
+
+TEST(Tiled, ConfigSizesToTargetGates)
+{
+    const TiledConfig cfg = tiledConfigForGates(20000);
+    // Calibration: one optimized tile's gate count.
+    hier::Design one = buildTiledDesign(smallGrid(1, 1));
+    ThreadPool pool(1);
+    one.optimizeBlocks(pool);
+    const std::size_t perTile = one.gateCount();
+    EXPECT_GE(cfg.tiles() * perTile, 20000u);
+    // Near-square grid, no gross overshoot.
+    EXPECT_LE(cfg.rows, cfg.cols + 1);
+    EXPECT_LE(cfg.cols, cfg.rows + 1);
+    EXPECT_LT((cfg.tiles() - 1) * perTile, 20000u + perTile);
+}
+
+TEST(Tiled, FlattenedGridValidatesAndScales)
+{
+    hier::Design d = buildTiledDesign(smallGrid(2, 3));
+    ThreadPool pool(2);
+    d.optimizeBlocks(pool);
+    const Netlist flat = d.flatten(); // validates internally
+    EXPECT_EQ(flat.gateCount(), d.gateCount());
+    // 6 cores' pc buses exposed.
+    TiledConfig cfg = smallGrid(2, 3);
+    EXPECT_EQ(flat.outputs().size(),
+              cfg.tiles() * cfg.core.isa.pcBits);
+    // Uniform tiles: gate count divides evenly by tile.
+    EXPECT_EQ(flat.gateCount() % cfg.tiles(), 0u);
+}
+
+} // anonymous namespace
