@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Fleet-scale ISS throughput: the struct-of-arrays batch engine vs
+ * the scalar oracle loop, per legacy core (Table 4 cores, Section 8
+ * workloads).
+ *
+ * For each core, M machines of the 8-bit multiply kernel (machine m
+ * seeded with defaultInputs(mult, 8, 1 + m)) run once under each
+ * engine. The run is repeated --reps times per engine and the best
+ * wall-clock is kept (shared machines stall; the best rep is the
+ * least-disturbed one). Both engines must agree bit-exactly —
+ * instruction and cycle totals, per-machine statuses, outputs, and
+ * the order-sensitive FNV fingerprint; any mismatch prints FAIL and
+ * exits 1, so CI smoke runs gate hard on batch-vs-scalar identity.
+ *
+ *   bench_iss_batch [--machines N] [--threads T] [--reps R]
+ *                   [--max-steps S] [--json out.json]
+ *
+ * The --json report carries the CI perf-gate key "iss.insns_per_s"
+ * (aggregate batch instructions/s across all cores) plus per-core
+ * scalar/batch throughput and speedups (bench_compare gates the
+ * median of 3 against bench/baselines/BENCH_iss.json).
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "legacy/batch_iss.hh"
+#include "legacy/cores.hh"
+#include "legacy/ir.hh"
+#include "workloads/kernels.hh"
+
+using namespace printed;
+using namespace printed::bench;
+
+namespace
+{
+
+struct CoreResult
+{
+    legacy::LegacyCore core = legacy::LegacyCore::OpenMsp430;
+    std::uint64_t instructions = 0; ///< total over all machines
+    std::uint64_t cycles = 0;
+    double scalarMs = 0;
+    double batchMs = 0;
+    std::uint64_t fnv = 0;
+    bool agree = false;
+};
+
+/** Best-of-reps wall clock of one engine over the whole batch. */
+double
+timeEngine(legacy::LegacyCore core, const legacy::IrProgram &prog,
+           const std::vector<std::vector<std::uint64_t>> &inputs,
+           legacy::IssBatchOptions opts, unsigned reps,
+           legacy::IssBatchResult &out)
+{
+    double best = 0;
+    for (unsigned r = 0; r < reps; ++r) {
+        WallTimer timer;
+        legacy::IssBatchResult res =
+            legacy::runLegacyBatch(core, prog, inputs, opts);
+        const double ms = timer.elapsedMs();
+        if (r == 0 || ms < best) {
+            best = ms;
+            out = std::move(res);
+        }
+    }
+    return best;
+}
+
+/** Bit-exact comparison of two engine results. */
+bool
+resultsAgree(const legacy::IssBatchResult &a,
+             const legacy::IssBatchResult &b)
+{
+    if (a.codeBytes != b.codeBytes || a.dataBytes != b.dataBytes ||
+        a.totalInstructions != b.totalInstructions ||
+        a.totalCycles != b.totalCycles ||
+        a.status != b.status ||
+        legacy::issResultFnv(a) != legacy::issResultFnv(b))
+        return false;
+    for (std::size_t m = 0; m < a.runs.size(); ++m)
+        if (a.runs[m].instructions != b.runs[m].instructions ||
+            a.runs[m].cycles != b.runs[m].cycles ||
+            a.runs[m].outputs != b.runs[m].outputs)
+            return false;
+    return true;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    initObservability(argc, argv);
+    const std::size_t machines =
+        std::size_t(uintFromArgs(argc, argv, "machines", 1000));
+    const unsigned threads =
+        unsigned(uintFromArgs(argc, argv, "threads", 1));
+    const unsigned reps =
+        unsigned(uintFromArgs(argc, argv, "reps", 3));
+    const std::uint64_t maxSteps =
+        uintFromArgs(argc, argv, "max-steps", 50'000'000);
+    const std::string jsonPath =
+        jsonPathFromArgs(argc, argv, "BENCH_iss.json");
+
+    banner("Fleet ISS: batch vs scalar engine",
+           "M machines of the 8-bit multiply kernel per legacy "
+           "core, struct-of-arrays lock-step batches against the "
+           "scalar oracle loop (best of " +
+               std::to_string(reps) + " reps, " +
+               std::to_string(threads) + " thread(s), M=" +
+               std::to_string(machines) + ")");
+
+    const legacy::IrProgram prog = legacy::irKernel(Kernel::Mult, 8);
+    std::vector<std::vector<std::uint64_t>> inputs;
+    inputs.reserve(machines);
+    for (std::size_t m = 0; m < machines; ++m)
+        inputs.push_back(defaultInputs(Kernel::Mult, 8, 1 + m));
+
+    legacy::IssBatchOptions base;
+    base.maxSteps = maxSteps;
+    base.threads = threads;
+
+    bool allAgree = true;
+    std::uint64_t batchInsns = 0;
+    double batchMsTotal = 0;
+    std::vector<CoreResult> rows;
+    for (legacy::LegacyCore core : legacy::allLegacyCores) {
+        CoreResult row;
+        row.core = core;
+
+        legacy::IssBatchOptions opts = base;
+        opts.engine = legacy::IssEngine::Scalar;
+        legacy::IssBatchResult scalarRes;
+        row.scalarMs = timeEngine(core, prog, inputs, opts, reps,
+                                  scalarRes);
+        opts.engine = legacy::IssEngine::Batch;
+        legacy::IssBatchResult batchRes;
+        row.batchMs =
+            timeEngine(core, prog, inputs, opts, reps, batchRes);
+
+        row.instructions = batchRes.totalInstructions;
+        row.cycles = batchRes.totalCycles;
+        row.fnv = legacy::issResultFnv(batchRes);
+        row.agree = resultsAgree(scalarRes, batchRes);
+        allAgree = allAgree && row.agree;
+        batchInsns += row.instructions;
+        batchMsTotal += row.batchMs;
+        rows.push_back(row);
+    }
+
+    std::cout << std::left << std::setw(12) << "core"
+              << std::right << std::setw(14) << "insns"
+              << std::setw(16) << "scalar ins/s"
+              << std::setw(16) << "batch ins/s"
+              << std::setw(10) << "speedup"
+              << std::setw(8) << "agree" << "\n";
+    for (const CoreResult &row : rows) {
+        const double scalarPs =
+            row.instructions / (row.scalarMs / 1e3);
+        const double batchPs =
+            row.instructions / (row.batchMs / 1e3);
+        std::cout << std::left << std::setw(12)
+                  << legacy::issCoreId(row.core) << std::right
+                  << std::setw(14) << row.instructions
+                  << std::setw(16) << std::setprecision(4)
+                  << std::scientific << scalarPs << std::setw(16)
+                  << batchPs << std::defaultfloat
+                  << std::setw(9) << std::setprecision(3)
+                  << (scalarPs > 0 ? batchPs / scalarPs : 0) << "x"
+                  << std::setw(8) << (row.agree ? "yes" : "FAIL")
+                  << "\n";
+    }
+    const double aggregatePs =
+        batchMsTotal > 0 ? batchInsns / (batchMsTotal / 1e3) : 0;
+    std::cout << "\naggregate batch throughput "
+              << std::setprecision(4) << std::scientific
+              << aggregatePs << std::defaultfloat
+              << " insns/s over " << rows.size() << " cores\n";
+
+    if (!allAgree)
+        std::cout << "\nFAIL: batch and scalar engines disagree\n";
+
+    if (!jsonPath.empty()) {
+        JsonReport report("iss_batch");
+        report.meta("machines", std::uint64_t(machines));
+        report.meta("threads", threads);
+        report.meta("reps", reps);
+        report.meta("kernel", "mult");
+        report.meta("width", 8);
+        report.meta("engines_agree", allAgree);
+        // The CI perf-gate key: aggregate batch instructions/s.
+        report.meta("iss.insns_per_s", aggregatePs);
+        for (const CoreResult &row : rows) {
+            char fnv[19];
+            std::snprintf(fnv, sizeof(fnv), "0x%016llx",
+                          static_cast<unsigned long long>(row.fnv));
+            report.add(
+                "cores",
+                {{"core", legacy::issCoreId(row.core)},
+                 {"instructions", row.instructions},
+                 {"cycles", row.cycles},
+                 {"scalar_insns_per_s",
+                  row.instructions / (row.scalarMs / 1e3)},
+                 {"batch_insns_per_s",
+                  row.instructions / (row.batchMs / 1e3)},
+                 {"batch_speedup_x", row.scalarMs / row.batchMs},
+                 {"engines_agree", row.agree},
+                 {"outputs_fnv", fnv}});
+        }
+        report.writeTo(jsonPath);
+    }
+    return allAgree ? 0 : 1;
+}

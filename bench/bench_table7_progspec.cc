@@ -4,13 +4,38 @@
  * in the program-specific (application-specific) TP-ISA variants,
  * computed by static analysis of our actual benchmark programs
  * (8-bit variants written for the 2-BAR ISA, as in the paper).
+ *
+ * A second, *dynamic* table runs every Table 7 benchmark on a
+ * legacy-core ISS — M machines with distinct inputs on the batch
+ * engine (or the scalar oracle, --engine scalar) — and reports
+ * golden-validated instruction/cycle counts. Everything printed to
+ * stdout is engine- and thread-count-invariant, so
+ * `bench_table7_progspec --engine batch` and `--engine scalar`
+ * must be byte-identical (the chosen engine goes to stderr).
  */
 
+#include <cstdio>
 #include <iostream>
 
 #include "bench_util.hh"
 #include "progspec/analyze.hh"
+#include "progspec/profile.hh"
 #include "workloads/kernels.hh"
+
+namespace
+{
+
+std::string
+argString(int argc, char **argv, const std::string &name,
+          const std::string &fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (name == argv[i])
+            return argv[i + 1];
+    return fallback;
+}
+
+} // anonymous namespace
 
 int
 main(int argc, char **argv)
@@ -58,5 +83,55 @@ main(int argc, char **argv)
                  "opportunity program-specific printing exploits "
                  "(Section 7). Differences of a flag or a bit "
                  "reflect our re-implementations of the kernels.\n";
+
+    // Dynamic leg: golden-validated execution profiles on a legacy
+    // ISS fleet. The table is a pure function of (core, machines),
+    // never of the engine or thread count.
+    const std::size_t machines =
+        bench::uintFromArgs(argc, argv, "machines", 64);
+    const std::string coreId =
+        argString(argc, argv, "--core", "msp430");
+    const std::string engineName =
+        argString(argc, argv, "--engine", "batch");
+    const auto core = legacy::issCoreFromId(coreId);
+    const auto engine = legacy::issEngineFromName(engineName);
+    fatalIf(!core, "unknown --core " + coreId);
+    fatalIf(!engine, "unknown --engine " + engineName);
+
+    legacy::IssBatchOptions opts;
+    opts.engine = *engine;
+    opts.threads =
+        unsigned(bench::uintFromArgs(argc, argv, "threads", 1));
+    std::cerr << "[dynamic leg: engine "
+              << legacy::issEngineName(*engine) << ", "
+              << opts.threads << " thread(s)]\n";
+
+    std::cout << "\nDynamic profile on " << coreId << " ("
+              << machines << " machines per benchmark, outputs "
+              << "validated against the golden models):\n";
+    TableWriter dyn({"Benchmark", "Insns total", "Cycles total",
+                     "CPI", "Golden", "Outputs FNV"});
+    bool allGolden = true;
+    for (const KernelDynProfile &p :
+         profileTable7Dynamic(*core, machines, opts)) {
+        char cpi[32], fnv[32];
+        std::snprintf(cpi, sizeof cpi, "%.2f",
+                      double(p.cycles) /
+                          double(p.instructions ? p.instructions
+                                                : 1));
+        std::snprintf(fnv, sizeof fnv, "0x%016llx",
+                      (unsigned long long)p.outputsFnv);
+        dyn.addRow({kernelName(p.kind),
+                    std::to_string(p.instructions),
+                    std::to_string(p.cycles), cpi,
+                    p.outputsMatchGolden ? "yes" : "NO", fnv});
+        allGolden = allGolden && p.outputsMatchGolden;
+    }
+    dyn.print(std::cout);
+    if (!allGolden) {
+        std::cout << "\nFAIL: some machine diverged from the "
+                     "golden model\n";
+        return 1;
+    }
     return 0;
 }

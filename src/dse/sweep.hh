@@ -17,11 +17,14 @@
 #ifndef PRINTED_DSE_SWEEP_HH
 #define PRINTED_DSE_SWEEP_HH
 
+#include <utility>
 #include <vector>
 
 #include "analysis/characterize.hh"
 #include "analysis/fault.hh"
 #include "core/config.hh"
+#include "legacy/batch_iss.hh"
+#include "workloads/golden.hh"
 
 namespace printed
 {
@@ -95,6 +98,66 @@ struct YieldPoint
 std::vector<YieldPoint>
 sweepFunctionalYield(const std::vector<CoreConfig> &configs,
                      const FunctionalYieldConfig &mc);
+
+/**
+ * Spec of a fleet-scale legacy-ISS sweep: run every kernel of the
+ * grid on every selected legacy core, M machines per point, on the
+ * batch engine (legacy/batch_iss.hh). Machine m of a point gets
+ * defaultInputs(kernel, width, seed + m).
+ */
+struct IssSweepSpec
+{
+    /** Cores to sweep; empty = all four Table 4 cores. */
+    std::vector<legacy::LegacyCore> cores;
+
+    /** Kernels to run; empty = {Mult, Div}. */
+    std::vector<Kernel> kernels;
+
+    unsigned width = 8;          ///< logical data width
+    std::size_t machines = 64;   ///< machines per grid point
+    std::uint64_t seed = 1;      ///< base input seed
+    std::uint64_t maxSteps = 50'000'000;
+    legacy::IssEngine engine = legacy::IssEngine::Batch;
+
+    /** The (core, kernel) grid with defaults applied, in order. */
+    std::vector<std::pair<legacy::LegacyCore, Kernel>> grid() const;
+};
+
+/**
+ * One (core, kernel) grid point: aggregate retirement tallies and
+ * an order-sensitive FNV-1a checksum of every machine's outputs and
+ * status. The point is a pure function of the spec — engine choice
+ * and thread count never change any field (the batch-vs-scalar
+ * differential tests pin this).
+ */
+struct IssSweepPoint
+{
+    legacy::LegacyCore core = legacy::LegacyCore::Light8080;
+    Kernel kernel = Kernel::Mult;
+    unsigned width = 8;
+    std::size_t machines = 0;
+    std::size_t halted = 0;
+    std::size_t outOfBudget = 0;
+    std::size_t killed = 0;
+    std::uint64_t instructions = 0; ///< total over all machines
+    std::uint64_t cycles = 0;       ///< total over all machines
+    std::size_t codeBytes = 0;
+    std::uint64_t outputsFnv = 0;
+};
+
+/** Evaluate one grid point (machines run over opts.pool/threads). */
+IssSweepPoint evaluateIssPoint(legacy::LegacyCore core, Kernel kernel,
+                               const IssSweepSpec &spec,
+                               const SweepOptions &opts = {});
+
+/**
+ * The full ISS sweep: one IssSweepPoint per grid entry, in grid
+ * order. Points run sequentially; each point's machines are
+ * distributed over the pool in deterministic 64-machine blocks.
+ */
+std::vector<IssSweepPoint>
+sweepLegacyIss(const IssSweepSpec &spec,
+               const SweepOptions &opts = {});
 
 } // namespace printed
 

@@ -17,6 +17,11 @@
 
 #include "legacy/ir.hh"
 
+namespace printed
+{
+class ThreadPool;
+}
+
 namespace printed::legacy
 {
 
@@ -35,6 +40,55 @@ struct LegacySize
 {
     std::size_t codeBytes = 0;
     std::size_t dataBytes = 0;
+};
+
+/**
+ * Which ISS engine executes a (batch of) machine(s).
+ *
+ * Batch is the struct-of-arrays lock-step engine over a shared
+ * predecoded code image; Scalar is the original one-machine-at-a-
+ * time interpreter, kept as the bit-exact oracle. Both must produce
+ * identical instruction/cycle counts, outputs, and statuses for any
+ * program (the batch-vs-scalar differential tests enforce this).
+ */
+enum class IssEngine
+{
+    Batch,
+    Scalar,
+};
+
+/** How a simulated machine finished. */
+enum class MachineStatus : std::uint8_t
+{
+    Halted = 0,       ///< executed its halt instruction
+    OutOfBudget = 1,  ///< hit the step budget before halting
+    Killed = 2,       ///< trapped: bad opcode, PC or access fault
+};
+
+/**
+ * Options for a batch ISS run.
+ *
+ * Results are a pure function of (program, inputs, maxSteps,
+ * timing): the engine choice and the thread count never change
+ * counts, outputs, or statuses, only throughput.
+ */
+struct IssBatchOptions
+{
+    IssEngine engine = IssEngine::Batch;
+    std::uint64_t maxSteps = 50'000'000;
+    unsigned threads = 1;          ///< 0 = hardware concurrency
+    ThreadPool *pool = nullptr;    ///< optional shared pool
+};
+
+/** Result of running M machines of one program. */
+struct IssBatchResult
+{
+    std::size_t codeBytes = 0;
+    std::size_t dataBytes = 0;
+    std::vector<LegacyRun> runs;             ///< per machine
+    std::vector<MachineStatus> status;       ///< per machine
+    std::uint64_t totalInstructions = 0;
+    std::uint64_t totalCycles = 0;
 };
 
 } // namespace printed::legacy

@@ -1,0 +1,137 @@
+#include "batch_iss.hh"
+
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/parallel.hh"
+#include "legacy/i8080.hh"
+#include "legacy/msp430.hh"
+#include "legacy/zpu.hh"
+
+namespace printed::legacy
+{
+
+const char *
+issCoreId(LegacyCore core)
+{
+    switch (core) {
+      case LegacyCore::OpenMsp430: return "msp430";
+      case LegacyCore::Z80: return "z80";
+      case LegacyCore::Light8080: return "light8080";
+      case LegacyCore::ZpuSmall: return "zpu";
+    }
+    panic("issCoreId: bad core");
+}
+
+std::optional<LegacyCore>
+issCoreFromId(const std::string &id)
+{
+    for (LegacyCore core : allLegacyCores)
+        if (id == issCoreId(core))
+            return core;
+    return std::nullopt;
+}
+
+const char *
+issEngineName(IssEngine engine)
+{
+    return engine == IssEngine::Batch ? "batch" : "scalar";
+}
+
+std::optional<IssEngine>
+issEngineFromName(const std::string &name)
+{
+    if (name == "batch")
+        return IssEngine::Batch;
+    if (name == "scalar")
+        return IssEngine::Scalar;
+    return std::nullopt;
+}
+
+void
+issForEachBlock(const IssBatchOptions &opts, std::size_t machines,
+                const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    const std::size_t blocks =
+        (machines + issBlockMachines - 1) / issBlockMachines;
+    auto runBlock = [&](std::size_t b) {
+        const std::size_t lo = b * issBlockMachines;
+        fn(lo, std::min(machines, lo + issBlockMachines));
+    };
+    if (blocks <= 1) {
+        if (blocks == 1)
+            runBlock(0);
+        return;
+    }
+    if (opts.pool)
+        opts.pool->parallelFor(blocks, runBlock);
+    else if (opts.threads == 1)
+        for (std::size_t b = 0; b < blocks; ++b)
+            runBlock(b);
+    else
+        parallelFor(opts.threads, blocks, runBlock);
+}
+
+void
+issFinishResult(IssBatchResult &result, IssEngine engine)
+{
+    std::uint64_t halted = 0, budget = 0, killed = 0;
+    result.totalInstructions = 0;
+    result.totalCycles = 0;
+    for (std::size_t m = 0; m < result.runs.size(); ++m) {
+        result.totalInstructions += result.runs[m].instructions;
+        result.totalCycles += result.runs[m].cycles;
+        switch (result.status[m]) {
+          case MachineStatus::Halted: ++halted; break;
+          case MachineStatus::OutOfBudget: ++budget; break;
+          case MachineStatus::Killed: ++killed; break;
+        }
+    }
+    metrics::counter("iss.batches").add(1);
+    metrics::counter(engine == IssEngine::Batch ? "iss.batch_runs"
+                                                : "iss.scalar_runs")
+        .add(1);
+    metrics::counter("iss.machines").add(result.runs.size());
+    metrics::counter("iss.instructions").add(result.totalInstructions);
+    metrics::counter("iss.cycles").add(result.totalCycles);
+    metrics::counter("iss.halted").add(halted);
+    metrics::counter("iss.out_of_budget").add(budget);
+    metrics::counter("iss.killed").add(killed);
+}
+
+std::uint64_t
+issResultFnv(const IssBatchResult &result)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    for (std::size_t m = 0; m < result.runs.size(); ++m) {
+        mix(std::uint64_t(result.status[m]));
+        for (std::uint64_t v : result.runs[m].outputs)
+            mix(v);
+    }
+    return h;
+}
+
+IssBatchResult
+runLegacyBatch(LegacyCore core, const IrProgram &prog,
+               const std::vector<std::vector<std::uint64_t>> &inputs,
+               const IssBatchOptions &opts)
+{
+    switch (core) {
+      case LegacyCore::Light8080:
+        return batchRun8080(prog, inputs, I8080Timing::I8080, opts);
+      case LegacyCore::Z80:
+        return batchRun8080(prog, inputs, I8080Timing::Z80, opts);
+      case LegacyCore::OpenMsp430:
+        return batchRunMsp430(prog, inputs, opts);
+      case LegacyCore::ZpuSmall:
+        return batchRunZpu(prog, inputs, opts);
+    }
+    panic("runLegacyBatch: bad core");
+}
+
+} // namespace printed::legacy

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fleet-scale batch instruction-set simulation over the legacy
+ * cores (Table 4): run M machines of one program in lock-step.
+ *
+ * The batch engine keeps machine state struct-of-arrays over M
+ * machines — one column per architectural field (registers, flags,
+ * PC, status, instruction and cycle counters) plus a compact
+ * per-machine memory arena — while all machines share one
+ * read-only, *predecoded* code image. Machines are grouped into
+ * 64-machine blocks, each with a retirement mask word: every round
+ * steps each still-active machine one instruction, and a machine's
+ * bit retires when it halts, traps, or exhausts the step budget.
+ * Blocks are distributed over the deterministic ThreadPool
+ * (machine results depend only on the machine index, so any thread
+ * count is bit-identical).
+ *
+ * The original scalar Machine interpreters remain as the bit-exact
+ * oracle (IssEngine::Scalar): for any program both engines must
+ * agree on instruction counts, cycle counts, outputs, memory
+ * effects, and per-machine statuses. The engines also share one
+ * trap contract so kill masks agree: a machine is Killed on an
+ * undecodable or unimplemented opcode, a PC leaving the code
+ * region, or a write outside its writable window (i8080: the
+ * register/data/stack pages; MSP430: RAM below 0x2000; ZPU: its
+ * word RAM, reads included). A killing instruction is not counted
+ * on the 8080 and MSP430 (their loops count after a successful
+ * step) but is counted on the ZPU (its loop counts at fetch),
+ * mirroring the scalar interpreters exactly.
+ */
+
+#ifndef PRINTED_LEGACY_BATCH_ISS_HH
+#define PRINTED_LEGACY_BATCH_ISS_HH
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "legacy/backend.hh"
+#include "legacy/cores.hh"
+
+namespace printed::legacy
+{
+
+/** Machines per retirement-mask word (one lock-step block). */
+constexpr std::size_t issBlockMachines = 64;
+
+/**
+ * Instructions one machine executes per lock-step round. Machines
+ * never interact, so results are independent of the quantum; its
+ * size only trades retirement-mask granularity against speed (the
+ * per-core engines keep a machine's architectural state in locals
+ * for the quantum's duration and write the columns back once).
+ */
+constexpr unsigned issQuantum = 1024;
+
+/**
+ * Compile `prog` once for `core` and run one machine per entry of
+ * `inputs` (machine m gets inputs[m]). Emits iss.* metrics.
+ */
+IssBatchResult runLegacyBatch(
+    LegacyCore core, const IrProgram &prog,
+    const std::vector<std::vector<std::uint64_t>> &inputs,
+    const IssBatchOptions &opts);
+
+/** Canonical short id for a core ("msp430", "z80", ...). */
+const char *issCoreId(LegacyCore core);
+
+/** Parse an issCoreId back; nullopt for unknown ids. */
+std::optional<LegacyCore> issCoreFromId(const std::string &id);
+
+/** "batch" / "scalar". */
+const char *issEngineName(IssEngine engine);
+
+/** Parse an engine name; nullopt for unknown names. */
+std::optional<IssEngine> issEngineFromName(const std::string &name);
+
+/**
+ * Partition [0, machines) into issBlockMachines-sized blocks and
+ * run fn(lo, hi) for each, over opts.pool / opts.threads (internal
+ * helper shared by the per-core batch engines).
+ */
+void issForEachBlock(
+    const IssBatchOptions &opts, std::size_t machines,
+    const std::function<void(std::size_t, std::size_t)> &fn);
+
+/** Fill the per-batch totals/status tallies and emit iss.* metrics. */
+void issFinishResult(IssBatchResult &result, IssEngine engine);
+
+/**
+ * Order-sensitive FNV-1a (64-bit) over every machine's status and
+ * outputs — the cross-engine/cross-thread-count fingerprint the
+ * sweep, profile, and service layers compare and render.
+ */
+std::uint64_t issResultFnv(const IssBatchResult &result);
+
+} // namespace printed::legacy
+
+#endif // PRINTED_LEGACY_BATCH_ISS_HH

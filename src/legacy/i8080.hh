@@ -33,6 +33,9 @@ enum class I8080Timing
     Z80,   ///< Zilog Z80 T-states
 };
 
+/** Default step budget of the public run entry points. */
+constexpr std::uint64_t i8080DefaultMaxSteps = 50'000'000;
+
 /** Compile only: code size for Table 5. */
 LegacySize size8080(const IrProgram &prog);
 
@@ -41,10 +44,42 @@ LegacySize size8080(const IrProgram &prog);
  * @param prog IR program
  * @param inputs logical input values (written to prog.inputAddrs)
  * @param timing which cycle table to use
+ * @param max_steps step budget; a program that executes its HLT
+ *        as exactly the max_steps-th instruction still counts as
+ *        halted (the budget is only exhausted if the machine would
+ *        have to fetch *beyond* it), otherwise FatalError
  */
 LegacyRun run8080(const IrProgram &prog,
                   const std::vector<std::uint64_t> &inputs,
-                  I8080Timing timing = I8080Timing::I8080);
+                  I8080Timing timing = I8080Timing::I8080,
+                  std::uint64_t max_steps = i8080DefaultMaxSteps);
+
+/** Outcome of executing one raw machine-code image. */
+struct I8080ImageRun
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    MachineStatus status = MachineStatus::Halted;
+};
+
+/**
+ * Execute one raw 8080 image on M machines (no compiler, no IR):
+ * machine m starts with data_pages[m] copied to the start of its
+ * data page (0x9000). Used by the cycle-accounting and trap-parity
+ * tests; both engines must agree exactly.
+ */
+std::vector<I8080ImageRun> run8080Image(
+    const std::vector<std::uint8_t> &code,
+    const std::vector<std::vector<std::uint8_t>> &data_pages,
+    I8080Timing timing = I8080Timing::I8080,
+    IssEngine engine = IssEngine::Scalar,
+    std::uint64_t max_steps = i8080DefaultMaxSteps);
+
+/** Batch entry: compile once, run one machine per input set. */
+IssBatchResult batchRun8080(
+    const IrProgram &prog,
+    const std::vector<std::vector<std::uint64_t>> &inputs,
+    I8080Timing timing, const IssBatchOptions &opts);
 
 } // namespace printed::legacy
 

@@ -23,17 +23,65 @@
 #ifndef PRINTED_LEGACY_MSP430_HH
 #define PRINTED_LEGACY_MSP430_HH
 
+#include <array>
+
 #include "legacy/backend.hh"
 
 namespace printed::legacy
 {
+
+/** Default step budget of the public run entry points. */
+constexpr std::uint64_t msp430DefaultMaxSteps = 50'000'000;
+
+/** Size of the writable RAM window of each simulated machine. */
+constexpr std::uint16_t msp430RamWindow = 0x2000;
 
 /** Compile only: code size for Table 5. */
 LegacySize sizeMsp430(const IrProgram &prog);
 
 /** Compile and execute. */
 LegacyRun runMsp430(const IrProgram &prog,
-                    const std::vector<std::uint64_t> &inputs);
+                    const std::vector<std::uint64_t> &inputs,
+                    std::uint64_t max_steps = msp430DefaultMaxSteps);
+
+/**
+ * A raw machine for the differential-fuzz harness: code words
+ * (loaded at the code base), an initial register file (PC is
+ * forced to the code base), and an initial image of the low RAM
+ * window (at most msp430RamWindow bytes).
+ */
+struct Msp430RawState
+{
+    std::vector<std::uint16_t> code;
+    std::array<std::uint16_t, 16> regs{};
+    std::vector<std::uint8_t> ram;
+};
+
+/** Full post-run state of a raw machine. */
+struct Msp430RawRun
+{
+    std::array<std::uint16_t, 16> regs{};
+    std::vector<std::uint8_t> ram; ///< same size as the init image
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    MachineStatus status = MachineStatus::Halted;
+};
+
+/**
+ * Execute one raw machine on the chosen engine and return its
+ * complete architectural state. Both engines must agree bit for
+ * bit - this is the probe the MSP430 status-register audit and
+ * its regression tests use.
+ */
+Msp430RawRun runMsp430Raw(const Msp430RawState &init,
+                          IssEngine engine,
+                          std::uint64_t max_steps = 100'000);
+
+/** Batch entry: compile once, run one machine per input set. */
+IssBatchResult batchRunMsp430(
+    const IrProgram &prog,
+    const std::vector<std::vector<std::uint64_t>> &inputs,
+    const IssBatchOptions &opts);
 
 } // namespace printed::legacy
 

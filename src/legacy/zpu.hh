@@ -34,12 +34,22 @@ constexpr unsigned zpuBaseCpi = 4;
 /** Extra cycles per EMULATE-class instruction. */
 constexpr unsigned zpuEmulatePenalty = 32;
 
+/** Default step budget of the public run entry points. */
+constexpr std::uint64_t zpuDefaultMaxSteps = 100'000'000;
+
 /** Compile only: code size for Table 5. */
 LegacySize sizeZpu(const IrProgram &prog);
 
 /** Compile and execute. */
 LegacyRun runZpu(const IrProgram &prog,
-                 const std::vector<std::uint64_t> &inputs);
+                 const std::vector<std::uint64_t> &inputs,
+                 std::uint64_t max_steps = zpuDefaultMaxSteps);
+
+/** Batch entry: compile once, run one machine per input set. */
+IssBatchResult batchRunZpu(
+    const IrProgram &prog,
+    const std::vector<std::vector<std::uint64_t>> &inputs,
+    const IssBatchOptions &opts);
 
 } // namespace printed::legacy
 

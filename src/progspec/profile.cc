@@ -1,0 +1,68 @@
+#include "profile.hh"
+
+#include "common/logging.hh"
+#include "workloads/kernels.hh"
+
+namespace printed
+{
+
+const std::vector<Kernel> &
+table7Kernels()
+{
+    // Table 7's alphabetical row order.
+    static const std::vector<Kernel> kernels = {
+        Kernel::Crc8,   Kernel::Div,   Kernel::DTree,
+        Kernel::InSort, Kernel::IntAvg, Kernel::Mult,
+        Kernel::THold,
+    };
+    return kernels;
+}
+
+KernelDynProfile
+profileKernelDynamic(legacy::LegacyCore core, Kernel kind,
+                     std::size_t machines,
+                     const legacy::IssBatchOptions &opts)
+{
+    constexpr unsigned width = 8; // Table 7 uses the 8-bit variants
+    const legacy::IrProgram prog = legacy::irKernel(kind, width);
+
+    std::vector<std::vector<std::uint64_t>> inputs;
+    inputs.reserve(machines);
+    for (std::size_t m = 0; m < machines; ++m)
+        inputs.push_back(defaultInputs(kind, width, 1 + m));
+
+    const legacy::IssBatchResult res =
+        legacy::runLegacyBatch(core, prog, inputs, opts);
+
+    KernelDynProfile p;
+    p.kind = kind;
+    p.width = width;
+    p.machines = machines;
+    p.codeBytes = res.codeBytes;
+    p.instructions = res.totalInstructions;
+    p.cycles = res.totalCycles;
+    p.outputsFnv = legacy::issResultFnv(res);
+    p.outputsMatchGolden = true;
+    for (std::size_t m = 0; m < machines; ++m) {
+        const auto want = goldenOutputs(kind, width, inputs[m]);
+        p.outputsMatchGolden =
+            p.outputsMatchGolden &&
+            res.status[m] == legacy::MachineStatus::Halted &&
+            res.runs[m].outputs == want;
+    }
+    return p;
+}
+
+std::vector<KernelDynProfile>
+profileTable7Dynamic(legacy::LegacyCore core, std::size_t machines,
+                     const legacy::IssBatchOptions &opts)
+{
+    std::vector<KernelDynProfile> out;
+    out.reserve(table7Kernels().size());
+    for (Kernel kind : table7Kernels())
+        out.push_back(
+            profileKernelDynamic(core, kind, machines, opts));
+    return out;
+}
+
+} // namespace printed

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <optional>
 
 #include "common/json_min.hh"
 #include "common/logging.hh"
@@ -154,6 +155,125 @@ joinAxis(const std::vector<unsigned> &v)
     return out + "]";
 }
 
+std::optional<Kernel>
+kernelFromName(const std::string &name)
+{
+    for (unsigned k = 0; k < numKernels; ++k)
+        if (name == kernelName(Kernel(k)))
+            return Kernel(k);
+    return std::nullopt;
+}
+
+/** Parse the optional "iss" object of a sweep request. Defaults are
+ *  resolved here (not lazily in grid()) so requestLine() renders a
+ *  canonical line and coalesceKey() never distinguishes two
+ *  spellings of the same sweep. */
+IssSweepSpec
+issField(const Value &obj)
+{
+    IssSweepSpec spec;
+    fatalIf(!obj.isObject(), "request field 'iss' must be an object");
+
+    if (const Value *cs = obj.find("cores")) {
+        fatalIf(!cs->isArray(),
+                "request field 'cores' must be an array of strings");
+        for (const Value &e : cs->array) {
+            fatalIf(!e.isString(),
+                    "request field 'cores' must hold strings");
+            const auto core = legacy::issCoreFromId(e.string);
+            fatalIf(!core, "unknown legacy core '" + e.string + "'");
+            bool dup = false;
+            for (legacy::LegacyCore seen : spec.cores)
+                dup = dup || seen == *core;
+            if (!dup)
+                spec.cores.push_back(*core);
+        }
+    }
+    if (spec.cores.empty())
+        spec.cores.assign(legacy::allLegacyCores.begin(),
+                          legacy::allLegacyCores.end());
+
+    if (const Value *ks = obj.find("kernels")) {
+        fatalIf(!ks->isArray(),
+                "request field 'kernels' must be an array of strings");
+        for (const Value &e : ks->array) {
+            fatalIf(!e.isString(),
+                    "request field 'kernels' must hold strings");
+            const auto kernel = kernelFromName(e.string);
+            fatalIf(!kernel, "unknown kernel '" + e.string + "'");
+            bool dup = false;
+            for (Kernel seen : spec.kernels)
+                dup = dup || seen == *kernel;
+            if (!dup)
+                spec.kernels.push_back(*kernel);
+        }
+    }
+    if (spec.kernels.empty())
+        spec.kernels = {Kernel::Mult, Kernel::Div};
+
+    spec.width = unsigned(uintField(obj, "width", 8, 8, 32));
+    fatalIf(spec.width != 8 && spec.width != 16 && spec.width != 32,
+            "request field 'width' must be 8, 16, or 32");
+    for (Kernel k : spec.kernels)
+        fatalIf(k == Kernel::Crc8 && spec.width != 8,
+                "kernel 'crc8' is only defined at width 8");
+
+    spec.machines =
+        std::size_t(uintField(obj, "machines", 64, 1, 4096));
+    spec.seed = uintField(obj, "seed", 1, 0, std::uint64_t(-1));
+    spec.maxSteps = uintField(obj, "max_steps", 50'000'000, 1,
+                              1'000'000'000);
+
+    if (const Value *e = obj.find("engine")) {
+        fatalIf(!e->isString(),
+                "request field 'engine' must be a string");
+        const auto engine = legacy::issEngineFromName(e->string);
+        fatalIf(!engine,
+                "unknown ISS engine '" + e->string +
+                    "' (want \"batch\" or \"scalar\")");
+        spec.engine = *engine;
+    }
+    return spec;
+}
+
+/** Canonical rendering of an "iss" object; every field explicit, so
+ *  this doubles as the spec's coalesce-key text. */
+std::string
+issSpecBody(const IssSweepSpec &spec)
+{
+    std::string out = "{\"cores\": [";
+    for (std::size_t i = 0; i < spec.cores.size(); ++i) {
+        if (i)
+            out += ",";
+        out += jsonQuote(legacy::issCoreId(spec.cores[i]));
+    }
+    out += "], \"kernels\": [";
+    for (std::size_t i = 0; i < spec.kernels.size(); ++i) {
+        if (i)
+            out += ",";
+        out += jsonQuote(kernelName(spec.kernels[i]));
+    }
+    out += "], \"width\": " + std::to_string(spec.width);
+    out += ", \"machines\": " + std::to_string(spec.machines);
+    out += ", \"seed\": " + std::to_string(spec.seed);
+    out += ", \"max_steps\": " + std::to_string(spec.maxSteps);
+    out += ", \"engine\": ";
+    out += jsonQuote(legacy::issEngineName(spec.engine));
+    out += "}";
+    return out;
+}
+
+/** 64-bit FNV fingerprint as a JSON string ("0x..."): JSON numbers
+ *  are doubles and would silently round 64-bit values. */
+std::string
+fnvHex(std::uint64_t v)
+{
+    char buf[24];
+    const int n = std::snprintf(buf, sizeof(buf), "\"0x%016llx\"",
+                                static_cast<unsigned long long>(v));
+    return std::string(buf, std::size_t(n));
+}
+
 } // anonymous namespace
 
 const char *
@@ -253,6 +373,14 @@ parseRequest(const std::string &line)
                                       0.5, 1.0);
         break;
       case RequestType::Sweep:
+        if (const Value *iss = root.find("iss")) {
+            req.hasIss = true;
+            req.iss = issField(*iss);
+            fatalIf(root.find("stages") || root.find("widths") ||
+                        root.find("bars"),
+                    "an ISS sweep takes no synth axes");
+            break;
+        }
         req.sweep.stages = axisField(root, "stages", {1, 2, 3});
         req.sweep.widths =
             axisField(root, "widths", {4, 8, 16, 32});
@@ -314,6 +442,10 @@ coalesceKey(const Request &req)
         key += "y" + formatDouble(req.deviceYield);
         break;
       case RequestType::Sweep:
+        if (req.hasIss) {
+            key += "iss|" + issSpecBody(req.iss);
+            break;
+        }
         key += joinAxis(req.sweep.stages);
         key += joinAxis(req.sweep.widths);
         key += joinAxis(req.sweep.bars);
@@ -372,6 +504,41 @@ sweepBody(const std::vector<DesignPoint> &points)
         if (i)
             out += ", ";
         out += synthBody(points[i]);
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+issPointBody(const IssSweepPoint &point)
+{
+    std::string out = "{\"core\": ";
+    out += jsonQuote(legacy::issCoreId(point.core));
+    out += ", \"kernel\": ";
+    out += jsonQuote(kernelName(point.kernel));
+    out += ", \"width\": " + std::to_string(point.width);
+    out += ", \"machines\": " + std::to_string(point.machines);
+    out += ", \"halted\": " + std::to_string(point.halted);
+    out += ", \"out_of_budget\": " +
+           std::to_string(point.outOfBudget);
+    out += ", \"killed\": " + std::to_string(point.killed);
+    out += ", \"instructions\": " +
+           std::to_string(point.instructions);
+    out += ", \"cycles\": " + std::to_string(point.cycles);
+    out += ", \"code_bytes\": " + std::to_string(point.codeBytes);
+    out += ", \"outputs_fnv\": " + fnvHex(point.outputsFnv);
+    out += "}";
+    return out;
+}
+
+std::string
+issSweepBody(const std::vector<IssSweepPoint> &points)
+{
+    std::string out = "{\"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += issPointBody(points[i]);
     }
     out += "]}";
     return out;
@@ -605,6 +772,27 @@ sweepRequest(const std::string &id, const SweepSpec &spec,
 }
 
 std::string
+issSweepRequest(const std::string &id, const IssSweepSpec &spec,
+                double deadlineMs)
+{
+    Request req;
+    req.id = id;
+    req.type = RequestType::Sweep;
+    req.hasIss = true;
+    req.iss = spec;
+    req.deadlineMs = deadlineMs;
+    // Round-trip through the canonical renderer so defaults (empty
+    // core/kernel lists) are resolved the same way parseRequest
+    // resolves them.
+    if (req.iss.cores.empty())
+        req.iss.cores.assign(legacy::allLegacyCores.begin(),
+                             legacy::allLegacyCores.end());
+    if (req.iss.kernels.empty())
+        req.iss.kernels = {Kernel::Mult, Kernel::Div};
+    return requestLine(req);
+}
+
+std::string
 adminRequest(const std::string &id, RequestType type)
 {
     return requestHead(id, requestTypeName(type), 0) + "}";
@@ -628,6 +816,10 @@ requestLine(const Request &req)
             out += ", \"device_yield\": " + formatDouble(req.deviceYield);
         break;
       case RequestType::Sweep:
+        if (req.hasIss) {
+            out += ", \"iss\": " + issSpecBody(req.iss);
+            break;
+        }
         out += ", \"stages\": " + joinAxis(req.sweep.stages);
         out += ", \"widths\": " + joinAxis(req.sweep.widths);
         out += ", \"bars\": " + joinAxis(req.sweep.bars);

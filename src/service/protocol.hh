@@ -22,6 +22,19 @@
  *       axes (each restricted to the paper's values), at most the
  *       full 24-point grid per request.
  *
+ *   {"id":"r7","type":"sweep","iss":{"cores":["msp430","zpu"],
+ *    "kernels":["mult","div"],"width":8,"machines":64,"seed":1,
+ *    "engine":"batch"}}
+ *       Fleet ISS sweep: run every kernel on every legacy core, M
+ *       machines per point, on the batch instruction-set simulator
+ *       (dse::sweepLegacyIss). All "iss" members are optional;
+ *       defaults are all four cores, kernels ["mult","div"], width
+ *       8, 64 machines, seed 1, engine "batch". The reply is a
+ *       pure function of the request — notably the engine choice
+ *       ("batch" vs "scalar") never changes the body bytes, only
+ *       throughput. Streams like a synth sweep: one partial frame
+ *       per (core, kernel) point.
+ *
  *   {"id":"r4","type":"metrics"} / {"id":"r5","type":"health"} /
  *   {"id":"r6","type":"shutdown"}
  *       Introspection and admin.
@@ -139,6 +152,10 @@ struct Request
     /** Sweep axes. */
     SweepSpec sweep;
 
+    /** Fleet ISS sweep ("iss" object present on a sweep request). */
+    bool hasIss = false;
+    IssSweepSpec iss;
+
     /** Relative deadline in ms; 0 = none. */
     double deadlineMs = 0;
 
@@ -197,6 +214,12 @@ std::string yieldBody(const CoreConfig &config,
 
 /** "result" body of a sweep reply. */
 std::string sweepBody(const std::vector<DesignPoint> &points);
+
+/** One point of an ISS sweep reply (also a stream point body). */
+std::string issPointBody(const IssSweepPoint &point);
+
+/** "result" body of an ISS sweep reply. */
+std::string issSweepBody(const std::vector<IssSweepPoint> &points);
 
 /** Full success reply line (no trailing newline). */
 std::string okReply(const std::string &id, RequestType type,
@@ -296,6 +319,11 @@ std::string yieldRequest(const std::string &id,
 std::string sweepRequest(const std::string &id,
                          const SweepSpec &spec,
                          double deadlineMs = 0);
+
+/** Render a fleet ISS sweep request line. */
+std::string issSweepRequest(const std::string &id,
+                            const IssSweepSpec &spec,
+                            double deadlineMs = 0);
 
 /** Render a metrics / health / shutdown request line. */
 std::string adminRequest(const std::string &id, RequestType type);

@@ -523,7 +523,35 @@ Server::streamTask(Task &task)
         if (task.hasDeadline && Clock::now() > task.deadline)
             throw DeadlineError();
 
-        if (req.type == RequestType::Sweep) {
+        if (req.type == RequestType::Sweep && req.hasIss) {
+            const auto grid = req.iss.grid();
+            const std::uint64_t total = grid.size();
+            fatalIf(req.resumeFrom > total,
+                    "resume_from " + std::to_string(req.resumeFrom) +
+                        " is past the sweep's " +
+                        std::to_string(total) + " points");
+            // One frame per (core, kernel) grid point, sequentially,
+            // mirroring the synth-sweep stream below. Single-thread
+            // evaluation here is still byte-identical to the pooled
+            // monolithic body: ISS results are engine- and
+            // thread-count-invariant by construction.
+            for (std::uint64_t i = req.resumeFrom; i < total; ++i) {
+                if (task.hasDeadline && Clock::now() > task.deadline)
+                    throw DeadlineError();
+                if (!task.conn->open.load())
+                    return; // client is gone: stop computing
+                const auto &[core, kernel] = grid[std::size_t(i)];
+                const std::string body = issPointBody(
+                    evaluateIssPoint(core, kernel, req.iss));
+                sendLine(task.conn,
+                         partialFrame(req.id, req.type, i, total,
+                                      body),
+                         /*faultable=*/true);
+                metrics::counter("service.stream_partials").add(1);
+            }
+            sendLine(task.conn, doneFrame(req.id, req.type, total),
+                     /*faultable=*/true);
+        } else if (req.type == RequestType::Sweep) {
             const std::vector<CoreConfig> configs =
                 req.sweep.configs();
             const std::uint64_t total = configs.size();
@@ -674,6 +702,28 @@ Server::computeBody(const Task &task)
       }
 
       case RequestType::Sweep: {
+        if (req.hasIss) {
+            const auto grid = req.iss.grid();
+            if (task.hasDeadline) {
+                // Sequential, deadline-checked between points, same
+                // rule as the synth sweep below. ISS results are
+                // engine- and thread-count-invariant, so the reply
+                // bytes don't depend on which path ran.
+                std::vector<IssSweepPoint> points;
+                points.reserve(grid.size());
+                for (const auto &[core, kernel] : grid) {
+                    if (Clock::now() > task.deadline)
+                        throw DeadlineError();
+                    points.push_back(
+                        evaluateIssPoint(core, kernel, req.iss));
+                }
+                return issSweepBody(points);
+            }
+            SweepOptions opts;
+            opts.pool = &pool_;
+            std::lock_guard lk(poolMutex_);
+            return issSweepBody(sweepLegacyIss(req.iss, opts));
+        }
         const std::vector<CoreConfig> configs =
             req.sweep.configs();
         if (task.hasDeadline) {

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Batch-vs-scalar ISS determinism battery: the struct-of-arrays
+ * batch engine must be bit-identical to the scalar oracle for
+ * every legacy core, machine count, thread count, and step budget
+ * — including mid-batch halts, budget exhaustion inside a ZPU IM
+ * chain, and input-dependent kill masks. Plus the MSP430
+ * status-register audit: a seeded differential fuzz over random
+ * raw machines and pinned regressions for the SLAU049 divergences
+ * it found.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "legacy/batch_iss.hh"
+#include "legacy/cores.hh"
+#include "legacy/i8080.hh"
+#include "legacy/ir.hh"
+#include "legacy/msp430.hh"
+#include "legacy/zpu.hh"
+#include "workloads/kernels.hh"
+
+namespace printed
+{
+namespace
+{
+
+using namespace legacy;
+
+IssBatchResult
+runEngine(LegacyCore core, const IrProgram &prog,
+          const std::vector<std::vector<std::uint64_t>> &inputs,
+          IssEngine engine, unsigned threads = 1,
+          std::uint64_t max_steps = 50'000'000)
+{
+    IssBatchOptions opts;
+    opts.engine = engine;
+    opts.threads = threads;
+    opts.maxSteps = max_steps;
+    return runLegacyBatch(core, prog, inputs, opts);
+}
+
+void
+expectIdentical(const IssBatchResult &a, const IssBatchResult &b)
+{
+    EXPECT_EQ(a.codeBytes, b.codeBytes);
+    EXPECT_EQ(a.dataBytes, b.dataBytes);
+    EXPECT_EQ(a.totalInstructions, b.totalInstructions);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    ASSERT_EQ(a.status.size(), b.status.size());
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t m = 0; m < a.runs.size(); ++m) {
+        EXPECT_EQ(a.status[m], b.status[m]) << "machine " << m;
+        EXPECT_EQ(a.runs[m].instructions, b.runs[m].instructions)
+            << "machine " << m;
+        EXPECT_EQ(a.runs[m].cycles, b.runs[m].cycles)
+            << "machine " << m;
+        EXPECT_EQ(a.runs[m].outputs, b.runs[m].outputs)
+            << "machine " << m;
+    }
+    EXPECT_EQ(issResultFnv(a), issResultFnv(b));
+}
+
+std::vector<std::vector<std::uint64_t>>
+fleetInputs(Kernel kind, unsigned width, std::size_t machines)
+{
+    std::vector<std::vector<std::uint64_t>> inputs(machines);
+    for (std::size_t m = 0; m < machines; ++m)
+        inputs[m] = defaultInputs(kind, width, 1 + unsigned(m));
+    return inputs;
+}
+
+// ----------------------------------------------------------------
+// Engine determinism: every core x machine count x thread count
+// ----------------------------------------------------------------
+
+TEST(IssBatch, BatchMatchesScalarForAllCoresCountsAndThreads)
+{
+    const IrProgram prog = irKernel(Kernel::Mult, 8);
+    for (const LegacyCore core : allLegacyCores) {
+        for (const std::size_t machines : {1u, 64u, 1000u}) {
+            const auto inputs =
+                fleetInputs(Kernel::Mult, 8, machines);
+            const auto oracle = runEngine(core, prog, inputs,
+                                          IssEngine::Scalar);
+            EXPECT_GT(oracle.totalInstructions, 0u);
+            for (const unsigned threads : {1u, 4u, 16u}) {
+                const auto batch =
+                    runEngine(core, prog, inputs,
+                              IssEngine::Batch, threads);
+                expectIdentical(oracle, batch);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------
+// Mid-batch halts: some machines halt, others exhaust the budget
+// ----------------------------------------------------------------
+
+TEST(IssBatch, MidBatchHaltAndBudgetMixAgrees)
+{
+    const IrProgram prog = irKernel(Kernel::Div, 8);
+    const auto inputs = fleetInputs(Kernel::Div, 8, 64);
+    for (const LegacyCore core : allLegacyCores) {
+        // Full run first, to find a budget that splits the fleet.
+        const auto full = runEngine(core, prog, inputs,
+                                    IssEngine::Scalar);
+        std::uint64_t lo = UINT64_MAX, hi = 0;
+        for (const LegacyRun &r : full.runs) {
+            lo = std::min(lo, r.instructions);
+            hi = std::max(hi, r.instructions);
+        }
+        ASSERT_LT(lo, hi) << issCoreId(core);
+        const std::uint64_t budget = (lo + hi) / 2;
+        const auto scalar = runEngine(core, prog, inputs,
+                                      IssEngine::Scalar, 1, budget);
+        const auto batch = runEngine(core, prog, inputs,
+                                     IssEngine::Batch, 4, budget);
+        unsigned halted = 0, out = 0;
+        for (const MachineStatus s : scalar.status) {
+            halted += s == MachineStatus::Halted;
+            out += s == MachineStatus::OutOfBudget;
+        }
+        EXPECT_GT(halted, 0u) << issCoreId(core);
+        EXPECT_GT(out, 0u) << issCoreId(core);
+        expectIdentical(scalar, batch);
+    }
+}
+
+// ----------------------------------------------------------------
+// Budget sweep across ZPU IM chains (and everyone else's decode)
+// ----------------------------------------------------------------
+
+TEST(IssBatch, TightBudgetSweepAgreesInstructionByInstruction)
+{
+    // Budgets 1..60 cross every instruction boundary of the early
+    // program, including budgets that expire in the middle of a
+    // ZPU IM immediate chain (the batch engine folds whole chains
+    // only when they fit the remaining budget).
+    const IrProgram prog = irKernel(Kernel::Mult, 8);
+    const auto inputs = fleetInputs(Kernel::Mult, 8, 4);
+    for (const LegacyCore core : allLegacyCores) {
+        for (std::uint64_t budget = 1; budget <= 60; ++budget) {
+            const auto scalar = runEngine(
+                core, prog, inputs, IssEngine::Scalar, 1, budget);
+            const auto batch = runEngine(
+                core, prog, inputs, IssEngine::Batch, 1, budget);
+            expectIdentical(scalar, batch);
+        }
+    }
+}
+
+// ----------------------------------------------------------------
+// Input-dependent kill masks
+// ----------------------------------------------------------------
+
+TEST(IssBatch, InputDependentKillMaskAgrees)
+{
+    // A raw 8080 image whose store target page comes from machine
+    // data: page 0x90 halts, page 0x20 traps on the MOV M,A.
+    //
+    //   0: LDA 9000h   A = data[0]
+    //   3: MOV H,A
+    //   4: MVI L, 0
+    //   6: MOV M,A     writes (HL) - kills when H is not writable
+    //   7: HLT
+    const std::vector<std::uint8_t> image = {
+        0x3A, 0x00, 0x90, // LDA 0x9000
+        0x67,             // MOV H,A
+        0x2E, 0x00,       // MVI L,0
+        0x77,             // MOV M,A
+        0x76,             // HLT
+    };
+    std::vector<std::vector<std::uint8_t>> pages;
+    for (std::size_t m = 0; m < 70; ++m)
+        pages.push_back({std::uint8_t(m % 3 ? 0x90 : 0x20)});
+
+    const auto scalar = run8080Image(image, pages,
+                                     I8080Timing::I8080,
+                                     IssEngine::Scalar);
+    const auto batch = run8080Image(image, pages,
+                                    I8080Timing::I8080,
+                                    IssEngine::Batch);
+    ASSERT_EQ(scalar.size(), pages.size());
+    ASSERT_EQ(batch.size(), pages.size());
+    for (std::size_t m = 0; m < pages.size(); ++m) {
+        const bool writable = m % 3 != 0;
+        EXPECT_EQ(scalar[m].status, writable
+                                        ? MachineStatus::Halted
+                                        : MachineStatus::Killed)
+            << "machine " << m;
+        // The killing MOV M,A is not counted, like the oracle.
+        EXPECT_EQ(scalar[m].instructions, writable ? 5u : 3u);
+        EXPECT_EQ(batch[m].status, scalar[m].status);
+        EXPECT_EQ(batch[m].instructions, scalar[m].instructions);
+        EXPECT_EQ(batch[m].cycles, scalar[m].cycles);
+    }
+}
+
+// ----------------------------------------------------------------
+// MSP430 status-register audit: differential fuzz + regressions
+// ----------------------------------------------------------------
+
+void
+expectRawIdentical(const Msp430RawRun &a, const Msp430RawRun &b,
+                   const std::string &what)
+{
+    EXPECT_EQ(a.status, b.status) << what;
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.regs, b.regs) << what;
+    EXPECT_EQ(a.ram, b.ram) << what;
+}
+
+TEST(IssBatch, Msp430DifferentialFuzzScalarVsBatch)
+{
+    std::mt19937 rng(0xC0FFEE);
+    const auto word = [&] { return std::uint16_t(rng()); };
+    for (unsigned iter = 0; iter < 400; ++iter) {
+        Msp430RawState init;
+        const unsigned words = 2 + rng() % 6;
+        for (unsigned i = 0; i < words; ++i) {
+            switch (rng() % 3) {
+              case 0: // any encoding at all
+                init.code.push_back(word());
+                break;
+              case 1: // format I with random modes and registers
+                init.code.push_back(std::uint16_t(
+                    ((4 + rng() % 12) << 12) | (word() & 0x0fff)));
+                break;
+              default: // jump with a small random offset
+                init.code.push_back(std::uint16_t(
+                    0x2000 | (word() & 0x1fff)));
+                break;
+            }
+        }
+        init.code.push_back(0xFFFF); // HALT backstop
+        for (unsigned r = 1; r < 16; ++r)
+            init.regs[r] = word();
+        init.ram.resize(64);
+        for (auto &b : init.ram)
+            b = std::uint8_t(rng());
+
+        const auto scalar =
+            runMsp430Raw(init, IssEngine::Scalar, 200);
+        const auto batch = runMsp430Raw(init, IssEngine::Batch, 200);
+        expectRawIdentical(scalar, batch,
+                           "fuzz iter " + std::to_string(iter));
+    }
+}
+
+TEST(IssBatch, Msp430XorSetsOverflowWhenBothOperandsNegative)
+{
+    // SLAU049: XOR sets V when both operands are negative. With
+    // R4 = R5 = 0x8000 the result is zero: Z set, C clear (C is
+    // "result != 0" for XOR), N clear, V set.
+    constexpr std::uint16_t flagC = 1 << 0, flagZ = 1 << 1,
+                            flagN = 1 << 2, flagV = 1 << 8;
+    Msp430RawState init;
+    init.code = {0xD405, 0xFFFF}; // XOR R4, R5; HALT
+    init.regs[4] = 0x8000;
+    init.regs[5] = 0x8000;
+    for (const IssEngine engine :
+         {IssEngine::Scalar, IssEngine::Batch}) {
+        const auto run = runMsp430Raw(init, engine);
+        EXPECT_EQ(run.status, MachineStatus::Halted);
+        EXPECT_EQ(run.regs[5], 0x0000);
+        EXPECT_TRUE(run.regs[2] & flagV);
+        EXPECT_TRUE(run.regs[2] & flagZ);
+        EXPECT_FALSE(run.regs[2] & flagC);
+        EXPECT_FALSE(run.regs[2] & flagN);
+    }
+}
+
+TEST(IssBatch, Msp430ByteModeRrcRotatesLowByteOnly)
+{
+    // SLAU049: RRC.B rotates only the low byte. R5 = 0x01FF with C
+    // clear must give 0x7F (bit 8 must NOT leak into bit 7) and
+    // carry out the old bit 0.
+    constexpr std::uint16_t flagC = 1 << 0;
+    Msp430RawState init;
+    init.code = {0x1045, 0xFFFF}; // RRC.B R5; HALT
+    init.regs[5] = 0x01FF;
+    for (const IssEngine engine :
+         {IssEngine::Scalar, IssEngine::Batch}) {
+        const auto run = runMsp430Raw(init, engine);
+        EXPECT_EQ(run.status, MachineStatus::Halted);
+        EXPECT_EQ(run.regs[5], 0x007F);
+        EXPECT_TRUE(run.regs[2] & flagC);
+    }
+}
+
+TEST(IssBatch, Msp430RrcAlwaysClearsOverflow)
+{
+    // SLAU049: RRC resets V unconditionally.
+    constexpr std::uint16_t flagV = 1 << 8;
+    Msp430RawState init;
+    init.code = {0x1005, 0xFFFF}; // RRC R5; HALT
+    init.regs[2] = flagV;
+    init.regs[5] = 0x0002;
+    for (const IssEngine engine :
+         {IssEngine::Scalar, IssEngine::Batch}) {
+        const auto run = runMsp430Raw(init, engine);
+        EXPECT_EQ(run.status, MachineStatus::Halted);
+        EXPECT_EQ(run.regs[5], 0x0001);
+        EXPECT_FALSE(run.regs[2] & flagV);
+    }
+}
+
+} // anonymous namespace
+} // namespace printed

@@ -267,5 +267,68 @@ TEST(LegacyBackends, CodeSizesInTable5Regime)
     EXPECT_LT(zpu.codeBytes, 400u);
 }
 
+// ----------------------------------------------------------------
+// 8080/Z80 cycle accounting and run-loop budget semantics
+// ----------------------------------------------------------------
+
+// A hand-assembled image that exercises every branch-outcome cost:
+// XRA A sets Z (and clears CY), so CNZ falls through, CZ takes,
+// RNZ falls through, and RZ returns.
+//
+//   0: LXI SP, 0        10 / 10   (pushes land in the FFxx page)
+//   3: XRA A             4 /  4   Z=1 CY=0
+//   4: CNZ 0            11 / 10   not taken
+//   7: CZ  11           17 / 17   taken
+//  10: HLT               7 /  4
+//  11: RNZ               5 /  5   not taken
+//  12: RZ               11 / 11   taken -> 10
+const std::vector<std::uint8_t> condCallRetImage = {
+    0x31, 0x00, 0x00, // LXI SP
+    0xAF,             // XRA A
+    0xC4, 0x00, 0x00, // CNZ (not taken)
+    0xCC, 0x0B, 0x00, // CZ 11 (taken)
+    0x76,             // HLT
+    0xC0,             // RNZ (not taken)
+    0xC8,             // RZ (taken)
+};
+
+TEST(LegacyBackends, ConditionalCallRetCyclesAreTakenAware)
+{
+    for (const IssEngine engine :
+         {IssEngine::Scalar, IssEngine::Batch}) {
+        const auto i80 = run8080Image(condCallRetImage, {{}},
+                                      I8080Timing::I8080, engine);
+        ASSERT_EQ(i80.size(), 1u);
+        EXPECT_EQ(i80[0].status, MachineStatus::Halted);
+        EXPECT_EQ(i80[0].instructions, 7u);
+        EXPECT_EQ(i80[0].cycles, 10 + 4 + 11 + 17 + 5 + 11 + 7u);
+
+        const auto z80 = run8080Image(condCallRetImage, {{}},
+                                      I8080Timing::Z80, engine);
+        EXPECT_EQ(z80[0].status, MachineStatus::Halted);
+        EXPECT_EQ(z80[0].cycles, 10 + 4 + 10 + 17 + 5 + 11 + 4u);
+    }
+}
+
+TEST(LegacyBackends, HaltWinsAtExactStepBudget)
+{
+    // The image halts on its 7th instruction. A budget of exactly
+    // 7 is Halted - the budget is only exhausted when the machine
+    // would have to fetch beyond it - and 6 is OutOfBudget with
+    // all 6 paid-for instructions retired.
+    for (const IssEngine engine :
+         {IssEngine::Scalar, IssEngine::Batch}) {
+        const auto at = run8080Image(condCallRetImage, {{}},
+                                     I8080Timing::I8080, engine, 7);
+        EXPECT_EQ(at[0].status, MachineStatus::Halted);
+        EXPECT_EQ(at[0].instructions, 7u);
+
+        const auto under = run8080Image(
+            condCallRetImage, {{}}, I8080Timing::I8080, engine, 6);
+        EXPECT_EQ(under[0].status, MachineStatus::OutOfBudget);
+        EXPECT_EQ(under[0].instructions, 6u);
+    }
+}
+
 } // anonymous namespace
 } // namespace printed
