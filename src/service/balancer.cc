@@ -453,6 +453,7 @@ Balancer::handleLine(const std::shared_ptr<Connection> &conn,
       case RequestType::Synth:
       case RequestType::Yield:
       case RequestType::Sweep:
+      case RequestType::Classify:
         routeCompute(conn, req, line, shardConns);
         return;
     }
@@ -698,6 +699,13 @@ Balancer::mergedHealthBody(std::map<unsigned, Client> &shardConns)
 {
     std::string shardsArr = "[";
     unsigned up = 0;
+    // The balancer advertises the intersection of its shards'
+    // supported request types: a type is only usable through the
+    // fleet if every live shard can serve it. Older (protocol-v1)
+    // workers that predate the "types" field count as the v1
+    // baseline set via advertisedTypes().
+    std::vector<std::string> types;
+    bool typesSeeded = false;
     for (std::size_t i = 0; i < shards_.size(); ++i) {
         if (i)
             shardsArr += ", ";
@@ -714,6 +722,18 @@ Balancer::mergedHealthBody(std::map<unsigned, Client> &shardConns)
                 body = resultBody(
                     worker.readLine(opts_.shardCallTimeoutMs));
                 ++up;
+                const std::vector<std::string> shardTypes =
+                    advertisedTypes(body);
+                if (!typesSeeded) {
+                    types = shardTypes;
+                    typesSeeded = true;
+                } else {
+                    std::erase_if(types, [&](const std::string &t) {
+                        return std::find(shardTypes.begin(),
+                                         shardTypes.end(),
+                                         t) == shardTypes.end();
+                    });
+                }
             } catch (const std::exception &) {
                 worker.close();
                 markDown(shard);
@@ -724,10 +744,19 @@ Balancer::mergedHealthBody(std::map<unsigned, Client> &shardConns)
     }
     shardsArr += "]";
 
+    std::string typesArr = "[";
+    for (std::size_t i = 0; i < types.size(); ++i) {
+        if (i)
+            typesArr += ", ";
+        typesArr += json::jsonQuote(types[i]);
+    }
+    typesArr += "]";
+
     std::string out = "{\"status\": ";
     out += up == shards_.size() ? "\"ok\"" : "\"degraded\"";
     out += ", \"proto\": " + std::to_string(kProtocolVersion);
     out += ", \"role\": \"balancer\"";
+    out += ", \"types\": " + typesArr;
     out += ", \"uptime_ms\": " + formatDouble(millisSince(started_));
     out += ", \"shards_up\": " + std::to_string(up);
     out += ", \"shards\": " + shardsArr;

@@ -422,6 +422,21 @@ RetryingClient::streamYield(const std::string &id,
         onPoint);
 }
 
+StreamResult
+RetryingClient::streamClassify(const std::string &id,
+                               const ml::ClassifySpec &spec,
+                               const PointCallback &onPoint,
+                               double deadlineMs)
+{
+    return streamCall(
+        id, RequestType::Classify,
+        [&](std::uint64_t resumeFrom) {
+            return classifyStreamRequest(id, spec, resumeFrom,
+                                         deadlineMs);
+        },
+        onPoint);
+}
+
 void
 RetryingClient::close()
 {

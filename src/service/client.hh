@@ -209,6 +209,17 @@ class RetryingClient
                              const PointCallback &onPoint = {},
                              double deadlineMs = 0);
 
+    /**
+     * Streamed classify: points 0..G-1 are per-generation search
+     * summaries, point G is the Pareto front (same resume rules as
+     * streamSweep, so a mid-search disconnect resumes without
+     * replaying generations already in hand).
+     */
+    StreamResult streamClassify(const std::string &id,
+                                const ml::ClassifySpec &spec,
+                                const PointCallback &onPoint = {},
+                                double deadlineMs = 0);
+
     const RetryStats &stats() const { return stats_; }
 
     void close();

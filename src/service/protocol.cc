@@ -274,6 +274,134 @@ fnvHex(std::uint64_t v)
     return std::string(buf, std::size_t(n));
 }
 
+/** Required string field of `obj`; fallback when absent. */
+std::string
+stringField(const Value &obj, const char *name,
+            const std::string &fallback)
+{
+    const Value *f = obj.find(name);
+    if (!f)
+        return fallback;
+    fatalIf(!f->isString(), std::string("request field '") + name +
+                                "' must be a string");
+    return f->string;
+}
+
+/** Parse the "classify" members of a classify request. Defaults are
+ *  resolved here, mirroring issField(), so requestLine() renders a
+ *  canonical line and the coalesce key never distinguishes two
+ *  spellings of the same search. */
+ml::ClassifySpec
+classifyField(const Value &root)
+{
+    ml::ClassifySpec spec;
+
+    if (const Value *d = root.find("dataset")) {
+        fatalIf(!d->isObject(),
+                "request field 'dataset' must be an object");
+        spec.dataset.kind =
+            stringField(*d, "kind", spec.dataset.kind);
+        spec.dataset.features =
+            unsigned(uintField(*d, "features", 4, 1, 16));
+        spec.dataset.classes =
+            unsigned(uintField(*d, "classes", 3, 2, 10));
+        spec.dataset.bits =
+            unsigned(uintField(*d, "bits", 8, 2, 12));
+        spec.dataset.train =
+            unsigned(uintField(*d, "train", 192, 8, 4096));
+        spec.dataset.holdout =
+            unsigned(uintField(*d, "holdout", 128, 8, 4096));
+        spec.dataset.seed =
+            uintField(*d, "seed", 1, 0, std::uint64_t(-1));
+    }
+
+    const std::string model = stringField(root, "model", "tree");
+    const auto kind = ml::modelKindFromName(model);
+    fatalIf(!kind, "unknown classify model '" + model +
+                       "' (want \"tree\" or \"ternary\")");
+    spec.model = *kind;
+    spec.depth = unsigned(uintField(root, "depth", 4, 1, 12));
+    spec.hidden = unsigned(uintField(root, "hidden", 0, 0, 16));
+
+    if (const Value *s = root.find("search")) {
+        fatalIf(!s->isObject(),
+                "request field 'search' must be an object");
+        spec.search.generations =
+            unsigned(uintField(*s, "generations", 6, 1, 64));
+        spec.search.population =
+            unsigned(uintField(*s, "population", 12, 1, 256));
+        spec.search.seed =
+            uintField(*s, "seed", 1, 0, std::uint64_t(-1));
+        const std::string engine =
+            stringField(*s, "engine", "batch");
+        const auto parsed = ml::scoreEngineFromName(engine);
+        fatalIf(!parsed, "unknown scoring engine '" + engine +
+                             "' (want \"batch\" or \"scalar\")");
+        spec.search.engine = *parsed;
+    }
+
+    if (const Value *b = root.find("budget")) {
+        fatalIf(!b->isObject(),
+                "request field 'budget' must be an object");
+        spec.budget.battery = stringField(*b, "battery", "");
+        spec.budget.maxAreaCm2 =
+            doubleField(*b, "max_area_cm2", 0, 0, 1e6);
+    }
+
+    // Full cross-field validation (battery names, xor-kind rules):
+    // throws FatalError, which the server maps to bad_request.
+    spec.check();
+    return spec;
+}
+
+/** Canonical rendering of a classify spec's request members; every
+ *  field explicit, so parseRequest(requestLine(req)) is identity. */
+std::string
+classifySpecMembers(const ml::ClassifySpec &spec)
+{
+    std::string out = ", \"dataset\": {\"kind\": ";
+    out += jsonQuote(spec.dataset.kind);
+    out += ", \"features\": " + std::to_string(spec.dataset.features);
+    out += ", \"classes\": " + std::to_string(spec.dataset.classes);
+    out += ", \"bits\": " + std::to_string(spec.dataset.bits);
+    out += ", \"train\": " + std::to_string(spec.dataset.train);
+    out += ", \"holdout\": " + std::to_string(spec.dataset.holdout);
+    out += ", \"seed\": " + std::to_string(spec.dataset.seed);
+    out += "}, \"model\": ";
+    out += jsonQuote(ml::modelKindName(spec.model));
+    out += ", \"depth\": " + std::to_string(spec.depth);
+    out += ", \"hidden\": " + std::to_string(spec.hidden);
+    out += ", \"search\": {\"generations\": " +
+           std::to_string(spec.search.generations);
+    out += ", \"population\": " +
+           std::to_string(spec.search.population);
+    out += ", \"seed\": " + std::to_string(spec.search.seed);
+    out += ", \"engine\": ";
+    out += jsonQuote(ml::scoreEngineName(spec.search.engine));
+    out += "}, \"budget\": {\"battery\": ";
+    out += jsonQuote(spec.budget.battery);
+    out += ", \"max_area_cm2\": " +
+           formatDouble(spec.budget.maxAreaCm2);
+    out += "}";
+    return out;
+}
+
+/** One Pareto-front candidate of a classify reply. */
+std::string
+candidateBody(const ml::CandidateReport &c)
+{
+    std::string out = "{\"accuracy\": " + formatDouble(c.accuracy);
+    out += ", \"gates\": " + std::to_string(c.gates);
+    out += ", \"area_cm2\": " + formatDouble(c.areaCm2);
+    out += ", \"power_mw\": " + formatDouble(c.powerMw);
+    out += ", \"fmax_hz\": " + formatDouble(c.fmaxHz);
+    out += ", \"feasible\": ";
+    out += c.feasible ? "true" : "false";
+    out += ", \"fnv\": " + fnvHex(c.fnv);
+    out += "}";
+    return out;
+}
+
 } // anonymous namespace
 
 const char *
@@ -283,11 +411,58 @@ requestTypeName(RequestType type)
       case RequestType::Synth:    return "synth";
       case RequestType::Yield:    return "yield";
       case RequestType::Sweep:    return "sweep";
+      case RequestType::Classify: return "classify";
       case RequestType::Metrics:  return "metrics";
       case RequestType::Health:   return "health";
       case RequestType::Shutdown: return "shutdown";
     }
     return "?";
+}
+
+std::string
+supportedTypesJson()
+{
+    // Enum order, so the health body is stable across builds.
+    static const RequestType kAll[] = {
+        RequestType::Synth,    RequestType::Yield,
+        RequestType::Sweep,    RequestType::Classify,
+        RequestType::Metrics,  RequestType::Health,
+        RequestType::Shutdown,
+    };
+    std::string out = "[";
+    for (std::size_t i = 0; i < std::size(kAll); ++i) {
+        if (i)
+            out += ", ";
+        out += jsonQuote(requestTypeName(kAll[i]));
+    }
+    out += "]";
+    return out;
+}
+
+std::vector<std::string>
+advertisedTypes(const std::string &healthBody)
+{
+    // Protocol-v1 workers predate the "types" field; they support
+    // every pre-classify request type, so absence degrades to that
+    // baseline instead of an empty (useless) capability set.
+    static const std::vector<std::string> kV1 = {
+        "synth", "yield", "sweep", "metrics", "health", "shutdown",
+    };
+    try {
+        const Value root = json::parse(healthBody);
+        if (!root.isObject())
+            return kV1;
+        const Value *types = root.find("types");
+        if (!types || !types->isArray())
+            return kV1;
+        std::vector<std::string> out;
+        for (const Value &t : types->array)
+            if (t.isString())
+                out.push_back(t.string);
+        return out;
+    } catch (const std::exception &) {
+        return kV1; // unparsable body: treat as a v1 worker
+    }
 }
 
 std::vector<CoreConfig>
@@ -333,6 +508,8 @@ parseRequest(const std::string &line)
         req.type = RequestType::Yield;
     else if (type->string == "sweep")
         req.type = RequestType::Sweep;
+    else if (type->string == "classify")
+        req.type = RequestType::Classify;
     else if (type->string == "metrics")
         req.type = RequestType::Metrics;
     else if (type->string == "health")
@@ -352,8 +529,10 @@ parseRequest(const std::string &line)
     }
     req.resumeFrom = uintField(root, "resume_from", 0, 0, 1 << 20);
     fatalIf(req.stream && req.type != RequestType::Sweep &&
-                req.type != RequestType::Yield,
-            "'stream' is only valid for sweep and yield requests");
+                req.type != RequestType::Yield &&
+                req.type != RequestType::Classify,
+            "'stream' is only valid for sweep, yield, and classify "
+            "requests");
     fatalIf(req.resumeFrom != 0 && !req.stream,
             "'resume_from' requires 'stream': true");
 
@@ -392,6 +571,9 @@ parseRequest(const std::string &line)
         if (req.sweep.bars.empty())
             req.sweep.bars = {2, 4};
         break;
+      case RequestType::Classify:
+        req.classify = classifyField(root);
+        break;
       case RequestType::Metrics:
       case RequestType::Health:
       case RequestType::Shutdown:
@@ -417,6 +599,7 @@ routeKey(const Request &req)
         // serves both.
         return "cfg|" + configKeyText(req.config);
       case RequestType::Sweep:
+      case RequestType::Classify:
         // The coalesce key omits stream/resume_from, so a resumed
         // stream routes to the same shard as its first attempt.
         return coalesceKey(req);
@@ -449,6 +632,9 @@ coalesceKey(const Request &req)
         key += joinAxis(req.sweep.stages);
         key += joinAxis(req.sweep.widths);
         key += joinAxis(req.sweep.bars);
+        break;
+      case RequestType::Classify:
+        key += ml::classifySpecKey(req.classify);
         break;
       default:
         break; // admin requests are never coalesced
@@ -540,6 +726,53 @@ issSweepBody(const std::vector<IssSweepPoint> &points)
             out += ", ";
         out += issPointBody(points[i]);
     }
+    out += "]}";
+    return out;
+}
+
+std::string
+classifyGenerationBody(const ml::GenerationReport &gen)
+{
+    std::string out =
+        "{\"generation\": " + std::to_string(gen.generation);
+    out += ", \"scored\": " + std::to_string(gen.scored);
+    out += ", \"best_accuracy\": " + formatDouble(gen.bestAccuracy);
+    out += ", \"best_gates\": " + std::to_string(gen.bestGates);
+    out += ", \"front_size\": " + std::to_string(gen.frontSize);
+    out += ", \"pruned_gates\": " + std::to_string(gen.prunedGates);
+    out += "}";
+    return out;
+}
+
+std::string
+classifyFrontBody(const ml::ClassifyResult &result)
+{
+    std::string out = "{\"front\": [";
+    for (std::size_t i = 0; i < result.front.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += candidateBody(result.front[i]);
+    }
+    out += "], \"baseline\": " + candidateBody(result.baseline);
+    out += ", \"generations\": " +
+           std::to_string(result.generations.size());
+    out += "}";
+    return out;
+}
+
+std::string
+classifyBody(const ml::ClassifyResult &result)
+{
+    // Same shape as sweepBody(): the streamed points in order, so a
+    // reassembled classify stream is byte-identical to the
+    // monolithic reply. Points 0..G-1 are generation summaries; the
+    // final point is the Pareto front.
+    std::string out = "{\"points\": [";
+    for (const auto &gen : result.generations) {
+        out += classifyGenerationBody(gen);
+        out += ", ";
+    }
+    out += classifyFrontBody(result);
     out += "]}";
     return out;
 }
@@ -680,9 +913,11 @@ assembleStreamedReply(const std::string &id, RequestType type,
                 "yield stream must carry exactly one point");
         return okReply(id, type, points.front());
     }
-    fatalIf(type != RequestType::Sweep,
-            "only sweep and yield replies stream");
-    // Exactly sweepBody(), over pre-rendered point bodies.
+    fatalIf(type != RequestType::Sweep &&
+                type != RequestType::Classify,
+            "only sweep, yield, and classify replies stream");
+    // Exactly sweepBody()/classifyBody(), over pre-rendered point
+    // bodies.
     std::string body = "{\"points\": [";
     for (std::size_t i = 0; i < points.size(); ++i) {
         if (i)
@@ -824,6 +1059,9 @@ requestLine(const Request &req)
         out += ", \"widths\": " + joinAxis(req.sweep.widths);
         out += ", \"bars\": " + joinAxis(req.sweep.bars);
         break;
+      case RequestType::Classify:
+        out += classifySpecMembers(req.classify);
+        break;
       case RequestType::Metrics:
       case RequestType::Health:
       case RequestType::Shutdown:
@@ -835,6 +1073,33 @@ requestLine(const Request &req)
             out += ", \"resume_from\": " + std::to_string(req.resumeFrom);
     }
     return out + "}";
+}
+
+std::string
+classifyRequest(const std::string &id, const ml::ClassifySpec &spec,
+                double deadlineMs)
+{
+    Request req;
+    req.id = id;
+    req.type = RequestType::Classify;
+    req.classify = spec;
+    req.deadlineMs = deadlineMs;
+    return requestLine(req);
+}
+
+std::string
+classifyStreamRequest(const std::string &id,
+                      const ml::ClassifySpec &spec,
+                      std::uint64_t resumeFrom, double deadlineMs)
+{
+    Request req;
+    req.id = id;
+    req.type = RequestType::Classify;
+    req.classify = spec;
+    req.deadlineMs = deadlineMs;
+    req.stream = true;
+    req.resumeFrom = resumeFrom;
+    return requestLine(req);
 }
 
 std::string

@@ -35,9 +35,27 @@
  *       throughput. Streams like a synth sweep: one partial frame
  *       per (core, kernel) point.
  *
+ *   {"id":"r8","type":"classify","dataset":{"kind":"blobs",
+ *    "features":4,"classes":3,"bits":8},"model":"tree","depth":4,
+ *    "search":{"generations":6,"population":12,"seed":1},
+ *    "budget":{"battery":"Blue Spark 30mAh"}}
+ *       Evolutionary classifier approximation search (src/ml): train
+ *       or seed the base model, evolve approximations, and return
+ *       the accuracy/area Pareto front. All members of "dataset",
+ *       "search" ("engine": "batch"/"scalar"), and "budget"
+ *       ("battery", "max_area_cm2") are optional with defaults;
+ *       "model" is "tree" (with "depth") or "ternary" (with
+ *       "hidden"). Streams like a sweep: one partial frame per
+ *       generation summary, then a final front point — so partial
+ *       index G of G+1 carries the Pareto front.
+ *
  *   {"id":"r4","type":"metrics"} / {"id":"r5","type":"health"} /
  *   {"id":"r6","type":"shutdown"}
- *       Introspection and admin.
+ *       Introspection and admin. Health replies carry a "types"
+ *       array naming every request type the server understands, so
+ *       clients and the balancer can feature-detect "classify" on a
+ *       mixed-version fleet (v1 workers omit the field and are
+ *       assumed to speak the v1 baseline set).
  *
  * Optional request fields: "deadline_ms" (relative per-request
  * deadline; expired requests are answered with a
@@ -49,9 +67,10 @@
  * Replies: {"id":...,"ok":true,"type":...,"result":{...}} or
  * {"id":...,"ok":false,"error":CODE,"message":TEXT}.
  *
- * Protocol v2 — streaming (backward compatible). A sweep or yield
- * request may carry "stream": true; a v2 server then answers with
- * zero or more partial frames followed by one done frame:
+ * Protocol v2 — streaming (backward compatible). A sweep, yield, or
+ * classify request may carry "stream": true; a v2 server then
+ * answers with zero or more partial frames followed by one done
+ * frame:
  *
  *   {"id":..,"ok":true,"type":"sweep",
  *    "partial":{"index":I,"total":N,"point":{...synth body...}}}
@@ -90,6 +109,7 @@
 #include "analysis/fault.hh"
 #include "core/config.hh"
 #include "dse/sweep.hh"
+#include "ml/evolve.hh"
 
 namespace printed::service
 {
@@ -115,6 +135,7 @@ enum class RequestType
     Synth,
     Yield,
     Sweep,
+    Classify,
     Metrics,
     Health,
     Shutdown,
@@ -122,6 +143,20 @@ enum class RequestType
 
 /** Protocol name of a request type ("synth", "yield", ...). */
 const char *requestTypeName(RequestType type);
+
+/**
+ * JSON array of every request type this build serves, in enum
+ * order — the "types" member of health replies.
+ */
+std::string supportedTypesJson();
+
+/**
+ * The request-type names a health body advertises. A body without a
+ * "types" member is a v1 worker: it gets the v1 baseline set
+ * (synth, yield, sweep, metrics, health, shutdown) so mixed-version
+ * fleets degrade gracefully instead of mis-detecting.
+ */
+std::vector<std::string> advertisedTypes(const std::string &healthBody);
 
 /** Axes of a bounded Figure-7 sub-sweep request. */
 struct SweepSpec
@@ -156,10 +191,13 @@ struct Request
     bool hasIss = false;
     IssSweepSpec iss;
 
+    /** Classify search specification. */
+    ml::ClassifySpec classify;
+
     /** Relative deadline in ms; 0 = none. */
     double deadlineMs = 0;
 
-    /** v2: stream partial frames (sweep/yield only). */
+    /** v2: stream partial frames (sweep/yield/classify only). */
     bool stream = false;
 
     /** v2: first point index to emit (streamed resume). */
@@ -220,6 +258,22 @@ std::string issPointBody(const IssSweepPoint &point);
 
 /** "result" body of an ISS sweep reply. */
 std::string issSweepBody(const std::vector<IssSweepPoint> &points);
+
+/** One generation summary of a classify reply (a stream point). */
+std::string classifyGenerationBody(const ml::GenerationReport &g);
+
+/**
+ * The Pareto-front point of a classify reply (the final stream
+ * point, index `generations` of `generations + 1`).
+ */
+std::string classifyFrontBody(const ml::ClassifyResult &result);
+
+/**
+ * "result" body of a monolithic classify reply: the generation
+ * summaries followed by the front point, wrapped sweep-style as
+ * {"points": [...]} so stream reassembly shares the sweep rule.
+ */
+std::string classifyBody(const ml::ClassifyResult &result);
 
 /** Full success reply line (no trailing newline). */
 std::string okReply(const std::string &id, RequestType type,
@@ -325,6 +379,11 @@ std::string issSweepRequest(const std::string &id,
                             const IssSweepSpec &spec,
                             double deadlineMs = 0);
 
+/** Render a classify request line (canonical, all fields explicit). */
+std::string classifyRequest(const std::string &id,
+                            const ml::ClassifySpec &spec,
+                            double deadlineMs = 0);
+
 /** Render a metrics / health / shutdown request line. */
 std::string adminRequest(const std::string &id, RequestType type);
 
@@ -345,6 +404,12 @@ std::string yieldStreamRequest(const std::string &id,
                                unsigned replicas = 1,
                                std::uint64_t resumeFrom = 0,
                                double deadlineMs = 0);
+
+/** Render a streamed classify request. */
+std::string classifyStreamRequest(const std::string &id,
+                                  const ml::ClassifySpec &spec,
+                                  std::uint64_t resumeFrom = 0,
+                                  double deadlineMs = 0);
 
 /**
  * Canonical wire rendering of a parsed request: parses back to an

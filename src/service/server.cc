@@ -328,6 +328,9 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
       case RequestType::Sweep:
         metrics::counter("service.requests_sweep").add(1);
         break;
+      case RequestType::Classify:
+        metrics::counter("service.requests_classify").add(1);
+        break;
     }
 
     Task task;
@@ -382,6 +385,11 @@ Server::admit(Task task, double &retryAfterMsOut)
       case RequestType::Sweep:
         limit = std::max<std::size_t>(1, cap / 2);
         shedCounter = "service.shed_sweep";
+        break;
+      case RequestType::Classify:
+        // Whole evolutionary searches are sweep-class work.
+        limit = std::max<std::size_t>(1, cap / 2);
+        shedCounter = "service.shed_classify";
         break;
       case RequestType::Yield:
         limit = std::max<std::size_t>(1, cap * 3 / 4);
@@ -581,6 +589,62 @@ Server::streamTask(Task &task)
             }
             sendLine(task.conn, doneFrame(req.id, req.type, total),
                      /*faultable=*/true);
+        } else if (req.type == RequestType::Classify) {
+            // Classify: points 0..G-1 are per-generation summaries,
+            // point G is the Pareto front. Search results are
+            // thread-count- and engine-invariant by construction, so
+            // a single-thread pool here emits frames byte-identical
+            // to the pooled monolithic classifyBody() while the
+            // shared pool stays free for queued compute. Streams
+            // skip request-level coalescing — repeated specs still
+            // dedupe through the classify result cache.
+            const std::uint64_t total =
+                req.classify.search.generations + 1;
+            fatalIf(req.resumeFrom > total,
+                    "resume_from " + std::to_string(req.resumeFrom) +
+                        " is past the classify's " +
+                        std::to_string(total) + " points");
+            struct ClientGone {};
+            ThreadPool local(1);
+            try {
+                const auto result = ml::runClassifyCached(
+                    req.classify, local,
+                    [&](const ml::GenerationReport &gen) {
+                        if (task.hasDeadline &&
+                            Clock::now() > task.deadline)
+                            throw DeadlineError();
+                        if (!task.conn->open.load())
+                            throw ClientGone{};
+                        if (gen.generation < req.resumeFrom)
+                            return;
+                        sendLine(task.conn,
+                                 partialFrame(
+                                     req.id, req.type,
+                                     gen.generation, total,
+                                     classifyGenerationBody(gen)),
+                                 /*faultable=*/true);
+                        metrics::counter("service.stream_partials")
+                            .add(1);
+                    });
+                if (task.hasDeadline && Clock::now() > task.deadline)
+                    throw DeadlineError();
+                if (!task.conn->open.load())
+                    return; // client is gone: stop computing
+                if (total - 1 >= req.resumeFrom) {
+                    sendLine(task.conn,
+                             partialFrame(req.id, req.type,
+                                          total - 1, total,
+                                          classifyFrontBody(*result)),
+                             /*faultable=*/true);
+                    metrics::counter("service.stream_partials")
+                        .add(1);
+                }
+                sendLine(task.conn,
+                         doneFrame(req.id, req.type, total),
+                         /*faultable=*/true);
+            } catch (const ClientGone &) {
+                return; // client is gone: stop computing
+            }
         } else {
             // Yield: a one-point stream carrying the full body, so
             // the client's resume rule is uniform across streamed
@@ -746,6 +810,21 @@ Server::computeBody(const Task &task)
         return sweepBody(sweepConfigs(configs, opts));
       }
 
+      case RequestType::Classify: {
+        // Deadline is checked between generations through the
+        // progress callback; search results are thread-invariant,
+        // so the reply bytes don't depend on pool width.
+        ml::GenerationCallback cb;
+        if (task.hasDeadline)
+            cb = [&](const ml::GenerationReport &) {
+                if (Clock::now() > task.deadline)
+                    throw DeadlineError();
+            };
+        std::lock_guard lk(poolMutex_);
+        return classifyBody(
+            *ml::runClassifyCached(req.classify, pool_, cb));
+      }
+
       default:
         panic("computeBody() on a non-compute request");
     }
@@ -800,6 +879,7 @@ Server::healthBody()
     }
     std::string out = "{\"status\": \"ok\"";
     out += ", \"proto\": " + std::to_string(kProtocolVersion);
+    out += ", \"types\": " + supportedTypesJson();
     out += ", \"uptime_ms\": " +
            formatDouble(millisSince(started_));
     out += ", \"queue_depth\": " + std::to_string(depth);

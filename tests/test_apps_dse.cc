@@ -20,6 +20,7 @@
 #include "dse/sweep.hh"
 #include "dse/system_eval.hh"
 #include "legacy/cores.hh"
+#include "ml/evolve.hh"
 #include "synth/cache.hh"
 
 namespace printed
@@ -370,7 +371,7 @@ std::vector<std::pair<std::string, std::uint64_t>>
 deterministicCounters()
 {
     static const char *prefixes[] = {"synth.", "parallel.", "fault.",
-                                     "dse.", "analysis."};
+                                     "dse.", "analysis.", "ml."};
     std::vector<std::pair<std::string, std::uint64_t>> out;
     for (const auto &entry :
          metrics::Registry::global().snapshot().counters)
@@ -401,6 +402,23 @@ countersForThreadCount(unsigned threads)
     mc.fault.seed = 11;
     const auto nl = SynthCache::global().core(configs[0]);
     measureFunctionalYield(*nl, configs[0], mc);
+
+    // A small classify search, twice: the ml.* counters (candidates
+    // scored, generations, pruned gates, cache hits/misses) must
+    // also be invariant, including the 1-miss + 1-hit cache split.
+    ml::classifyCacheClear();
+    ml::ClassifySpec spec;
+    spec.dataset.features = 2;
+    spec.dataset.classes = 2;
+    spec.dataset.bits = 4;
+    spec.dataset.train = 32;
+    spec.dataset.holdout = 24;
+    spec.depth = 2;
+    spec.search.generations = 2;
+    spec.search.population = 3;
+    ThreadPool pool(threads);
+    ml::runClassifyCached(spec, pool);
+    ml::runClassifyCached(spec, pool);
     return deterministicCounters();
 }
 
@@ -434,6 +452,10 @@ TEST(Dse, MetricsCountersAreThreadCountInvariant)
     EXPECT_EQ(value("fault.trials"), 96u);
     EXPECT_EQ(value("dse.points"), 4u);
     EXPECT_GT(value("synth.cache.netlist_misses"), 0u);
+    EXPECT_EQ(value("ml.generations"), 2u);
+    EXPECT_EQ(value("ml.candidates_scored"), 7u); // baseline + 2x3
+    EXPECT_EQ(value("ml.cache_misses"), 1u);
+    EXPECT_EQ(value("ml.cache_hits"), 1u);
 }
 
 TEST(Dse, TracingDoesNotChangeResults)

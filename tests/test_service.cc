@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <set>
@@ -32,6 +33,22 @@ CoreConfig
 smallConfig()
 {
     return CoreConfig::standard(1, 4, 2);
+}
+
+/** A classify spec small enough for sub-second end-to-end tests. */
+ml::ClassifySpec
+smallClassifySpec()
+{
+    ml::ClassifySpec spec;
+    spec.dataset.features = 2;
+    spec.dataset.classes = 2;
+    spec.dataset.bits = 4;
+    spec.dataset.train = 48;
+    spec.dataset.holdout = 32;
+    spec.depth = 2;
+    spec.search.generations = 2;
+    spec.search.population = 4;
+    return spec;
 }
 
 // ---------------------------------------------------------------
@@ -122,6 +139,100 @@ TEST(ServiceProtocol, CoalesceKeyIgnoresIdAndDeadline)
     EXPECT_NE(coalesceKey(y1), coalesceKey(y2));
 }
 
+TEST(ServiceProtocol, ClassifyRequestRoundTrip)
+{
+    ml::ClassifySpec spec = smallClassifySpec();
+    spec.dataset.kind = "xor";
+    spec.dataset.seed = 7;
+    spec.search.seed = 9;
+    spec.search.engine = ml::ScoreEngine::Scalar;
+    spec.budget.battery = "Zinergy 12mAh";
+    spec.budget.maxAreaCm2 = 3.5;
+
+    const std::string line = classifyRequest("c42", spec, 250);
+    const Request req = parseRequest(line);
+    EXPECT_EQ(req.id, "c42");
+    EXPECT_EQ(req.type, RequestType::Classify);
+    EXPECT_EQ(req.classify.dataset.kind, "xor");
+    EXPECT_EQ(req.classify.dataset.features, 2u);
+    EXPECT_EQ(req.classify.dataset.seed, 7u);
+    EXPECT_EQ(req.classify.model, ml::ModelKind::Tree);
+    EXPECT_EQ(req.classify.depth, 2u);
+    EXPECT_EQ(req.classify.search.generations, 2u);
+    EXPECT_EQ(req.classify.search.seed, 9u);
+    EXPECT_EQ(req.classify.search.engine, ml::ScoreEngine::Scalar);
+    EXPECT_EQ(req.classify.budget.battery, "Zinergy 12mAh");
+    EXPECT_DOUBLE_EQ(req.classify.budget.maxAreaCm2, 3.5);
+    EXPECT_DOUBLE_EQ(req.deadlineMs, 250);
+
+    // requestLine() is the canonical renderer: parse -> render is
+    // identity on rendered lines (the balancer's resume rewrite
+    // depends on this).
+    EXPECT_EQ(requestLine(req), line);
+
+    // Defaults resolve exactly like an empty request body.
+    const Request bare =
+        parseRequest("{\"id\":\"c\",\"type\":\"classify\"}");
+    EXPECT_EQ(bare.classify, ml::ClassifySpec{});
+
+    // Bad specs are rejected at parse time.
+    EXPECT_THROW(parseRequest("{\"type\":\"classify\","
+                              "\"model\":\"forest\"}"),
+                 FatalError);
+    EXPECT_THROW(parseRequest("{\"type\":\"classify\",\"budget\":"
+                              "{\"battery\":\"AA\"}}"),
+                 FatalError);
+    EXPECT_THROW(parseRequest("{\"type\":\"classify\",\"dataset\":"
+                              "{\"kind\":\"xor\",\"classes\":3}}"),
+                 FatalError);
+}
+
+TEST(ServiceProtocol, ClassifyCoalesceAndRouteKeys)
+{
+    const ml::ClassifySpec spec = smallClassifySpec();
+    const Request a = parseRequest(classifyRequest("a", spec, 0));
+    const Request b = parseRequest(classifyRequest("b", spec, 500));
+    EXPECT_EQ(coalesceKey(a), coalesceKey(b));
+    // Streams route where the monolithic request routes, so a
+    // resumed stream finds the shard that holds the cached search.
+    EXPECT_EQ(routeKey(a), coalesceKey(a));
+
+    ml::ClassifySpec other = spec;
+    other.search.seed += 1;
+    const Request c = parseRequest(classifyRequest("c", other));
+    EXPECT_NE(coalesceKey(a), coalesceKey(c));
+
+    other = spec;
+    other.search.engine = ml::ScoreEngine::Scalar;
+    const Request d = parseRequest(classifyRequest("d", other));
+    EXPECT_NE(coalesceKey(a), coalesceKey(d));
+}
+
+TEST(ServiceProtocol, AdvertisedTypesWithV1Fallback)
+{
+    // A v2 worker advertises its types in the health body.
+    const std::string v2 = "{\"status\": \"ok\", \"proto\": 2, "
+                           "\"types\": " +
+                           supportedTypesJson() + "}";
+    const std::vector<std::string> types = advertisedTypes(v2);
+    EXPECT_NE(std::find(types.begin(), types.end(), "classify"),
+              types.end());
+    EXPECT_NE(std::find(types.begin(), types.end(), "sweep"),
+              types.end());
+
+    // Older workers (no "types" field, or an unparsable body)
+    // degrade to the v1 baseline: everything but classify.
+    for (const std::string body :
+         {std::string("{\"status\": \"ok\", \"proto\": 1}"),
+          std::string("not json")}) {
+        const std::vector<std::string> v1 = advertisedTypes(body);
+        EXPECT_EQ(std::find(v1.begin(), v1.end(), "classify"),
+                  v1.end());
+        EXPECT_NE(std::find(v1.begin(), v1.end(), "sweep"),
+                  v1.end());
+    }
+}
+
 TEST(ServiceProtocol, FormatDoubleRoundTrips)
 {
     for (double v : {0.0, 1.0, 0.1, 1.0 / 3.0, 22.830007762202637,
@@ -197,6 +308,58 @@ TEST(ServiceServer, YieldAndSweepOverTcp)
     const json::Value wroot = json::parse(sweep.raw);
     EXPECT_EQ(
         wroot.find("result")->find("points")->array.size(), 2u);
+}
+
+TEST(ServiceServer, ClassifyOverTcp)
+{
+    Server server;
+    server.start();
+    Client client("127.0.0.1", server.port());
+
+    const ml::ClassifySpec spec = smallClassifySpec();
+    const std::string raw =
+        client.call(classifyRequest("c1", spec));
+    const Reply reply = parseReply(raw);
+    ASSERT_TRUE(reply.ok) << raw;
+
+    // Points 0..G-1 are generation summaries, point G the front.
+    const json::Value root = json::parse(raw);
+    const json::Value *points = root.find("result")->find("points");
+    ASSERT_NE(points, nullptr);
+    ASSERT_EQ(points->array.size(), spec.search.generations + 1u);
+    EXPECT_EQ(points->array[0].find("generation")->number, 0);
+    const json::Value &front = points->array.back();
+    ASSERT_NE(front.find("front"), nullptr);
+    EXPECT_GE(front.find("front")->array.size(), 1u);
+    EXPECT_GT(
+        front.find("baseline")->find("accuracy")->number, 0.5);
+
+    // Identical specs reuse the cached search result and the reply
+    // is a pure function of the request line.
+    const std::uint64_t hits =
+        metrics::counter("ml.cache_hits").value();
+    EXPECT_EQ(client.call(classifyRequest("c1", spec)), raw);
+    EXPECT_GT(metrics::counter("ml.cache_hits").value(), hits);
+}
+
+TEST(ServiceServer, HealthAdvertisesClassify)
+{
+    Server server;
+    server.start();
+    Client client("127.0.0.1", server.port());
+
+    const std::string raw =
+        client.call(adminRequest("h", RequestType::Health));
+    const json::Value root = json::parse(raw);
+    const json::Value *types = root.find("result")->find("types");
+    ASSERT_NE(types, nullptr);
+    std::vector<std::string> got;
+    for (const json::Value &t : types->array)
+        got.push_back(t.string);
+    EXPECT_NE(std::find(got.begin(), got.end(), "classify"),
+              got.end());
+    EXPECT_NE(std::find(got.begin(), got.end(), "synth"),
+              got.end());
 }
 
 TEST(ServiceServer, MalformedAndInvalidRequests)

@@ -20,6 +20,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/json_min.hh"
+#include "service/balancer.hh"
 #include "service/client.hh"
 #include "service/fault_plan.hh"
 #include "service/net_io.hh"
@@ -39,6 +41,23 @@ fourPointSpec()
     spec.stages = {1, 2};
     spec.widths = {4, 8};
     spec.bars = {2};
+    return spec;
+}
+
+/** A classify search small enough to stream in a few hundred ms:
+ *  3 generations -> a 4-point stream (3 summaries + the front). */
+ml::ClassifySpec
+streamClassifySpec()
+{
+    ml::ClassifySpec spec;
+    spec.dataset.features = 2;
+    spec.dataset.classes = 2;
+    spec.dataset.bits = 4;
+    spec.dataset.train = 48;
+    spec.dataset.holdout = 32;
+    spec.depth = 2;
+    spec.search.generations = 3;
+    spec.search.population = 4;
     return spec;
 }
 
@@ -99,6 +118,69 @@ TEST(Streaming, YieldStreamsAsAOnePointStream)
     EXPECT_EQ(assembleStreamedReply("y", RequestType::Yield,
                                     {partial.pointBody}),
               monolithic);
+}
+
+TEST(Streaming, ClassifyStreamReassemblesByteExactly)
+{
+    Server server;
+    server.start();
+    Client client("127.0.0.1", server.port());
+
+    const ml::ClassifySpec spec = streamClassifySpec();
+    const std::string monolithic =
+        client.call(classifyRequest("c", spec));
+    ASSERT_TRUE(parseReply(monolithic).ok) << monolithic;
+
+    client.send(classifyStreamRequest("c", spec));
+    std::vector<std::string> points;
+    for (;;) {
+        const StreamFrame frame = classifyFrame(client.readLine());
+        if (frame.kind == StreamFrame::Kind::Partial) {
+            EXPECT_EQ(frame.id, "c");
+            EXPECT_EQ(frame.index, points.size());
+            EXPECT_EQ(frame.total, 4u);
+            points.push_back(frame.pointBody);
+            continue;
+        }
+        ASSERT_EQ(frame.kind, StreamFrame::Kind::Done);
+        EXPECT_EQ(frame.points, 4u);
+        break;
+    }
+    ASSERT_EQ(points.size(), 4u);
+
+    // Generation summaries stream first, the Pareto front last, and
+    // reassembly reproduces the monolithic reply byte-for-byte.
+    EXPECT_NE(points[0].find("\"generation\": 0"),
+              std::string::npos);
+    EXPECT_NE(points[3].find("\"front\""), std::string::npos);
+    EXPECT_EQ(
+        assembleStreamedReply("c", RequestType::Classify, points),
+        monolithic);
+}
+
+TEST(Streaming, ClassifyResumeFromStartsMidSearch)
+{
+    Server server;
+    server.start();
+    Client client("127.0.0.1", server.port());
+
+    const ml::ClassifySpec spec = streamClassifySpec();
+    client.send(classifyStreamRequest("r", spec, /*resumeFrom=*/2));
+    const StreamFrame first = classifyFrame(client.readLine());
+    ASSERT_EQ(first.kind, StreamFrame::Kind::Partial);
+    EXPECT_EQ(first.index, 2u); // earlier generations not re-sent
+    const StreamFrame second = classifyFrame(client.readLine());
+    ASSERT_EQ(second.kind, StreamFrame::Kind::Partial);
+    EXPECT_EQ(second.index, 3u); // the front
+    const StreamFrame done = classifyFrame(client.readLine());
+    ASSERT_EQ(done.kind, StreamFrame::Kind::Done);
+    EXPECT_EQ(done.points, 4u);
+
+    // Resuming past everything answers done without recomputing.
+    client.send(classifyStreamRequest("r2", spec, /*resumeFrom=*/4));
+    const StreamFrame only = classifyFrame(client.readLine());
+    ASSERT_EQ(only.kind, StreamFrame::Kind::Done);
+    EXPECT_EQ(only.points, 4u);
 }
 
 TEST(Streaming, ResumeFromStartsMidSweep)
@@ -268,6 +350,109 @@ TEST(Streaming, MidStreamDisconnectResumesWithoutDupOrDrop)
     // The chaos must have actually bitten: at least one resume
     // replay picked up mid-stream (not just full-reply retries).
     EXPECT_GT(client.stats().streamResumes, 0u);
+}
+
+TEST(Streaming, ClassifyMidSearchDisconnectResumesWithoutDupOrDrop)
+{
+    Server clean;
+    clean.start();
+    Client ref("127.0.0.1", clean.port());
+    const ml::ClassifySpec spec = streamClassifySpec();
+    const std::string expected = ref.call(classifyRequest("c", spec));
+    ASSERT_TRUE(parseReply(expected).ok) << expected;
+
+    // A server that drops or truncates ~40% of compute frames:
+    // partial frames die mid-search, forcing resumes.
+    ServerOptions opts;
+    opts.faultPlan =
+        FaultPlan::parse("seed=11,drop=0.25,truncate=0.15");
+    Server faulty(opts);
+    faulty.start();
+
+    RetryPolicy policy;
+    policy.maxLossRetries = 40;
+    policy.baseBackoffMs = 1;
+    policy.maxBackoffMs = 10;
+    policy.jitterSeed = 5;
+    RetryingClient client("127.0.0.1", faulty.port(), policy);
+
+    constexpr unsigned kRounds = 8;
+    for (unsigned round = 0; round < kRounds; ++round) {
+        std::vector<std::uint64_t> seen;
+        const StreamResult result = client.streamClassify(
+            "c", spec,
+            [&](std::uint64_t index, std::uint64_t total,
+                const std::string &) {
+                EXPECT_EQ(total, 4u);
+                seen.push_back(index);
+            });
+        ASSERT_TRUE(result.reply.ok) << result.reply.raw;
+        ASSERT_TRUE(result.streamed);
+
+        // The callback fired exactly once per point, in order —
+        // no matter how many resumes the faults forced.
+        ASSERT_EQ(seen.size(), 4u);
+        for (std::uint64_t i = 0; i < seen.size(); ++i)
+            EXPECT_EQ(seen[i], i);
+
+        // And the assembled reply is byte-identical to the clean
+        // server's monolithic one: the resumed search re-derives
+        // the generations it already streamed bit-identically.
+        EXPECT_EQ(result.reply.raw, expected);
+    }
+
+    // The chaos must have actually bitten: at least one resume
+    // replay picked up mid-stream (not just full-reply retries).
+    EXPECT_GT(client.stats().streamResumes, 0u);
+}
+
+TEST(Streaming, ClassifyThroughBalancerMatchesDirect)
+{
+    // One worker behind a balancer that drops ~30% of relayed
+    // frames: the streamed classify must failover-resume through
+    // the balancer and still assemble byte-identically to a direct
+    // single-shard monolithic reply.
+    Server worker;
+    worker.start();
+    Client direct("127.0.0.1", worker.port());
+    const ml::ClassifySpec spec = streamClassifySpec();
+    const std::string expected =
+        direct.call(classifyRequest("c", spec));
+    ASSERT_TRUE(parseReply(expected).ok) << expected;
+
+    BalancerOptions bo;
+    bo.workers.push_back({"127.0.0.1", worker.port()});
+    bo.faultPlan = FaultPlan::parse("seed=17,drop=0.2,truncate=0.1");
+    Balancer balancer(bo);
+    balancer.start();
+
+    RetryPolicy policy;
+    policy.maxLossRetries = 40;
+    policy.baseBackoffMs = 1;
+    policy.maxBackoffMs = 10;
+    policy.jitterSeed = 7;
+    RetryingClient client("127.0.0.1", balancer.port(), policy);
+
+    for (unsigned round = 0; round < 4; ++round) {
+        const StreamResult result = client.streamClassify("c", spec);
+        ASSERT_TRUE(result.reply.ok) << result.reply.raw;
+        ASSERT_TRUE(result.streamed);
+        ASSERT_EQ(result.points.size(), 4u);
+        EXPECT_EQ(result.reply.raw, expected);
+    }
+
+    // The balancer also advertises classify in its merged health
+    // (the intersection across its one live shard).
+    Client admin("127.0.0.1", balancer.port());
+    const std::string health =
+        admin.call(adminRequest("h", RequestType::Health));
+    const json::Value root = json::parse(health);
+    const json::Value *types = root.find("result")->find("types");
+    ASSERT_NE(types, nullptr) << health;
+    bool hasClassify = false;
+    for (const json::Value &t : types->array)
+        hasClassify = hasClassify || t.string == "classify";
+    EXPECT_TRUE(hasClassify) << health;
 }
 
 } // namespace
